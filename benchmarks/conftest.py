@@ -1,0 +1,20 @@
+"""Shared benchmark configuration.
+
+Every benchmark regenerates one paper table or figure at a reduced scale
+(the full-scale harness lives in ``repro.experiments`` and the examples).
+Each runs once per session (``pedantic`` with one round): these are
+experiment drivers, not microbenchmarks.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run an experiment exactly once under the benchmark timer."""
+
+    def runner(func, *args, **kwargs):
+        return benchmark.pedantic(func, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1)
+
+    return runner

@@ -1,0 +1,36 @@
+"""Figures 10 and 11: injection campaigns over the six arithmetic units.
+
+Shape assertions mirror the paper: single-bit errors dominate everywhere,
+fp64 units produce the most >=4-bit patterns, and SwapCodes SDC risk is
+small for every code — under 5% even for Mod-3, with Mod-127 and TED
+strongest.
+"""
+
+from repro.experiments import run_injection_study, render_figure10, \
+    render_figure11
+
+
+def test_fig10_error_patterns(once):
+    study = once(run_injection_study, sample_count=400, site_count=150,
+                 seed=0, units=("fxp-add-32", "fxp-mad-32", "fp-add-32",
+                                "fp-add-64"))
+    print()
+    print(render_figure10(study))
+    for unit, dist in study.severity.items():
+        assert dist["1"].mean > 0.5, unit  # single-bit dominates
+    # fp64 shows more wide patterns than the fixed-point adder
+    assert study.severity["fp-add-64"][">=4"].mean > \
+        study.severity["fxp-add-32"][">=4"].mean
+
+
+def test_fig11_sdc_risk(once):
+    study = once(run_injection_study, sample_count=400, site_count=150,
+                 seed=1, units=("fxp-add-32", "fp-add-32", "fp-add-64"))
+    print()
+    print(render_figure11(study))
+    assert study.mean_sdc_risk("mod3") < 0.05      # paper: <5%
+    assert study.mean_sdc_risk("mod127") < 0.01    # strongest residue
+    assert study.mean_sdc_risk("ted") < 0.02
+    assert study.mean_sdc_risk("secded-dp") < 0.05
+    # parity is the weak strawman
+    assert study.mean_sdc_risk("parity") > study.mean_sdc_risk("mod3")

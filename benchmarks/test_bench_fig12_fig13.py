@@ -1,0 +1,46 @@
+"""Figures 12 and 13: SwapCodes performance and dynamic instruction mix."""
+
+from repro.experiments import (FIG12_SCHEMES, render_mix_table,
+                               render_slowdown_table, run_performance_study)
+from repro.workloads import ALL_ORDER
+
+WORKLOADS = ALL_ORDER
+
+
+def _study(scale):
+    return run_performance_study(schemes=FIG12_SCHEMES, workloads=WORKLOADS,
+                                 scale=scale, seed=0)
+
+
+def test_fig12_performance(once):
+    study = once(_study, 0.5)
+    print()
+    print(render_slowdown_table(study, "Figure 12: slowdown vs baseline"))
+    assert study.all_verified()
+    swdup = study.mean_slowdown("swdup")
+    swap_ecc = study.mean_slowdown("swap-ecc")
+    addsub = study.mean_slowdown("pre-addsub")
+    mad = study.mean_slowdown("pre-mad")
+    # Paper ordering: SW-Dup (49%) > Swap-ECC (21%) > Pre-AddSub (16%)
+    # >= Pre-MAD (15%).
+    assert swdup > swap_ecc > addsub >= mad - 0.01
+    assert 0.15 < swdup < 0.80
+    assert 0.08 < swap_ecc < 0.35
+    # lavaMD is the worst case for every SwapCodes variant (fp64-bound).
+    __, worst_workload = study.worst_slowdown("swap-ecc")
+    assert worst_workload == "lavamd"
+
+
+def test_fig13_instruction_mix(once):
+    study = once(_study, 0.35)
+    print()
+    print(render_mix_table(study))
+    # Paper: bloat ordering SW-Dup (~91%) > Swap-ECC (~63%) >
+    # Pre-AddSub (~45%) > Pre-MAD (~33%); checking is 11-35% of baseline.
+    assert study.mean_bloat("swdup") > study.mean_bloat("swap-ecc")
+    assert study.mean_bloat("swap-ecc") > study.mean_bloat("pre-addsub")
+    assert study.mean_bloat("pre-addsub") > study.mean_bloat("pre-mad")
+    checking = study.mean_checking_fraction("swdup")
+    assert 0.10 < checking < 0.60
+    # Swap-ECC eliminates checking entirely.
+    assert study.mean_checking_fraction("swap-ecc") == 0.0

@@ -1,0 +1,23 @@
+"""Figure 14: power and energy overheads for SNAP and matrixMul."""
+
+from repro.experiments import render_figure14, run_power_study
+
+
+def test_fig14_power_energy(once):
+    study = once(run_power_study, 0.5)
+    print()
+    print(render_figure14(study))
+    for workload in study.grid:
+        for scheme in ("swdup", "swap-ecc", "pre-mad"):
+            if study.grid[workload][scheme].rejected:
+                continue
+            # Power moves modestly (paper: worst case +15%)...
+            assert abs(study.power_overhead(workload, scheme)) < 0.25
+            # ...so energy overhead tracks the runtime overhead.
+            energy = study.energy_overhead(workload, scheme)
+            runtime = study.runtime_overhead(workload, scheme)
+            assert abs(energy - runtime) < 0.30 + 0.25 * abs(runtime)
+    # SNAP: duplication's energy cost shrinks dramatically with Swap-ECC
+    # (paper: >2x energy for SW-Dup vs 11% worst-case for Swap-ECC).
+    assert study.energy_overhead("snap", "swap-ecc") < \
+        study.energy_overhead("snap", "swdup")

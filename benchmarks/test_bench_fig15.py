@@ -1,0 +1,27 @@
+"""Figure 15: inter-thread duplication versus the intra-thread baseline."""
+
+from repro.experiments import FIG15_SCHEMES, render_slowdown_table, \
+    run_performance_study
+from repro.workloads import ALL_ORDER, RODINIA_ORDER
+
+
+def test_fig15_interthread(once):
+    study = once(run_performance_study, FIG15_SCHEMES, ALL_ORDER, 0.5, 0)
+    print()
+    print(render_slowdown_table(study,
+                                "Figure 15: inter-thread duplication"))
+    assert study.all_verified()
+    # Inter-thread rejects SNAP (shuffles) and matrixMul (CTA size).
+    assert study.grid["snap"]["interthread"].rejected
+    assert study.grid["matmul"]["interthread"].rejected
+    for name in RODINIA_ORDER:
+        assert not study.grid[name]["interthread"].rejected
+    # Paper: inter-thread is worse than intra-thread duplication on both
+    # mean and max, and stays worse even with checking removed.
+    swdup = study.mean_slowdown("swdup")
+    inter = study.mean_slowdown("interthread")
+    nocheck = study.mean_slowdown("interthread-nocheck")
+    assert inter > swdup
+    assert nocheck > swdup * 0.7
+    assert study.worst_slowdown("interthread")[0] > \
+        study.worst_slowdown("swdup")[0]

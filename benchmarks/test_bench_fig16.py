@@ -1,0 +1,25 @@
+"""Figure 16: projected Swap-Predict with future check-bit predictors."""
+
+from repro.experiments import FIG16_SCHEMES, render_slowdown_table, \
+    run_performance_study
+from repro.workloads import ALL_ORDER
+
+
+def test_fig16_future_predictors(once):
+    study = once(run_performance_study, FIG16_SCHEMES, ALL_ORDER, 0.5, 0)
+    print()
+    print(render_slowdown_table(study, "Figure 16: future predictors"))
+    assert study.all_verified()
+    # Progressively wider predictor sets monotonically help (on average).
+    mad = study.mean_slowdown("pre-mad")
+    fxp = study.mean_slowdown("pre-fxp")
+    fp_addsub = study.mean_slowdown("pre-fp-addsub")
+    fp_mad = study.mean_slowdown("pre-fp-mad")
+    assert fp_mad <= fp_addsub + 0.01
+    assert fp_addsub <= fxp + 0.01
+    assert fxp <= mad + 0.01
+    # Paper: floating-point MAD prediction brings the mean to ~5% and
+    # rescues the fp64-bound worst case.
+    assert fp_mad < 0.10
+    lavamd = study.slowdowns("pre-fp-mad").get("lavamd", 1.0)
+    assert lavamd < study.slowdowns("pre-mad")["lavamd"]

@@ -1,0 +1,73 @@
+"""Microbenchmarks of the core substrates (real pytest-benchmark timing)."""
+
+import random
+
+from repro.ecc import HsiaoSecDed, ResidueCode, SecDedDpSwap
+from repro.gates import build_add_unit, build_mad_unit
+from repro.gpu import Device, LaunchConfig, MemorySpace, assemble
+from repro.inject import FaultInjector
+
+
+def test_hsiao_encode_decode_throughput(benchmark):
+    code = HsiaoSecDed()
+    rng = random.Random(0)
+    words = [(d := rng.getrandbits(32), code.encode(d)) for __ in range(256)]
+
+    def run():
+        for data, check in words:
+            code.decode(data ^ 1, check)
+
+    benchmark(run)
+
+
+def test_swap_scheme_read_throughput(benchmark):
+    scheme = SecDedDpSwap()
+    rng = random.Random(1)
+    pairs = [scheme.write_pair(rng.getrandbits(32)).with_data_error(
+        1 << rng.randrange(32)) for __ in range(256)]
+    benchmark(lambda: [scheme.read(word) for word in pairs])
+
+
+def test_gate_simulation_throughput(benchmark):
+    unit = build_mad_unit(32)
+    rng = random.Random(2)
+    samples = {
+        "a": [rng.getrandbits(32) for __ in range(512)],
+        "b": [rng.getrandbits(32) for __ in range(512)],
+        "c": [rng.getrandbits(64) for __ in range(512)],
+    }
+    packed = unit.pack_inputs(samples)
+    benchmark(unit.evaluate, packed)
+
+
+def test_fault_injection_throughput(benchmark):
+    unit = build_add_unit(32)
+    injector = FaultInjector(unit)
+    rng = random.Random(3)
+    samples = {
+        "a": [rng.getrandbits(32) for __ in range(256)],
+        "b": [rng.getrandbits(32) for __ in range(256)],
+    }
+    benchmark.pedantic(injector.run, args=(samples,),
+                       kwargs={"site_count": 100}, rounds=3, iterations=1)
+
+
+def test_gpu_simulator_throughput(benchmark):
+    kernel = assemble("spin", """
+        S2R R0, SR_TID
+        MOV R1, 0
+    loop:
+        IMAD R2, R1, R0, R2
+        IADD R1, R1, 1
+        ISETP.LT P0, R1, 64
+    @P0 BRA loop
+        STG [R0], R2
+        EXIT
+    """)
+
+    def run():
+        memory = MemorySpace(4096)
+        return Device().launch(kernel, LaunchConfig(4, 128), memory)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.issued > 0

@@ -1,0 +1,39 @@
+"""Tables I-IV: qualitative data and the synthesized area model."""
+
+from repro.experiments import (TABLE_I, TABLE_II, format_table_iv,
+                               table_iii, table_iv_rows)
+
+
+def test_table_i_and_ii_render(once):
+    def build():
+        assert len(TABLE_I) == 5
+        assert TABLE_I["swapcodes"]["major_issue"] == "None"
+        assert len(TABLE_II) == 5
+        return TABLE_I
+
+    once(build)
+
+
+def test_table_iii(once):
+    rows = once(table_iii, 15)
+    by_case = {(row["cout"], row["cin"]): row for row in rows}
+    assert by_case[(0, 0)]["signal"] == "0000"
+    assert by_case[(0, 1)]["signal"] == "0001"
+    assert by_case[(1, 0)]["signal"] == "1110"
+    assert by_case[(1, 1)]["signal"] == "1111"
+
+
+def test_table_iv_area(once):
+    rows = once(table_iv_rows)
+    print()
+    print(format_table_iv(rows))
+    by_key = {(row.section, row.unit, row.bits): row for row in rows}
+    # MAD residue prediction is nearly free (paper: <1% for Mod-3).
+    assert by_key[("swap-predict", "MAD", "2")].overhead < 0.01
+    assert by_key[("swap-predict", "MAD", "7")].overhead < 0.10
+    # Modified encoders carry the largest *relative* overhead.
+    assert by_key[("swap-predict", "Mod-3 Enc.", "2")].overhead > 1.0
+    # Swap-ECC additions stay small next to the decoder (paper: ~50%).
+    move = by_key[("swap-ecc", "Move-Propagate", "7")]
+    dp = by_key[("swap-ecc", "SEC-(DED)-DP", "2")]
+    assert move.overhead + dp.overhead < 0.6

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""End-to-end fault injection: what happens to a real kernel's output?
+
+For one workload, injects random single-bit datapath transients into
+running kernels under three protections and classifies each run:
+
+* ``detected`` — a checking trap (SW-Dup) or register-file DUE (Swap-ECC);
+* ``crash``    — the corrupted value (usually an address) aborted the run,
+  which the hardware reports as a detectable fault;
+* ``sdc``      — the kernel finished with a wrong result;
+* ``masked``   — the flipped value never influenced the output.
+
+This goes beyond the paper's unit-level study: it shows Swap-ECC's
+*error containment* (faults caught at the register read, before reaching
+memory) on a full program.
+
+Usage::
+
+    python examples/end_to_end_faults.py [workload] [trials]
+"""
+
+import random
+import sys
+
+from repro.compiler import compile_for_scheme, resilience_mode
+from repro.ecc import SecDedDpSwap
+from repro.errors import SimulationError
+from repro.gpu import FaultPlan, ResilienceState, run_functional
+from repro.workloads import get_workload
+
+
+def classify(instance, scheme, plan):
+    compiled = compile_for_scheme(instance.kernel, instance.launch, scheme)
+    launch = compiled.adjust_launch(instance.launch)
+    memory = instance.fresh_memory()
+    mode = resilience_mode(scheme)
+    state = ResilienceState(
+        mode=mode, scheme=SecDedDpSwap() if mode == "swap" else None,
+        fault=plan)
+    try:
+        run_functional(compiled.kernel, launch, memory, state)
+    except SimulationError:
+        return "crash"
+    if state.detected:
+        return "detected"
+    if not state.fault_fired:
+        return "not-hit"
+    return "masked" if instance.verify(memory) else "sdc"
+
+
+def main():
+    workload = sys.argv[1] if len(sys.argv) > 1 else "pathfinder"
+    trials = int(sys.argv[2]) if len(sys.argv) > 2 else 40
+    instance = get_workload(workload).build(scale=0.25, seed=1)
+    rng = random.Random(0)
+    schemes = ("baseline", "swdup", "swap-ecc", "pre-mad")
+    tallies = {scheme: {"detected": 0, "crash": 0, "sdc": 0, "masked": 0,
+                        "not-hit": 0}
+               for scheme in schemes}
+    for trial in range(trials):
+        plan = FaultPlan(
+            cta_index=rng.randrange(instance.launch.grid_ctas),
+            warp_index=rng.randrange(instance.launch.warps_per_cta),
+            occurrence=rng.randrange(60),
+            lane=rng.randrange(min(32, instance.launch.threads_per_cta)),
+            bit=rng.randrange(32))
+        for scheme in schemes:
+            tallies[scheme][classify(instance, scheme, plan)] += 1
+
+    print(f"single-bit transients into {workload} "
+          f"({trials} trials per scheme)")
+    print(f"{'scheme':12s} {'detected':>9s} {'crash':>6s} {'sdc':>6s} "
+          f"{'masked':>7s} {'not-hit':>8s}")
+    for scheme, tally in tallies.items():
+        print(f"{scheme:12s} {tally['detected']:9d} {tally['crash']:6d} "
+              f"{tally['sdc']:6d} {tally['masked']:7d} "
+              f"{tally['not-hit']:8d}")
+    print("\nexpectation: the unprotected baseline shows SDCs; SW-Dup and "
+          "the SwapCodes variants detect (or mask) everything.")
+
+
+if __name__ == "__main__":
+    main()

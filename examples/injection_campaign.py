@@ -1,0 +1,44 @@
+#!/usr/bin/env python3
+"""Gate-level fault-injection campaign (Figures 10 and 11).
+
+Builds the six pipelined arithmetic units, injects single-event transients
+at random gates/flip-flops until each input pair sees an unmasked error
+(the Hamartia methodology), then reports the output error patterns and the
+SDC risk of SwapCodes under every register-file code.
+
+Usage::
+
+    python examples/injection_campaign.py [samples] [sites]
+
+Defaults (600 samples, 200 sites) finish in about a minute; the paper's
+10,000-pair setting is ``python examples/injection_campaign.py 10000 None``.
+"""
+
+import sys
+
+from repro.experiments import (render_figure10, render_figure11,
+                               run_injection_study)
+
+
+def main():
+    samples = int(sys.argv[1]) if len(sys.argv) > 1 else 600
+    sites = None
+    if len(sys.argv) > 2:
+        sites = None if sys.argv[2] == "None" else int(sys.argv[2])
+    else:
+        sites = 200
+    print(f"running campaigns: {samples} input pairs, "
+          f"{'all' if sites is None else sites} fault sites per unit")
+    study = run_injection_study(sample_count=samples, site_count=sites)
+
+    print("\nFigure 10 — unmasked error severity per unit")
+    print(render_figure10(study))
+    print("\nFigure 11 — SwapCodes SDC risk per register-file code")
+    print(render_figure11(study))
+    print("\npaper expectations: single-bit errors dominate; fp64 units "
+          "show ~25% >=4-bit patterns;\nMod-3 stays under 5% SDC risk and "
+          "Mod-127/TED under ~1%.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+#!/usr/bin/env python3
+"""Performance study (Figures 12, 13, 15, 16) on the GPU simulator.
+
+Compiles every workload with each resilience scheme, runs it with timing,
+verifies the outputs, and prints the paper's performance tables.
+
+Usage::
+
+    python examples/performance_study.py [scale]
+
+``scale`` grows the problem sizes (default 0.5; the repo's full setting
+is 1.0 and takes a few minutes).
+"""
+
+import sys
+
+from repro.experiments import (FIG12_SCHEMES, FIG15_SCHEMES, FIG16_SCHEMES,
+                               render_mix_table, render_slowdown_table,
+                               run_performance_study)
+from repro.workloads import ALL_ORDER
+
+
+def main():
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.5
+
+    print("Figure 12 — SwapCodes slowdowns")
+    fig12 = run_performance_study(FIG12_SCHEMES, ALL_ORDER, scale)
+    assert fig12.all_verified(), "a workload produced wrong results!"
+    print(render_slowdown_table(fig12))
+
+    print("\nFigure 13 — dynamic instruction mix (fractions of baseline)")
+    print(render_mix_table(fig12))
+
+    print("\nFigure 15 — inter-thread duplication")
+    fig15 = run_performance_study(FIG15_SCHEMES, ALL_ORDER, scale)
+    print(render_slowdown_table(fig15))
+
+    print("\nFigure 16 — projected future predictors")
+    fig16 = run_performance_study(FIG16_SCHEMES, ALL_ORDER, scale)
+    print(render_slowdown_table(fig16))
+
+
+if __name__ == "__main__":
+    main()

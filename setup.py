@@ -1,0 +1,34 @@
+"""Package metadata for the SwapCodes reproduction.
+
+Metadata lives here (rather than pyproject.toml) because the offline build
+environment lacks the ``wheel`` package that PEP 660 editable installs
+require; with a plain setup.py, ``pip install -e .`` uses the legacy
+``setup.py develop`` path and works without network access.
+"""
+
+import os
+
+from setuptools import find_packages, setup
+
+
+def read_readme():
+    if not os.path.exists("README.md"):
+        return ""
+    with open("README.md", encoding="utf-8") as handle:
+        return handle.read()
+
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "SwapCodes (MICRO 2018) reproduction: ECC-repurposed GPU pipeline "
+        "error detection"),
+    long_description=read_readme(),
+    long_description_content_type="text/markdown",
+    python_requires=">=3.9",
+    install_requires=["numpy"],
+    extras_require={"test": ["pytest", "pytest-benchmark", "hypothesis"]},
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+)

@@ -1,0 +1,24 @@
+"""repro: a from-scratch reproduction of SwapCodes (MICRO 2018).
+
+SwapCodes pairs intra-thread instruction duplication with the register-file
+ECC hardware: the original instruction writes a register's data, the shadow
+writes its check bits, and every later read implicitly checks for pipeline
+errors through the ordinary ECC decoder.
+
+Subpackages:
+
+* :mod:`repro.ecc` — register-file error codes and the SwapCodes schemes.
+* :mod:`repro.gates` — gate-level arithmetic unit netlists and area model.
+* :mod:`repro.inject` — Hamartia-style gate-level fault injection.
+* :mod:`repro.gpu` — SIMT GPU functional + timing simulator.
+* :mod:`repro.compiler` — resilience compiler passes (SW-Dup, Swap-ECC,
+  Swap-Predict, inter-thread duplication) and the code-mix profiler.
+* :mod:`repro.workloads` — Rodinia-like kernels, SNAP proxy, matrixMul.
+* :mod:`repro.experiments` — one harness per paper figure/table.
+"""
+
+__version__ = "1.0.0"
+
+from repro import errors
+
+__all__ = ["errors", "__version__"]

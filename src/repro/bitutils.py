@@ -1,0 +1,92 @@
+"""Small bit-manipulation helpers shared by the ECC and gate-level layers.
+
+All values are plain non-negative Python integers treated as bit vectors
+(bit 0 is the least-significant bit).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+
+def popcount(value: int) -> int:
+    """Return the number of set bits in ``value``."""
+    return value.bit_count()
+
+
+def parity(value: int) -> int:
+    """Return the XOR of all bits of ``value`` (0 or 1)."""
+    return popcount(value) & 1
+
+
+def mask(width: int) -> int:
+    """Return a bit mask with the low ``width`` bits set."""
+    if width < 0:
+        raise ValueError(f"mask width must be non-negative, got {width}")
+    return (1 << width) - 1
+
+
+def get_bit(value: int, index: int) -> int:
+    """Return bit ``index`` of ``value``."""
+    return (value >> index) & 1
+
+
+def set_bit(value: int, index: int, bit: int) -> int:
+    """Return ``value`` with bit ``index`` forced to ``bit``."""
+    if bit:
+        return value | (1 << index)
+    return value & ~(1 << index)
+
+
+def flip_bits(value: int, indices) -> int:
+    """Return ``value`` with every bit position in ``indices`` flipped."""
+    for index in indices:
+        value ^= 1 << index
+    return value
+
+
+def iter_bits(value: int, width: int) -> Iterator[int]:
+    """Yield the low ``width`` bits of ``value``, LSB first."""
+    for index in range(width):
+        yield (value >> index) & 1
+
+
+def bits_to_int(bits) -> int:
+    """Pack an iterable of bits (LSB first) into an integer."""
+    value = 0
+    for index, bit in enumerate(bits):
+        if bit:
+            value |= 1 << index
+    return value
+
+
+def int_to_bits(value: int, width: int) -> List[int]:
+    """Unpack ``value`` into a list of ``width`` bits, LSB first."""
+    return [(value >> index) & 1 for index in range(width)]
+
+
+def bit_positions(value: int) -> List[int]:
+    """Return the indices of the set bits of ``value`` in ascending order."""
+    positions = []
+    index = 0
+    while value:
+        if value & 1:
+            positions.append(index)
+        value >>= 1
+        index += 1
+    return positions
+
+
+def rotate_left(value: int, amount: int, width: int) -> int:
+    """Rotate the low ``width`` bits of ``value`` left by ``amount``."""
+    amount %= width
+    value &= mask(width)
+    return ((value << amount) | (value >> (width - amount))) & mask(width)
+
+
+def sign_extend(value: int, width: int) -> int:
+    """Interpret the low ``width`` bits of ``value`` as two's complement."""
+    value &= mask(width)
+    if value & (1 << (width - 1)):
+        return value - (1 << width)
+    return value

@@ -1,0 +1,90 @@
+"""Resilience compiler passes and the scheme registry.
+
+Schemes, matching the paper's evaluated configurations:
+
+========================  ====================================================
+``baseline``              the un-duplicated program
+``swdup``                 software intra-thread duplication + checking code
+``swdup-nocheck``         duplication without checking (analysis variant)
+``swap-ecc``              Swap-ECC (Section III-A)
+``pre-addsub``            Swap-Predict, fixed-point add/sub predictors
+``pre-mad``               Swap-Predict, + multiply / MAD predictors
+``pre-fxp``               Figure 16 projection: + other fixed-point ops
+``pre-fp-addsub``         Figure 16 projection: + fp add/sub predictors
+``pre-fp-mad``            Figure 16 projection: + fp multiply/MAD predictors
+``interthread``           inter-thread duplication with shuffle checking
+``interthread-nocheck``   inter-thread duplication without checking
+========================  ====================================================
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import CompilationError
+from repro.gpu.program import Kernel, LaunchConfig
+from repro.compiler.base import (KLASSES, PREDICTOR_TIERS, PassResult,
+                                 predicted_kinds, tag_baseline)
+from repro.compiler.interthread import apply_interthread
+from repro.compiler.profiler import (MIX_CATEGORIES, CodeMixProfiler,
+                                     MixCounts, OperandTracer)
+from repro.compiler.swap_ecc import apply_swap_ecc, apply_swap_predict
+from repro.compiler.swdup import apply_swdup
+
+#: every compilation scheme, in the display order of Figures 12/13
+SCHEMES = ("baseline", "swdup", "swap-ecc", "pre-addsub", "pre-mad",
+           "pre-fxp", "pre-fp-addsub", "pre-fp-mad", "interthread",
+           "interthread-nocheck", "swdup-nocheck")
+
+#: the schemes whose detection rides on the register-file ECC decoder
+SWAP_SCHEMES = ("swap-ecc", "pre-addsub", "pre-mad", "pre-fxp",
+                "pre-fp-addsub", "pre-fp-mad")
+
+_TIER_BY_SCHEME = {
+    "pre-addsub": "addsub",
+    "pre-mad": "mad",
+    "pre-fxp": "fxp",
+    "pre-fp-addsub": "fp-addsub",
+    "pre-fp-mad": "fp-mad",
+}
+
+
+def compile_for_scheme(kernel: Kernel, launch: LaunchConfig,
+                       scheme: str) -> PassResult:
+    """Apply the named resilience scheme's backend pass to ``kernel``."""
+    if scheme == "baseline":
+        return PassResult(tag_baseline(kernel))
+    if scheme == "swdup":
+        return apply_swdup(kernel, check=True)
+    if scheme == "swdup-nocheck":
+        return apply_swdup(kernel, check=False)
+    if scheme == "swap-ecc":
+        return apply_swap_ecc(kernel)
+    if scheme in _TIER_BY_SCHEME:
+        return apply_swap_predict(kernel, _TIER_BY_SCHEME[scheme])
+    if scheme == "interthread":
+        return apply_interthread(kernel, launch, check=True)
+    if scheme == "interthread-nocheck":
+        return apply_interthread(kernel, launch, check=False)
+    raise CompilationError(
+        f"unknown scheme {scheme!r}; choose from {SCHEMES}")
+
+
+def resilience_mode(scheme: str) -> str:
+    """The simulator resilience mode the scheme's binaries expect."""
+    if scheme in SWAP_SCHEMES:
+        return "swap"
+    if scheme in ("swdup", "interthread"):
+        return "swdup"
+    return "none"
+
+
+__all__ = [
+    "SCHEMES", "SWAP_SCHEMES", "PREDICTOR_TIERS", "KLASSES",
+    "MIX_CATEGORIES",
+    "PassResult", "predicted_kinds", "tag_baseline",
+    "apply_interthread", "apply_swap_ecc", "apply_swap_predict",
+    "apply_swdup",
+    "CodeMixProfiler", "MixCounts", "OperandTracer",
+    "compile_for_scheme", "resilience_mode",
+]

@@ -1,0 +1,169 @@
+"""Inter-thread (redundant multithreading) duplication, Section V.
+
+Doubles each CTA's thread count and pairs lanes 0-15 with lanes 16-31 of
+every warp: both halves compute the same logical thread (thread-index reads
+are rewritten so the pair sees the same index), shuffles exchange the
+address and value at every global store and atomic for checking, and only
+the original half performs the actual store.  Shared memory is doubled and
+shadow lanes are redirected to their own partition.
+
+The pass reproduces the paper's applicability limits: kernels that already
+use shuffles are rejected (SNAP), and CTAs that would exceed 1024 threads
+after doubling are rejected (matrixMul).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import CompilationError
+from repro.gpu.isa import Instruction, Operand, OperandKind, RZ
+from repro.gpu.program import Kernel, KernelWriter, LaunchConfig
+from repro.compiler.base import PassResult, RegisterBudget, tag
+
+#: predicate registers reserved by the pass
+P_ORIGINAL = 4  # lane < 16
+P_SHADOW = 5    # lane >= 16
+P_CHECK = 6
+
+
+def apply_interthread(kernel: Kernel, launch: LaunchConfig,
+                      check: bool = True) -> PassResult:
+    """Transform ``kernel`` for paired-lane redundant multithreading."""
+    if launch.threads_per_cta * 2 > 1024:
+        raise CompilationError(
+            f"{kernel.name}: {launch.threads_per_cta} threads/CTA cannot "
+            f"be doubled (inter-thread duplication limit)")
+    for instruction in kernel.instructions:
+        if instruction.op == "SHFL":
+            raise CompilationError(
+                f"{kernel.name}: uses shuffle instructions; inter-thread "
+                f"duplication would corrupt them")
+        if instruction.predicate is not None and \
+                instruction.op in ("STG", "ATOM"):
+            raise CompilationError(
+                f"{kernel.name}: predicated global store/atomic is not "
+                f"supported by the inter-thread pass")
+
+    writer = KernelWriter(f"{kernel.name}.interthread")
+    budget = RegisterBudget(kernel)
+    lane_reg = budget.fresh()
+    smoff_reg = budget.fresh()
+    tmp_reg = budget.fresh()
+    addr_reg = budget.fresh()
+    shared_words = launch.shared_words_per_cta
+
+    def inserted(instruction: Instruction) -> None:
+        writer.emit(tag(instruction, "inserted"))
+
+    def checking(instruction: Instruction) -> None:
+        writer.emit(tag(instruction, "checking"))
+
+    # --- prologue ---------------------------------------------------------
+    inserted(Instruction(op="S2R", dest=Operand.reg(lane_reg),
+                         sources=[Operand.special("SR_LANE")]))
+    inserted(Instruction(op="ISETP", compare="LT",
+                         dest=Operand.pred(P_ORIGINAL),
+                         sources=[Operand.reg(lane_reg), Operand.imm(16)]))
+    inserted(Instruction(op="ISETP", compare="GE",
+                         dest=Operand.pred(P_SHADOW),
+                         sources=[Operand.reg(lane_reg), Operand.imm(16)]))
+    inserted(Instruction(op="MOV", dest=Operand.reg(smoff_reg),
+                         sources=[Operand.imm(0)]))
+    if shared_words:
+        inserted(Instruction(op="MOV", dest=Operand.reg(smoff_reg),
+                             sources=[Operand.imm(shared_words)],
+                             predicate=P_SHADOW))
+
+    def emit_pair_check(register: int) -> None:
+        """Exchange a register across the pair and trap on mismatch."""
+        if not check or register == RZ:
+            return
+        shuffle = Instruction(op="SHFL", dest=Operand.reg(tmp_reg),
+                              sources=[Operand.reg(register),
+                                       Operand.imm(16)])
+        shuffle.meta["modifiers"] = ["BFLY"]
+        checking(shuffle)
+        checking(Instruction(op="ISETP", compare="NE",
+                             dest=Operand.pred(P_CHECK),
+                             sources=[Operand.reg(tmp_reg),
+                                      Operand.reg(register)]))
+        checking(Instruction(op="BPT", predicate=P_CHECK))
+
+    labels_at = kernel.labels_at()
+    for index, instruction in enumerate(kernel.instructions):
+        for label in labels_at.get(index, []):
+            writer.place_label(label)
+        op = instruction.op
+
+        if op == "S2R":
+            special = instruction.sources[0].name
+            if special == "SR_TID":
+                # logical tid: (tid // 32) * 16 + (tid % 16)
+                dest = instruction.dest
+                writer.emit(tag(instruction.copy(), "baseline"))
+                inserted(Instruction(op="SHR", dest=Operand.reg(tmp_reg),
+                                     sources=[dest, Operand.imm(5)]))
+                inserted(Instruction(op="SHL", dest=Operand.reg(tmp_reg),
+                                     sources=[Operand.reg(tmp_reg),
+                                              Operand.imm(4)]))
+                inserted(Instruction(op="AND", dest=dest,
+                                     sources=[dest, Operand.imm(15)]))
+                inserted(Instruction(op="IADD", dest=dest,
+                                     sources=[dest, Operand.reg(tmp_reg)]))
+                continue
+            if special == "SR_NTID":
+                dest = instruction.dest
+                writer.emit(tag(instruction.copy(), "baseline"))
+                inserted(Instruction(op="SHR", dest=dest,
+                                     sources=[dest, Operand.imm(1)]))
+                continue
+            writer.emit(tag(instruction.copy(), "baseline"))
+            continue
+
+        if op in ("LDS", "STS") and shared_words:
+            # Redirect shadow lanes into their shared-memory partition.
+            adjusted = instruction.copy()
+            base = adjusted.sources[0]
+            inserted(Instruction(op="IADD", dest=Operand.reg(addr_reg),
+                                 sources=[base, Operand.reg(smoff_reg)]))
+            adjusted.sources = [Operand.reg(addr_reg)] + \
+                adjusted.sources[1:]
+            writer.emit(tag(adjusted, "baseline"))
+            continue
+
+        if op == "STG":
+            emit_pair_check(instruction.sources[0].value)
+            for register in instruction.sources[1].registers():
+                emit_pair_check(register)
+            guarded = instruction.copy()
+            guarded.predicate = P_ORIGINAL
+            writer.emit(tag(guarded, "baseline"))
+            continue
+
+        if op == "ATOM":
+            emit_pair_check(instruction.sources[0].value)
+            for register in instruction.sources[1].registers():
+                emit_pair_check(register)
+            guarded = instruction.copy()
+            guarded.predicate = P_ORIGINAL
+            writer.emit(tag(guarded, "baseline"))
+            if guarded.dest is not None and guarded.dest.value != RZ:
+                # Broadcast the atomic's return value to the shadow half.
+                shuffle = Instruction(op="SHFL",
+                                      dest=Operand.reg(tmp_reg),
+                                      sources=[guarded.dest,
+                                               Operand.imm(16)])
+                shuffle.meta["modifiers"] = ["BFLY"]
+                inserted(shuffle)
+                inserted(Instruction(op="MOV", dest=guarded.dest,
+                                     sources=[Operand.reg(tmp_reg)],
+                                     predicate=P_SHADOW))
+            continue
+
+        writer.emit(tag(instruction.copy(), "baseline"))
+
+    for label in labels_at.get(len(kernel.instructions), []):
+        writer.place_label(label)
+    return PassResult(writer.finish(), thread_multiplier=2,
+                      shared_multiplier=2 if shared_words else 1)

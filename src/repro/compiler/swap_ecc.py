@@ -1,0 +1,147 @@
+"""The Swap-ECC and Swap-Predict backend passes (Sections III-A, III-C).
+
+Swap-ECC duplicates eligible instructions *in place*: the shadow writes
+only the ECC check bits of the same destination register (the ``role``
+metadata drives the simulator's masked writeback), so there is no shadow
+register space and no checking code — detection rides on every register
+read through the ECC decoder.
+
+Swap-Predict is the same pass with a predictor tier: instructions whose
+``predict_kind`` falls inside the tier are not duplicated at all; their
+check bits come from the datapath's prediction units.  Moves and
+special-register reads are never duplicated (end-to-end move propagation,
+Figure 4).
+
+The pass also enforces the no-single-register-accumulation constraint: an
+instruction whose destination is also one of its sources would let the
+original's write corrupt the shadow's inputs, so such instructions are
+rewritten through a scratch register finished by a propagated move.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import CompilationError
+from repro.gpu.isa import Instruction, Operand, OperandKind, RZ
+from repro.gpu.program import Kernel, KernelWriter
+from repro.compiler.base import (PassResult, RegisterBudget, is_eligible,
+                                 is_move_like, predicted_kinds, tag)
+
+
+def apply_swap_ecc(kernel: Kernel,
+                   predictor_tier: Optional[str] = None) -> PassResult:
+    """Transform ``kernel`` for a Swap-ECC (or Swap-Predict) machine."""
+    kinds = predicted_kinds(predictor_tier)
+    suffix = f".swap-{predictor_tier}" if predictor_tier else ".swap-ecc"
+    writer = KernelWriter(kernel.name + suffix)
+    budget = RegisterBudget(kernel)
+    labels_at = kernel.labels_at()
+    scratch32: List[int] = []
+    scratch64: List[int] = []
+    #: deferred move-backs from accumulation rewrites ("Swap-ECC-aware
+    #: scheduling", Table II): (move, architectural regs, scratch regs)
+    pending: List[tuple] = []
+
+    def scratch(is_64bit: bool) -> int:
+        pool = scratch64 if is_64bit else scratch32
+        if not pool:
+            pool.append(budget.fresh_pair() if is_64bit
+                        else budget.fresh())
+        return pool[0]
+
+    def flush_pending(touched=None, scratch_needed=None,
+                      predicate=None) -> None:
+        """Emit deferred move-backs that the next instruction depends on."""
+        keep = []
+        for move, arch_regs, scratch_regs in pending:
+            conflict = touched is None
+            if touched is not None and arch_regs.intersection(touched):
+                conflict = True
+            if scratch_needed is not None and \
+                    scratch_regs.intersection(scratch_needed):
+                conflict = True
+            if predicate is not None and move.predicate == predicate:
+                conflict = True
+            if conflict:
+                writer.emit(move)
+            else:
+                keep.append((move, arch_regs, scratch_regs))
+        pending[:] = keep
+
+    for index, instruction in enumerate(kernel.instructions):
+        if labels_at.get(index):
+            flush_pending()  # control-flow merge point
+        for label in labels_at.get(index, []):
+            writer.place_label(label)
+
+        touched = set(instruction.source_registers())
+        touched.update(instruction.dest_registers())
+        pred_dest = None
+        if instruction.dest is not None and \
+                instruction.dest.kind is OperandKind.PREDICATE:
+            pred_dest = instruction.dest.value
+        flush_pending(touched=touched, predicate=pred_dest)
+        if instruction.op in ("BRA", "EXIT", "BAR"):
+            flush_pending()
+
+        if not is_eligible(instruction):
+            writer.emit(tag(instruction.copy(), "baseline"))
+            continue
+
+        if is_move_like(instruction):
+            # End-to-end move propagation: the full swapped codeword flows
+            # through the datapath, no shadow needed.
+            move = instruction.copy()
+            writer.emit(tag(move, "baseline", role="predicted"))
+            continue
+
+        if instruction.spec.predict_kind in kinds:
+            predicted = instruction.copy()
+            writer.emit(tag(predicted, "predicted", role="predicted"))
+            continue
+
+        dest_registers = set(instruction.dest_registers())
+        accumulates = bool(
+            dest_registers.intersection(instruction.source_registers()))
+        if not accumulates:
+            original = instruction.copy()
+            writer.emit(tag(original, "baseline", role="original"))
+            shadow = instruction.copy()
+            shadow.meta["swap_shadow"] = True
+            writer.emit(tag(shadow, "duplicated", role="shadow"))
+            continue
+
+        # Single-register accumulation: rotate through a scratch register,
+        # then propagate the swapped codeword back with a (deferred) move.
+        is_64bit = instruction.dest.kind is OperandKind.REGISTER64
+        temp = scratch(is_64bit)
+        temp_operand = (Operand.reg64(temp) if is_64bit
+                        else Operand.reg(temp))
+        flush_pending(scratch_needed=set(temp_operand.registers()))
+        rewritten = instruction.copy()
+        final_dest = rewritten.dest
+        rewritten.dest = temp_operand
+        writer.emit(tag(rewritten, "baseline", role="original"))
+        shadow = rewritten.copy()
+        shadow.meta["swap_shadow"] = True
+        writer.emit(tag(shadow, "duplicated", role="shadow"))
+        move_back = Instruction(
+            op="MOV", dest=final_dest, sources=[temp_operand],
+            predicate=instruction.predicate,
+            predicate_negated=instruction.predicate_negated)
+        pending.append((tag(move_back, "inserted", role="predicted"),
+                        set(final_dest.registers()),
+                        set(temp_operand.registers())))
+
+    flush_pending()
+    for label in labels_at.get(len(kernel.instructions), []):
+        writer.place_label(label)
+    return PassResult(writer.finish())
+
+
+def apply_swap_predict(kernel: Kernel, predictor_tier: str) -> PassResult:
+    """Swap-Predict: Swap-ECC plus check-bit prediction for ``tier`` ops."""
+    if predictor_tier is None:
+        raise CompilationError("Swap-Predict needs a predictor tier")
+    return apply_swap_ecc(kernel, predictor_tier)

@@ -1,0 +1,208 @@
+"""Software-enforced intra-thread instruction duplication (SW-Dup).
+
+The Base-DRDV-like pass the paper uses as its software baseline
+(Section IV-A): every duplication-eligible instruction is doubled into a
+shadow register space, and the original/shadow values are compared with
+explicit checking instructions before any memory operation, atomic,
+control-flow instruction, or other non-duplicated consumer.  Checking uses
+a compare into a scratch predicate plus a predicated trap (two instructions
+per checked register).
+
+Costs modelled exactly as the paper describes: double arithmetic, roughly
+double register usage (occupancy pressure), and 11-35% explicit checking
+bloat depending on the workload's store/branch density.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.errors import CompilationError
+from repro.gpu.isa import (PT, RZ, DupClass, Instruction, Operand,
+                           OperandKind)
+from repro.gpu.program import Kernel, KernelWriter
+from repro.compiler.base import (PassResult, is_eligible, remap_operand, tag)
+
+#: scratch predicate reserved for checking comparisons
+CHECK_PREDICATE = 6
+
+#: predicate shadow space: P0-P2 original, P3-P5 shadow
+PREDICATE_OFFSET = 3
+
+#: instructions whose register inputs are checked before execution
+CHECKED_OPS = ("LDG", "STG", "LDS", "STS", "ATOM", "SHFL")
+
+
+def _shadow_predicate(index):
+    """Map an original predicate to its shadow (PT maps to itself)."""
+    if index is None or index == PT:
+        return index
+    if index >= PREDICATE_OFFSET:
+        raise CompilationError(
+            f"kernel uses P{index}; SW-Dup reserves P3-P6 "
+            f"(shadow predicates and checking)")
+    return index + PREDICATE_OFFSET
+
+
+def _checkable_registers(instruction: Instruction) -> List[Operand]:
+    """Register operands whose values must be verified before this runs."""
+    seen: Set[int] = set()
+    operands: List[Operand] = []
+    for operand in instruction.sources:
+        if operand.is_register and operand.value != RZ and \
+                operand.value not in seen:
+            seen.add(operand.value)
+            operands.append(operand)
+    if instruction.predicate is not None:
+        pass  # predicates are verified through their source registers
+    return operands
+
+
+def apply_swdup(kernel: Kernel, check: bool = True) -> PassResult:
+    """Duplicate ``kernel`` with shadow registers and checking code.
+
+    ``check=False`` produces the duplication-only variant (used to isolate
+    checking cost, mirroring the paper's inter-thread no-check study).
+
+    Shadow copies of values produced by non-duplicated instructions (load
+    results, special registers) are *deferred* until first needed — before
+    a shadow consumer, a check, a redefinition, or a control-flow point —
+    the way the production compiler's scheduler would place them, so a
+    burst of independent loads keeps its memory-level parallelism.
+    """
+    offset = kernel.register_count()
+    if 2 * offset >= RZ - 1:
+        raise CompilationError(
+            f"{kernel.name}: shadow space needs {2 * offset} registers")
+    writer = KernelWriter(f"{kernel.name}.swdup")
+    labels_at = kernel.labels_at()
+    #: registers whose shadow copy is live and must be checked at uses
+    shadowed: Set[int] = set()
+    #: registers whose shadow copy has not been materialized yet
+    pending: Dict[int, Instruction] = {}
+    #: registers already compared against their shadow since their last
+    #: redefinition — DRDV checks each produced value once, so verified
+    #: registers are not re-checked at later boundaries
+    verified: Set[int] = set()
+
+    def flush_copy(register: int) -> None:
+        copy = pending.pop(register, None)
+        if copy is not None:
+            writer.emit(copy)
+
+    def flush_all() -> None:
+        for register in list(pending):
+            flush_copy(register)
+
+    def defer_copy(instruction: Instruction) -> None:
+        for register in instruction.dest_registers():
+            copy = Instruction(
+                op="MOV", dest=Operand.reg(register + offset),
+                sources=[Operand.reg(register)],
+                predicate=instruction.predicate,
+                predicate_negated=instruction.predicate_negated)
+            pending[register] = tag(copy, "inserted")
+            shadowed.add(register)
+
+    def emit_checks(instruction: Instruction) -> None:
+        if not check or instruction.op not in CHECKED_OPS:
+            return
+        for operand in _checkable_registers(instruction):
+            for register in operand.registers():
+                if register not in shadowed or register in verified:
+                    continue
+                flush_copy(register)
+                compare = Instruction(
+                    op="ISETP", compare="NE",
+                    dest=Operand.pred(CHECK_PREDICATE),
+                    sources=[Operand.reg(register),
+                             Operand.reg(register + offset)])
+                writer.emit(tag(compare, "checking"))
+                trap = Instruction(op="BPT", predicate=CHECK_PREDICATE)
+                writer.emit(tag(trap, "checking"))
+                verified.add(register)
+
+    for index, instruction in enumerate(kernel.instructions):
+        labels = labels_at.get(index, [])
+        if labels:
+            flush_all()  # control-flow merge point
+        for label in labels:
+            writer.place_label(label)
+        spec = instruction.spec
+
+        if spec.dup_class is DupClass.ELIGIBLE and not spec.writes_dest \
+                and instruction.dest is not None and \
+                instruction.dest.kind is OperandKind.PREDICATE:
+            # Compares: duplicated into the shadow predicate space, so
+            # control flow needs no explicit checks (control errors get
+            # the paper's "incidental coverage" only).
+            flush_all()  # pending predicated copies guard on old values
+            for register in instruction.source_registers():
+                flush_copy(register)
+            original = instruction.copy()
+            writer.emit(tag(original, "baseline", role="original"))
+            shadow = instruction.copy()
+            if shadow.dest.value != PT:
+                shadow.dest = Operand.pred(
+                    _shadow_predicate(shadow.dest.value))
+            shadow.predicate = _shadow_predicate(shadow.predicate)
+            shadow.sources = [
+                remap_operand(op, offset) if _has_shadow(op, shadowed)
+                else op
+                for op in shadow.sources]
+            writer.emit(tag(shadow, "duplicated", role="shadow"))
+            continue
+
+        if is_eligible(instruction):
+            for register in instruction.dest_registers():
+                flush_copy(register)  # about to be redefined
+                verified.discard(register)
+            for register in instruction.source_registers():
+                flush_copy(register)  # the shadow reads register+offset
+            original = instruction.copy()
+            writer.emit(tag(original, "baseline", role="original"))
+            shadow = instruction.copy()
+            shadow.dest = remap_operand(shadow.dest, offset)
+            shadow.predicate = _shadow_predicate(shadow.predicate)
+            shadow.sources = [
+                remap_operand(op, offset) if _has_shadow(op, shadowed)
+                else op
+                for op in shadow.sources]
+            for op_index, operand in enumerate(shadow.sources):
+                if operand.kind is OperandKind.PREDICATE and \
+                        operand.value != PT:
+                    shadow.sources[op_index] = Operand.pred(
+                        _shadow_predicate(operand.value))
+            writer.emit(tag(shadow, "duplicated", role="shadow"))
+            shadowed.update(instruction.dest_registers())
+            continue
+
+        # Boundary or neutral instruction (stores, atomics, compares,
+        # control flow): check its inputs, execute it once, and queue a
+        # copy of any produced value into the shadow space so later
+        # duplicated code keeps computing redundantly.
+        emit_checks(instruction)
+        if instruction.op in ("BRA", "EXIT", "BAR"):
+            flush_all()  # copies must not be skipped by control flow
+        if instruction.dest is not None and \
+                instruction.dest.kind is OperandKind.PREDICATE:
+            flush_all()  # pending predicated copies guard on old values
+        for register in instruction.dest_registers():
+            flush_copy(register)
+            verified.discard(register)
+        single = instruction.copy()
+        writer.emit(tag(single, "baseline"))
+        if spec.writes_dest and instruction.dest is not None and \
+                instruction.dest.is_register and \
+                instruction.dest.value != RZ:
+            defer_copy(single)
+
+    flush_all()
+    for label in labels_at.get(len(kernel.instructions), []):
+        writer.place_label(label)
+    return PassResult(writer.finish())
+
+
+def _has_shadow(operand: Operand, shadowed: Set[int]) -> bool:
+    registers = operand.registers()
+    return bool(registers) and all(r in shadowed for r in registers)

@@ -1,0 +1,53 @@
+"""Register-file error codes and the SwapCodes schemes built on them.
+
+Quick tour::
+
+    from repro.ecc import HsiaoSecDed, ResidueCode, SecDedDpSwap
+
+    code = HsiaoSecDed()                  # the (39,32) register-file code
+    check = code.encode(0xDEADBEEF)
+    code.decode(0xDEADBEEF ^ 1, check)    # -> corrected single-bit error
+
+    scheme = SecDedDpSwap()               # Figure 5 reporting
+    word = scheme.write_pair(42, 42 ^ 4)  # pipeline error in the shadow
+    scheme.read(word)                     # -> benign (data intact)
+"""
+
+from repro.ecc.base import (DecodeResult, DecodeStatus, DetectionOnlyCode,
+                            ErrorCode)
+from repro.ecc.hamming import HammingSec
+from repro.ecc.hsiao import HsiaoSecDed, TedCode
+from repro.ecc.layout import (BitSite, EccSramPacking, PhysicalRowLayout,
+                              interleaved_layout, naive_layout,
+                              separated_layout)
+from repro.ecc.linear import LinearCode
+from repro.ecc.parity import ParityCode
+from repro.ecc.residue import (LOW_COST_MODULI, ResidueCode,
+                               combine_split_residues, is_low_cost_modulus,
+                               residue, residue_add, residue_mul, residue_sub,
+                               split_correction_factor)
+from repro.ecc.swap import (DetectOnlySwap, ErrorClass, NaiveSecDedSwap,
+                            ReadResult, ReadStatus, RegisterWord, SecDedDpSwap,
+                            SecDpSwap, SwapScheme)
+
+__all__ = [
+    "DecodeResult", "DecodeStatus", "DetectionOnlyCode", "ErrorCode",
+    "HammingSec", "HsiaoSecDed", "TedCode", "LinearCode", "ParityCode",
+    "LOW_COST_MODULI", "ResidueCode", "combine_split_residues",
+    "is_low_cost_modulus", "residue", "residue_add", "residue_mul",
+    "residue_sub", "split_correction_factor",
+    "BitSite", "EccSramPacking", "PhysicalRowLayout", "interleaved_layout",
+    "naive_layout", "separated_layout",
+    "DetectOnlySwap", "ErrorClass", "NaiveSecDedSwap", "ReadResult",
+    "ReadStatus", "RegisterWord", "SecDedDpSwap", "SecDpSwap", "SwapScheme",
+]
+
+
+def standard_register_codes(data_bits: int = 32):
+    """The register-file codes swept in Figure 11, keyed by display name."""
+    codes = {"parity": ParityCode(data_bits)}
+    for modulus in LOW_COST_MODULI:
+        codes[f"mod{modulus}"] = ResidueCode(modulus, data_bits)
+    codes["secded"] = HsiaoSecDed(data_bits)
+    codes["ted"] = TedCode(data_bits)
+    return codes

@@ -1,0 +1,133 @@
+"""Common interface for the register-file error codes used by SwapCodes.
+
+Every code is *systematic*: a codeword is the pair ``(data, check)`` where
+``data`` is stored unmodified and ``check`` is computed from it.  SwapCodes
+relies on this property (Section II-B of the paper) because the data segment
+is written by the original instruction and the check segment by its shadow.
+"""
+
+from __future__ import annotations
+
+import abc
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.bitutils import mask
+from repro.errors import DecodingError
+
+
+class DecodeStatus(enum.Enum):
+    """Outcome of decoding one ECC word."""
+
+    OK = "ok"
+    CORRECTED_DATA = "corrected_data"
+    CORRECTED_CHECK = "corrected_check"
+    DUE = "due"
+
+
+@dataclass(frozen=True)
+class DecodeResult:
+    """The decoder's verdict on a ``(data, check)`` pair.
+
+    Attributes:
+        status: what the decoder concluded.
+        data: the (possibly corrected) data value.  For a DUE this echoes the
+            raw input data, which callers must not trust.
+        corrected_bit: index of the corrected bit when a single-bit
+            correction was performed; data bits are indexed from 0, check
+            bits from ``data_bits`` upward.  ``None`` otherwise.
+    """
+
+    status: DecodeStatus
+    data: int
+    corrected_bit: Optional[int] = None
+
+    @property
+    def is_error(self) -> bool:
+        """True when the decoder saw any inconsistency."""
+        return self.status is not DecodeStatus.OK
+
+    @property
+    def is_due(self) -> bool:
+        """True when a detected-yet-uncorrected error was flagged."""
+        return self.status is DecodeStatus.DUE
+
+
+class ErrorCode(abc.ABC):
+    """A systematic error detecting or correcting code.
+
+    Subclasses define :attr:`data_bits`, :attr:`check_bits`, the check-bit
+    generator :meth:`encode`, and the decoder :meth:`decode`.
+    """
+
+    #: number of protected data bits per codeword
+    data_bits: int
+    #: number of redundant check bits per codeword
+    check_bits: int
+    #: short human-readable identifier ("secded-39-32", "mod3", ...)
+    name: str
+
+    @property
+    def total_bits(self) -> int:
+        """Total codeword width (data plus check bits)."""
+        return self.data_bits + self.check_bits
+
+    @property
+    def can_correct(self) -> bool:
+        """True when the decoder may repair (rather than only flag) errors."""
+        return False
+
+    @abc.abstractmethod
+    def encode(self, data: int) -> int:
+        """Return the check bits for ``data``."""
+
+    @abc.abstractmethod
+    def decode(self, data: int, check: int) -> DecodeResult:
+        """Decode a stored ``(data, check)`` pair."""
+
+    def detects(self, data: int, data_error: int, check_error: int = 0) -> bool:
+        """Report whether an error pattern on a valid codeword is caught.
+
+        ``data_error`` and ``check_error`` are XOR masks applied to the data
+        and check segments of the codeword for ``data``.  Returns True when
+        the decoder either flags a DUE or corrects back to the original data;
+        False means silent data corruption (wrong data accepted).
+        """
+        check = self.encode(data)
+        result = self.decode(data ^ data_error, check ^ check_error)
+        if result.is_due:
+            return True
+        return result.data == data
+
+    def _validate(self, data: int, check: int) -> None:
+        """Raise :class:`DecodingError` on out-of-range inputs."""
+        if not 0 <= data <= mask(self.data_bits):
+            raise DecodingError(
+                f"data 0x{data:x} does not fit in {self.data_bits} bits")
+        if not 0 <= check <= mask(self.check_bits):
+            raise DecodingError(
+                f"check 0x{check:x} does not fit in {self.check_bits} bits")
+
+    def __repr__(self) -> str:
+        return (f"{type(self).__name__}(name={self.name!r}, "
+                f"data_bits={self.data_bits}, check_bits={self.check_bits})")
+
+
+class DetectionOnlyCode(ErrorCode):
+    """Base for codes that never attempt correction (residue, parity, TED)."""
+
+    def decode(self, data: int, check: int) -> DecodeResult:
+        self._validate(data, check)
+        if self.encode(data) == check or self._check_equivalent(data, check):
+            return DecodeResult(DecodeStatus.OK, data)
+        return DecodeResult(DecodeStatus.DUE, data)
+
+    def _check_equivalent(self, data: int, check: int) -> bool:
+        """Hook for codes with non-canonical check encodings.
+
+        Low-cost residues have a "double zero" (both 0 and the all-ones
+        modulus value represent residue zero); such codes override this to
+        accept the alternate encoding.
+        """
+        return False

@@ -1,0 +1,19 @@
+"""Hamming single-error-correcting (SEC) codes.
+
+The SEC-DP scheme (Section III-B) downgrades the register file to a 6-bit
+SEC code over 32b data and spends the seventh bit on data parity, fitting
+within the redundancy budget of the original SEC-DED code.
+"""
+
+from __future__ import annotations
+
+from repro.ecc.linear import LinearCode, distinct_nonzero_columns
+
+
+class HammingSec(LinearCode):
+    """A (k + c, k) Hamming SEC code; default is the (38, 32) register code."""
+
+    def __init__(self, data_bits: int = 32, check_bits: int = 6):
+        columns = distinct_nonzero_columns(check_bits, data_bits)
+        super().__init__(
+            f"sec-{data_bits + check_bits}-{data_bits}", columns, check_bits)

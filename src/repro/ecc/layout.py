@@ -1,0 +1,163 @@
+"""Register-file codeword layout modelling (Figures 6 and 7).
+
+GPU vector register files are built from wide SRAMs that pack many codewords
+per physical row.  Two layout questions from the paper are modelled here:
+
+* **Figure 6** — check-bit packing: a 128b ECC SRAM row holding 7b SEC-DED
+  check bits for 16 threads has 16 spare bits of internal fragmentation,
+  which is exactly enough to store the SEC-DED-DP data-parity bit for free.
+  :class:`EccSramPacking` does that arithmetic for any geometry.
+
+* **Figure 7** — adjacent-double-bit safety for SEC-DP: the only double-bit
+  storage pattern SEC-DP can miscorrect pairs a data bit with a check bit of
+  the *same* codeword.  A physical layout that interleaves codewords keeps
+  every such pair non-adjacent, so a single spatial multi-bit upset (which
+  strikes adjacent cells) cannot produce the bad pattern.
+  :class:`PhysicalRowLayout` models rows of labelled bits and audits them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class BitSite:
+    """One physical SRAM bit: which codeword it belongs to and its role."""
+
+    codeword: int
+    segment: str  # "data", "check", or "dp"
+    bit: int
+
+    def __post_init__(self):
+        if self.segment not in ("data", "check", "dp"):
+            raise ValueError(f"unknown segment {self.segment!r}")
+
+
+@dataclass(frozen=True)
+class EccSramPacking:
+    """Check-bit packing arithmetic for a wide ECC SRAM row (Figure 6)."""
+
+    row_bits: int = 128
+    words_per_row: int = 16
+    check_bits_per_word: int = 7
+
+    @property
+    def used_bits(self) -> int:
+        return self.words_per_row * self.check_bits_per_word
+
+    @property
+    def fragmentation_bits(self) -> int:
+        """Spare bits per row after packing the check bits."""
+        spare = self.row_bits - self.used_bits
+        if spare < 0:
+            raise ValueError(
+                f"{self.used_bits} check bits do not fit in a "
+                f"{self.row_bits}b row")
+        return spare
+
+    @property
+    def dp_fits_free(self) -> bool:
+        """True when one data-parity bit per word fits in the spare bits."""
+        return self.fragmentation_bits >= self.words_per_row
+
+    def added_redundancy_fraction(self, data_bits: int = 32) -> float:
+        """Extra storage cost of the DP bit when it does *not* fit free.
+
+        The paper quotes 1 extra bit per (32 + 7)-bit register = 2.6%.
+        """
+        if self.dp_fits_free:
+            return 0.0
+        return 1.0 / (data_bits + self.check_bits_per_word)
+
+
+class PhysicalRowLayout:
+    """An ordered row of :class:`BitSite` cells with adjacency auditing."""
+
+    def __init__(self, sites: Sequence[BitSite]):
+        if not sites:
+            raise ValueError("layout must contain at least one bit site")
+        self.sites: List[BitSite] = list(sites)
+
+    def __len__(self) -> int:
+        return len(self.sites)
+
+    def adjacent_pairs(self) -> List[Tuple[BitSite, BitSite]]:
+        """All physically adjacent cell pairs within the row."""
+        return list(zip(self.sites, self.sites[1:]))
+
+    def vulnerable_adjacent_pairs(self) -> List[Tuple[BitSite, BitSite]]:
+        """Adjacent pairs that hit a data bit and a check bit of one codeword.
+
+        These are the SEC-DP miscorrection-capable double-bit patterns; a
+        Figure 7 layout returns an empty list.
+        """
+        vulnerable = []
+        for left, right in self.adjacent_pairs():
+            if left.codeword != right.codeword:
+                continue
+            segments = {left.segment, right.segment}
+            if segments == {"data", "check"}:
+                vulnerable.append((left, right))
+        return vulnerable
+
+    def min_intra_word_data_check_distance(self) -> int:
+        """Smallest physical distance between a data and check bit of any word."""
+        by_word = {}
+        for position, site in enumerate(self.sites):
+            by_word.setdefault(site.codeword, {"data": [], "check": []})
+            if site.segment in ("data", "check"):
+                by_word[site.codeword][site.segment].append(position)
+        best = len(self.sites)
+        for word_sites in by_word.values():
+            for data_pos in word_sites["data"]:
+                for check_pos in word_sites["check"]:
+                    best = min(best, abs(data_pos - check_pos))
+        return best
+
+
+def naive_layout(words: int = 4, data_bits: int = 32,
+                 check_bits: int = 6) -> PhysicalRowLayout:
+    """Each codeword stored contiguously: data immediately beside its check.
+
+    This is the layout Figure 7 warns against — the last data bit of every
+    word sits next to its first check bit.
+    """
+    sites = []
+    for word in range(words):
+        sites.extend(BitSite(word, "data", bit) for bit in range(data_bits))
+        sites.extend(BitSite(word, "check", bit) for bit in range(check_bits))
+    return PhysicalRowLayout(sites)
+
+
+def separated_layout(words: int = 4, data_bits: int = 32,
+                     check_bits: int = 6) -> PhysicalRowLayout:
+    """Figure 7's safe layout: all data segments, then all check segments.
+
+    With ``words`` codewords per row, a word's check bits sit at least
+    ``data_bits`` cells away from its own data, so no adjacent double-bit
+    upset can pair them.
+    """
+    sites = []
+    for word in range(words):
+        sites.extend(BitSite(word, "data", bit) for bit in range(data_bits))
+    for word in range(words):
+        sites.extend(BitSite(word, "check", bit) for bit in range(check_bits))
+    return PhysicalRowLayout(sites)
+
+
+def interleaved_layout(words: int = 4, data_bits: int = 32,
+                       check_bits: int = 6) -> PhysicalRowLayout:
+    """Bit-interleaved variant: cells of different words alternate.
+
+    Bit-plane interleaving (word 0 bit 0, word 1 bit 0, ...) keeps *any* two
+    bits of the same codeword non-adjacent, which protects every code — the
+    strongest (and a common industrial) arrangement.
+    """
+    sites = []
+    for bit in range(data_bits):
+        sites.extend(BitSite(word, "data", bit) for word in range(words))
+    for bit in range(check_bits):
+        sites.extend(BitSite(word, "check", bit) for word in range(words))
+    return PhysicalRowLayout(sites)

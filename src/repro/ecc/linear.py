@@ -1,0 +1,161 @@
+"""Shared machinery for binary linear codes defined by a parity-check matrix.
+
+A systematic linear code here is a list of *data columns* — the parity-check
+matrix column (a ``check_bits``-wide integer) for each data bit — plus an
+implicit identity block for the check bits.  The syndrome of a stored word is
+the XOR of the recomputed and stored check bits; a zero syndrome means
+"consistent", and correction-capable subclasses map nonzero syndromes back to
+bit positions.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Dict, List, Sequence
+
+from repro.bitutils import popcount
+from repro.errors import CodeConstructionError
+from repro.ecc.base import DecodeResult, DecodeStatus, ErrorCode
+
+
+def odd_weight_columns(check_bits: int, count: int) -> List[int]:
+    """Pick ``count`` distinct odd-weight (>=3) columns of ``check_bits`` bits.
+
+    Columns are chosen in increasing weight (3, then 5, ...) and, within a
+    weight class, to balance the number of ones per matrix row — the Hsiao
+    construction heuristic, which minimizes encoder/decoder logic depth.
+    """
+    columns: List[int] = []
+    row_load = [0] * check_bits
+    for weight in range(3, check_bits + 1, 2):
+        if len(columns) == count:
+            break
+        candidates = [
+            sum(1 << bit for bit in bits)
+            for bits in combinations(range(check_bits), weight)
+        ]
+        # Greedy row balancing: repeatedly take the candidate whose rows are
+        # least loaded so far.
+        remaining = set(candidates)
+        while remaining and len(columns) < count:
+            best = min(
+                remaining,
+                key=lambda col: (
+                    sum(row_load[row] for row in range(check_bits)
+                        if col >> row & 1),
+                    col,
+                ),
+            )
+            remaining.discard(best)
+            columns.append(best)
+            for row in range(check_bits):
+                if best >> row & 1:
+                    row_load[row] += 1
+    if len(columns) < count:
+        raise CodeConstructionError(
+            f"cannot build {count} odd-weight columns from {check_bits} "
+            f"check bits")
+    return columns
+
+
+def distinct_nonzero_columns(check_bits: int, count: int) -> List[int]:
+    """Pick ``count`` distinct nonzero non-unit columns (Hamming SEC data).
+
+    Even-weight columns are preferred: two even-weight columns never XOR to
+    a unit vector, so a double-bit compute error under SwapCodes cannot
+    masquerade as a benign check-bit correction.  Odd-weight columns are
+    appended (lowest weight first) only when the even pool runs out — this
+    is the "careful code design" lever the SEC-DP discussion relies on.
+    """
+    unit = {1 << bit for bit in range(check_bits)}
+    candidates = [
+        value for value in range(1, 1 << check_bits) if value not in unit
+    ]
+    candidates.sort(
+        key=lambda value: (popcount(value) % 2, popcount(value), value))
+    if len(candidates) < count:
+        raise CodeConstructionError(
+            f"cannot build {count} distinct columns from {check_bits} "
+            f"check bits")
+    return candidates[:count]
+
+
+class LinearCode(ErrorCode):
+    """A systematic linear block code given by its data columns."""
+
+    def __init__(self, name: str, data_columns: Sequence[int],
+                 check_bits: int):
+        if len(set(data_columns)) != len(data_columns):
+            raise CodeConstructionError("data columns must be distinct")
+        for column in data_columns:
+            if not 0 < column < (1 << check_bits):
+                raise CodeConstructionError(
+                    f"column 0x{column:x} out of range for {check_bits} "
+                    f"check bits")
+            if column.bit_count() == 1:
+                raise CodeConstructionError(
+                    "unit-weight data columns collide with check columns")
+        self.name = name
+        self.data_bits = len(data_columns)
+        self.check_bits = check_bits
+        self.data_columns = list(data_columns)
+        # Syndrome lookup: column value -> global bit index.  Data bits are
+        # indexed 0..data_bits-1, check bits follow.
+        self._syndrome_map: Dict[int, int] = {
+            column: index for index, column in enumerate(self.data_columns)
+        }
+        for bit in range(check_bits):
+            self._syndrome_map[1 << bit] = self.data_bits + bit
+
+    @property
+    def can_correct(self) -> bool:
+        return True
+
+    def encode(self, data: int) -> int:
+        check = 0
+        for index, column in enumerate(self.data_columns):
+            if data >> index & 1:
+                check ^= column
+        return check
+
+    def syndrome(self, data: int, check: int) -> int:
+        """XOR of the recomputed and stored check bits."""
+        return self.encode(data) ^ check
+
+    def decode(self, data: int, check: int) -> DecodeResult:
+        self._validate(data, check)
+        syndrome = self.syndrome(data, check)
+        if syndrome == 0:
+            return DecodeResult(DecodeStatus.OK, data)
+        if not self._syndrome_correctable(syndrome):
+            return DecodeResult(DecodeStatus.DUE, data)
+        position = self._syndrome_map.get(syndrome)
+        if position is None:
+            return DecodeResult(DecodeStatus.DUE, data)
+        if position < self.data_bits:
+            return DecodeResult(
+                DecodeStatus.CORRECTED_DATA, data ^ (1 << position), position)
+        return DecodeResult(DecodeStatus.CORRECTED_CHECK, data, position)
+
+    def _syndrome_correctable(self, syndrome: int) -> bool:
+        """Hook: may this nonzero syndrome be treated as a single-bit error?"""
+        return True
+
+    def check_alias_error_count(self, max_weight: int = 3) -> int:
+        """Count data error patterns of weight <= ``max_weight`` whose
+        syndrome is a single *check* column.
+
+        Under SwapCodes such a compute error masquerades as a benign
+        check-bit storage correction — the only way a <= 3-bit pipeline
+        error can slip past SEC-DED-DP reporting.  Lower is better; the
+        column constructions above minimize this count.
+        """
+        count = 0
+        for weight in range(2, max_weight + 1):
+            for bits in combinations(range(self.data_bits), weight):
+                syndrome = 0
+                for bit in bits:
+                    syndrome ^= self.data_columns[bit]
+                if popcount(syndrome) == 1:
+                    count += 1
+        return count

@@ -1,0 +1,24 @@
+"""Single-bit parity: the weakest detection-only code considered.
+
+Parity detects every odd-weight error pattern and misses every even-weight
+pattern; it anchors the low end of the Figure 11 coverage sweep.
+"""
+
+from __future__ import annotations
+
+from repro.bitutils import parity
+from repro.ecc.base import DetectionOnlyCode
+
+
+class ParityCode(DetectionOnlyCode):
+    """Even parity over ``data_bits`` bits (one check bit)."""
+
+    def __init__(self, data_bits: int = 32):
+        if data_bits <= 0:
+            raise ValueError(f"data_bits must be positive, got {data_bits}")
+        self.data_bits = data_bits
+        self.check_bits = 1
+        self.name = f"parity-{data_bits}"
+
+    def encode(self, data: int) -> int:
+        return parity(data)

@@ -1,0 +1,128 @@
+"""Low-cost residue codes (Avizienis 1971), Section II-B of the paper.
+
+A residue code stores ``data mod A`` as its check bits, where the checking
+modulus ``A = 2**a - 1`` is one less than a power of two ("low-cost" because
+the residue can be produced with end-around-carry adders instead of general
+division).  Residues are closed under modular arithmetic, which is what makes
+them predictable across add/multiply/MAD datapaths (Section III-C).
+
+Low-cost residues have a *double zero*: with ``a`` check bits, both ``0`` and
+``A`` (the all-ones pattern) represent residue zero.  Encoders here emit the
+canonical value in ``[0, A)`` but the decoder accepts either representation,
+matching the hardware described around Table III.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.errors import CodeConstructionError
+from repro.ecc.base import DetectionOnlyCode
+
+#: the low-cost checking moduli evaluated in the paper (Figure 11)
+LOW_COST_MODULI = (3, 7, 15, 31, 63, 127, 255)
+
+
+def is_low_cost_modulus(modulus: int) -> bool:
+    """True when ``modulus`` has the low-cost form ``2**a - 1`` with a >= 2."""
+    return modulus >= 3 and (modulus & (modulus + 1)) == 0
+
+
+def residue(value: int, modulus: int) -> int:
+    """Return the canonical residue of ``value`` modulo ``modulus``."""
+    return value % modulus
+
+
+def residue_add(lhs: int, rhs: int, modulus: int) -> int:
+    """Low-cost residue addition (closed under the code)."""
+    return (lhs + rhs) % modulus
+
+
+def residue_sub(lhs: int, rhs: int, modulus: int) -> int:
+    """Low-cost residue subtraction."""
+    return (lhs - rhs) % modulus
+
+
+def residue_mul(lhs: int, rhs: int, modulus: int) -> int:
+    """Low-cost residue multiplication (closed under the code)."""
+    return (lhs * rhs) % modulus
+
+
+def split_correction_factor(modulus: int) -> int:
+    """Return ``2**32 mod A``, the Equation 1 addend-correction factor.
+
+    The factor is a power of two for every low-cost modulus, so the
+    correction multiply in Figure 9a is free (wiring only).  The paper lists
+    the values for moduli 3..255 as 1, 4, 1, 4, 4, 16, 1.
+    """
+    if not is_low_cost_modulus(modulus):
+        raise CodeConstructionError(
+            f"{modulus} is not a low-cost modulus (2**a - 1)")
+    return pow(2, 32, modulus)
+
+
+def combine_split_residues(high: int, low: int, modulus: int) -> int:
+    """Derive ``|C|_A`` from the 32b-half residues per Equation 1.
+
+    ``C = C_hi * 2**32 + C_low`` so
+    ``|C|_A = |C_hi|_A (x) |2**32|_A (+) |C_low|_A``.
+    """
+    factor = split_correction_factor(modulus)
+    return residue_add(residue_mul(high, factor, modulus), low, modulus)
+
+
+class ResidueCode(DetectionOnlyCode):
+    """A detection-only low-cost residue code over ``data_bits`` bits."""
+
+    def __init__(self, modulus: int, data_bits: int = 32):
+        if not is_low_cost_modulus(modulus):
+            raise CodeConstructionError(
+                f"{modulus} is not a low-cost modulus (2**a - 1)")
+        if data_bits <= 0:
+            raise ValueError(f"data_bits must be positive, got {data_bits}")
+        self.modulus = modulus
+        self.data_bits = data_bits
+        self.check_bits = modulus.bit_length()
+        self.name = f"mod{modulus}"
+
+    def encode(self, data: int) -> int:
+        return data % self.modulus
+
+    def _check_equivalent(self, data: int, check: int) -> bool:
+        # Accept the double-zero alternate encoding (all ones == zero).
+        return check == self.modulus and data % self.modulus == 0
+
+    def predict_add(self, lhs_check: int, rhs_check: int) -> int:
+        """Predict the output residue of an addition from input residues."""
+        return residue_add(lhs_check, rhs_check, self.modulus)
+
+    def predict_sub(self, lhs_check: int, rhs_check: int) -> int:
+        """Predict the output residue of a subtraction."""
+        return residue_sub(lhs_check, rhs_check, self.modulus)
+
+    def predict_mul(self, lhs_check: int, rhs_check: int) -> int:
+        """Predict the output residue of a multiplication."""
+        return residue_mul(lhs_check, rhs_check, self.modulus)
+
+    def predict_mad(self, a_check: int, b_check: int,
+                    addend_high_check: int, addend_low_check: int) -> int:
+        """Predict the output residue of the mixed-width GPU MAD.
+
+        The 64b addend arrives as two 32b register residues; Equation 1
+        recombines them before the modular multiply-add.
+        """
+        addend = combine_split_residues(
+            addend_high_check, addend_low_check, self.modulus)
+        product = residue_mul(a_check, b_check, self.modulus)
+        return residue_add(product, addend, self.modulus)
+
+    def split_output_residues(self, value: int) -> Tuple[int, int]:
+        """Residues of the two 32b halves of a 64b ``value`` (Figure 9b).
+
+        The modified encoder recodes the full 64b output residue into the
+        residues of the constituent 32b register writes; this reference
+        implementation computes them directly for checking the netlist.
+        """
+        low = value & 0xFFFFFFFF
+        high = (value >> 32) & 0xFFFFFFFF
+        return high % self.modulus, low % self.modulus

@@ -1,0 +1,36 @@
+"""Exception hierarchy shared by every repro subsystem."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class CodeConstructionError(ReproError):
+    """An error-correcting code could not be constructed as requested."""
+
+
+class DecodingError(ReproError):
+    """An ECC word could not be decoded (inconsistent inputs, bad widths)."""
+
+
+class NetlistError(ReproError):
+    """A gate netlist was malformed (cycles, missing drivers, bad widths)."""
+
+class InjectionError(ReproError):
+    """A fault-injection campaign was misconfigured."""
+
+
+class AssemblyError(ReproError):
+    """A GPU kernel program failed to assemble."""
+
+
+class SimulationError(ReproError):
+    """The GPU simulator reached an invalid state (bad address, deadlock)."""
+
+
+class CompilationError(ReproError):
+    """A resilience compiler pass could not transform a kernel."""
+
+
+class WorkloadError(ReproError):
+    """A workload failed to build inputs or verify outputs."""

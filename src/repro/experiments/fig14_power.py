@@ -1,0 +1,56 @@
+"""Figure 14: power and energy overheads for the high-utilization pair."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+from repro.experiments.common import (SchemeRun, render_table, run_matrix,
+                                      slowdown)
+from repro.gpu import Device
+
+#: the two highest-GPU-utilization workloads the paper profiles
+FIG14_WORKLOADS = ("snap", "matmul")
+FIG14_SCHEMES = ("baseline", "swdup", "swap-ecc", "pre-mad")
+
+
+@dataclass
+class PowerStudy:
+    grid: Dict[str, Dict[str, SchemeRun]]
+
+    def power_overhead(self, workload: str, scheme: str) -> float:
+        runs = self.grid[workload]
+        return runs[scheme].power.watts / runs["baseline"].power.watts - 1.0
+
+    def energy_overhead(self, workload: str, scheme: str) -> float:
+        runs = self.grid[workload]
+        return (runs[scheme].power.joules /
+                runs["baseline"].power.joules - 1.0)
+
+    def runtime_overhead(self, workload: str, scheme: str) -> float:
+        runs = self.grid[workload]
+        return slowdown(runs[scheme], runs["baseline"])
+
+
+def run_power_study(scale: float = 1.0, seed: int = 0,
+                    device: Optional[Device] = None,
+                    workloads: Sequence[str] = FIG14_WORKLOADS
+                    ) -> PowerStudy:
+    return PowerStudy(run_matrix(workloads, FIG14_SCHEMES, scale=scale,
+                                 seed=seed, device=device))
+
+
+def render_figure14(study: PowerStudy) -> str:
+    headers = ["workload/scheme", "power", "energy", "runtime"]
+    rows = []
+    for workload, runs in study.grid.items():
+        for scheme in FIG14_SCHEMES[1:]:
+            if runs[scheme].rejected:
+                continue
+            rows.append([
+                f"{workload}/{scheme}",
+                f"{study.power_overhead(workload, scheme) * 100:+.0f}%",
+                f"{study.energy_overhead(workload, scheme) * 100:+.0f}%",
+                f"{study.runtime_overhead(workload, scheme) * 100:+.0f}%",
+            ])
+    return "== power / energy overheads ==\n" + render_table(headers, rows)

@@ -1,0 +1,92 @@
+"""Figures 10 and 11: gate-level error patterns and SwapCodes SDC risk."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+from repro.ecc import (DetectOnlySwap, ParityCode, ResidueCode, SecDedDpSwap,
+                       SecDpSwap, TedCode)
+from repro.ecc.swap import SwapScheme
+from repro.experiments.common import render_table
+from repro.inject import (SEVERITY_CLASSES, UNIT_ORDER, CampaignResult,
+                          Estimate, OperandTrace, run_full_campaign,
+                          sdc_risk_sweep, severity_distribution)
+
+#: the register-file codes swept in Figure 11, in display order
+FIG11_CODE_ORDER = ("parity", "mod3", "mod7", "mod15", "mod31", "mod63",
+                    "mod127", "ted", "secded-dp", "sec-dp")
+
+
+def figure11_schemes() -> Dict[str, SwapScheme]:
+    """SwapCodes organizations for each Figure 11 register-file code."""
+    schemes: Dict[str, SwapScheme] = {
+        "parity": DetectOnlySwap(ParityCode()),
+    }
+    for modulus in (3, 7, 15, 31, 63, 127):
+        schemes[f"mod{modulus}"] = DetectOnlySwap(ResidueCode(modulus))
+    schemes["ted"] = DetectOnlySwap(TedCode())
+    schemes["secded-dp"] = SecDedDpSwap()
+    schemes["sec-dp"] = SecDpSwap()
+    return schemes
+
+
+@dataclass
+class InjectionStudy:
+    """Campaign results plus the derived Figure 10/11 statistics."""
+
+    campaigns: Dict[str, CampaignResult]
+    severity: Dict[str, Dict[str, Estimate]]
+    sdc_risk: Dict[str, Dict[str, Estimate]]
+
+    def mean_sdc_risk(self, code: str) -> float:
+        """SDC risk for one code averaged across the six units."""
+        values = [self.sdc_risk[unit][code].mean
+                  for unit in self.sdc_risk]
+        return sum(values) / len(values)
+
+
+def run_injection_study(sample_count: int = 1000,
+                        site_count: Optional[int] = 300, seed: int = 0,
+                        trace: Optional[OperandTrace] = None,
+                        units: Sequence[str] = UNIT_ORDER
+                        ) -> InjectionStudy:
+    """Run the six-unit campaign and fold in every Figure 11 code."""
+    campaigns = run_full_campaign(sample_count, site_count, seed, trace,
+                                  units)
+    schemes = figure11_schemes()
+    severity = {}
+    risk = {}
+    for unit, campaign in campaigns.items():
+        severity[unit] = severity_distribution(campaign)
+        risk[unit] = {}
+        for code_name, scheme in schemes.items():
+            risk[unit].update(
+                {code_name: sdc_risk_sweep(campaign, [scheme])[
+                    scheme.name]})
+    return InjectionStudy(campaigns, severity, risk)
+
+
+def render_figure10(study: InjectionStudy) -> str:
+    """Figure 10 as text: severity class fractions per unit."""
+    headers = ["unit"] + [f"{name}-bit" for name in SEVERITY_CLASSES]
+    rows = []
+    for unit, distribution in study.severity.items():
+        rows.append([unit] + [str(distribution[name])
+                              for name in SEVERITY_CLASSES])
+    return render_table(headers, rows)
+
+
+def render_figure11(study: InjectionStudy) -> str:
+    """Figure 11 as text: SDC risk per unit per register-file code."""
+    codes = [code for code in FIG11_CODE_ORDER
+             if any(code in study.sdc_risk[unit]
+                    for unit in study.sdc_risk)]
+    headers = ["unit"] + list(codes)
+    rows = []
+    for unit, risks in study.sdc_risk.items():
+        rows.append([unit] + [f"{risks[code].mean * 100:.2f}%"
+                              for code in codes])
+    rows.append(["MEAN"] + [f"{study.mean_sdc_risk(code) * 100:.2f}%"
+                            for code in codes])
+    return render_table(headers, rows)

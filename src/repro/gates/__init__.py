@@ -1,0 +1,45 @@
+"""Gate-level netlists: arithmetic units, ECC hardware, and the area model.
+
+The package provides generators for every unit the paper's gate-level study
+uses (Section IV-A, Table IV): fixed-point add and MAD, floating-point add
+and MAD in FP32/FP64, residue encoders and predictors including the Figure 9
+mixed-width MAD predictor and recode encoder, and the SEC-DED
+encoder/decoder with the Swap-ECC reporting add-ons.
+"""
+
+from repro.gates.adders import (eac_add, incrementer, kogge_stone_add,
+                                ripple_carry_add, subtract)
+from repro.gates.area import AreaRow, format_table_iv, table_iv_rows
+from repro.gates.ecc_units import (build_decoder, build_dp_reporting,
+                                   build_encoder, build_move_propagate)
+from repro.gates.float_units import (FP32, FP64, FloatFormat,
+                                     build_fp_add_unit, build_fp_mad_unit,
+                                     ref_fp_add, ref_fp_mad)
+from repro.gates.moma import cs_moma_reduce, cs_moma_sum
+from repro.gates.multiplier import build_add_unit, build_mad_unit, multiply_bus
+from repro.gates.netlist import GATE_AREA, Bus, Netlist, Node, Op, PackedInputs
+from repro.gates.residue_units import (build_add_predictor,
+                                       build_mad_predictor,
+                                       build_recode_encoder,
+                                       build_residue_adder,
+                                       build_residue_generator,
+                                       build_residue_multiplier,
+                                       table3_adjustment)
+from repro.gates.shifters import normalize_bus, shift_left_bus, shift_right_bus
+
+__all__ = [
+    "eac_add", "incrementer", "kogge_stone_add", "ripple_carry_add",
+    "subtract",
+    "AreaRow", "format_table_iv", "table_iv_rows",
+    "build_decoder", "build_dp_reporting", "build_encoder",
+    "build_move_propagate",
+    "FP32", "FP64", "FloatFormat", "build_fp_add_unit", "build_fp_mad_unit",
+    "ref_fp_add", "ref_fp_mad",
+    "cs_moma_reduce", "cs_moma_sum",
+    "build_add_unit", "build_mad_unit", "multiply_bus",
+    "GATE_AREA", "Bus", "Netlist", "Node", "Op", "PackedInputs",
+    "build_add_predictor", "build_mad_predictor", "build_recode_encoder",
+    "build_residue_adder", "build_residue_generator",
+    "build_residue_multiplier", "table3_adjustment",
+    "normalize_bus", "shift_left_bus", "shift_right_bus",
+]

@@ -1,0 +1,130 @@
+"""Adder generators: ripple-carry, Kogge-Stone prefix, and end-around-carry.
+
+The end-around-carry (EAC) adder is the workhorse of low-cost residue
+arithmetic (Section III-C): it adds two ``a``-bit values modulo ``2**a - 1``
+by re-propagating the carry-out as the carry-in, built here as a parallel
+prefix adder with one additional prefix level (Zimmermann's construction).
+EAC addition keeps the code's double-zero: ``x + ~x`` yields the all-ones
+pattern, an alternate encoding of zero.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import NetlistError
+from repro.gates.buslib import full_adder, half_adder
+from repro.gates.netlist import Bus, Netlist
+
+
+def ripple_carry_add(netlist: Netlist, a: Sequence[int], b: Sequence[int],
+                     carry_in: Optional[int] = None) -> Tuple[Bus, int]:
+    """Area-lean ripple adder.  Returns (sum bus, carry out)."""
+    if len(a) != len(b):
+        raise NetlistError(f"width mismatch: {len(a)} vs {len(b)}")
+    total: Bus = []
+    carry = carry_in
+    for x, y in zip(a, b):
+        if carry is None:
+            bit, carry = half_adder(netlist, x, y)
+        else:
+            bit, carry = full_adder(netlist, x, y, carry)
+        total.append(bit)
+    return total, carry
+
+
+def _prefix_tree(netlist: Netlist, generate: List[int],
+                 propagate: List[int]) -> Tuple[List[int], List[int]]:
+    """Kogge-Stone prefix computation of group (G, P) for every position.
+
+    After the sweep, ``generate[i]``/``propagate[i]`` describe the bit range
+    ``[0, i]``.
+    """
+    width = len(generate)
+    g = list(generate)
+    p = list(propagate)
+    distance = 1
+    while distance < width:
+        new_g = list(g)
+        new_p = list(p)
+        for i in range(distance, width):
+            # (G, P)_i o (G, P)_{i-distance}
+            new_g[i] = netlist.or_(g[i], netlist.and_(p[i], g[i - distance]))
+            new_p[i] = netlist.and_(p[i], p[i - distance])
+        g, p = new_g, new_p
+        distance *= 2
+    return g, p
+
+
+def kogge_stone_add(netlist: Netlist, a: Sequence[int], b: Sequence[int],
+                    carry_in: Optional[int] = None) -> Tuple[Bus, int]:
+    """Logarithmic-depth parallel prefix adder.  Returns (sum, carry out)."""
+    if len(a) != len(b):
+        raise NetlistError(f"width mismatch: {len(a)} vs {len(b)}")
+    width = len(a)
+    propagate_bit = [netlist.xor(x, y) for x, y in zip(a, b)]
+    generate_bit = [netlist.and_(x, y) for x, y in zip(a, b)]
+    if carry_in is not None:
+        # Fold the carry-in into bit 0's generate term.
+        generate_bit[0] = netlist.or_(
+            generate_bit[0], netlist.and_(propagate_bit[0], carry_in))
+    group_g, __ = _prefix_tree(netlist, generate_bit, list(propagate_bit))
+    total: Bus = []
+    for i in range(width):
+        if i == 0:
+            carry = carry_in if carry_in is not None else netlist.const(0)
+        else:
+            carry = group_g[i - 1]
+        total.append(netlist.xor(propagate_bit[i], carry))
+    return total, group_g[width - 1]
+
+
+def eac_add(netlist: Netlist, a: Sequence[int], b: Sequence[int]) -> Bus:
+    """End-around-carry adder: ``(a + b) mod (2**width - 1)``, double-zero.
+
+    Built as a prefix adder whose carry into bit ``i`` is
+    ``G[i-1:0] | (P[i-1:0] & Cout)`` — the extra prefix level that wraps
+    the carry-out back around without a second carry propagation.
+    """
+    if len(a) != len(b):
+        raise NetlistError(f"width mismatch: {len(a)} vs {len(b)}")
+    width = len(a)
+    if width == 1:
+        # Mod 1 ring is degenerate; just OR the bits (0+0=0, else "zero" rep).
+        return [netlist.or_(a[0], b[0])]
+    propagate_bit = [netlist.xor(x, y) for x, y in zip(a, b)]
+    generate_bit = [netlist.and_(x, y) for x, y in zip(a, b)]
+    group_g, group_p = _prefix_tree(netlist, generate_bit,
+                                    list(propagate_bit))
+    carry_out = group_g[width - 1]
+    total: Bus = []
+    for i in range(width):
+        if i == 0:
+            carry = carry_out
+        else:
+            carry = netlist.or_(
+                group_g[i - 1], netlist.and_(group_p[i - 1], carry_out))
+        total.append(netlist.xor(propagate_bit[i], carry))
+    return total
+
+
+def incrementer(netlist: Netlist, a: Sequence[int],
+                enable: int) -> Tuple[Bus, int]:
+    """Add ``enable`` (0 or 1) to a bus.  Returns (sum, carry out)."""
+    total: Bus = []
+    carry = enable
+    for x in a:
+        total.append(netlist.xor(x, carry))
+        carry = netlist.and_(x, carry)
+    return total, carry
+
+
+def subtract(netlist: Netlist, a: Sequence[int],
+             b: Sequence[int]) -> Tuple[Bus, int]:
+    """Two's complement ``a - b``.  Returns (difference, not-borrow).
+
+    The second element is the adder's carry-out: 1 when ``a >= b``.
+    """
+    b_inverted = [netlist.not_(net) for net in b]
+    return kogge_stone_add(netlist, a, b_inverted,
+                           carry_in=netlist.const(1))

@@ -1,0 +1,92 @@
+"""Bus-level building blocks shared by the arithmetic unit generators."""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.errors import NetlistError
+from repro.gates.netlist import Bus, Netlist
+
+
+def constant_bus(netlist: Netlist, value: int, width: int) -> Bus:
+    """A bus of constant nets encoding ``value`` (LSB first)."""
+    return [netlist.const((value >> bit) & 1) for bit in range(width)]
+
+
+def half_adder(netlist: Netlist, a: int, b: int) -> Tuple[int, int]:
+    """Return (sum, carry)."""
+    return netlist.xor(a, b), netlist.and_(a, b)
+
+
+def full_adder(netlist: Netlist, a: int, b: int, c: int) -> Tuple[int, int]:
+    """Return (sum, carry) of three input bits."""
+    ab = netlist.xor(a, b)
+    total = netlist.xor(ab, c)
+    carry = netlist.or_(netlist.and_(a, b), netlist.and_(ab, c))
+    return total, carry
+
+
+def bus_not(netlist: Netlist, bus: Sequence[int]) -> Bus:
+    return [netlist.not_(net) for net in bus]
+
+
+def bus_and(netlist: Netlist, a: Sequence[int], b: Sequence[int]) -> Bus:
+    _check_widths(a, b)
+    return [netlist.and_(x, y) for x, y in zip(a, b)]
+
+
+def bus_or(netlist: Netlist, a: Sequence[int], b: Sequence[int]) -> Bus:
+    _check_widths(a, b)
+    return [netlist.or_(x, y) for x, y in zip(a, b)]
+
+
+def bus_xor(netlist: Netlist, a: Sequence[int], b: Sequence[int]) -> Bus:
+    _check_widths(a, b)
+    return [netlist.xor(x, y) for x, y in zip(a, b)]
+
+
+def bus_mux(netlist: Netlist, sel: int, a: Sequence[int],
+            b: Sequence[int]) -> Bus:
+    """Per-bit ``sel ? a : b``."""
+    _check_widths(a, b)
+    return [netlist.mux(sel, x, y) for x, y in zip(a, b)]
+
+
+def bus_and_bit(netlist: Netlist, bus: Sequence[int], bit: int) -> Bus:
+    """AND every bus bit with one control bit (partial-product row)."""
+    return [netlist.and_(net, bit) for net in bus]
+
+
+def rotate_bus_left(bus: Sequence[int], amount: int) -> Bus:
+    """Rotate a bus left by ``amount`` positions (wiring only, no gates).
+
+    In the mod ``2**a - 1`` ring, multiplying by ``2**amount`` is exactly a
+    left rotation of the ``a``-bit residue — the "implemented with wiring"
+    trick behind Equation 1's correction factors.
+    """
+    width = len(bus)
+    amount %= width
+    return list(bus[-amount:]) + list(bus[:-amount]) if amount else list(bus)
+
+
+def is_zero(netlist: Netlist, bus: Sequence[int]) -> int:
+    """A single net that is 1 when the whole bus is zero."""
+    return netlist.not_(netlist.or_tree(list(bus)))
+
+
+def is_all_ones(netlist: Netlist, bus: Sequence[int]) -> int:
+    """A single net that is 1 when the whole bus is all ones."""
+    return netlist.and_tree(list(bus))
+
+
+def equal(netlist: Netlist, a: Sequence[int], b: Sequence[int]) -> int:
+    """A single net that is 1 when the buses match."""
+    _check_widths(a, b)
+    return netlist.and_tree(
+        [netlist.xnor(x, y) for x, y in zip(a, b)])
+
+
+def _check_widths(a: Sequence[int], b: Sequence[int]) -> None:
+    if len(a) != len(b):
+        raise NetlistError(
+            f"bus width mismatch: {len(a)} vs {len(b)}")

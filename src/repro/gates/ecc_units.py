@@ -1,0 +1,126 @@
+"""Gate-level ECC support blocks: encoder, decoder, and Swap-ECC add-ons.
+
+These are the hardware structures Table IV accounts for:
+
+* the Hsiao SEC-DED encoder and decoder that the register file already has;
+* the Figure 5 augmented error-reporting logic (SEC-DED-DP / SEC-DP);
+* the end-to-end move-propagation registers and muxes (Figure 4).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.ecc.linear import LinearCode
+from repro.gates.buslib import bus_mux, bus_xor, equal
+from repro.gates.netlist import Bus, Netlist
+
+
+def encoder_bus(netlist: Netlist, data: Sequence[int],
+                code: LinearCode) -> Bus:
+    """XOR trees computing each check bit of ``code`` from ``data``."""
+    check: Bus = []
+    for row in range(code.check_bits):
+        taps = [data[bit] for bit in range(code.data_bits)
+                if code.data_columns[bit] >> row & 1]
+        check.append(netlist.xor_tree(taps))
+    return check
+
+
+def build_encoder(code: LinearCode, pipelined: bool = False) -> Netlist:
+    """A standalone check-bit encoder for a linear register-file code."""
+    netlist = Netlist(f"{code.name}-encoder")
+    data = netlist.input_bus("data", code.data_bits)
+    check = encoder_bus(netlist, data, code)
+    if pipelined:
+        check = netlist.stage(check)
+    netlist.set_output("check", check)
+    return netlist
+
+
+def build_decoder(code: LinearCode) -> Netlist:
+    """The register-file read-port decoder (Table IV "SECDED Dec.").
+
+    Outputs:
+
+    * ``corrected`` — the data with any single-bit correction applied;
+    * ``ce_data`` — a data-bit correction was performed;
+    * ``ce_check`` — a check-bit correction was performed;
+    * ``due`` — detected-uncorrectable (syndrome matches no single bit).
+    """
+    netlist = Netlist(f"{code.name}-decoder")
+    data = netlist.input_bus("data", code.data_bits)
+    check = netlist.input_bus("check", code.check_bits)
+    recomputed = encoder_bus(netlist, data, code)
+    syndrome = bus_xor(netlist, recomputed, check)
+
+    column_consts = {}
+
+    def column_match(column: int) -> int:
+        taps = []
+        for row in range(code.check_bits):
+            bit = syndrome[row]
+            if column >> row & 1:
+                taps.append(bit)
+            else:
+                taps.append(netlist.not_(bit))
+        return netlist.and_tree(taps)
+
+    data_matches = [column_match(code.data_columns[bit])
+                    for bit in range(code.data_bits)]
+    check_matches = [column_match(1 << row)
+                     for row in range(code.check_bits)]
+    corrected = [netlist.xor(data[bit], data_matches[bit])
+                 for bit in range(code.data_bits)]
+    ce_data = netlist.or_tree(data_matches)
+    ce_check = netlist.or_tree(check_matches)
+    nonzero = netlist.or_tree(syndrome)
+    due = netlist.and_(
+        nonzero, netlist.nor(ce_data, ce_check))
+
+    netlist.set_output("corrected", corrected)
+    netlist.set_output("ce_data", [ce_data])
+    netlist.set_output("ce_check", [ce_check])
+    netlist.set_output("due", [due])
+    return netlist
+
+
+def build_dp_reporting(data_bits: int = 32) -> Netlist:
+    """Figure 5: the SEC-(DED)-DP augmented error-reporting logic.
+
+    Sits after the ordinary decoder.  A data correction is honoured only
+    when the stored data disagrees with the data-parity bit (a storage
+    flip); agreement means the original instruction produced both — a
+    pipeline error, raised as a DUE.
+    """
+    netlist = Netlist("dp-reporting")
+    data = netlist.input_bus("data", data_bits)
+    dp = netlist.input_bus("dp", 1)[0]
+    ce_data = netlist.input_bus("ce_data", 1)[0]
+    due_in = netlist.input_bus("due_in", 1)[0]
+    parity = netlist.xor_tree(list(data))
+    parity_mismatch = netlist.xor(parity, dp)
+    correct_enable = netlist.and_(ce_data, parity_mismatch)
+    pipeline_due = netlist.and_(ce_data, netlist.not_(parity_mismatch))
+    due_out = netlist.or_(due_in, pipeline_due)
+    netlist.set_output("correct_enable", [correct_enable])
+    netlist.set_output("due", [due_out])
+    return netlist
+
+
+def build_move_propagate(check_bits: int = 7) -> Netlist:
+    """Figure 4: ECC propagation path for register moves.
+
+    A move forwards the source register's check bits around the datapath
+    (one mux per check bit selecting the propagated ECC over the encoder's,
+    plus two pipeline register stages), so moves need no shadow
+    instruction.
+    """
+    netlist = Netlist("move-propagate")
+    encoder_check = netlist.input_bus("encoder_check", check_bits)
+    moved_check = netlist.input_bus("moved_check", check_bits)
+    is_move = netlist.input_bus("is_move", 1)[0]
+    staged = netlist.stage(netlist.stage(moved_check))
+    selected = bus_mux(netlist, is_move, staged, encoder_check)
+    netlist.set_output("check", selected)
+    return netlist

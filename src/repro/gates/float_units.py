@@ -1,0 +1,425 @@
+"""Gate-level floating-point add and multiply-add units.
+
+These mirror the pipelined FP32/FP64 units the paper synthesizes for its
+gate-level injection study (Section IV-A).  To keep the netlists tractable
+the units implement a documented simplification of IEEE-754:
+
+* round-toward-zero (truncation) everywhere — no guard/round/sticky logic;
+* denormals flush to zero (a zero exponent field means exact zero);
+* no NaN/infinity semantics — the top exponent is an ordinary value and
+  overflow saturates to the largest representable magnitude.
+
+The same spec is implemented twice: as a netlist (:func:`build_fp_add_unit`,
+:func:`build_fp_mad_unit`) and as the pure-Python reference
+(:func:`ref_fp_add`, :func:`ref_fp_mad`) the tests compare against
+bit-for-bit.  Fault-injection results depend only on the unit's internal
+structure (multipliers, alignment and normalization shifters, wide adders),
+which these netlists share with real FPUs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.gates.adders import incrementer, kogge_stone_add, subtract
+from repro.gates.buslib import bus_mux, constant_bus
+from repro.gates.netlist import Bus, Netlist
+from repro.gates.shifters import normalize_bus, shift_left_bus, shift_right_bus
+
+
+@dataclass(frozen=True)
+class FloatFormat:
+    """A binary floating-point format: 1 sign, ``exp_bits``, ``man_bits``."""
+
+    exp_bits: int
+    man_bits: int
+    name: str = ""
+
+    @property
+    def width(self) -> int:
+        return 1 + self.exp_bits + self.man_bits
+
+    @property
+    def bias(self) -> int:
+        return (1 << (self.exp_bits - 1)) - 1
+
+    @property
+    def max_exp(self) -> int:
+        return (1 << self.exp_bits) - 1
+
+    def unpack(self, raw: int) -> Tuple[int, int, int]:
+        """Split a raw encoding into (sign, exponent, mantissa)."""
+        man = raw & ((1 << self.man_bits) - 1)
+        exp = (raw >> self.man_bits) & ((1 << self.exp_bits) - 1)
+        sign = (raw >> (self.width - 1)) & 1
+        return sign, exp, man
+
+    def pack(self, sign: int, exp: int, man: int) -> int:
+        return ((sign & 1) << (self.width - 1)) | \
+            ((exp & ((1 << self.exp_bits) - 1)) << self.man_bits) | \
+            (man & ((1 << self.man_bits) - 1))
+
+
+FP32 = FloatFormat(exp_bits=8, man_bits=23, name="fp32")
+FP64 = FloatFormat(exp_bits=11, man_bits=52, name="fp64")
+
+
+# ----------------------------------------------------------------------
+# reference model (mirrors the netlist step for step)
+# ----------------------------------------------------------------------
+def ref_fp_add(fmt: FloatFormat, x: int, y: int) -> int:
+    """Reference addition on raw encodings; mirrors the netlist exactly."""
+    sx, ex, mx = fmt.unpack(x)
+    sy, ey, my = fmt.unpack(y)
+    man_one = 1 << fmt.man_bits
+    sig_x = (man_one | mx) if ex != 0 else 0
+    sig_y = (man_one | my) if ey != 0 else 0
+    mag_x = (ex << fmt.man_bits) | (mx if ex != 0 else 0)
+    mag_y = (ey << fmt.man_bits) | (my if ey != 0 else 0)
+    if mag_x >= mag_y:
+        sign1, exp1, sig1 = sx, ex, sig_x
+        sign2, exp2, sig2 = sy, ey, sig_y
+    else:
+        sign1, exp1, sig1 = sy, ey, sig_y
+        sign2, exp2, sig2 = sx, ex, sig_x
+    diff = exp1 - exp2
+    aligned = sig2 >> diff if diff < fmt.man_bits + 2 else 0
+    if sign1 == sign2:
+        total = sig1 + aligned
+        if total >> (fmt.man_bits + 1):
+            mantissa = (total >> 1) & (man_one - 1)
+            exp = exp1 + 1
+        else:
+            mantissa = total & (man_one - 1)
+            exp = exp1
+        if total == 0:
+            return 0
+        if exp >= fmt.max_exp:
+            return fmt.pack(sign1, fmt.max_exp, man_one - 1)
+        return fmt.pack(sign1, exp, mantissa)
+    delta = sig1 - aligned
+    if delta == 0:
+        return 0
+    lzc = (fmt.man_bits + 1) - delta.bit_length()
+    normalized = delta << lzc
+    exp = exp1 - lzc
+    if exp <= 0:
+        return 0
+    return fmt.pack(sign1, exp, normalized & (man_one - 1))
+
+
+def ref_fp_mad(fmt: FloatFormat, a: int, b: int, c: int) -> int:
+    """Reference fused multiply-add (truncating) on raw encodings."""
+    sa, ea, ma = fmt.unpack(a)
+    sb, eb, mb = fmt.unpack(b)
+    sc, ec, mc = fmt.unpack(c)
+    m = fmt.man_bits
+    man_one = 1 << m
+    wide_bits = 2 * m + 2
+    wide_top = 1 << (wide_bits - 1)
+
+    sig_a = (man_one | ma) if ea != 0 else 0
+    sig_b = (man_one | mb) if eb != 0 else 0
+    sig_c = (man_one | mc) if ec != 0 else 0
+
+    # Product in wide form: significand MSB at bit 2m+1.
+    product = sig_a * sig_b
+    sp = sa ^ sb
+    if product == 0:
+        ep, wide_p = 0, 0
+    else:
+        ep = ea + eb - fmt.bias + 1
+        if not product & wide_top:
+            product <<= 1
+            ep -= 1
+        if ep <= 0:
+            ep, wide_p = 0, 0
+        elif ep >= fmt.max_exp:
+            ep, wide_p = fmt.max_exp, (1 << wide_bits) - 1
+        else:
+            wide_p = product
+    if wide_p == 0:
+        ep = 0
+
+    # Addend in the same wide form.
+    wide_c = sig_c << (m + 1)
+
+    mag_p = (ep << wide_bits) | wide_p
+    mag_c = (ec << wide_bits) | wide_c
+    if mag_p >= mag_c:
+        sign1, exp1, sig1 = sp, ep, wide_p
+        sign2, exp2, sig2 = sc, ec, wide_c
+    else:
+        sign1, exp1, sig1 = sc, ec, wide_c
+        sign2, exp2, sig2 = sp, ep, wide_p
+    diff = exp1 - exp2
+    aligned = sig2 >> diff if diff < wide_bits + 1 else 0
+    if sign1 == sign2:
+        total = sig1 + aligned
+        if total >> wide_bits:
+            result_sig = total >> 1
+            exp = exp1 + 1
+        else:
+            result_sig = total
+            exp = exp1
+        if result_sig == 0:
+            return 0
+        if exp >= fmt.max_exp:
+            return fmt.pack(sign1, fmt.max_exp, man_one - 1)
+        mantissa = (result_sig >> (m + 1)) & (man_one - 1)
+        return fmt.pack(sign1, exp, mantissa)
+    delta = sig1 - aligned
+    if delta == 0:
+        return 0
+    lzc = wide_bits - delta.bit_length()
+    normalized = delta << lzc
+    exp = exp1 - lzc
+    if exp <= 0:
+        return 0
+    mantissa = (normalized >> (m + 1)) & (man_one - 1)
+    return fmt.pack(sign1, exp, mantissa)
+
+
+# ----------------------------------------------------------------------
+# netlist helpers
+# ----------------------------------------------------------------------
+def _unpack_bus(netlist: Netlist, raw: Sequence[int],
+                fmt: FloatFormat) -> Tuple[int, Bus, Bus]:
+    man = list(raw[:fmt.man_bits])
+    exp = list(raw[fmt.man_bits:fmt.man_bits + fmt.exp_bits])
+    sign = raw[fmt.width - 1]
+    return sign, exp, man
+
+
+def _gated_significand(netlist: Netlist, exp: Bus, man: Bus) -> Tuple[Bus, int]:
+    """(significand with implicit one, nonzero flag); FTZ when exp == 0."""
+    nonzero = netlist.or_tree(exp)
+    gated = [netlist.and_(bit, nonzero) for bit in man]
+    return gated + [nonzero], nonzero
+
+
+def _greater_equal(netlist: Netlist, a: Bus, b: Bus) -> int:
+    """1 when bus ``a`` >= bus ``b`` (unsigned)."""
+    __, not_borrow = subtract(netlist, a, b)
+    return not_borrow
+
+
+def _select(netlist: Netlist, cond: int, a, b):
+    if isinstance(a, list):
+        return bus_mux(netlist, cond, a, b)
+    return netlist.mux(cond, a, b)
+
+
+def build_fp_add_unit(fmt: FloatFormat, pipelined: bool = True) -> Netlist:
+    """A floating-point adder implementing the documented truncating spec."""
+    netlist = Netlist(f"{fmt.name}-add")
+    x = netlist.input_bus("x", fmt.width)
+    y = netlist.input_bus("y", fmt.width)
+    if pipelined:
+        x = netlist.stage(x)
+        y = netlist.stage(y)
+
+    sx, ex, mx = _unpack_bus(netlist, x, fmt)
+    sy, ey, my = _unpack_bus(netlist, y, fmt)
+    sig_x, __ = _gated_significand(netlist, ex, mx)
+    sig_y, __ = _gated_significand(netlist, ey, my)
+    mag_x = sig_x[:fmt.man_bits] + ex
+    mag_y = sig_y[:fmt.man_bits] + ey
+    x_ge = _greater_equal(netlist, mag_x, mag_y)
+
+    sign1 = _select(netlist, x_ge, sx, sy)
+    sign2 = _select(netlist, x_ge, sy, sx)
+    exp1 = _select(netlist, x_ge, ex, ey)
+    exp2 = _select(netlist, x_ge, ey, ex)
+    sig1 = _select(netlist, x_ge, sig_x, sig_y)
+    sig2 = _select(netlist, x_ge, sig_y, sig_x)
+
+    diff, __ = subtract(netlist, exp1, exp2)
+    aligned = shift_right_bus(netlist, sig2, diff)
+
+    if pipelined:
+        regs = netlist.stage([sign1, sign2] + exp1 + sig1 + aligned)
+        sign1, sign2 = regs[0], regs[1]
+        exp1 = regs[2:2 + fmt.exp_bits]
+        base = 2 + fmt.exp_bits
+        sig1 = regs[base:base + fmt.man_bits + 1]
+        aligned = regs[base + fmt.man_bits + 1:]
+
+    effective_sub = netlist.xor(sign1, sign2)
+
+    # Same-sign path: add, renormalize on carry out.
+    total, carry = kogge_stone_add(netlist, sig1, aligned)
+    add_mantissa = bus_mux(netlist, carry, total[1:fmt.man_bits + 1],
+                           total[:fmt.man_bits])
+    exp_inc, exp_inc_carry = incrementer(netlist, exp1, carry)
+    add_zero = netlist.not_(
+        netlist.or_(netlist.or_tree(total), carry))
+    add_overflow = netlist.or_(
+        exp_inc_carry, netlist.and_tree(exp_inc))
+
+    # Opposite-sign path: subtract, normalize, drop the exponent.
+    delta, __ = subtract(netlist, sig1, aligned)
+    normalized, lzc = normalize_bus(netlist, delta)
+    sub_zero = netlist.not_(netlist.or_tree(delta))
+    # exp1 - lzc in exp_bits + 1 bits two's complement.
+    wide_exp1 = list(exp1) + [netlist.const(0)]
+    wide_lzc = list(lzc) + [netlist.const(0)] * (len(wide_exp1) - len(lzc))
+    sub_exp, __ = subtract(netlist, wide_exp1, wide_lzc)
+    sub_underflow = netlist.or_(
+        sub_exp[-1], netlist.not_(netlist.or_tree(sub_exp[:-1])))
+
+    mantissa = bus_mux(netlist, effective_sub,
+                       normalized[:fmt.man_bits], add_mantissa)
+    exponent = bus_mux(netlist, effective_sub, sub_exp[:-1], exp_inc)
+    is_zero = _select(netlist, effective_sub, sub_zero, add_zero)
+    flush = netlist.or_(
+        is_zero, netlist.and_(effective_sub, sub_underflow))
+    saturate = netlist.and_(netlist.not_(effective_sub), add_overflow)
+
+    max_exp = constant_bus(netlist, fmt.max_exp, fmt.exp_bits)
+    max_man = constant_bus(netlist, (1 << fmt.man_bits) - 1, fmt.man_bits)
+    zero_exp = constant_bus(netlist, 0, fmt.exp_bits)
+    zero_man = constant_bus(netlist, 0, fmt.man_bits)
+
+    exponent = bus_mux(netlist, saturate, max_exp, exponent)
+    mantissa = bus_mux(netlist, saturate, max_man, mantissa)
+    exponent = bus_mux(netlist, flush, zero_exp, exponent)
+    mantissa = bus_mux(netlist, flush, zero_man, mantissa)
+    sign = netlist.and_(sign1, netlist.not_(flush))
+
+    result = mantissa + exponent + [sign]
+    if pipelined:
+        result = netlist.stage(result)
+    netlist.set_output("result", result)
+    return netlist
+
+
+def build_fp_mad_unit(fmt: FloatFormat, pipelined: bool = True) -> Netlist:
+    """A floating-point fused multiply-add on the same truncating spec."""
+    from repro.gates.multiplier import multiply_bus
+
+    netlist = Netlist(f"{fmt.name}-mad")
+    a = netlist.input_bus("a", fmt.width)
+    b = netlist.input_bus("b", fmt.width)
+    c = netlist.input_bus("c", fmt.width)
+    if pipelined:
+        a = netlist.stage(a)
+        b = netlist.stage(b)
+        c = netlist.stage(c)
+
+    m = fmt.man_bits
+    wide_bits = 2 * m + 2
+    sa, ea, ma = _unpack_bus(netlist, a, fmt)
+    sb, eb, mb = _unpack_bus(netlist, b, fmt)
+    sc, ec, mc = _unpack_bus(netlist, c, fmt)
+    sig_a, a_nonzero = _gated_significand(netlist, ea, ma)
+    sig_b, b_nonzero = _gated_significand(netlist, eb, mb)
+    sig_c, __ = _gated_significand(netlist, ec, mc)
+
+    # --- product path ---------------------------------------------------
+    product = multiply_bus(netlist, sig_a, sig_b, wide_bits)
+    sp = netlist.xor(sa, sb)
+    product_nonzero = netlist.and_(a_nonzero, b_nonzero)
+    # ep = ea + eb - bias + 1, in exp_bits + 2 two's complement.
+    wide = fmt.exp_bits + 2
+    ea_w = list(ea) + [netlist.const(0)] * 2
+    eb_w = list(eb) + [netlist.const(0)] * 2
+    exp_sum, __ = kogge_stone_add(netlist, ea_w, eb_w)
+    bias_term = constant_bus(
+        netlist, (fmt.bias - 1) & ((1 << wide) - 1), wide)
+    ep_w, __ = subtract(netlist, exp_sum, bias_term)
+    # Normalize the product MSB to bit 2m+1.
+    top_missing = netlist.not_(product[wide_bits - 1])
+    shifted_product = [netlist.const(0)] + product[:-1]
+    product = bus_mux(netlist, top_missing, shifted_product, product)
+    one_w = constant_bus(netlist, 1, wide)
+    ep_dec, __ = subtract(netlist, ep_w, one_w)
+    ep_w = bus_mux(netlist, top_missing, ep_dec, ep_w)
+    # Exponent range handling.
+    ep_neg = ep_w[-1]
+    ep_low_zero = netlist.not_(netlist.or_tree(ep_w[:-1]))
+    ep_under = netlist.or_(ep_neg, ep_low_zero)
+    high_bits = [ep_w[fmt.exp_bits], ep_w[fmt.exp_bits + 1]]
+    ep_over = netlist.and_(
+        netlist.not_(ep_neg),
+        netlist.or_(netlist.or_tree(high_bits),
+                    netlist.and_tree(ep_w[:fmt.exp_bits])))
+    product_zero = netlist.or_(
+        netlist.not_(product_nonzero), ep_under)
+    all_ones_wide = constant_bus(netlist, (1 << wide_bits) - 1, wide_bits)
+    max_exp_bus = constant_bus(netlist, fmt.max_exp, fmt.exp_bits)
+    zero_wide = constant_bus(netlist, 0, wide_bits)
+    zero_exp = constant_bus(netlist, 0, fmt.exp_bits)
+
+    wide_p = bus_mux(netlist, ep_over, all_ones_wide, product)
+    ep_bus = bus_mux(netlist, ep_over, max_exp_bus, ep_w[:fmt.exp_bits])
+    wide_p = bus_mux(netlist, product_zero, zero_wide, wide_p)
+    ep_bus = bus_mux(netlist, product_zero, zero_exp, ep_bus)
+
+    # --- addend in wide form ---------------------------------------------
+    wide_c = [netlist.const(0)] * (m + 1) + sig_c
+
+    if pipelined:
+        regs = netlist.stage([sp, sc] + ep_bus + list(ec) + wide_p + wide_c)
+        sp, sc = regs[0], regs[1]
+        offset = 2
+        ep_bus = regs[offset:offset + fmt.exp_bits]
+        offset += fmt.exp_bits
+        ec = regs[offset:offset + fmt.exp_bits]
+        offset += fmt.exp_bits
+        wide_p = regs[offset:offset + wide_bits]
+        offset += wide_bits
+        wide_c = regs[offset:offset + wide_bits]
+
+    # --- magnitude order, align, add/sub ----------------------------------
+    mag_p = list(wide_p) + list(ep_bus)
+    mag_c = list(wide_c) + list(ec)
+    p_ge = _greater_equal(netlist, mag_p, mag_c)
+    sign1 = _select(netlist, p_ge, sp, sc)
+    sign2 = _select(netlist, p_ge, sc, sp)
+    exp1 = _select(netlist, p_ge, list(ep_bus), list(ec))
+    exp2 = _select(netlist, p_ge, list(ec), list(ep_bus))
+    sig1 = _select(netlist, p_ge, list(wide_p), list(wide_c))
+    sig2 = _select(netlist, p_ge, list(wide_c), list(wide_p))
+
+    diff, __ = subtract(netlist, exp1, exp2)
+    aligned = shift_right_bus(netlist, sig2, diff)
+    effective_sub = netlist.xor(sign1, sign2)
+
+    total, carry = kogge_stone_add(netlist, sig1, aligned)
+    add_sig = bus_mux(netlist, carry, total[1:] + [carry], total)
+    exp_inc, exp_inc_carry = incrementer(netlist, exp1, carry)
+    add_zero = netlist.not_(netlist.or_(netlist.or_tree(total), carry))
+    add_overflow = netlist.or_(exp_inc_carry, netlist.and_tree(exp_inc))
+
+    delta, __ = subtract(netlist, sig1, aligned)
+    normalized, lzc = normalize_bus(netlist, delta)
+    sub_zero = netlist.not_(netlist.or_tree(delta))
+    wide_exp1 = list(exp1) + [netlist.const(0)]
+    wide_lzc = list(lzc) + [netlist.const(0)] * (len(wide_exp1) - len(lzc))
+    sub_exp, __ = subtract(netlist, wide_exp1, wide_lzc)
+    sub_underflow = netlist.or_(
+        sub_exp[-1], netlist.not_(netlist.or_tree(sub_exp[:-1])))
+
+    result_sig = bus_mux(netlist, effective_sub, normalized, add_sig)
+    exponent = bus_mux(netlist, effective_sub, sub_exp[:-1], exp_inc)
+    is_zero = _select(netlist, effective_sub, sub_zero, add_zero)
+    flush = netlist.or_(is_zero,
+                        netlist.and_(effective_sub, sub_underflow))
+    saturate = netlist.and_(netlist.not_(effective_sub), add_overflow)
+
+    mantissa = result_sig[m + 1:2 * m + 1]
+    max_man = constant_bus(netlist, (1 << m) - 1, m)
+    zero_man = constant_bus(netlist, 0, m)
+    exponent = bus_mux(netlist, saturate, max_exp_bus, exponent)
+    mantissa = bus_mux(netlist, saturate, max_man, mantissa)
+    exponent = bus_mux(netlist, flush, zero_exp, exponent)
+    mantissa = bus_mux(netlist, flush, zero_man, mantissa)
+    sign = netlist.and_(sign1, netlist.not_(flush))
+
+    result = mantissa + exponent + [sign]
+    if pipelined:
+        result = netlist.stage(result)
+    netlist.set_output("result", result)
+    return netlist

@@ -1,0 +1,73 @@
+"""Carry-save multi-operand modular adders (CS-MOMA), Section III-C.
+
+A CS-MOMA reduces many ``a``-bit operands modulo ``2**a - 1`` with a tree of
+end-around-carry carry-save adders: each 3:2 compressor level produces a sum
+word plus a carry word whose top carry wraps around to bit 0 (a left
+rotation), keeping every intermediate value inside the residue ring.  The
+final two words are merged by an end-around-carry adder.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.errors import NetlistError
+from repro.gates.adders import eac_add
+from repro.gates.buslib import full_adder, rotate_bus_left
+from repro.gates.netlist import Bus, Netlist
+
+
+def eac_carry_save_level(netlist: Netlist, x: Sequence[int],
+                         y: Sequence[int], z: Sequence[int]
+                         ) -> Tuple[Bus, Bus]:
+    """One end-around-carry 3:2 compressor: three words in, (sum, carry) out.
+
+    The carry word is rotated left one position so the carry out of the top
+    bit re-enters at bit 0 — the end-around wrap that keeps the value
+    congruent modulo ``2**a - 1``.
+    """
+    if not len(x) == len(y) == len(z):
+        raise NetlistError("CSA operand width mismatch")
+    sums: Bus = []
+    carries: Bus = []
+    for a_bit, b_bit, c_bit in zip(x, y, z):
+        total, carry = full_adder(netlist, a_bit, b_bit, c_bit)
+        sums.append(total)
+        carries.append(carry)
+    return sums, rotate_bus_left(carries, 1)
+
+
+def cs_moma_reduce(netlist: Netlist,
+                   operands: Sequence[Sequence[int]]) -> Tuple[Bus, Bus]:
+    """Reduce any number of ``a``-bit operands to a carry-save pair."""
+    pending: List[Bus] = [list(op) for op in operands]
+    if not pending:
+        raise NetlistError("CS-MOMA needs at least one operand")
+    width = len(pending[0])
+    if any(len(op) != width for op in pending):
+        raise NetlistError("CS-MOMA operand width mismatch")
+    if len(pending) == 1:
+        zero = [netlist.const(0) for _ in range(width)]
+        return pending[0], zero
+    while len(pending) > 2:
+        next_level: List[Bus] = []
+        index = 0
+        while index + 3 <= len(pending):
+            total, carry = eac_carry_save_level(
+                netlist, pending[index], pending[index + 1],
+                pending[index + 2])
+            next_level.extend([total, carry])
+            index += 3
+        next_level.extend(pending[index:])
+        pending = next_level
+    return pending[0], pending[1]
+
+
+def cs_moma_sum(netlist: Netlist,
+                operands: Sequence[Sequence[int]]) -> Bus:
+    """CS-MOMA reduction followed by the final end-around-carry merge."""
+    total, carry = cs_moma_reduce(netlist, operands)
+    if all(netlist.nodes[net].op.name.startswith("CONST")
+           for net in carry):
+        return list(total)
+    return eac_add(netlist, total, carry)

@@ -1,0 +1,138 @@
+"""Binary multiplier and multiply-add (MAD) unit generators.
+
+The fixed-point MAD mirrors the paper's evaluated unit: a 32b x 32b
+multiplier whose partial products are reduced together with a 64b addend in
+one carry-save tree, merged by a Kogge-Stone adder, pipelined into two
+stages (Table IV's "MAD 32+64" row).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import NetlistError
+from repro.gates.adders import kogge_stone_add
+from repro.gates.buslib import full_adder, half_adder
+from repro.gates.netlist import Bus, Netlist
+
+
+def partial_product_columns(netlist: Netlist, a: Sequence[int],
+                            b: Sequence[int],
+                            out_width: Optional[int] = None
+                            ) -> List[List[int]]:
+    """AND-gate partial products arranged per output column."""
+    if out_width is None:
+        out_width = len(a) + len(b)
+    columns: List[List[int]] = [[] for _ in range(out_width)]
+    for j, b_bit in enumerate(b):
+        for i, a_bit in enumerate(a):
+            column = i + j
+            if column < out_width:
+                columns[column].append(netlist.and_(a_bit, b_bit))
+    return columns
+
+
+def add_bus_to_columns(columns: List[List[int]],
+                       bus: Sequence[int]) -> None:
+    """Inject an addend bus into a partial-product column array."""
+    for index, net in enumerate(bus):
+        if index < len(columns):
+            columns[index].append(net)
+
+
+def wallace_reduce(netlist: Netlist,
+                   columns: List[List[int]]) -> List[List[int]]:
+    """Carry-save reduction until every column holds at most two bits."""
+    width = len(columns)
+    current = [list(column) for column in columns]
+    while any(len(column) > 2 for column in current):
+        next_columns: List[List[int]] = [[] for _ in range(width)]
+        for index, column in enumerate(current):
+            position = 0
+            while len(column) - position >= 3:
+                total, carry = full_adder(
+                    netlist, column[position], column[position + 1],
+                    column[position + 2])
+                position += 3
+                next_columns[index].append(total)
+                if index + 1 < width:
+                    next_columns[index + 1].append(carry)
+            if len(column) - position == 2:
+                total, carry = half_adder(
+                    netlist, column[position], column[position + 1])
+                position += 2
+                next_columns[index].append(total)
+                if index + 1 < width:
+                    next_columns[index + 1].append(carry)
+            next_columns[index].extend(column[position:])
+        current = next_columns
+    return current
+
+
+def carry_save_to_buses(netlist: Netlist,
+                        columns: List[List[int]]) -> (Bus, Bus):
+    """Split reduced columns into two addend buses (zero-padded)."""
+    first: Bus = []
+    second: Bus = []
+    for column in columns:
+        first.append(column[0] if len(column) > 0 else netlist.const(0))
+        second.append(column[1] if len(column) > 1 else netlist.const(0))
+    return first, second
+
+
+def multiply_bus(netlist: Netlist, a: Sequence[int], b: Sequence[int],
+                 out_width: Optional[int] = None) -> Bus:
+    """Unsigned multiply: partial products, Wallace tree, prefix adder."""
+    columns = partial_product_columns(netlist, a, b, out_width)
+    reduced = wallace_reduce(netlist, columns)
+    first, second = carry_save_to_buses(netlist, reduced)
+    total, __ = kogge_stone_add(netlist, first, second)
+    return total
+
+
+def build_add_unit(width: int = 32, pipelined: bool = True) -> Netlist:
+    """The baseline fixed-point add unit (Table IV "Add 32" row).
+
+    One pipe stage: registered inputs, Kogge-Stone adder, registered
+    output (3 x width flip-flops, matching the paper's FF accounting).
+    """
+    netlist = Netlist(f"add{width}")
+    a = netlist.input_bus("a", width)
+    b = netlist.input_bus("b", width)
+    if pipelined:
+        a = netlist.stage(a)
+        b = netlist.stage(b)
+    total, __ = kogge_stone_add(netlist, a, b)
+    if pipelined:
+        total = netlist.stage(total)
+    netlist.set_output("sum", total)
+    return netlist
+
+
+def build_mad_unit(width: int = 32, pipelined: bool = True) -> Netlist:
+    """The mixed-width fixed-point MAD: ``a * b + c`` with a 2*width addend.
+
+    Two pipe stages: stage 1 generates and reduces partial products (with
+    the addend folded into the tree), stage 2 performs the final carry
+    propagation — the register retiming target described in Section IV-A.
+    """
+    netlist = Netlist(f"mad{width}")
+    a = netlist.input_bus("a", width)
+    b = netlist.input_bus("b", width)
+    c = netlist.input_bus("c", 2 * width)
+    if pipelined:
+        a = netlist.stage(a)
+        b = netlist.stage(b)
+        c = netlist.stage(c)
+    columns = partial_product_columns(netlist, a, b, 2 * width)
+    add_bus_to_columns(columns, c)
+    reduced = wallace_reduce(netlist, columns)
+    first, second = carry_save_to_buses(netlist, reduced)
+    if pipelined:
+        first = netlist.stage(first)
+        second = netlist.stage(second)
+    total, __ = kogge_stone_add(netlist, first, second)
+    if pipelined:
+        total = netlist.stage(total)
+    netlist.set_output("result", total)
+    return netlist

@@ -1,0 +1,231 @@
+"""Residue code hardware: generators, checkers, and the Figure 9 units.
+
+Everything here operates in the low-cost ring modulo ``A = 2**a - 1`` with
+the double-zero convention (``0`` and the all-ones pattern both mean zero).
+
+* :func:`residue_generator_bus` — fold an N-bit bus into its ``a``-bit
+  residue with a CS-MOMA over non-overlapping bit slices.
+* :func:`residue_multiply_bus` — modular multiply via rotated partial
+  products (shifting is rotation in the ring).
+* :func:`build_mad_predictor` — Figure 9a: predicts the output residue of
+  the mixed-width GPU MAD (32b x 32b + 64b) from four register residues,
+  using the Equation 1 addend correction (pure wiring).
+* :func:`build_recode_encoder` — Figure 9b: the dual-purpose encoder that
+  either encodes a raw result (Pred?=0) or recodes the predicted full-width
+  residue into the residue of one 32b output segment (Pred?=1), including
+  the Table III carry-in/carry-out adjustment.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence
+
+from repro.errors import NetlistError
+from repro.ecc.residue import is_low_cost_modulus, split_correction_factor
+from repro.gates.adders import eac_add
+from repro.gates.buslib import (bus_and_bit, bus_mux, bus_not, constant_bus,
+                                rotate_bus_left)
+from repro.gates.moma import cs_moma_sum
+from repro.gates.netlist import Bus, Netlist
+
+
+def _residue_width(modulus: int) -> int:
+    if not is_low_cost_modulus(modulus):
+        raise NetlistError(f"{modulus} is not a low-cost modulus")
+    return modulus.bit_length()
+
+
+def residue_generator_bus(netlist: Netlist, data: Sequence[int],
+                          modulus: int) -> Bus:
+    """Fold ``data`` into its residue: slice, CS-MOMA, end-around add."""
+    width = _residue_width(modulus)
+    slices: List[Bus] = []
+    for start in range(0, len(data), width):
+        chunk = list(data[start:start + width])
+        while len(chunk) < width:
+            chunk.append(netlist.const(0))
+        slices.append(chunk)
+    return cs_moma_sum(netlist, slices)
+
+
+def residue_add_bus(netlist: Netlist, a: Sequence[int],
+                    b: Sequence[int]) -> Bus:
+    """Residue addition: one end-around-carry adder."""
+    return eac_add(netlist, a, b)
+
+
+def residue_negate_bus(netlist: Netlist, a: Sequence[int]) -> Bus:
+    """Residue negation: bitwise inversion (``x + ~x = 2**a - 1 = 0``)."""
+    return bus_not(netlist, a)
+
+
+def residue_multiply_bus(netlist: Netlist, a: Sequence[int],
+                         b: Sequence[int], modulus: int) -> Bus:
+    """Modular multiply: rotated partial products into a CS-MOMA."""
+    width = _residue_width(modulus)
+    if len(a) != width or len(b) != width:
+        raise NetlistError(
+            f"residue multiply expects {width}-bit operands")
+    partials = [
+        bus_and_bit(netlist, rotate_bus_left(a, j), b[j])
+        for j in range(width)
+    ]
+    return cs_moma_sum(netlist, partials)
+
+
+def table3_adjustment(cin: int, cout: int, modulus: int) -> int:
+    """The Table III carry adjustment value: ``(cin - cout) mod modulus``.
+
+    Encoded in hardware as a residue whose bottom bit is the carry-in and
+    every other bit is the carry-out: 0b0000=+0, 0b0001=+1, 0b1110=-1,
+    0b1111=-0 (the double zero).
+    """
+    width = _residue_width(modulus)
+    signal = cin & 1
+    for bit in range(1, width):
+        signal |= (cout & 1) << bit
+    return signal
+
+
+def build_residue_generator(modulus: int, data_bits: int = 32,
+                            pipelined: bool = True) -> Netlist:
+    """A standalone residue encoder unit (the "Mod-A Enc." of Table IV)."""
+    netlist = Netlist(f"mod{modulus}-encoder-{data_bits}")
+    data = netlist.input_bus("data", data_bits)
+    residue = residue_generator_bus(netlist, data, modulus)
+    if pipelined:
+        residue = netlist.stage(residue)
+    netlist.set_output("residue", residue)
+    return netlist
+
+
+def build_residue_adder(modulus: int) -> Netlist:
+    """A standalone residue addition predictor (for add/sub prediction)."""
+    width = _residue_width(modulus)
+    netlist = Netlist(f"mod{modulus}-adder")
+    a = netlist.input_bus("a", width)
+    b = netlist.input_bus("b", width)
+    netlist.set_output("sum", eac_add(netlist, a, b))
+    return netlist
+
+
+def build_residue_multiplier(modulus: int) -> Netlist:
+    """A standalone residue multiplication predictor."""
+    width = _residue_width(modulus)
+    netlist = Netlist(f"mod{modulus}-multiplier")
+    a = netlist.input_bus("a", width)
+    b = netlist.input_bus("b", width)
+    netlist.set_output("product",
+                       residue_multiply_bus(netlist, a, b, modulus))
+    return netlist
+
+
+def build_add_predictor(modulus: int, pipelined: bool = True) -> Netlist:
+    """Residue predictor for fixed-point add/sub (Table IV "Add" rows).
+
+    Inputs are the two operand residues plus a ``subtract`` control; the
+    output predicts the result residue.  Subtraction negates the second
+    operand (bitwise inversion — free in the ring).
+    """
+    width = _residue_width(modulus)
+    netlist = Netlist(f"mod{modulus}-add-predictor")
+    a = netlist.input_bus("ra", width)
+    b = netlist.input_bus("rb", width)
+    subtract = netlist.input_bus("subtract", 1)[0]
+    b_effective = bus_mux(netlist, subtract, bus_not(netlist, b), b)
+    result = eac_add(netlist, a, b_effective)
+    if pipelined:
+        result = netlist.stage(result)
+    netlist.set_output("prediction", result)
+    return netlist
+
+
+def build_mad_predictor(modulus: int, pipelined: bool = True) -> Netlist:
+    """Figure 9a: the mixed-width residue multiply-add predictor.
+
+    Inputs: ``ra``, ``rb`` (32b operand residues) and ``rc_hi``, ``rc_lo``
+    (the two half residues of the 64b addend).  Equation 1 recombines the
+    addend halves — the multiply by ``|2**32|_A`` is a rotation, so the
+    correction is pure wiring (highlighted yellow in the figure).  The
+    corrected addend residues join the multiplier's partial products in a
+    single CS-MOMA, finished by one EAC adder.
+    """
+    width = _residue_width(modulus)
+    factor = split_correction_factor(modulus)
+    rotation = int(math.log2(factor))
+    netlist = Netlist(f"mod{modulus}-mad-predictor")
+    ra = netlist.input_bus("ra", width)
+    rb = netlist.input_bus("rb", width)
+    rc_hi = netlist.input_bus("rc_hi", width)
+    rc_lo = netlist.input_bus("rc_lo", width)
+    partials = [
+        bus_and_bit(netlist, rotate_bus_left(ra, j), rb[j])
+        for j in range(width)
+    ]
+    corrected_hi = rotate_bus_left(rc_hi, rotation)
+    operands = partials + [corrected_hi, list(rc_lo)]
+    prediction = cs_moma_sum(netlist, operands)
+    if pipelined:
+        prediction = netlist.stage(prediction)
+    netlist.set_output("prediction", prediction)
+    return netlist
+
+
+def build_recode_encoder(modulus: int, data_bits: int = 32,
+                         pipelined: bool = True) -> Netlist:
+    """Figure 9b: the modified residue encoder with a recode path.
+
+    Inputs:
+
+    * ``z`` — the 32b output segment being written back.
+    * ``pred`` — 0: encode ``z`` directly; 1: recode from the prediction.
+    * ``rz`` — the predicted residue of the full (up to 64b) result.
+    * ``zadj`` — the 32b output segment *not* being written back.
+    * ``seg_hi`` — 1 when the segment being written is the high half.
+    * ``cin``/``cout`` — Table III carry adjustment bits.
+
+    Recode math (all in the ring, ``f = |2**32|_A``):
+
+    * low half:  ``|low|  = rz - f * |zadj|``
+    * high half: ``|high| = (rz - |zadj|) * f^-1``
+
+    and both multiplications by powers of two are rotations.  The carry
+    adjustment adds ``cin - cout`` (the Table III signal) to support
+    datapaths that split a wide result across carry-linked writes.
+    """
+    width = _residue_width(modulus)
+    factor = split_correction_factor(modulus)
+    rotation = int(math.log2(factor))
+    netlist = Netlist(f"mod{modulus}-recode-encoder")
+    z = netlist.input_bus("z", data_bits)
+    pred = netlist.input_bus("pred", 1)[0]
+    rz = netlist.input_bus("rz", width)
+    zadj = netlist.input_bus("zadj", data_bits)
+    seg_hi = netlist.input_bus("seg_hi", 1)[0]
+    cin = netlist.input_bus("cin", 1)[0]
+    cout = netlist.input_bus("cout", 1)[0]
+
+    direct = residue_generator_bus(netlist, z, modulus)
+
+    adj_residue = residue_generator_bus(netlist, zadj, modulus)
+    neg_adj = bus_not(netlist, adj_residue)
+    # Writing the low half: subtract f * |zadj| from rz.
+    low_term = rotate_bus_left(neg_adj, rotation)
+    # Writing the high half: subtract |zadj| from rz, then divide by f
+    # (rotate right) — applied after the sum, below.
+    high_term = list(neg_adj)
+    subtrahend = bus_mux(netlist, seg_hi, high_term, low_term)
+
+    # Table III adjustment: bottom bit carries cin, every other bit cout.
+    adjustment = [cin] + [cout] * (width - 1)
+
+    recoded = cs_moma_sum(netlist, [list(rz), subtrahend, adjustment])
+    recoded_hi = rotate_bus_left(recoded, (width - rotation) % width)
+    recoded = bus_mux(netlist, seg_hi, recoded_hi, recoded)
+
+    result = bus_mux(netlist, pred, recoded, direct)
+    if pipelined:
+        result = netlist.stage(result)
+    netlist.set_output("residue", result)
+    return netlist

@@ -1,0 +1,78 @@
+"""Barrel shifters and the normalize (count-leading-zeros + shift) block.
+
+Shifters matter to the fault-injection study: the paper observes that
+multi-bit output error patterns come disproportionately from the shifters
+and incrementers of floating-point re-normalization (Section IV-B), so the
+floating-point units here use genuine mux-tree barrel shifters.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.gates.buslib import bus_mux
+from repro.gates.netlist import Bus, Netlist
+
+
+def shift_right_bus(netlist: Netlist, bus: Sequence[int],
+                    amount: Sequence[int]) -> Bus:
+    """Logical right shift by a variable amount (zeros shift in).
+
+    Shift amounts at or beyond the bus width yield zero: every bit of
+    ``amount`` is honoured, so wide amounts clear the whole bus.
+    """
+    current = list(bus)
+    width = len(current)
+    zero = netlist.const(0)
+    for level, select in enumerate(amount):
+        step = 1 << level
+        if step >= width:
+            # Any set bit at or above this level clears the bus entirely.
+            shifted = [zero] * width
+        else:
+            shifted = current[step:] + [zero] * step
+        current = bus_mux(netlist, select, shifted, current)
+    return current
+
+
+def shift_left_bus(netlist: Netlist, bus: Sequence[int],
+                   amount: Sequence[int]) -> Bus:
+    """Logical left shift by a variable amount (zeros shift in)."""
+    current = list(bus)
+    width = len(current)
+    zero = netlist.const(0)
+    for level, select in enumerate(amount):
+        step = 1 << level
+        if step >= width:
+            shifted = [zero] * width
+        else:
+            shifted = [zero] * step + current[:-step]
+        current = bus_mux(netlist, select, shifted, current)
+    return current
+
+
+def normalize_bus(netlist: Netlist,
+                  bus: Sequence[int]) -> Tuple[Bus, Bus]:
+    """Left-shift ``bus`` until its MSB is 1; also return the shift count.
+
+    Classic combined leading-zero-count and normalization: at each
+    power-of-two level, if the top ``2**k`` bits are all zero, shift left by
+    ``2**k`` and set count bit ``k``.  An all-zero input passes through with
+    the maximum count; callers detect zero separately.
+    """
+    current = list(bus)
+    width = len(current)
+    levels = max(1, (width - 1).bit_length())
+    zero = netlist.const(0)
+    count: List[int] = [None] * levels
+    for k in reversed(range(levels)):
+        step = 1 << k
+        if step >= width:
+            count[k] = zero
+            continue
+        top = current[width - step:]
+        top_is_zero = netlist.not_(netlist.or_tree(list(top)))
+        shifted = [zero] * step + current[:-step]
+        current = bus_mux(netlist, top_is_zero, shifted, current)
+        count[k] = top_is_zero
+    return current, list(count)

@@ -1,0 +1,221 @@
+"""A small text assembler for the SASS-like ISA.
+
+Syntax by example::
+
+    entry:
+        S2R R0, SR_TID          // special register read
+        IADD R1, R0, 16         // immediates allowed as trailing sources
+        ISETP.LT P0, R1, R5     // compare writes a predicate
+    @P0 BRA entry               // predicated backward branch (loop)
+    @!P0 BRA skip, reconv=skip  // forward divergence: annotate reconverge
+        FADD R2, R2, 1.5        // float literals for F ops
+        LDG R3, [R1+4]          // word-addressed memory
+        LDG.64 RD4, [R1]        // 64-bit load into the pair R4:R5
+        DFMA RD6, RD4, RD8, RD10
+        STG [R1], R3
+        ATOM.ADD R7, [R1], R3
+        SHFL.BFLY R9, R2, 16    // warp shuffle
+        BAR                     // CTA barrier
+    skip:
+        EXIT
+
+Comments run from ``//`` or ``#`` to end of line.  Addresses are in 32-bit
+words.  ``RD<n>`` names the even-aligned 64-bit register pair n:n+1.
+"""
+
+from __future__ import annotations
+
+import re
+import struct
+from typing import List, Optional, Tuple
+
+from repro.errors import AssemblyError
+from repro.gpu.isa import (COMPARE_OPS, OPCODES, PT, RZ, Instruction, Operand,
+                           OperandKind)
+from repro.gpu.program import Kernel, KernelWriter
+
+_LABEL_RE = re.compile(r"^([A-Za-z_.][\w.]*):$")
+_MEM_RE = re.compile(r"^\[(R\d+|RZ|\d+)(?:\s*\+\s*(-?\d+))?\]$")
+
+#: modifiers that select shuffle modes and atomic operations
+SHFL_MODES = ("IDX", "BFLY", "UP", "DOWN")
+ATOM_OPS = ("ADD", "MAX", "MIN", "EXCH")
+
+
+def _parse_scalar(token: str, float_bits: Optional[int]) -> Operand:
+    token = token.strip()
+    if token == "RZ":
+        return Operand.reg(RZ)
+    if token == "PT":
+        return Operand.pred(PT)
+    if re.fullmatch(r"RD\d+", token):
+        return Operand.reg64(int(token[2:]))
+    if re.fullmatch(r"R\d+", token):
+        return Operand.reg(int(token[1:]))
+    if re.fullmatch(r"P\d+", token):
+        return Operand.pred(int(token[1:]))
+    if token.startswith("SR_"):
+        return Operand.special(token)
+    if re.fullmatch(r"-?0[xX][0-9a-fA-F]+|-?\d+", token):
+        return Operand.imm(int(token, 0) & 0xFFFF_FFFF)
+    if re.fullmatch(r"-?\d*\.\d+([eE]-?\d+)?|-?\d+[eE]-?\d+", token):
+        if float_bits == 64:
+            raise AssemblyError(
+                "64-bit float immediates are not supported; load them")
+        bits = struct.unpack("<I", struct.pack("<f", float(token)))[0]
+        return Operand.imm(bits)
+    raise AssemblyError(f"cannot parse operand {token!r}")
+
+
+def _split_operands(text: str) -> List[str]:
+    """Split on commas that are not inside brackets."""
+    parts: List[str] = []
+    depth = 0
+    current = ""
+    for char in text:
+        if char == "[":
+            depth += 1
+        elif char == "]":
+            depth -= 1
+        if char == "," and depth == 0:
+            parts.append(current.strip())
+            current = ""
+        else:
+            current += char
+    if current.strip():
+        parts.append(current.strip())
+    return parts
+
+
+def parse_instruction(line: str) -> Instruction:
+    """Parse one (label-free, comment-free) instruction line."""
+    predicate = None
+    negated = False
+    text = line.strip()
+    match = re.match(r"^@(!?)(P\d+|PT)\s+(.*)$", text)
+    if match:
+        negated = match.group(1) == "!"
+        pred_token = match.group(2)
+        predicate = PT if pred_token == "PT" else int(pred_token[1:])
+        text = match.group(3)
+
+    pieces = text.split(None, 1)
+    op_token = pieces[0]
+    rest = pieces[1] if len(pieces) > 1 else ""
+    modifiers = op_token.split(".")
+    op = modifiers[0].upper()
+    modifiers = [m.upper() for m in modifiers[1:]]
+    if op not in OPCODES:
+        raise AssemblyError(f"unknown opcode {op!r} in {line!r}")
+
+    instruction = Instruction(op=op, predicate=predicate,
+                              predicate_negated=negated)
+    instruction.meta["modifiers"] = modifiers
+    if op in ("ISETP", "FSETP", "DSETP"):
+        compare = [m for m in modifiers if m in COMPARE_OPS]
+        if len(compare) != 1:
+            raise AssemblyError(f"{op} needs exactly one compare modifier")
+        instruction.compare = compare[0]
+    if op == "ATOM" and not any(m in ATOM_OPS for m in modifiers):
+        raise AssemblyError("ATOM needs an operation modifier (.ADD etc.)")
+    if op == "SHFL" and not any(m in SHFL_MODES for m in modifiers):
+        raise AssemblyError("SHFL needs a mode modifier (.IDX/.BFLY/...)")
+
+    float_bits = 32 if op.startswith("F") else (64 if op.startswith("D")
+                                                else None)
+    operands = _split_operands(rest)
+
+    if op == "BRA":
+        target, reconv = _parse_branch_operands(operands, line)
+        instruction.target = target
+        instruction.reconverge = reconv
+        return instruction
+    if op in ("BAR", "EXIT", "BPT", "NOP"):
+        if operands:
+            raise AssemblyError(f"{op} takes no operands")
+        return instruction
+
+    parsed: List[Operand] = []
+    for token in operands:
+        mem = _MEM_RE.match(token)
+        if mem:
+            base_token = mem.group(1)
+            offset = int(mem.group(2) or 0)
+            if base_token == "RZ":
+                base = RZ
+            elif base_token.startswith("R"):
+                base = int(base_token[1:])
+            else:
+                # Immediate base address: [64] means RZ + 64.
+                base = RZ
+                offset += int(base_token)
+            parsed.append(Operand.reg(base))
+            instruction.offset = offset
+            instruction.meta["has_memory_operand"] = True
+        else:
+            parsed.append(_parse_scalar(token, float_bits))
+
+    writes_dest = OPCODES[op].writes_dest
+    if op in ("STG", "STS"):
+        # store: [address], value — no destination register.
+        instruction.sources = parsed
+    elif writes_dest or op in ("ISETP", "FSETP", "DSETP"):
+        if not parsed:
+            raise AssemblyError(f"{op} needs a destination")
+        instruction.dest = parsed[0]
+        instruction.sources = parsed[1:]
+    else:
+        instruction.sources = parsed
+    _check_operand_shapes(instruction, line)
+    return instruction
+
+
+def _parse_branch_operands(operands: List[str],
+                           line: str) -> Tuple[str, Optional[str]]:
+    if not operands:
+        raise AssemblyError(f"BRA needs a target: {line!r}")
+    target = operands[0]
+    reconv = None
+    for extra in operands[1:]:
+        key, __, value = extra.partition("=")
+        if key.strip() == "reconv" and value:
+            reconv = value.strip()
+        else:
+            raise AssemblyError(f"bad branch argument {extra!r}")
+    return target, reconv
+
+
+def _check_operand_shapes(instruction: Instruction, line: str) -> None:
+    op = instruction.op
+    counts = {
+        "MOV": 1, "IADD": 2, "ISUB": 2, "IMUL": 2, "IMAD": 3,
+        "IMIN": 2, "IMAX": 2, "SHL": 2, "SHR": 2, "AND": 2, "OR": 2,
+        "XOR": 2, "NOT": 1, "FADD": 2, "FSUB": 2, "FMUL": 2, "FFMA": 3,
+        "FMIN": 2, "FMAX": 2, "DADD": 2, "DSUB": 2, "DMUL": 2, "DFMA": 3,
+        "FRCP": 1, "DRCP": 1, "FSQRT": 1, "FEXP": 1, "FLOG": 1, "I2F": 1,
+        "F2I": 1, "ISETP": 2, "FSETP": 2, "DSETP": 2, "SEL": 3, "S2R": 1,
+        "SHFL": 2, "LDG": 1, "LDS": 1, "STG": 2, "STS": 2, "ATOM": 2,
+    }
+    expected = counts.get(op)
+    if expected is not None and len(instruction.sources) != expected:
+        raise AssemblyError(
+            f"{op} expects {expected} sources, got "
+            f"{len(instruction.sources)}: {line!r}")
+    if instruction.dest is not None and \
+            instruction.dest.kind is OperandKind.IMMEDIATE:
+        raise AssemblyError(f"destination cannot be immediate: {line!r}")
+
+
+def assemble(name: str, source: str) -> Kernel:
+    """Assemble kernel ``source`` text into a :class:`Kernel`."""
+    writer = KernelWriter(name)
+    for raw_line in source.splitlines():
+        line = raw_line.split("//")[0].split("#")[0].strip()
+        if not line:
+            continue
+        label = _LABEL_RE.match(line)
+        if label:
+            writer.place_label(label.group(1))
+            continue
+        writer.emit(parse_instruction(line))
+    return writer.finish()

@@ -1,0 +1,72 @@
+"""Activity-based GPU power and energy model (Figure 14's instrument).
+
+The paper samples board power with ``nvprof --system-profiling on`` and
+takes the 90th-percentile reading as the active-power estimate.  Here power
+comes from first principles instead: static leakage plus per-instruction
+switching energy by pipe, divided by kernel runtime.  The model reproduces
+the paper's qualitative result — duplication changes *power* only modestly
+(the added instructions raise utilization of hardware that was already
+burning static power), so *energy* overhead tracks the runtime overhead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.gpu.device import LaunchResult
+
+#: switching energy per issued warp instruction, nanojoules (32 lanes)
+DEFAULT_ENERGY_PER_OP = {
+    "alu": 4.0,
+    "fma32": 6.0,
+    "fma64": 16.0,
+    "sfu": 10.0,
+    "lsu": 8.0,
+    "branch": 2.0,
+}
+
+#: extra energy per 128-byte memory transaction (DRAM + interconnect), nJ
+ENERGY_PER_TRANSACTION = 20.0
+
+
+@dataclass(frozen=True)
+class PowerEstimate:
+    """Active power and energy for one kernel launch."""
+
+    seconds: float
+    dynamic_joules: float
+    static_watts: float
+
+    @property
+    def watts(self) -> float:
+        """Active GPU power (the paper's 90th-percentile analog)."""
+        if self.seconds <= 0:
+            return self.static_watts
+        return self.static_watts + self.dynamic_joules / self.seconds
+
+    @property
+    def joules(self) -> float:
+        """Energy for the launch at constant active power."""
+        return self.watts * self.seconds
+
+
+@dataclass
+class PowerModel:
+    """Converts launch statistics into power/energy estimates."""
+
+    static_watts: float = 60.0
+    energy_per_op_nj: Dict[str, float] = field(
+        default_factory=lambda: dict(DEFAULT_ENERGY_PER_OP))
+    energy_per_transaction_nj: float = ENERGY_PER_TRANSACTION
+
+    def estimate(self, result: LaunchResult) -> PowerEstimate:
+        dynamic = 0.0
+        for pipe, count in result.issued_by_pipe.items():
+            dynamic += count * self.energy_per_op_nj.get(pipe, 5.0)
+        dynamic += result.memory_transactions * \
+            self.energy_per_transaction_nj
+        return PowerEstimate(
+            seconds=result.seconds,
+            dynamic_joules=dynamic * 1e-9,
+            static_watts=self.static_watts)

@@ -1,0 +1,59 @@
+"""Checkpoint-restart recovery on top of SwapCodes detection (Section VI).
+
+Swap-ECC detects errors at register reads, before they can leak to memory;
+that strict containment means kernel-granularity re-execution is a
+sufficient recovery scheme: restore the input image and run again.  This
+module implements exactly that and is exercised by the end-to-end tests —
+a transient fault costs one retry and the final output is correct.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.errors import SimulationError
+from repro.gpu.device import run_functional
+from repro.gpu.memory import MemorySpace
+from repro.gpu.program import Kernel, LaunchConfig
+from repro.gpu.resilience import ResilienceState
+
+
+@dataclass
+class RecoveryResult:
+    """Outcome of a recovered execution."""
+
+    memory: MemorySpace
+    attempts: int
+    detections: int
+
+    @property
+    def recovered(self) -> bool:
+        return self.detections > 0
+
+
+def run_with_recovery(kernel: Kernel, launch: LaunchConfig,
+                      checkpoint: MemorySpace,
+                      make_state: Callable[[], ResilienceState],
+                      max_attempts: int = 3) -> RecoveryResult:
+    """Run ``kernel``, re-executing from ``checkpoint`` on detected errors.
+
+    ``checkpoint`` is the pristine input image (never mutated); each
+    attempt runs on a fresh copy.  ``make_state`` builds the resilience
+    state per attempt — a transient fault plan fires on the first attempt
+    only (its ``fault_fired`` latch is per state, so pass a fresh plan per
+    attempt if repeated strikes are wanted).  Raises
+    :class:`SimulationError` when every attempt was cut short.
+    """
+    detections = 0
+    for attempt in range(1, max_attempts + 1):
+        memory = MemorySpace(len(checkpoint), name=checkpoint.name)
+        memory.words[:] = checkpoint.words
+        state = make_state()
+        run_functional(kernel, launch, memory, state)
+        if not state.detected:
+            return RecoveryResult(memory, attempt, detections)
+        detections += 1
+    raise SimulationError(
+        f"{kernel.name}: still detecting errors after "
+        f"{max_attempts} attempts")

@@ -1,0 +1,158 @@
+"""Register-file ECC semantics and fault injection for the GPU simulator.
+
+The simulator models SwapCodes *lazily*: during fault-free execution no ECC
+bits are materialized (everything is consistent by construction).  When a
+fault is injected, the affected register lane becomes *tainted* with an
+explicit :class:`~repro.ecc.swap.RegisterWord` tracking its data, swapped
+check bits, and parity bit; every later read of a tainted lane runs the
+scheme's real decoder, which is where Swap-ECC detection happens.
+
+Modes:
+
+* ``none`` — unprotected: faults silently corrupt architectural state.
+* ``swdup`` — software duplication: faults corrupt state; detection happens
+  (or not) in the program's own checking code, which raises a trap (BPT).
+* ``swap`` — Swap-ECC / Swap-Predict: faults taint registers; the
+  register-file decoder (``scheme.read``) flags them on use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.ecc.swap import ReadStatus, RegisterWord, SwapScheme
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A single transient error to inject during a kernel run.
+
+    The fault strikes the ``occurrence``-th dynamic *datapath* instruction
+    (register-writing ALU/FMA/SFU work) executed by warp ``warp_index`` of
+    CTA ``cta_index``, flipping ``bit`` of the result in ``lane``.
+    ``where`` selects the struck structure:
+
+    * ``"result"`` — the main datapath (data wrong).  Striking a shadow
+      instruction this way corrupts only its check-bit writeback, because
+      shadows never write data.
+    * ``"predictor"`` — the check-bit prediction unit of a predicted
+      instruction (check bits wrong, data intact).
+    """
+
+    cta_index: int
+    warp_index: int
+    occurrence: int
+    lane: int
+    bit: int
+    where: str = "result"
+
+    def __post_init__(self):
+        if self.where not in ("result", "predictor"):
+            raise SimulationError(f"unknown fault site {self.where!r}")
+        if not 0 <= self.lane < 32:
+            raise SimulationError(f"lane {self.lane} out of range")
+        if not 0 <= self.bit < 64:
+            raise SimulationError(f"bit {self.bit} out of range")
+
+
+@dataclass
+class DetectionEvent:
+    """One detection: an ECC DUE at a register read, or a checking trap."""
+
+    kind: str  # "due", "trap", or "corrected"
+    cta_index: int
+    warp_index: int
+    pc: int
+    detail: str = ""
+
+
+@dataclass
+class ResilienceState:
+    """Per-launch error bookkeeping shared by all warps."""
+
+    mode: str = "none"
+    scheme: Optional[SwapScheme] = None
+    halt_on_detect: bool = True
+    fault: Optional[FaultPlan] = None
+    events: List[DetectionEvent] = field(default_factory=list)
+    fault_fired: bool = False
+
+    def __post_init__(self):
+        if self.mode not in ("none", "swdup", "swap"):
+            raise SimulationError(f"unknown resilience mode {self.mode!r}")
+        if self.mode == "swap" and self.scheme is None:
+            raise SimulationError("swap mode needs a SwapScheme")
+
+    @property
+    def detected(self) -> bool:
+        return any(event.kind in ("due", "trap") for event in self.events)
+
+    def record(self, kind: str, cta_index: int, warp_index: int, pc: int,
+               detail: str = "") -> None:
+        self.events.append(
+            DetectionEvent(kind, cta_index, warp_index, pc, detail))
+
+
+class TaintTracker:
+    """Tainted register lanes of one warp: (register, lane) -> ECC word."""
+
+    def __init__(self, scheme: SwapScheme):
+        self.scheme = scheme
+        self.words: Dict[Tuple[int, int], RegisterWord] = {}
+
+    def __bool__(self) -> bool:
+        return bool(self.words)
+
+    def taint_original(self, register: int, lane: int,
+                       bad_value: int) -> None:
+        """The original instruction wrote a faulty value (valid codeword)."""
+        self.words[(register, lane)] = \
+            self.scheme.write_original(bad_value)
+
+    def taint_check_only(self, register: int, lane: int, data_value: int,
+                         wrong_value: int) -> None:
+        """A shadow/predictor fault: clean data, check bits of a wrong value."""
+        word = self.scheme.write_original(data_value)
+        self.words[(register, lane)] = \
+            self.scheme.write_shadow(word, wrong_value)
+
+    def on_full_write(self, register: int, lane: int) -> None:
+        """A clean full-register write replaces any tainted word."""
+        self.words.pop((register, lane), None)
+
+    def on_shadow_write(self, register: int, lane: int,
+                        shadow_value: int) -> None:
+        """The shadow of a tainted original updates only the check bits."""
+        key = (register, lane)
+        word = self.words.get(key)
+        if word is not None:
+            self.words[key] = self.scheme.write_shadow(word, shadow_value)
+
+    def taint_data_with_true_check(self, register: int, lane: int,
+                                   bad_value: int, true_value: int) -> None:
+        """Bad data whose check bits encode the true value.
+
+        This is a predicted instruction struck in its datapath: the
+        prediction unit still produced the correct check bits.
+        """
+        word = self.scheme.write_original(bad_value)
+        self.words[(register, lane)] = \
+            self.scheme.write_shadow(word, true_value)
+
+    def taint_bad_check_bit(self, register: int, lane: int,
+                            true_value: int, bit: int) -> None:
+        """Clean data with one flipped bit in the predicted check field."""
+        word = self.scheme.write_original(true_value)
+        flip = 1 << (bit % self.scheme.code.check_bits)
+        self.words[(register, lane)] = word.with_check_error(flip)
+
+    def read(self, register: int, lane: int):
+        """Decode a tainted lane as the register file read port would.
+
+        Returns ``(status, data)``; the caller drops the taint and reacts.
+        """
+        word = self.words.pop((register, lane))
+        result = self.scheme.read(word)
+        return result.status, result.data

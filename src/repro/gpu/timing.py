@@ -1,0 +1,80 @@
+"""Timing parameters for the SM model (a scaled-down Pascal-class GPU).
+
+The defaults model a P100-like SM at reduced scale so cycle-level Python
+simulation stays tractable: the ratios that drive the paper's performance
+effects are preserved —
+
+* dual-issue schedulers (spare issue slots absorb some duplication bloat),
+* a half-rate FP64 pipe (why fp64-MAD-bound lavaMD suffers most),
+* a register file sized so per-thread register growth costs occupancy,
+* long global-memory latency hidden by thread-level parallelism.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+from repro.gpu.isa import Pipe
+from repro.gpu.program import Kernel, LaunchConfig
+
+
+@dataclass(frozen=True)
+class TimingParams:
+    """SM and device geometry plus issue/pipe behaviour."""
+
+    clock_ghz: float = 1.3
+    num_sms: int = 2
+    issue_width: int = 4
+    max_warps_per_sm: int = 32
+    max_ctas_per_sm: int = 16
+    registers_per_sm: int = 32768
+    shared_words_per_sm: int = 12288
+    #: extra per-transaction cycles a memory instruction holds the LSU
+    lsu_cycles_per_transaction: int = 2
+    #: per-SM L1 data cache capacity in 128B lines (0 disables caching)
+    l1_lines: int = 512
+    #: global-memory load-to-use latency on an L1 hit
+    l1_hit_latency: int = 30
+
+    def pipe_units(self, pipe: Pipe) -> int:
+        """Execution units per pipe (P100-like 2-partition SM)."""
+        if pipe in (Pipe.ALU, Pipe.FMA32):
+            return 2
+        return 1
+
+    def occupancy(self, kernel: Kernel,
+                  launch: LaunchConfig) -> "Occupancy":
+        """Resident CTAs/warps per SM for this kernel (register pressure!)."""
+        registers_per_thread = max(kernel.register_count(), 1)
+        registers_per_cta = registers_per_thread * launch.threads_per_cta
+        limits = {
+            "ctas": self.max_ctas_per_sm,
+            "warps": self.max_warps_per_sm // launch.warps_per_cta,
+            "registers": self.registers_per_sm // registers_per_cta,
+        }
+        if launch.shared_words_per_cta:
+            limits["shared"] = (self.shared_words_per_sm //
+                                launch.shared_words_per_cta)
+        ctas = min(limits.values())
+        if ctas < 1:
+            binding = min(limits, key=limits.get)
+            raise SimulationError(
+                f"kernel {kernel.name} cannot launch: {binding} limit "
+                f"(needs {registers_per_cta} registers/CTA, "
+                f"{launch.shared_words_per_cta} shared words/CTA)")
+        return Occupancy(
+            ctas_per_sm=ctas,
+            warps_per_sm=ctas * launch.warps_per_cta,
+            registers_per_thread=registers_per_thread,
+            limiter=min(limits, key=limits.get))
+
+
+@dataclass(frozen=True)
+class Occupancy:
+    """Resident-parallelism summary for one kernel launch."""
+
+    ctas_per_sm: int
+    warps_per_sm: int
+    registers_per_thread: int
+    limiter: str

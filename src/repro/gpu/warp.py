@@ -1,0 +1,626 @@
+"""Warp-level functional execution with SIMT divergence.
+
+A :class:`Warp` executes one instruction per :meth:`step` across its 32
+lanes (vectorized with numpy).  Divergence uses a post-dominator SIMT
+stack: every potentially-divergent branch carries a reconvergence point
+(explicit ``reconv=`` label, defaulting to the fall-through instruction,
+which is correct for backward loop branches); entries pop when execution
+reaches their reconvergence pc.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.gpu.isa import (OPCODES, PT, RZ, WARP_SIZE, Instruction, Operand,
+                           OperandKind)
+from repro.gpu.memory import MemorySpace
+from repro.gpu.program import Kernel
+from repro.gpu.resilience import ResilienceState, TaintTracker
+
+
+class KernelHalt(Exception):
+    """Raised to stop a launch after a detected error (DUE or trap)."""
+
+    def __init__(self, reason: str):
+        super().__init__(reason)
+        self.reason = reason
+
+
+@dataclass
+class StackEntry:
+    pc: int
+    mask: np.ndarray
+    reconv: Optional[int]
+
+
+@dataclass
+class StepInfo:
+    """What one executed instruction did (for timing and profiling)."""
+
+    instruction: Instruction
+    pc: int
+    active_lanes: int
+    transactions: int = 0
+    barrier: bool = False
+    exited: bool = False
+    #: 128B global-memory segments touched (for the SM cache model)
+    segments: tuple = ()
+
+
+class Warp:
+    """One warp's architectural state and executor."""
+
+    def __init__(self, kernel: Kernel, cta_index: int, warp_index: int,
+                 thread_count: int, threads_per_cta: int, grid_ctas: int,
+                 register_count: int, global_memory: MemorySpace,
+                 shared_memory: Optional[MemorySpace],
+                 resilience: ResilienceState):
+        self.kernel = kernel
+        self.cta_index = cta_index
+        self.warp_index = warp_index
+        self.global_memory = global_memory
+        self.shared_memory = shared_memory
+        self.resilience = resilience
+
+        self.regs = np.zeros((max(register_count, 1), WARP_SIZE),
+                             dtype=np.uint32)
+        self.preds = np.zeros((8, WARP_SIZE), dtype=bool)
+        self.preds[PT] = True
+        self.alive = np.zeros(WARP_SIZE, dtype=bool)
+        self.alive[:thread_count] = True
+        self.stack: List[StackEntry] = [
+            StackEntry(0, self.alive.copy(), None)]
+        self.at_barrier = False
+        self.done = False
+        self.datapath_counter = 0
+        self.taint: Optional[TaintTracker] = (
+            TaintTracker(resilience.scheme)
+            if resilience.mode == "swap" else None)
+
+        lanes = np.arange(WARP_SIZE, dtype=np.uint32)
+        self.special = {
+            "SR_TID": (warp_index * WARP_SIZE + lanes).astype(np.uint32),
+            "SR_CTAID": np.full(WARP_SIZE, cta_index, dtype=np.uint32),
+            "SR_NTID": np.full(WARP_SIZE, threads_per_cta, dtype=np.uint32),
+            "SR_NCTAID": np.full(WARP_SIZE, grid_ctas, dtype=np.uint32),
+            "SR_LANE": lanes.copy(),
+        }
+        #: optional observer with on_step(warp, info) and wants_values
+        self.observer = None
+        self._last_segments: tuple = ()
+
+    # ------------------------------------------------------------------
+    # fetch
+    # ------------------------------------------------------------------
+    def current_entry(self) -> Optional[StackEntry]:
+        """Pop finished entries; return the runnable top (None when done)."""
+        while self.stack:
+            top = self.stack[-1]
+            if top.reconv is not None and top.pc == top.reconv:
+                self.stack.pop()
+                continue
+            mask = top.mask & self.alive
+            if not mask.any():
+                self.stack.pop()
+                continue
+            if top.pc >= len(self.kernel.instructions):
+                raise SimulationError(
+                    f"{self.kernel.name}: warp ran off the end "
+                    f"(pc={top.pc}); missing EXIT?")
+            return top
+        self.done = True
+        return None
+
+    # ------------------------------------------------------------------
+    # register access
+    # ------------------------------------------------------------------
+    def _check_tainted_read(self, registers: Tuple[int, ...],
+                            mask: np.ndarray) -> None:
+        if not self.taint or not self.taint.words:
+            return
+        for register in registers:
+            for lane in range(WARP_SIZE):
+                if not mask[lane]:
+                    continue
+                if (register, lane) not in self.taint.words:
+                    continue
+                status, data = self.taint.read(register, lane)
+                pc = self.stack[-1].pc if self.stack else -1
+                from repro.ecc.swap import ReadStatus
+                if status is ReadStatus.DUE:
+                    self.resilience.record("due", self.cta_index,
+                                           self.warp_index, pc,
+                                           f"R{register} lane {lane}")
+                    if self.resilience.halt_on_detect:
+                        raise KernelHalt("ecc-due")
+                elif status is ReadStatus.CORRECTED:
+                    self.resilience.record("corrected", self.cta_index,
+                                           self.warp_index, pc,
+                                           f"R{register} lane {lane}")
+                    self.regs[register][lane] = data & 0xFFFF_FFFF
+                # OK: the (possibly wrong) stored data flows on.
+
+    def read_u32(self, operand: Operand, mask: np.ndarray) -> np.ndarray:
+        if operand.kind is OperandKind.IMMEDIATE:
+            return np.full(WARP_SIZE, operand.value & 0xFFFF_FFFF,
+                           dtype=np.uint32)
+        if operand.kind is OperandKind.SPECIAL:
+            return self.special[operand.name]
+        if operand.kind is OperandKind.REGISTER:
+            if operand.value == RZ:
+                return np.zeros(WARP_SIZE, dtype=np.uint32)
+            self._check_tainted_read((operand.value,), mask)
+            return self.regs[operand.value]
+        raise SimulationError(f"cannot read {operand} as 32-bit value")
+
+    def read_f32(self, operand: Operand, mask: np.ndarray) -> np.ndarray:
+        return self.read_u32(operand, mask).view(np.float32)
+
+    def read_u64(self, operand: Operand, mask: np.ndarray) -> np.ndarray:
+        if operand.kind is OperandKind.REGISTER and operand.value == RZ:
+            return np.zeros(WARP_SIZE, dtype=np.uint64)
+        if operand.kind is OperandKind.REGISTER64:
+            if operand.value == RZ:
+                return np.zeros(WARP_SIZE, dtype=np.uint64)
+            self._check_tainted_read((operand.value, operand.value + 1),
+                                     mask)
+            low = self.regs[operand.value].astype(np.uint64)
+            high = self.regs[operand.value + 1].astype(np.uint64)
+            return low | (high << np.uint64(32))
+        raise SimulationError(f"cannot read {operand} as 64-bit value")
+
+    def read_f64(self, operand: Operand, mask: np.ndarray) -> np.ndarray:
+        return self.read_u64(operand, mask).view(np.float64)
+
+    def read_pred(self, index: int) -> np.ndarray:
+        return self.preds[index]
+
+    def _write_lanes(self, register: int, values: np.ndarray,
+                     mask: np.ndarray) -> None:
+        if register == RZ:
+            return
+        self.regs[register][mask] = values[mask]
+
+    # ------------------------------------------------------------------
+    # writeback with SwapCodes roles
+    # ------------------------------------------------------------------
+    def write_result(self, instruction: Instruction, values: np.ndarray,
+                     mask: np.ndarray, is_64bit: bool) -> None:
+        """Write an instruction result honouring its resilience role."""
+        role = instruction.meta.get("role")
+        dest = instruction.dest
+        if dest is None or dest.value == RZ:
+            return
+        values, protected = self._maybe_inject_fault(
+            instruction, values, mask, is_64bit)
+        if is_64bit:
+            low = (values & np.uint64(0xFFFF_FFFF)).astype(np.uint32)
+            high = (values >> np.uint64(32)).astype(np.uint32)
+            parts = [(dest.value, low), (dest.value + 1, high)]
+        else:
+            parts = [(dest.value, values.astype(np.uint32))]
+
+        if self.taint is not None and role == "shadow":
+            # Masked writeback: check bits only.  Any mismatch against the
+            # stored data means a fault hit this shadow's computation (or
+            # the original's data is still wrong, in which case the check
+            # bits now encode the recomputed value and the mismatch is
+            # caught at the next read).
+            for register, part in parts:
+                stored = self.regs[register]
+                for lane in np.nonzero(mask)[0]:
+                    lane = int(lane)
+                    key = (register, lane)
+                    if key in self.taint.words:
+                        self.taint.on_shadow_write(register, lane,
+                                                   int(part[lane]))
+                    elif stored[lane] != part[lane]:
+                        self.taint.taint_check_only(
+                            register, lane, int(stored[lane]),
+                            int(part[lane]))
+            return
+
+        for register, part in parts:
+            self._write_lanes(register, part, mask)
+            if self.taint is not None and self.taint.words:
+                for lane in np.nonzero(mask)[0]:
+                    key = (register, int(lane))
+                    if key in self.taint.words and key not in protected:
+                        self.taint.on_full_write(register, int(lane))
+
+    def _maybe_inject_fault(self, instruction: Instruction,
+                            values: np.ndarray, mask: np.ndarray,
+                            is_64bit: bool):
+        """Apply a pending FaultPlan to this result; returns (values, keys).
+
+        ``keys`` is the set of freshly-tainted (register, lane) pairs the
+        writeback must not clear.
+        """
+        state = self.resilience
+        plan = state.fault
+        protected = set()
+        if (plan is None or state.fault_fired
+                or plan.cta_index != self.cta_index
+                or plan.warp_index != self.warp_index
+                or self.datapath_counter != plan.occurrence
+                or instruction.spec.pipe.value not in
+                ("alu", "fma32", "fma64", "sfu")):
+            return values, protected
+        if not mask[plan.lane]:
+            return values, protected  # struck an inactive lane: masked
+        state.fault_fired = True
+        width = 64 if is_64bit else 32
+        bit = plan.bit % width
+        lane = plan.lane
+        true_value = int(values[lane])
+        bad_value = true_value ^ (1 << bit)
+        role = instruction.meta.get("role")
+        dest = instruction.dest
+        register = dest.value + (1 if is_64bit and bit >= 32 else 0)
+
+        if plan.where == "predictor":
+            if self.taint is not None and role == "predicted":
+                self.taint.taint_bad_check_bit(
+                    register, lane,
+                    self._word_of(true_value, bit, is_64bit), bit % 32)
+                protected.add((register, lane))
+            return values, protected
+
+        # Data-path fault: corrupt the computed value.
+        corrupted = values.copy()
+        if is_64bit:
+            corrupted[lane] = np.uint64(bad_value)
+        else:
+            corrupted[lane] = np.uint32(bad_value & 0xFFFF_FFFF)
+        if self.taint is not None and role != "shadow":
+            # Shadows never write data: the masked-writeback compare in
+            # write_result turns their corrupted value into a check-only
+            # taint, so no word is created here.
+            bad_word = self._word_of(bad_value, bit, is_64bit)
+            true_word = self._word_of(true_value, bit, is_64bit)
+            if role == "predicted":
+                self.taint.taint_data_with_true_check(
+                    register, lane, bad_word, true_word)
+            else:
+                # Originals (and unpaired writes) emit a valid codeword of
+                # the bad value; the shadow's later masked write exposes it.
+                self.taint.taint_original(register, lane, bad_word)
+            protected.add((register, lane))
+        return corrupted, protected
+
+    @staticmethod
+    def _word_of(value: int, bit: int, is_64bit: bool) -> int:
+        """The 32-bit register word containing ``bit`` of ``value``."""
+        if is_64bit and bit >= 32:
+            return (value >> 32) & 0xFFFF_FFFF
+        return value & 0xFFFF_FFFF
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def step(self) -> Optional[StepInfo]:
+        """Execute one instruction; None when the warp has finished."""
+        entry = self.current_entry()
+        if entry is None:
+            return None
+        pc = entry.pc
+        instruction = self.kernel.instructions[pc]
+        active = entry.mask & self.alive
+        if instruction.predicate is not None:
+            pred_mask = self.preds[instruction.predicate]
+            if instruction.predicate_negated:
+                pred_mask = ~pred_mask
+            exec_mask = active & pred_mask
+        else:
+            exec_mask = active
+
+        info = StepInfo(instruction, pc, int(exec_mask.sum()))
+        op = instruction.op
+        spec = instruction.spec
+
+        if op == "BRA":
+            self._exec_branch(entry, instruction, active, exec_mask)
+        elif op == "EXIT":
+            self.alive &= ~exec_mask
+            entry.pc = pc + 1
+            info.exited = True
+        elif op == "BAR":
+            self.at_barrier = True
+            entry.pc = pc + 1
+            info.barrier = True
+        elif op == "BPT":
+            entry.pc = pc + 1
+            if exec_mask.any():
+                self.resilience.record("trap", self.cta_index,
+                                       self.warp_index, pc, "BPT")
+                if self.resilience.halt_on_detect:
+                    raise KernelHalt("trap")
+        elif op == "NOP":
+            entry.pc = pc + 1
+        else:
+            entry.pc = pc + 1
+            if exec_mask.any():
+                self._last_segments = ()
+                info.transactions = self._exec_data(instruction, exec_mask)
+                info.segments = self._last_segments
+
+        if spec.writes_dest and exec_mask.any() and spec.pipe.value in (
+                "alu", "fma32", "fma64", "sfu"):
+            self.datapath_counter += 1
+        if self.observer is not None:
+            self.observer.on_step(self, info)
+        return info
+
+    def _exec_branch(self, entry: StackEntry, instruction: Instruction,
+                     active: np.ndarray, taken: np.ndarray) -> None:
+        pc = entry.pc
+        target = self.kernel.labels[instruction.target]
+        not_taken = active & ~taken
+        if not taken.any():
+            entry.pc = pc + 1
+            return
+        if not not_taken.any():
+            entry.pc = target
+            return
+        if instruction.reconverge is not None:
+            reconv = self.kernel.labels[instruction.reconverge]
+        else:
+            reconv = pc + 1
+        entry.pc = reconv
+        self.stack.append(StackEntry(pc + 1, not_taken.copy(), reconv))
+        self.stack.append(StackEntry(target, taken.copy(), reconv))
+
+    def _exec_data(self, instruction: Instruction,
+                   mask: np.ndarray) -> int:
+        """Execute a non-control instruction; returns memory transactions."""
+        op = instruction.op
+        srcs = instruction.sources
+        with np.errstate(all="ignore"):
+            if op in _INT_BINOPS:
+                a = self.read_u32(srcs[0], mask)
+                b = self.read_u32(srcs[1], mask)
+                self.write_result(instruction, _INT_BINOPS[op](a, b), mask,
+                                  False)
+            elif op == "NOT":
+                a = self.read_u32(srcs[0], mask)
+                self.write_result(instruction, ~a, mask, False)
+            elif op == "MOV":
+                if instruction.dest.kind is OperandKind.REGISTER64:
+                    self.write_result(instruction,
+                                      self.read_u64(srcs[0], mask), mask,
+                                      True)
+                else:
+                    self.write_result(instruction,
+                                      self.read_u32(srcs[0], mask).copy(),
+                                      mask, False)
+            elif op == "IMAD":
+                a = self.read_u32(srcs[0], mask).astype(np.uint64)
+                b = self.read_u32(srcs[1], mask).astype(np.uint64)
+                c = self.read_u32(srcs[2], mask).astype(np.uint64)
+                result = ((a * b + c) & np.uint64(0xFFFF_FFFF)).astype(
+                    np.uint32)
+                self.write_result(instruction, result, mask, False)
+            elif op in _FP32_OPS:
+                args = [self.read_f32(src, mask) for src in srcs]
+                result = _FP32_OPS[op](*args).astype(np.float32)
+                self.write_result(instruction, result.view(np.uint32), mask,
+                                  False)
+            elif op in _FP64_OPS:
+                args = [self.read_f64(src, mask) for src in srcs]
+                result = _FP64_OPS[op](*args).astype(np.float64)
+                self.write_result(instruction, result.view(np.uint64), mask,
+                                  True)
+            elif op == "I2F":
+                value = self.read_u32(srcs[0], mask).view(np.int32)
+                self.write_result(instruction,
+                                  value.astype(np.float32).view(np.uint32),
+                                  mask, False)
+            elif op == "F2I":
+                value = self.read_f32(srcs[0], mask)
+                clipped = np.clip(np.nan_to_num(value), -2**31, 2**31 - 1)
+                self.write_result(
+                    instruction,
+                    clipped.astype(np.int32).view(np.uint32), mask, False)
+            elif op in ("ISETP", "FSETP", "DSETP"):
+                self._exec_setp(instruction, mask)
+            elif op == "SEL":
+                a = self.read_u32(srcs[0], mask)
+                b = self.read_u32(srcs[1], mask)
+                chooser = self.preds[srcs[2].value]
+                self.write_result(instruction,
+                                  np.where(chooser, a, b).astype(np.uint32),
+                                  mask, False)
+            elif op == "S2R":
+                self.write_result(instruction,
+                                  self.special[srcs[0].name].copy(), mask,
+                                  False)
+            elif op == "SHFL":
+                self._exec_shfl(instruction, mask)
+            elif op in ("LDG", "LDS", "STG", "STS", "ATOM"):
+                return self._exec_memory(instruction, mask)
+            else:
+                raise SimulationError(f"unimplemented opcode {op}")
+        return 0
+
+    def _exec_setp(self, instruction: Instruction, mask: np.ndarray) -> None:
+        op = instruction.op
+        srcs = instruction.sources
+        if op == "ISETP":
+            a = self.read_u32(srcs[0], mask).view(np.int32)
+            b = self.read_u32(srcs[1], mask).view(np.int32)
+        elif op == "FSETP":
+            a = self.read_f32(srcs[0], mask)
+            b = self.read_f32(srcs[1], mask)
+        else:
+            a = self.read_f64(srcs[0], mask)
+            b = self.read_f64(srcs[1], mask)
+        result = _COMPARES[instruction.compare](a, b)
+        index = instruction.dest.value
+        if index != PT:
+            self.preds[index][mask] = result[mask]
+
+    def _exec_shfl(self, instruction: Instruction, mask: np.ndarray) -> None:
+        value = self.read_u32(instruction.sources[0], mask)
+        amount = self.read_u32(instruction.sources[1], mask).astype(np.int64)
+        lanes = np.arange(WARP_SIZE, dtype=np.int64)
+        modifiers = instruction.meta.get("modifiers", [])
+        if "BFLY" in modifiers:
+            source_lane = lanes ^ amount
+        elif "UP" in modifiers:
+            source_lane = lanes - amount
+        elif "DOWN" in modifiers:
+            source_lane = lanes + amount
+        else:  # IDX
+            source_lane = amount
+        valid = (source_lane >= 0) & (source_lane < WARP_SIZE)
+        source_lane = np.where(valid, source_lane, lanes)
+        gathered = value[source_lane]
+        # Lanes whose source is inactive keep their own value (defined
+        # behaviour here; CUDA leaves it undefined).
+        src_active = mask[source_lane]
+        result = np.where(valid & src_active, gathered, value)
+        self.write_result(instruction, result.astype(np.uint32), mask,
+                          False)
+
+    def _exec_memory(self, instruction: Instruction,
+                     mask: np.ndarray) -> int:
+        op = instruction.op
+        srcs = instruction.sources
+        modifiers = instruction.meta.get("modifiers", [])
+        space = self.global_memory if op in ("LDG", "STG", "ATOM") \
+            else self.shared_memory
+        if space is None:
+            raise SimulationError(f"{op} executed without shared memory")
+        wide = "64" in modifiers or (
+            instruction.dest is not None
+            and instruction.dest.kind is OperandKind.REGISTER64) or (
+            op in ("STG", "STS")
+            and srcs[1].kind is OperandKind.REGISTER64)
+
+        if op in ("STG", "STS", "ATOM"):
+            address_operand, value_operand = srcs[0], srcs[1]
+        else:
+            address_operand, value_operand = srcs[0], None
+        addresses = self.read_u32(address_operand, mask).astype(np.int64) + \
+            instruction.offset
+        addresses = addresses.astype(np.int64)
+        checked = np.where(mask, addresses, 0).astype(np.uint32)
+
+        if op in ("LDG", "LDS"):
+            low = space.gather(checked, mask)
+            if wide:
+                high = space.gather((checked + 1).astype(np.uint32), mask)
+                value = low.astype(np.uint64) | (
+                    high.astype(np.uint64) << np.uint64(32))
+                self.write_result(instruction, value, mask, True)
+            else:
+                self.write_result(instruction, low, mask, False)
+        elif op in ("STG", "STS"):
+            if wide:
+                value = self.read_u64(value_operand, mask)
+                space.scatter(checked,
+                              (value & np.uint64(0xFFFF_FFFF)).astype(
+                                  np.uint32), mask)
+                space.scatter((checked + 1).astype(np.uint32),
+                              (value >> np.uint64(32)).astype(np.uint32),
+                              mask)
+            else:
+                space.scatter(checked, self.read_u32(value_operand, mask),
+                              mask)
+        else:  # ATOM
+            atom_op = next(m for m in modifiers
+                           if m in ("ADD", "MAX", "MIN", "EXCH"))
+            old = space.atomic(atom_op, checked,
+                               self.read_u32(value_operand, mask), mask)
+            self.write_result(instruction, old, mask, False)
+
+        if op in ("LDG", "STG", "ATOM"):
+            transactions = space.transactions(checked, mask)
+            if wide:
+                transactions += space.transactions(
+                    (checked + 1).astype(np.uint32), mask)
+            self._last_segments = _segments_of(checked, mask, wide)
+            return max(1, transactions)
+        # Shared memory: serialized bank conflicts.  Lanes reading the same
+        # address broadcast (one access), so conflicts count *distinct*
+        # addresses per bank.
+        conflicts = _bank_conflicts(checked, mask)
+        if wide:
+            conflicts += _bank_conflicts(
+                (checked + 1).astype(np.uint32), mask)
+        return max(1, conflicts)
+
+
+def _bank_conflicts(addresses: np.ndarray, mask: np.ndarray) -> int:
+    """Distinct shared-memory addresses per bank, maximized over banks."""
+    if not mask.any():
+        return 0
+    unique_addresses = np.unique(addresses[mask])
+    __, counts = np.unique(unique_addresses % 32, return_counts=True)
+    return int(counts.max())
+
+
+def _segments_of(addresses: np.ndarray, mask: np.ndarray,
+                 wide: bool) -> tuple:
+    """The 128-byte global-memory segments a warp access touches."""
+    if not mask.any():
+        return ()
+    segments = addresses[mask] // 32
+    if wide:
+        segments = np.concatenate([segments, (addresses[mask] + 1) // 32])
+    return tuple(int(s) for s in np.unique(segments))
+
+
+def _shift_mask(values: np.ndarray) -> np.ndarray:
+    return values & np.uint32(31)
+
+
+_INT_BINOPS: Dict[str, Callable] = {
+    "IADD": lambda a, b: a + b,
+    "ISUB": lambda a, b: a - b,
+    "IMUL": lambda a, b: a * b,
+    "IMIN": lambda a, b: np.minimum(a.view(np.int32),
+                                    b.view(np.int32)).view(np.uint32),
+    "IMAX": lambda a, b: np.maximum(a.view(np.int32),
+                                    b.view(np.int32)).view(np.uint32),
+    "SHL": lambda a, b: a << _shift_mask(b),
+    "SHR": lambda a, b: a >> _shift_mask(b),
+    "AND": lambda a, b: a & b,
+    "OR": lambda a, b: a | b,
+    "XOR": lambda a, b: a ^ b,
+}
+
+_FP32_OPS: Dict[str, Callable] = {
+    "FADD": lambda a, b: a + b,
+    "FSUB": lambda a, b: a - b,
+    "FMUL": lambda a, b: a * b,
+    "FFMA": lambda a, b, c: a * b + c,
+    "FMIN": np.minimum,
+    "FMAX": np.maximum,
+    "FRCP": lambda a: np.float32(1.0) / a,
+    "FSQRT": np.sqrt,
+    "FEXP": np.exp,
+    "FLOG": lambda a: np.log(np.abs(a) + np.float32(1e-30)),
+}
+
+_FP64_OPS: Dict[str, Callable] = {
+    "DADD": lambda a, b: a + b,
+    "DSUB": lambda a, b: a - b,
+    "DMUL": lambda a, b: a * b,
+    "DFMA": lambda a, b, c: a * b + c,
+    "DRCP": lambda a: 1.0 / a,
+}
+
+_COMPARES: Dict[str, Callable] = {
+    "LT": lambda a, b: a < b,
+    "LE": lambda a, b: a <= b,
+    "EQ": lambda a, b: a == b,
+    "NE": lambda a, b: a != b,
+    "GE": lambda a, b: a >= b,
+    "GT": lambda a, b: a > b,
+}

@@ -1,0 +1,22 @@
+"""Gate-level fault injection: the Hamartia analog plus Figure 10/11 math."""
+
+from repro.inject.campaign import (UNIT_ORDER, build_unit, run_full_campaign,
+                                   run_unit_campaign, unit_inputs)
+from repro.inject.classify import (Estimate, record_is_detected, sdc_risk,
+                                   sdc_risk_sweep, severity_distribution,
+                                   split_into_registers)
+from repro.inject.hamartia import (SEVERITY_CLASSES, CampaignResult,
+                                   FaultInjector, InjectionRecord,
+                                   classify_severity)
+from repro.inject.operands import (OPERAND_KINDS, OperandTrace,
+                                   synthetic_operands)
+
+__all__ = [
+    "UNIT_ORDER", "build_unit", "run_full_campaign", "run_unit_campaign",
+    "unit_inputs",
+    "Estimate", "record_is_detected", "sdc_risk", "sdc_risk_sweep",
+    "severity_distribution", "split_into_registers",
+    "SEVERITY_CLASSES", "CampaignResult", "FaultInjector", "InjectionRecord",
+    "classify_severity",
+    "OPERAND_KINDS", "OperandTrace", "synthetic_operands",
+]

@@ -1,0 +1,82 @@
+"""The six-unit injection campaign behind Figures 10 and 11."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import InjectionError
+from repro.gates.float_units import (FP32, FP64, build_fp_add_unit,
+                                     build_fp_mad_unit)
+from repro.gates.multiplier import build_add_unit, build_mad_unit
+from repro.gates.netlist import Netlist
+from repro.inject.hamartia import CampaignResult, FaultInjector
+from repro.inject.operands import OperandTrace, synthetic_operands
+
+#: the six arithmetic units of Figure 10, in the paper's display order
+UNIT_ORDER = ("fxp-add-32", "fxp-mad-32", "fp-add-32", "fp-mad-32",
+              "fp-add-64", "fp-mad-64")
+
+_UNIT_SPECS: Dict[str, Tuple[Callable[[], Netlist], str, Sequence[str]]] = {
+    "fxp-add-32": (lambda: build_add_unit(32), "int_add", ("a", "b")),
+    "fxp-mad-32": (lambda: build_mad_unit(32), "int_mad", ("a", "b", "c")),
+    "fp-add-32": (lambda: build_fp_add_unit(FP32), "fp32_add", ("x", "y")),
+    "fp-mad-32": (lambda: build_fp_mad_unit(FP32), "fp32_mad",
+                  ("a", "b", "c")),
+    "fp-add-64": (lambda: build_fp_add_unit(FP64), "fp64_add", ("x", "y")),
+    "fp-mad-64": (lambda: build_fp_mad_unit(FP64), "fp64_mad",
+                  ("a", "b", "c")),
+}
+
+
+def build_unit(name: str) -> Netlist:
+    """Instantiate one of the Figure 10 arithmetic units by name."""
+    if name not in _UNIT_SPECS:
+        raise InjectionError(
+            f"unknown unit {name!r}; choose from {UNIT_ORDER}")
+    builder, __, __ = _UNIT_SPECS[name]
+    return builder()
+
+
+def unit_inputs(name: str, count: int, seed: int = 0,
+                trace: Optional[OperandTrace] = None
+                ) -> Dict[str, List[int]]:
+    """Operand samples for one unit, traced if available else synthetic."""
+    if name not in _UNIT_SPECS:
+        raise InjectionError(
+            f"unknown unit {name!r}; choose from {UNIT_ORDER}")
+    __, kind, buses = _UNIT_SPECS[name]
+    if trace is not None:
+        tuples = trace.sample(kind, count, seed)
+    else:
+        tuples = synthetic_operands(kind, count, seed)
+    return {bus: [t[index] for t in tuples]
+            for index, bus in enumerate(buses)}
+
+
+def run_unit_campaign(name: str, sample_count: int = 1000,
+                      site_count: Optional[int] = 300, seed: int = 0,
+                      trace: Optional[OperandTrace] = None
+                      ) -> CampaignResult:
+    """One unit's single-event campaign (Section IV-A's 10k-pair study).
+
+    ``sample_count`` plays the role of the paper's 10,000 input pairs and
+    ``site_count`` bounds how many fault sites are swept (None = all).
+    """
+    unit = build_unit(name)
+    samples = unit_inputs(name, sample_count, seed, trace)
+    injector = FaultInjector(unit)
+    return injector.run(samples, site_count=site_count, seed=seed)
+
+
+def run_full_campaign(sample_count: int = 1000,
+                      site_count: Optional[int] = 300, seed: int = 0,
+                      trace: Optional[OperandTrace] = None,
+                      units: Sequence[str] = UNIT_ORDER
+                      ) -> Dict[str, CampaignResult]:
+    """Campaigns for every Figure 10 unit, keyed by unit name."""
+    return {
+        name: run_unit_campaign(name, sample_count, site_count,
+                                seed + index, trace)
+        for index, name in enumerate(units)
+    }

@@ -1,0 +1,114 @@
+"""Turning injection campaigns into the paper's Figures 10 and 11 metrics."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.ecc.swap import SwapScheme
+from repro.errors import InjectionError
+from repro.inject.hamartia import (SEVERITY_CLASSES, CampaignResult,
+                                   classify_severity)
+
+
+@dataclass(frozen=True)
+class Estimate:
+    """A fraction with its normal-approximation 95% confidence interval."""
+
+    mean: float
+    ci95: float
+
+    def __str__(self) -> str:
+        return f"{self.mean * 100:.2f}% ± {self.ci95 * 100:.2f}%"
+
+
+def _proportion_estimate(values: Sequence[float]) -> Estimate:
+    if not values:
+        return Estimate(0.0, 0.0)
+    count = len(values)
+    mean = sum(values) / count
+    if count < 2:
+        return Estimate(mean, 0.0)
+    variance = sum((value - mean) ** 2 for value in values) / (count - 1)
+    return Estimate(mean, 1.96 * math.sqrt(variance / count))
+
+
+def severity_distribution(result: CampaignResult) -> Dict[str, Estimate]:
+    """Figure 10: fraction of unmasked errors per severity class.
+
+    Computed as the mean (over input samples) of each sample's conditional
+    distribution across its unmasked sites — the exact quantity the paper
+    estimates by sampling one unmasked injection per input.
+    """
+    per_sample: Dict[str, List[float]] = {name: [] for name
+                                          in SEVERITY_CLASSES}
+    for counts, total in zip(result.class_counts,
+                             result.unmasked_site_counts):
+        if total == 0:
+            continue
+        for name in SEVERITY_CLASSES:
+            per_sample[name].append(counts[name] / total)
+    return {name: _proportion_estimate(values)
+            for name, values in per_sample.items()}
+
+
+def split_into_registers(pattern: int, golden: int, output_bits: int,
+                         register_bits: int = 32
+                         ) -> List[Tuple[int, int]]:
+    """Split a wide output into the 32b register writes the RF sees.
+
+    Returns (golden_word, pattern_word) pairs, one per constituent
+    register.  The paper considers a 64b-output error detected if *either*
+    register produces a DUE.
+    """
+    words = max(1, (output_bits + register_bits - 1) // register_bits)
+    mask = (1 << register_bits) - 1
+    return [((golden >> (word * register_bits)) & mask,
+             (pattern >> (word * register_bits)) & mask)
+            for word in range(words)]
+
+
+def record_is_detected(scheme: SwapScheme, pattern: int, golden: int,
+                       output_bits: int) -> bool:
+    """Would this pipeline error be caught at register readback?
+
+    The faulty unit belongs to the *original* instruction: the register
+    ends up holding the erroneous data with the clean shadow's check bits
+    (and, for DP schemes, a parity bit the original computed from the bad
+    data).  Detection means at least one erroneous register word raises a
+    DUE; an error is also harmless if every word reads back as the correct
+    value (a correction repaired it).
+    """
+    if pattern == 0:
+        raise InjectionError("masked record has no detection outcome")
+    all_repaired = True
+    for golden_word, pattern_word in split_into_registers(
+            pattern, golden, output_bits):
+        if pattern_word == 0:
+            continue
+        bad_word = golden_word ^ pattern_word
+        word = scheme.write_shadow(scheme.write_original(bad_word),
+                                   golden_word)
+        outcome = scheme.read(word)
+        if outcome.is_due:
+            return True
+        if outcome.data != golden_word:
+            all_repaired = False
+    return all_repaired
+
+
+def sdc_risk(result: CampaignResult, scheme: SwapScheme) -> Estimate:
+    """Figure 11: probability an unmasked pipeline error goes undiagnosed."""
+    outcomes = [
+        0.0 if record_is_detected(scheme, record.pattern, record.golden,
+                                  result.output_bits) else 1.0
+        for record in result.records
+    ]
+    return _proportion_estimate(outcomes)
+
+
+def sdc_risk_sweep(result: CampaignResult,
+                   schemes: Sequence[SwapScheme]) -> Dict[str, Estimate]:
+    """SDC risk of one unit's campaign under every scheme, keyed by name."""
+    return {scheme.name: sdc_risk(result, scheme) for scheme in schemes}

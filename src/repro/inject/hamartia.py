@@ -1,0 +1,160 @@
+"""Hamartia-style gate-level single-event fault injection (Section IV-A).
+
+The paper's methodology: for every input pair, randomly inject single-event
+transients (one gate or flip-flop output flip) until one corrupts the unit
+output — i.e. study the distribution of *unmasked* errors, one per input
+pair, with the fault site uniform over the sites that are unmasked for that
+input.
+
+The bit-parallel simulator lets us evaluate one fault site across every
+input sample in a single fan-out-cone sweep, so the campaign loops over
+(possibly subsampled) fault sites and maintains, per input sample, a
+uniform reservoir over the unmasked sites seen — exactly the conditional
+distribution the paper samples, computed for all inputs at once.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import InjectionError
+from repro.gates.netlist import Netlist
+
+
+@dataclass(frozen=True)
+class InjectionRecord:
+    """One unmasked injection: where it struck and what it did."""
+
+    site: int
+    pattern: int  # XOR of faulty vs golden output
+    golden: int   # fault-free output value
+
+
+@dataclass
+class CampaignResult:
+    """Outcome of a fault-injection campaign over one arithmetic unit."""
+
+    unit_name: str
+    output_bits: int
+    sample_count: int
+    sites_evaluated: int
+    #: per input sample, one unmasked injection (None if every evaluated
+    #: site was masked for that input)
+    chosen: List[Optional[InjectionRecord]]
+    #: per input sample, number of evaluated sites that were unmasked
+    unmasked_site_counts: List[int]
+    #: per input sample, counts of unmasked patterns by severity class
+    class_counts: List[Dict[str, int]]
+
+    @property
+    def records(self) -> List[InjectionRecord]:
+        """The unmasked injections, one per input pair that produced one."""
+        return [record for record in self.chosen if record is not None]
+
+    @property
+    def masked_input_fraction(self) -> float:
+        """Inputs for which every evaluated site was masked."""
+        if not self.chosen:
+            return 0.0
+        missing = sum(1 for record in self.chosen if record is None)
+        return missing / len(self.chosen)
+
+
+def classify_severity(pattern: int) -> str:
+    """Figure 10's three severity classes, by erroneous output bit count."""
+    bits = pattern.bit_count()
+    if bits == 0:
+        raise InjectionError("masked pattern has no severity class")
+    if bits == 1:
+        return "1"
+    if bits <= 3:
+        return "2-3"
+    return ">=4"
+
+
+SEVERITY_CLASSES = ("1", "2-3", ">=4")
+
+
+class FaultInjector:
+    """Runs single-event injection campaigns on one netlist output."""
+
+    def __init__(self, netlist: Netlist, output: str = None):
+        self.netlist = netlist
+        if output is None:
+            if len(netlist.output_buses) != 1:
+                raise InjectionError(
+                    f"netlist has outputs {sorted(netlist.output_buses)}; "
+                    f"specify one")
+            output = next(iter(netlist.output_buses))
+        if output not in netlist.output_buses:
+            raise InjectionError(f"unknown output bus {output!r}")
+        self.output = output
+        self.output_bus = netlist.output_buses[output]
+
+    def run(self, samples: Dict[str, Sequence[int]],
+            site_count: Optional[int] = None,
+            seed: int = 0) -> CampaignResult:
+        """Inject at (up to) ``site_count`` random sites across all samples.
+
+        ``samples`` maps input bus names to equal-length value sequences.
+        ``site_count=None`` evaluates every fault site (exact conditional
+        distribution); smaller counts subsample sites uniformly, which is
+        how large units stay tractable.
+        """
+        rng = random.Random(seed)
+        packed = self.netlist.pack_inputs(samples)
+        baseline = self.netlist.evaluate(packed)
+        sample_count = packed.sample_count
+
+        sites = self.netlist.fault_sites()
+        if site_count is not None and site_count < len(sites):
+            sites = rng.sample(sites, site_count)
+
+        chosen: List[Optional[InjectionRecord]] = [None] * sample_count
+        unmasked_counts = [0] * sample_count
+        class_counts = [dict.fromkeys(SEVERITY_CLASSES, 0)
+                        for _ in range(sample_count)]
+        golden = [self.netlist.read_bus(baseline, self.output_bus, index)
+                  for index in range(sample_count)]
+        output_set = set(self.output_bus)
+
+        for site in sites:
+            changed = self.netlist.evaluate_with_fault(packed, baseline, site)
+            if not output_set.intersection(changed):
+                continue
+            # Per-bit delta masks tell us which samples saw which flipped
+            # output bits.
+            affected = 0
+            deltas = []
+            for net in self.output_bus:
+                delta = changed.get(net, baseline[net]) ^ baseline[net]
+                deltas.append(delta)
+                affected |= delta
+            index = 0
+            remaining = affected
+            while remaining:
+                if remaining & 1:
+                    pattern = 0
+                    for bit, delta in enumerate(deltas):
+                        if (delta >> index) & 1:
+                            pattern |= 1 << bit
+                    unmasked_counts[index] += 1
+                    class_counts[index][classify_severity(pattern)] += 1
+                    # Reservoir sampling: keep each unmasked site with
+                    # probability 1/n so the kept site is uniform.
+                    if rng.randrange(unmasked_counts[index]) == 0:
+                        chosen[index] = InjectionRecord(
+                            site=site, pattern=pattern, golden=golden[index])
+                remaining >>= 1
+                index += 1
+
+        return CampaignResult(
+            unit_name=self.netlist.name,
+            output_bits=len(self.output_bus),
+            sample_count=sample_count,
+            sites_evaluated=len(sites),
+            chosen=chosen,
+            unmasked_site_counts=unmasked_counts,
+            class_counts=class_counts)

@@ -1,0 +1,114 @@
+"""Operand streams for fault injection (the "arithmetic value tracer").
+
+Error severity depends on the data flowing through a unit (Section IV-A),
+so the paper extracts operand traces from Rodinia with binary
+instrumentation.  Here the GPU simulator's tracer
+(:mod:`repro.gpu.tracing`) plays that role; this module defines the
+trace container plus synthetic fallback streams with realistic value
+distributions for running campaigns without a simulator trace.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import struct
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import InjectionError
+
+#: operand tuple kinds the six Figure 10 units consume
+OPERAND_KINDS = ("int_add", "int_mad", "fp32_add", "fp32_mad",
+                 "fp64_add", "fp64_mad")
+
+
+@dataclass
+class OperandTrace:
+    """Recorded operand tuples per operation kind."""
+
+    values: Dict[str, List[Tuple[int, ...]]] = field(default_factory=dict)
+
+    def add(self, kind: str, operands: Tuple[int, ...]) -> None:
+        if kind not in OPERAND_KINDS:
+            raise InjectionError(f"unknown operand kind {kind!r}")
+        self.values.setdefault(kind, []).append(operands)
+
+    def sample(self, kind: str, count: int, seed: int = 0,
+               fallback: bool = True) -> List[Tuple[int, ...]]:
+        """Draw ``count`` random tuples of ``kind`` (with replacement)."""
+        pool = self.values.get(kind, [])
+        if not pool:
+            if not fallback:
+                raise InjectionError(f"no traced operands of kind {kind!r}")
+            return synthetic_operands(kind, count, seed)
+        rng = random.Random(seed)
+        return [pool[rng.randrange(len(pool))] for _ in range(count)]
+
+    def merge(self, other: "OperandTrace") -> None:
+        for kind, tuples in other.values.items():
+            self.values.setdefault(kind, []).extend(tuples)
+
+    def __len__(self) -> int:
+        return sum(len(tuples) for tuples in self.values.values())
+
+
+def _float32_bits(value: float) -> int:
+    return struct.unpack("<I", struct.pack("<f", value))[0]
+
+
+def _float64_bits(value: float) -> int:
+    return struct.unpack("<Q", struct.pack("<d", value))[0]
+
+
+def _random_float(rng: random.Random) -> float:
+    """A mixed-magnitude float: mostly moderate values, some extremes."""
+    kind = rng.randrange(8)
+    if kind == 0:
+        return 0.0
+    if kind == 1:
+        return float(rng.randrange(-1000, 1000))
+    if kind == 2:
+        return rng.uniform(-1.0, 1.0)
+    magnitude = math.exp(rng.uniform(-12.0, 12.0))
+    return magnitude if rng.randrange(2) else -magnitude
+
+
+def _random_int(rng: random.Random) -> int:
+    """A mixed int: loop indices, addresses, and raw random words."""
+    kind = rng.randrange(4)
+    if kind == 0:
+        return rng.randrange(0, 4096)  # index-like
+    if kind == 1:
+        return rng.randrange(0, 1 << 30) & ~0x3  # address-like
+    if kind == 2:
+        return rng.getrandbits(16)
+    return rng.getrandbits(32)
+
+
+def synthetic_operands(kind: str, count: int,
+                       seed: int = 0) -> List[Tuple[int, ...]]:
+    """Generate ``count`` operand tuples with workload-like distributions."""
+    rng = random.Random((hash(kind) & 0xFFFF) ^ seed)
+    out: List[Tuple[int, ...]] = []
+    for _ in range(count):
+        if kind == "int_add":
+            out.append((_random_int(rng), _random_int(rng)))
+        elif kind == "int_mad":
+            out.append((_random_int(rng) & 0xFFFF, _random_int(rng),
+                        _random_int(rng) | (_random_int(rng) << 32)))
+        elif kind == "fp32_add":
+            out.append((_float32_bits(_random_float(rng)),
+                        _float32_bits(_random_float(rng))))
+        elif kind == "fp32_mad":
+            out.append(tuple(_float32_bits(_random_float(rng))
+                             for _ in range(3)))
+        elif kind == "fp64_add":
+            out.append((_float64_bits(_random_float(rng)),
+                        _float64_bits(_random_float(rng))))
+        elif kind == "fp64_mad":
+            out.append(tuple(_float64_bits(_random_float(rng))
+                             for _ in range(3)))
+        else:
+            raise InjectionError(f"unknown operand kind {kind!r}")
+    return out

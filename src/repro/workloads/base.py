@@ -1,0 +1,111 @@
+"""Workload infrastructure: build, run, verify.
+
+Each workload is a hand-written kernel in the toy ISA whose algorithmic
+structure and instruction mix mirror its paper counterpart (Rodinia 2.3,
+SNAP, CUDA-SDK matrixMul).  A workload instance bundles the assembled
+kernel, launch geometry, an initialized memory image, and a verifier that
+recomputes the result on the host.
+
+Workload kernels follow two conventions the compiler passes rely on:
+predicates P4-P6 are reserved for instrumentation, and forward divergent
+branches carry explicit ``reconv=`` annotations.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Type
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.gpu.asm import assemble
+from repro.gpu.memory import MemorySpace
+from repro.gpu.program import Kernel, LaunchConfig
+
+
+@dataclass
+class WorkloadInstance:
+    """One runnable configuration of a workload."""
+
+    name: str
+    kernel: Kernel
+    launch: LaunchConfig
+    memory: MemorySpace
+    verify: Callable[[MemorySpace], bool]
+
+    def fresh_memory(self) -> MemorySpace:
+        """A pristine copy of the input image (runs mutate memory)."""
+        copy = MemorySpace(len(self.memory), name=self.memory.name)
+        copy.words[:] = self.memory.words
+        return copy
+
+
+class Workload(abc.ABC):
+    """A paper workload: knows how to build instances of itself."""
+
+    #: registry key ("lavamd", "bfs", ...)
+    name: str = ""
+    #: label used in the paper's figures ("lavaMD", "bfs", ...)
+    paper_name: str = ""
+    #: one-line description of what the kernel computes
+    description: str = ""
+
+    @abc.abstractmethod
+    def build(self, scale: float = 1.0, seed: int = 0) -> WorkloadInstance:
+        """Construct a verified instance; ``scale`` grows the problem."""
+
+    @staticmethod
+    def _assemble(name: str, source: str) -> Kernel:
+        return assemble(name, source)
+
+    @staticmethod
+    def _scaled(value: int, scale: float, minimum: int = 1,
+                multiple: int = 1) -> int:
+        scaled = max(minimum, int(round(value * scale)))
+        if multiple > 1:
+            scaled = max(multiple, (scaled // multiple) * multiple)
+        return scaled
+
+
+#: registry filled by the workload modules at import time
+WORKLOADS: Dict[str, Workload] = {}
+
+#: Rodinia programs in Figure 12/13 order (sorted by checking bloat)
+RODINIA_ORDER = ("lavamd", "backprop", "kmeans", "lud", "gaussian",
+                 "btree", "mummer", "hotspot", "heartwall", "needle",
+                 "bfs", "pathfinder", "srad_v2")
+
+#: every evaluated program (Rodinia + SNAP + matrixMul)
+ALL_ORDER = RODINIA_ORDER + ("snap", "matmul")
+
+
+def register(workload: Workload) -> Workload:
+    if workload.name in WORKLOADS:
+        raise WorkloadError(f"duplicate workload {workload.name!r}")
+    WORKLOADS[workload.name] = workload
+    return workload
+
+
+def get_workload(name: str) -> Workload:
+    if name not in WORKLOADS:
+        raise WorkloadError(
+            f"unknown workload {name!r}; available: {sorted(WORKLOADS)}")
+    return WORKLOADS[name]
+
+
+def integers(rng: np.random.Generator, count: int, low: int = 0,
+             high: int = 1 << 16) -> np.ndarray:
+    return rng.integers(low, high, size=count, dtype=np.int64).astype(
+        np.uint32)
+
+
+def floats32(rng: np.random.Generator, count: int, low: float = -1.0,
+             high: float = 1.0) -> np.ndarray:
+    return rng.uniform(low, high, size=count).astype(np.float32)
+
+
+def floats64(rng: np.random.Generator, count: int, low: float = -1.0,
+             high: float = 1.0) -> np.ndarray:
+    return rng.uniform(low, high, size=count)

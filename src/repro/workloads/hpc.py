@@ -1,0 +1,228 @@
+"""HPC workloads: the SNAP transport-sweep proxy and CUDA-SDK matrixMul.
+
+SNAP exercises fp64 with warp shuffles (which is why inter-thread
+duplication rejects it, Section V) and enough live registers that software
+duplication costs occupancy.  matrixMul uses 1024-thread CTAs (doubling
+them is impossible, the paper's other inter-thread failure).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gpu.memory import MemorySpace
+from repro.gpu.program import LaunchConfig
+from repro.workloads.base import Workload, WorkloadInstance, register
+
+F32 = np.float32
+
+
+class Snap(Workload):
+    """SNAP proxy: per-angle fp64 source iteration plus warp flux reduction."""
+
+    name = "snap"
+    paper_name = "SNAP"
+    description = "fp64 discrete-ordinates sweep proxy with SHFL reduction"
+
+    GROUPS = 6
+
+    def build(self, scale: float = 1.0, seed: int = 0) -> WorkloadInstance:
+        warps = self._scaled(64, scale, minimum=4)
+        threads = 128
+        ctas = max(1, warps * 32 // threads)
+        count = ctas * threads
+        groups = self.GROUPS
+        mu_base = 16
+        q_base = mu_base + count * 2
+        s_base = q_base + count * groups * 2
+        psi_base = s_base + count * groups * 2
+        acc2_base = psi_base + count * 2
+        flux_base = acc2_base + count * 2
+        source = f"""
+            S2R R0, SR_TID
+            S2R R1, SR_CTAID
+            S2R R2, SR_NTID
+            IMAD R3, R1, R2, R0       // t
+            SHL R4, R3, 1
+            LDG.64 RD6, [R4+{mu_base}]     // mu
+            MOV RD8, RZ               // psi
+            MOV RD30, RZ              // second moment accumulator
+            LDG.64 RD34, [R4+{mu_base}]    // per-angle weight (live all loop)
+            LDG.64 RD36, [R4+{mu_base}]    // quadrature weight (live)
+            MOV R5, 0                 // g
+        gloop:
+            IMAD R11, R5, {count}, R3      // group-major: coalesced
+            SHL R12, R11, 1
+            LDG.64 RD14, [R12+{q_base}]    // q[g,t]
+            LDG.64 RD16, [R12+{s_base}]    // 1/(sigt[g,t] + mu), precomputed
+            DFMA RD18, RD6, RD8, RD14      // q + mu*psi
+            DMUL RD8, RD18, RD16           // psi'
+            DFMA RD30, RD8, RD8, RD30      // accumulate psi^2
+            IADD R5, R5, 1
+            ISETP.LT P0, R5, {groups}
+        @P0 BRA gloop
+            DMUL RD30, RD30, RD34          // weight the second moment
+            DMUL RD30, RD30, RD36
+            SHL R22, R3, 1
+            STG.64 [R22+{psi_base}], RD8
+            STG.64 [R22+{acc2_base}], RD30
+            // butterfly all-reduce of psi across the warp
+            MOV RD24, RD8
+            SHFL.BFLY R26, R24, 16
+            SHFL.BFLY R27, R25, 16
+            DADD RD24, RD24, RD26
+            SHFL.BFLY R26, R24, 8
+            SHFL.BFLY R27, R25, 8
+            DADD RD24, RD24, RD26
+            SHFL.BFLY R26, R24, 4
+            SHFL.BFLY R27, R25, 4
+            DADD RD24, RD24, RD26
+            SHFL.BFLY R26, R24, 2
+            SHFL.BFLY R27, R25, 2
+            DADD RD24, RD24, RD26
+            SHFL.BFLY R26, R24, 1
+            SHFL.BFLY R27, R25, 1
+            DADD RD24, RD24, RD26
+            S2R R28, SR_LANE
+            ISETP.NE P0, R28, 0
+        @P0 BRA fdone, reconv=fdone
+            SHR R29, R3, 5            // warp id
+            SHL R29, R29, 1
+            STG.64 [R29+{flux_base}], RD24
+        fdone:
+            EXIT
+        """
+        kernel = self._assemble("snap", source)
+        launch = LaunchConfig(ctas, threads)
+        total_warps = count // 32
+        memory = MemorySpace(flux_base + total_warps * 2, name="snap")
+        rng = np.random.default_rng(seed)
+        mu = rng.uniform(0.1, 1.0, count)
+        q = rng.uniform(0.0, 1.0, (count, groups))
+        sigt = rng.uniform(0.5, 2.0, (count, groups))
+        # The sweep's denominators are group constants: precompute their
+        # reciprocals host-side (as SNAP itself does per source iteration).
+        rcp = 1.0 / (sigt + mu[:, None])
+        memory.write_f64(mu_base, mu)
+        memory.write_f64(q_base, q.T.reshape(-1))
+        memory.write_f64(s_base, rcp.T.reshape(-1))
+
+        def reference_psi():
+            psi = np.zeros(count)
+            acc2 = np.zeros(count)
+            rcp = 1.0 / (sigt + mu[:, None])
+            for g in range(groups):
+                numer = q[:, g] + mu * psi
+                psi = numer * rcp[:, g]
+                acc2 = psi * psi + acc2
+            acc2 = (acc2 * mu) * mu
+            return psi, acc2
+
+        def verify(mem: MemorySpace) -> bool:
+            psi, acc2 = reference_psi()
+            got_psi = mem.read_f64(psi_base, count)
+            if not np.allclose(got_psi, psi, rtol=1e-12):
+                return False
+            if not np.allclose(mem.read_f64(acc2_base, count), acc2,
+                               rtol=1e-12):
+                return False
+            flux = psi.reshape(-1, 32).copy()
+            for offset in (16, 8, 4, 2, 1):
+                lanes = np.arange(32)
+                flux = flux + flux[:, lanes ^ offset]
+            got_flux = mem.read_f64(flux_base, total_warps)
+            return np.allclose(got_flux, flux[:, 0], rtol=1e-9)
+
+        return WorkloadInstance("snap", kernel, launch, memory, verify)
+
+
+class MatMul(Workload):
+    """matrixMul: shared-memory tiled fp32 GEMM with 1024-thread CTAs."""
+
+    name = "matmul"
+    paper_name = "MatMul"
+    description = "fp32 tiled matrix multiply (CUDA SDK style)"
+
+    TILE = 32
+
+    def build(self, scale: float = 1.0, seed: int = 0) -> WorkloadInstance:
+        tile = self.TILE
+        k_dim = tile * max(1, int(round(2 * scale)))
+        ctas = 2
+        rows = ctas * tile
+        a_base = 16
+        b_base = a_base + rows * k_dim
+        c_base = b_base + k_dim * tile
+        source = f"""
+            S2R R0, SR_TID
+            S2R R1, SR_CTAID
+            SHR R2, R0, 5             // i (row within tile)
+            AND R3, R0, 31            // j (column)
+            MOV R4, 0                 // accA
+            MOV R11, 0                // accB
+            MOV R5, 0                 // phase
+        ploop:
+            // load A[i, ph*32 + j] into shared[0..1023]
+            IMAD R6, R1, {tile}, R2   // global row
+            IMAD R7, R6, {k_dim}, R3
+            SHL R8, R5, 5
+            IADD R7, R7, R8
+            LDG R9, [R7+{a_base}]
+            STS [R0], R9
+            // load B[ph*32 + i, j] into shared[1024..2047]
+            IADD R8, R8, R2
+            IMAD R7, R8, {tile}, R3
+            LDG R9, [R7+{b_base}]
+            STS [R0+{tile * tile}], R9
+            BAR
+            SHL R6, R2, 5             // running A index = i*32
+            MOV R8, R3                // running B index = j
+            MOV R10, 0                // k within tile
+        kloop:
+            LDS R7, [R6]              // A[i,k]
+            LDS R9, [R8+{tile * tile}]     // B[k,j]
+            FFMA R4, R7, R9, R4
+            LDS R7, [R6+1]            // A[i,k+1]
+            LDS R9, [R8+{tile + tile * tile}]  // B[k+1,j]
+            FFMA R11, R7, R9, R11
+            IADD R6, R6, 2
+            IADD R8, R8, {2 * tile}
+            IADD R10, R10, 2
+            ISETP.LT P0, R10, {tile}
+        @P0 BRA kloop
+            BAR
+            IADD R5, R5, 1
+            ISETP.LT P0, R5, {k_dim // tile}
+        @P0 BRA ploop
+            FADD R4, R4, R11
+            IMAD R6, R1, {tile}, R2
+            IMAD R7, R6, {tile}, R3
+            STG [R7+{c_base}], R4
+            EXIT
+        """
+        kernel = self._assemble("matmul", source)
+        launch = LaunchConfig(ctas, tile * tile,
+                              shared_words_per_cta=2 * tile * tile)
+        memory = MemorySpace(c_base + rows * tile, name="matmul")
+        rng = np.random.default_rng(seed)
+        a = rng.uniform(-1, 1, (rows, k_dim)).astype(F32)
+        b = rng.uniform(-1, 1, (k_dim, tile)).astype(F32)
+        memory.write_f32(a_base, a.reshape(-1))
+        memory.write_f32(b_base, b.reshape(-1))
+
+        def verify(mem: MemorySpace) -> bool:
+            acc_a = np.zeros((rows, tile), dtype=F32)
+            acc_b = np.zeros((rows, tile), dtype=F32)
+            for k in range(0, k_dim, 2):
+                acc_a = (a[:, k:k + 1] * b[k:k + 1, :] + acc_a).astype(F32)
+                acc_b = (a[:, k + 1:k + 2] * b[k + 1:k + 2, :] +
+                         acc_b).astype(F32)
+            acc = (acc_a + acc_b).astype(F32)
+            got = mem.read_f32(c_base, rows * tile).reshape(rows, tile)
+            return np.array_equal(got, acc)
+
+        return WorkloadInstance("matmul", kernel, launch, memory, verify)
+
+
+register(Snap())
+register(MatMul())

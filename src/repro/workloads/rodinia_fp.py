@@ -1,0 +1,696 @@
+"""Floating-point Rodinia-like workloads: lavaMD, backprop, kmeans,
+gaussian, lud, hotspot, heartwall, srad_v2.
+
+Each kernel mirrors the algorithmic core and instruction mix of its
+Rodinia 2.3 counterpart; the verifier recomputes the result on the host
+with the same operation order so results match bit-for-bit (fp32/fp64 in
+the simulator are IEEE numpy arithmetic).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gpu.memory import MemorySpace
+from repro.gpu.program import LaunchConfig
+from repro.workloads.base import (Workload, WorkloadInstance, register)
+
+F32 = np.float32
+
+
+class LavaMd(Workload):
+    """lavaMD: fp64 particle-interaction kernel (DFMA-throughput bound).
+
+    Each CTA is a box of particles; every thread accumulates a pairwise
+    interaction term against all particles of the box from shared memory.
+    The inner loop is ~10 fp64 operations per 4 shared loads, which is why
+    duplication hurts most here (the half-rate fp64 pipe saturates) and why
+    only floating-point MAD prediction rescues it (Figure 16).
+    """
+
+    name = "lavamd"
+    paper_name = "lavaMD"
+    description = "fp64 pairwise particle interactions within boxes"
+
+    def build(self, scale: float = 1.0, seed: int = 0) -> WorkloadInstance:
+        boxes = self._scaled(12, scale)
+        ppb = 64  # particles per box (threads per CTA)
+        pos_base = 16
+        out_base = pos_base + boxes * ppb * 8
+        total_words = out_base + boxes * ppb * 2
+        source = f"""
+            S2R R0, SR_TID
+            S2R R1, SR_CTAID
+            S2R R2, SR_NTID
+            IMAD R3, R1, R2, R0
+            SHL R4, R3, 3
+            IADD R4, R4, {pos_base}
+            LDG.64 RD6, [R4]
+            LDG.64 RD8, [R4+2]
+            LDG.64 RD10, [R4+4]
+            LDG.64 RD12, [R4+6]
+            SHL R5, R0, 3
+            STS.64 [R5], RD6
+            STS.64 [R5+2], RD8
+            STS.64 [R5+4], RD10
+            STS.64 [R5+6], RD12
+            BAR
+            LDG.64 RD14, [0]          // -1.0
+            MOV RD16, RZ              // acc (r^4 terms)
+            MOV RD36, RZ              // acc2 (q*r^2 terms)
+            MOV R28, 0                // j
+        jloop:
+            SHL R29, R28, 3
+            LDS.64 RD18, [R29]
+            LDS.64 RD20, [R29+2]
+            LDS.64 RD22, [R29+4]
+            LDS.64 RD24, [R29+6]
+            DFMA RD26, RD18, RD14, RD6
+            DMUL RD30, RD26, RD26
+            DFMA RD26, RD20, RD14, RD8
+            DFMA RD30, RD26, RD26, RD30
+            DFMA RD26, RD22, RD14, RD10
+            DFMA RD30, RD26, RD26, RD30
+            DMUL RD32, RD30, RD30
+            DMUL RD34, RD30, RD24
+            DADD RD16, RD16, RD32
+            DADD RD36, RD36, RD34
+            IADD R28, R28, 1
+            ISETP.LT P0, R28, {ppb}
+        @P0 BRA jloop
+            DADD RD16, RD16, RD36
+            SHL R4, R3, 1
+            IADD R4, R4, {out_base}
+            STG.64 [R4], RD16
+            EXIT
+        """
+        kernel = self._assemble("lavamd", source)
+        launch = LaunchConfig(boxes, ppb, shared_words_per_cta=ppb * 8)
+        memory = MemorySpace(total_words, name="lavamd")
+        rng = np.random.default_rng(seed)
+        positions = rng.uniform(-1.0, 1.0, size=(boxes * ppb, 4))
+        memory.write_f64(0, [-1.0])
+        memory.write_f64(pos_base, positions.reshape(-1))
+
+        def verify(mem: MemorySpace) -> bool:
+            got = mem.read_f64(out_base, boxes * ppb)
+            for box in range(boxes):
+                part = positions[box * ppb:(box + 1) * ppb]
+                x, y, z, q = (part[:, 0], part[:, 1], part[:, 2],
+                              part[:, 3])
+                acc = np.zeros(ppb)
+                acc2 = np.zeros(ppb)
+                for j in range(ppb):
+                    dx = x[j] * -1.0 + x
+                    r2 = dx * dx
+                    dy = y[j] * -1.0 + y
+                    r2 = dy * dy + r2
+                    dz = z[j] * -1.0 + z
+                    r2 = dz * dz + r2
+                    acc = acc + r2 * r2
+                    acc2 = acc2 + r2 * q[j]
+                want = acc + acc2
+                slice_got = got[box * ppb:(box + 1) * ppb]
+                if not np.allclose(slice_got, want, rtol=1e-12, atol=1e-12):
+                    return False
+            return True
+
+        return WorkloadInstance("lavamd", kernel, launch, memory, verify)
+
+
+class Backprop(Workload):
+    """backprop: fp32 dense layer forward pass with sigmoid activation."""
+
+    name = "backprop"
+    paper_name = "bprop"
+    description = "fp32 weighted-sum layer with sigmoid activation"
+
+    def build(self, scale: float = 1.0, seed: int = 0) -> WorkloadInstance:
+        inputs = 48
+        outputs = self._scaled(1536, scale, minimum=128, multiple=128)
+        in_base = 16
+        w_base = in_base + inputs
+        out_base = w_base + inputs * outputs
+        source = f"""
+            S2R R0, SR_TID
+            S2R R1, SR_CTAID
+            S2R R2, SR_NTID
+            IMAD R3, R1, R2, R0
+            MOV R4, 0                 // accA
+            MOV R12, 0                // accB
+            MOV R5, 0
+            IADD R6, R3, {w_base}
+        iloop:
+            IADD R7, R5, {in_base}
+            LDG R8, [R7]
+            LDG R9, [R6]
+            FFMA R4, R8, R9, R4
+            LDG R13, [R7+1]
+            IADD R6, R6, {outputs}
+            LDG R14, [R6]
+            FFMA R12, R13, R14, R12
+            IADD R6, R6, {outputs}
+            IADD R5, R5, 2
+            ISETP.LT P0, R5, {inputs}
+        @P0 BRA iloop
+            FADD R4, R4, R12
+            FSUB R10, RZ, R4
+            FEXP R10, R10
+            FADD R10, R10, 1.0
+            FRCP R10, R10
+            IADD R11, R3, {out_base}
+            STG [R11], R10
+            EXIT
+        """
+        kernel = self._assemble("backprop", source)
+        launch = LaunchConfig(outputs // 128, 128)
+        memory = MemorySpace(out_base + outputs, name="backprop")
+        rng = np.random.default_rng(seed)
+        in_vec = rng.uniform(-1, 1, inputs).astype(F32)
+        weights = rng.uniform(-1, 1, (inputs, outputs)).astype(F32)
+        memory.write_f32(in_base, in_vec)
+        memory.write_f32(w_base, weights.reshape(-1))
+
+        def verify(mem: MemorySpace) -> bool:
+            acc_a = np.zeros(outputs, dtype=F32)
+            acc_b = np.zeros(outputs, dtype=F32)
+            for i in range(0, inputs, 2):
+                acc_a = in_vec[i] * weights[i] + acc_a
+                acc_b = in_vec[i + 1] * weights[i + 1] + acc_b
+            acc = (acc_a + acc_b).astype(F32)
+            t = (F32(0) - acc).astype(F32)
+            t = np.exp(t).astype(F32)
+            t = (t + F32(1)).astype(F32)
+            want = (F32(1) / t).astype(F32)
+            got = mem.read_f32(out_base, outputs)
+            return np.array_equal(got, want)
+
+        return WorkloadInstance("backprop", kernel, launch, memory, verify)
+
+
+class Kmeans(Workload):
+    """kmeans: fp32 nearest-centroid assignment (distance FFMA loops)."""
+
+    name = "kmeans"
+    paper_name = "kmeans"
+    description = "fp32 point-to-centroid distances and argmin assignment"
+
+    def build(self, scale: float = 1.0, seed: int = 0) -> WorkloadInstance:
+        points = self._scaled(1536, scale, minimum=128, multiple=128)
+        dims = 8
+        clusters = 5
+        p_base = 16
+        c_base = p_base + points * dims
+        a_base = c_base + clusters * dims
+        source = f"""
+            S2R R0, SR_TID
+            S2R R1, SR_CTAID
+            S2R R2, SR_NTID
+            IMAD R3, R1, R2, R0
+            MOV R4, 0
+            MOV R5, 2139095039        // +FLT_MAX
+            MOV R6, 0
+        kloop:
+            MOV R7, 0                 // distA
+            MOV R15, 0                // distB
+            MOV R8, 0
+        dloop:
+            IMAD R9, R8, {points}, R3
+            IADD R9, R9, {p_base}
+            LDG R10, [R9]
+            IMAD R11, R4, {dims}, R8
+            IADD R11, R11, {c_base}
+            LDG R12, [R11]
+            FSUB R13, R10, R12
+            FFMA R7, R13, R13, R7
+            IADD R9, R9, {points}
+            LDG R10, [R9]
+            LDG R12, [R11+1]
+            FSUB R16, R10, R12
+            FFMA R15, R16, R16, R15
+            IADD R8, R8, 2
+            ISETP.LT P0, R8, {dims}
+        @P0 BRA dloop
+            FADD R7, R7, R15
+            FSETP.LT P1, R7, R5
+        @P1 MOV R5, R7
+        @P1 MOV R6, R4
+            IADD R4, R4, 1
+            ISETP.LT P0, R4, {clusters}
+        @P0 BRA kloop
+            IADD R14, R3, {a_base}
+            STG [R14], R6
+            EXIT
+        """
+        kernel = self._assemble("kmeans", source)
+        launch = LaunchConfig(points // 128, 128)
+        memory = MemorySpace(a_base + points, name="kmeans")
+        rng = np.random.default_rng(seed)
+        data = rng.uniform(-2, 2, (dims, points)).astype(F32)
+        centroids = rng.uniform(-2, 2, (clusters, dims)).astype(F32)
+        memory.write_f32(p_base, data.reshape(-1))
+        memory.write_f32(c_base, centroids.reshape(-1))
+
+        def verify(mem: MemorySpace) -> bool:
+            best = np.full(points, np.finfo(F32).max, dtype=F32)
+            assign = np.zeros(points, dtype=np.uint32)
+            for k in range(clusters):
+                dist_a = np.zeros(points, dtype=F32)
+                dist_b = np.zeros(points, dtype=F32)
+                for d in range(0, dims, 2):
+                    diff = (data[d] - centroids[k, d]).astype(F32)
+                    dist_a = (diff * diff + dist_a).astype(F32)
+                    diff = (data[d + 1] - centroids[k, d + 1]).astype(F32)
+                    dist_b = (diff * diff + dist_b).astype(F32)
+                dist = (dist_a + dist_b).astype(F32)
+                better = dist < best
+                best[better] = dist[better]
+                assign[better] = k
+            got = mem.read_words(a_base, points)
+            return np.array_equal(got, assign)
+
+        return WorkloadInstance("kmeans", kernel, launch, memory, verify)
+
+
+class Gaussian(Workload):
+    """gaussian: one elimination step (memory-bound, 2 flops / 4 accesses)."""
+
+    name = "gaussian"
+    paper_name = "gauss"
+    description = "fp32 Gaussian-elimination row update (Fan2 kernel)"
+
+    def build(self, scale: float = 1.0, seed: int = 0) -> WorkloadInstance:
+        size = 32
+        rows = self._scaled(63, scale, minimum=7)
+        work = rows * size
+        ctas = (work + 127) // 128
+        a_base = 16
+        m_base = a_base + (rows + 1) * size
+        source = f"""
+            S2R R0, SR_TID
+            S2R R1, SR_CTAID
+            S2R R2, SR_NTID
+            IMAD R3, R1, R2, R0
+            ISETP.GE P0, R3, {work}
+        @P0 BRA done, reconv=done
+            SHR R4, R3, 5
+            IADD R4, R4, 1
+            AND R5, R3, 31
+            IMAD R6, R4, {size}, R5
+            IADD R7, R6, {a_base}
+            LDG R8, [R7]
+            IADD R9, R5, {a_base}
+            LDG R10, [R9]
+            IADD R11, R4, {m_base}
+            LDG R12, [R11]
+            FMUL R13, R12, R10
+            FSUB R14, R8, R13
+            STG [R7], R14
+        done:
+            EXIT
+        """
+        kernel = self._assemble("gaussian", source)
+        launch = LaunchConfig(ctas, 128)
+        memory = MemorySpace(m_base + rows + 1, name="gaussian")
+        rng = np.random.default_rng(seed)
+        matrix = rng.uniform(-1, 1, ((rows + 1), size)).astype(F32)
+        multipliers = rng.uniform(-1, 1, rows + 1).astype(F32)
+        memory.write_f32(a_base, matrix.reshape(-1))
+        memory.write_f32(m_base, multipliers)
+
+        def verify(mem: MemorySpace) -> bool:
+            got = mem.read_f32(a_base, (rows + 1) * size).reshape(
+                rows + 1, size)
+            want = matrix.copy()
+            for i in range(1, rows + 1):
+                t = (multipliers[i] * matrix[0]).astype(F32)
+                want[i] = (matrix[i] - t).astype(F32)
+            return np.array_equal(got, want)
+
+        return WorkloadInstance("gaussian", kernel, launch, memory, verify)
+
+
+class Lud(Workload):
+    """lud: blocked LU internal update with shared-memory tiles."""
+
+    name = "lud"
+    paper_name = "lud"
+    description = "fp32 tile update A -= L @ U with shared tiles"
+
+    def build(self, scale: float = 1.0, seed: int = 0) -> WorkloadInstance:
+        tile = 16
+        blocks = self._scaled(12, scale)
+        words_per_block = tile * tile
+        l_base = 16
+        u_base = l_base + blocks * words_per_block
+        a_base = u_base + blocks * words_per_block
+        source = f"""
+            S2R R0, SR_TID
+            S2R R1, SR_CTAID
+            S2R R2, SR_NTID
+            IMAD R3, R1, R2, R0
+            IADD R4, R3, {l_base}
+            LDG R5, [R4]
+            STS [R0], R5
+            IADD R4, R3, {u_base}
+            LDG R5, [R4]
+            STS [R0+{tile * tile}], R5
+            BAR
+            IADD R4, R3, {a_base}
+            LDG R6, [R4]
+            MOV R17, 0                // accumulated subtrahend (B)
+            SHR R7, R0, 4             // i
+            AND R8, R0, 15            // j
+            SHL R9, R7, 4             // i*16 (L row base)
+            MOV R10, 0                // k
+        kloop:
+            IADD R11, R9, R10
+            LDS R12, [R11]            // L[i,k]
+            SHL R13, R10, 4
+            IADD R13, R13, R8
+            LDS R14, [R13+{tile * tile}]   // U[k,j]
+            FMUL R15, R12, R14
+            FSUB R6, R6, R15
+            LDS R12, [R11+1]          // L[i,k+1]
+            LDS R14, [R13+{tile + tile * tile}]  // U[k+1,j]
+            FFMA R17, R12, R14, R17
+            IADD R10, R10, 2
+            ISETP.LT P0, R10, {tile}
+        @P0 BRA kloop
+            FSUB R6, R6, R17
+            STG [R4], R6
+            EXIT
+        """
+        kernel = self._assemble("lud", source)
+        launch = LaunchConfig(blocks, tile * tile,
+                              shared_words_per_cta=2 * tile * tile)
+        memory = MemorySpace(a_base + blocks * words_per_block, name="lud")
+        rng = np.random.default_rng(seed)
+        l_tiles = rng.uniform(-1, 1, (blocks, tile, tile)).astype(F32)
+        u_tiles = rng.uniform(-1, 1, (blocks, tile, tile)).astype(F32)
+        a_tiles = rng.uniform(-1, 1, (blocks, tile, tile)).astype(F32)
+        memory.write_f32(l_base, l_tiles.reshape(-1))
+        memory.write_f32(u_base, u_tiles.reshape(-1))
+        memory.write_f32(a_base, a_tiles.reshape(-1))
+
+        def verify(mem: MemorySpace) -> bool:
+            got = mem.read_f32(a_base, blocks * words_per_block).reshape(
+                blocks, tile, tile)
+            for block in range(blocks):
+                acc = a_tiles[block].copy()
+                acc_b = np.zeros((tile, tile), dtype=F32)
+                for k in range(0, tile, 2):
+                    t = (l_tiles[block][:, k:k + 1] *
+                         u_tiles[block][k:k + 1, :]).astype(F32)
+                    acc = (acc - t).astype(F32)
+                    t = (l_tiles[block][:, k + 1:k + 2] *
+                         u_tiles[block][k + 1:k + 2, :]).astype(F32)
+                    acc_b = (t + acc_b).astype(F32)
+                acc = (acc - acc_b).astype(F32)
+                if not np.array_equal(got[block], acc):
+                    return False
+            return True
+
+        return WorkloadInstance("lud", kernel, launch, memory, verify)
+
+
+class Hotspot(Workload):
+    """hotspot: fp32 five-point thermal stencil."""
+
+    name = "hotspot"
+    paper_name = "hspot"
+    description = "fp32 2-D thermal stencil with power term"
+
+    def build(self, scale: float = 1.0, seed: int = 0) -> WorkloadInstance:
+        cols = 64
+        rows = self._scaled(32, scale, minimum=2) * 2
+        cells = rows * cols
+        t_base = 16
+        p_base = t_base + cells
+        o_base = p_base + cells
+        ctas = cells // 128
+        source = f"""
+            S2R R0, SR_TID
+            S2R R1, SR_CTAID
+            S2R R2, SR_NTID
+            IMAD R3, R1, R2, R0
+            SHR R4, R3, 6             // r
+            AND R5, R3, 63            // c
+            IADD R6, R3, {t_base}
+            LDG R7, [R6]              // t
+            IADD R8, R4, -1
+            IMAX R8, R8, RZ           // clamp north row
+            IMAD R9, R8, {cols}, R5
+            LDG R10, [R9+{t_base}]    // tN
+            IADD R8, R4, 1
+            IMIN R8, R8, {rows - 1}
+            IMAD R9, R8, {cols}, R5
+            LDG R11, [R9+{t_base}]    // tS
+            IADD R8, R5, -1
+            IMAX R8, R8, RZ
+            IMAD R9, R4, {cols}, R8
+            LDG R12, [R9+{t_base}]    // tW
+            IADD R8, R5, 1
+            IMIN R8, R8, {cols - 1}
+            IMAD R9, R4, {cols}, R8
+            LDG R13, [R9+{t_base}]    // tE
+            IADD R14, R3, {p_base}
+            LDG R15, [R14]            // power
+            FADD R16, R10, R11
+            FMUL R17, R7, 2.0
+            FSUB R20, R16, R17
+            FADD R18, R12, R13
+            FSUB R21, R18, R17
+            FMUL R22, R20, 0.1
+            FFMA R23, R21, 0.1, R22
+            FFMA R24, R15, 0.5, R23
+            FADD R25, R24, R7
+            IADD R19, R3, {o_base}
+            STG [R19], R25
+            EXIT
+        """
+        kernel = self._assemble("hotspot", source)
+        launch = LaunchConfig(ctas, 128)
+        memory = MemorySpace(o_base + cells, name="hotspot")
+        rng = np.random.default_rng(seed)
+        temp = rng.uniform(320, 340, (rows, cols)).astype(F32)
+        power = rng.uniform(0, 1, (rows, cols)).astype(F32)
+        memory.write_f32(t_base, temp.reshape(-1))
+        memory.write_f32(p_base, power.reshape(-1))
+
+        def verify(mem: MemorySpace) -> bool:
+            north = temp[np.maximum(np.arange(rows) - 1, 0)]
+            south = temp[np.minimum(np.arange(rows) + 1, rows - 1)]
+            west = temp[:, np.maximum(np.arange(cols) - 1, 0)]
+            east = temp[:, np.minimum(np.arange(cols) + 1, cols - 1)]
+            two_t = (temp * F32(2.0)).astype(F32)
+            vertical = ((north + south).astype(F32) - two_t).astype(F32)
+            horizontal = ((west + east).astype(F32) - two_t).astype(F32)
+            acc = (vertical * F32(0.1)).astype(F32)
+            acc = (horizontal * F32(0.1) + acc).astype(F32)
+            acc = (power * F32(0.5) + acc).astype(F32)
+            want = (acc + temp).astype(F32)
+            got = mem.read_f32(o_base, cells).reshape(rows, cols)
+            return np.array_equal(got, want)
+
+        return WorkloadInstance("hotspot", kernel, launch, memory, verify)
+
+
+class Heartwall(Workload):
+    """heartwall: fp32 template correlation over 5x5 windows."""
+
+    name = "heartwall"
+    paper_name = "heart"
+    description = "fp32 windowed template correlation (MAC loops)"
+
+    def build(self, scale: float = 1.0, seed: int = 0) -> WorkloadInstance:
+        cols = 64
+        rows = self._scaled(16, scale, minimum=2) * 2
+        cells = rows * cols
+        i_base = 16
+        k_base = i_base + cells
+        o_base = k_base + 25
+        source = f"""
+            S2R R0, SR_TID
+            S2R R1, SR_CTAID
+            S2R R2, SR_NTID
+            IMAD R3, R1, R2, R0
+            SHR R4, R3, 6             // y
+            AND R5, R3, 63            // x
+            MOV R6, 0                 // acc
+            MOV R7, 0                 // wy
+        wyloop:
+            IADD R9, R4, R7
+            IADD R9, R9, -2
+            IMAX R9, R9, RZ
+            IMIN R9, R9, {rows - 1}
+            IADD R10, R5, -2
+            IMAX R10, R10, RZ
+            IMAD R11, R9, {cols}, R10
+            IMAD R13, R7, 5, RZ
+            // fully unrolled 5-tap row (clamped column walks right)
+            LDG R12, [R11+{i_base}]
+            LDG R14, [R13+{k_base}]
+            FMUL R17, R12, R14
+            IADD R18, R10, 1
+            IMIN R18, R18, {cols - 1}
+            IMAD R11, R9, {cols}, R18
+            LDG R12, [R11+{i_base}]
+            LDG R14, [R13+{k_base + 1}]
+            FFMA R19, R12, R14, R17
+            IADD R18, R18, 1
+            IMIN R18, R18, {cols - 1}
+            IMAD R11, R9, {cols}, R18
+            LDG R12, [R11+{i_base}]
+            LDG R14, [R13+{k_base + 2}]
+            FFMA R20, R12, R14, R19
+            IADD R18, R18, 1
+            IMIN R18, R18, {cols - 1}
+            IMAD R11, R9, {cols}, R18
+            LDG R12, [R11+{i_base}]
+            LDG R14, [R13+{k_base + 3}]
+            FFMA R21, R12, R14, R20
+            IADD R18, R18, 1
+            IMIN R18, R18, {cols - 1}
+            IMAD R11, R9, {cols}, R18
+            LDG R12, [R11+{i_base}]
+            LDG R14, [R13+{k_base + 4}]
+            FFMA R22, R12, R14, R21
+            FADD R6, R6, R22          // one accumulation per row
+            IADD R7, R7, 1
+            ISETP.LT P0, R7, 5
+        @P0 BRA wyloop
+            FMAX R15, R6, RZ
+            FSQRT R15, R15
+            FADD R15, R15, R6
+            IADD R16, R3, {o_base}
+            STG [R16], R15
+            EXIT
+        """
+        kernel = self._assemble("heartwall", source)
+        launch = LaunchConfig(cells // 128, 128)
+        memory = MemorySpace(o_base + cells, name="heartwall")
+        rng = np.random.default_rng(seed)
+        image = rng.uniform(0, 1, (rows, cols)).astype(F32)
+        template = rng.uniform(-1, 1, 25).astype(F32)
+        memory.write_f32(i_base, image.reshape(-1))
+        memory.write_f32(k_base, template)
+
+        def verify(mem: MemorySpace) -> bool:
+            ys = np.arange(rows)[:, None]
+            xs = np.arange(cols)[None, :]
+            acc = np.zeros((rows, cols), dtype=F32)
+            for wy in range(5):
+                yy = np.clip(ys + wy - 2, 0, rows - 1)
+                xx = np.clip(xs - 2, 0, cols - 1)
+                row_sum = (image[yy, xx] * template[wy * 5]).astype(F32)
+                for wx in range(1, 5):
+                    xx = np.clip(xx + 1, 0, cols - 1)
+                    row_sum = (image[yy, xx] * template[wy * 5 + wx] +
+                               row_sum).astype(F32)
+                acc = (acc + row_sum).astype(F32)
+            rooted = np.sqrt(np.maximum(acc, F32(0))).astype(F32)
+            want = (rooted + acc).astype(F32)
+            got = mem.read_f32(o_base, cells).reshape(rows, cols)
+            return np.array_equal(got, want)
+
+        return WorkloadInstance("heartwall", kernel, launch, memory, verify)
+
+
+class SradV2(Workload):
+    """srad_v2: fp32 anisotropic-diffusion update (load/store heavy)."""
+
+    name = "srad_v2"
+    paper_name = "srad_v2"
+    description = "fp32 SRAD diffusion step: gradients, coefficient, update"
+
+    def build(self, scale: float = 1.0, seed: int = 0) -> WorkloadInstance:
+        cols = 64
+        rows = self._scaled(32, scale, minimum=2) * 2
+        cells = rows * cols
+        i_base = 16
+        o_base = i_base + cells
+        source = f"""
+            S2R R0, SR_TID
+            S2R R1, SR_CTAID
+            S2R R2, SR_NTID
+            IMAD R3, R1, R2, R0
+            SHR R4, R3, 6
+            AND R5, R3, 63
+            IADD R6, R3, {i_base}
+            LDG R7, [R6]
+            IADD R8, R4, -1
+            IMAX R8, R8, RZ
+            IMAD R9, R8, {cols}, R5
+            LDG R10, [R9+{i_base}]
+            IADD R8, R4, 1
+            IMIN R8, R8, {rows - 1}
+            IMAD R9, R8, {cols}, R5
+            LDG R11, [R9+{i_base}]
+            IADD R8, R5, -1
+            IMAX R8, R8, RZ
+            IMAD R9, R4, {cols}, R8
+            LDG R12, [R9+{i_base}]
+            IADD R8, R5, 1
+            IMIN R8, R8, {cols - 1}
+            IMAD R9, R4, {cols}, R8
+            LDG R13, [R9+{i_base}]
+            FSUB R14, R10, R7         // dN
+            FSUB R15, R11, R7         // dS
+            FSUB R16, R12, R7         // dW
+            FSUB R17, R13, R7         // dE
+            FMUL R18, R14, R14
+            FFMA R22, R15, R15, R18
+            FFMA R23, R16, R16, R22
+            FFMA R24, R17, R17, R23   // G2
+            FADD R19, R24, 1.0
+            FRCP R25, R19             // c = 1/(1+G2)
+            FADD R20, R14, R15
+            FADD R26, R20, R16
+            FADD R27, R26, R17
+            FMUL R28, R27, R25
+            FFMA R29, R28, 0.25, R7
+            IADD R21, R3, {o_base}
+            STG [R21], R29
+            EXIT
+        """
+        kernel = self._assemble("srad_v2", source)
+        launch = LaunchConfig(cells // 128, 128)
+        memory = MemorySpace(o_base + cells, name="srad_v2")
+        rng = np.random.default_rng(seed)
+        image = rng.uniform(0.1, 1.0, (rows, cols)).astype(F32)
+        memory.write_f32(i_base, image.reshape(-1))
+
+        def verify(mem: MemorySpace) -> bool:
+            north = image[np.maximum(np.arange(rows) - 1, 0)]
+            south = image[np.minimum(np.arange(rows) + 1, rows - 1)]
+            west = image[:, np.maximum(np.arange(cols) - 1, 0)]
+            east = image[:, np.minimum(np.arange(cols) + 1, cols - 1)]
+            d_n = (north - image).astype(F32)
+            d_s = (south - image).astype(F32)
+            d_w = (west - image).astype(F32)
+            d_e = (east - image).astype(F32)
+            g2 = (d_n * d_n).astype(F32)
+            g2 = (d_s * d_s + g2).astype(F32)
+            g2 = (d_w * d_w + g2).astype(F32)
+            g2 = (d_e * d_e + g2).astype(F32)
+            coeff = (F32(1) / (g2 + F32(1)).astype(F32)).astype(F32)
+            total = (d_n + d_s).astype(F32)
+            total = (total + d_w).astype(F32)
+            total = (total + d_e).astype(F32)
+            total = (total * coeff).astype(F32)
+            want = (total * F32(0.25) + image).astype(F32)
+            got = mem.read_f32(o_base, cells).reshape(rows, cols)
+            return np.array_equal(got, want)
+
+        return WorkloadInstance("srad_v2", kernel, launch, memory, verify)
+
+
+register(LavaMd())
+register(Backprop())
+register(Kmeans())
+register(Gaussian())
+register(Lud())
+register(Hotspot())
+register(Heartwall())
+register(SradV2())

@@ -1,0 +1,457 @@
+"""Integer / control-heavy Rodinia-like workloads: b+tree, mummergpu,
+needle, bfs, pathfinder.
+
+These are the programs whose SW-Dup cost is dominated by issue pressure and
+checking code rather than arithmetic throughput — b+tree shows the paper's
+worst software-duplication slowdown, and needle/pathfinder sit at the
+checking-heavy end of the Figure 13 ordering.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gpu.memory import MemorySpace
+from repro.gpu.program import LaunchConfig
+from repro.workloads.base import Workload, WorkloadInstance, register
+
+
+class BTree(Workload):
+    """b+tree: 8-ary search-tree lookups (IMAD/compare issue-bound)."""
+
+    name = "btree"
+    paper_name = "b+tree"
+    description = "integer 8-ary tree search with branchless key counting"
+
+    FANOUT = 8
+    DEPTH = 4
+
+    def build(self, scale: float = 1.0, seed: int = 0) -> WorkloadInstance:
+        queries = self._scaled(1536, scale, minimum=128, multiple=128)
+        fanout, depth = self.FANOUT, self.DEPTH
+        node_count = (fanout ** (depth + 1) - 1) // (fanout - 1)
+        k_base = 16
+        q_base = k_base + node_count * fanout
+        o_base = q_base + queries
+        source = f"""
+            S2R R0, SR_TID
+            S2R R1, SR_CTAID
+            S2R R2, SR_NTID
+            IMAD R3, R1, R2, R0
+            IADD R4, R3, {q_base}
+            LDG R5, [R4]              // query key
+            MOV R6, 0                 // node
+            MOV R7, 0                 // level
+            MOV R8, 1                 // constant one
+        lloop:
+            SHL R9, R6, 3             // node*8
+            MOV R10, 0                // count
+            MOV R11, 0                // c
+        cloop:
+            IADD R12, R9, R11
+            LDG R13, [R12+{k_base}]
+            ISETP.LE P0, R13, R5
+            SEL R14, R8, RZ, P0
+            IADD R10, R10, R14
+            IADD R11, R11, 1
+            ISETP.LT P0, R11, {fanout}
+        @P0 BRA cloop
+            IMAD R6, R6, {fanout}, R10
+            IADD R6, R6, 1            // child node
+            IADD R7, R7, 1
+            ISETP.LT P0, R7, {depth}
+        @P0 BRA lloop
+            IADD R15, R3, {o_base}
+            STG [R15], R6
+            EXIT
+        """
+        kernel = self._assemble("btree", source)
+        launch = LaunchConfig(queries // 128, 128)
+        memory = MemorySpace(o_base + queries, name="btree")
+        rng = np.random.default_rng(seed)
+        keys = np.sort(
+            rng.integers(0, 1 << 20, size=(node_count, fanout)),
+            axis=1).astype(np.uint32)
+        query_keys = rng.integers(0, 1 << 20, size=queries).astype(
+            np.uint32)
+        memory.write_words(k_base, keys.reshape(-1))
+        memory.write_words(q_base, query_keys)
+
+        def verify(mem: MemorySpace) -> bool:
+            want = np.zeros(queries, dtype=np.uint32)
+            for index, query in enumerate(query_keys):
+                node = 0
+                for __ in range(depth):
+                    count = int(
+                        (keys[node].astype(np.int64) <=
+                         int(query)).sum())
+                    node = node * fanout + count + 1
+                want[index] = node
+            return np.array_equal(mem.read_words(o_base, queries), want)
+
+        return WorkloadInstance("btree", kernel, launch, memory, verify)
+
+
+class Mummer(Workload):
+    """mummergpu: prefix matching with divergent early loop exits."""
+
+    name = "mummer"
+    paper_name = "mumm"
+    description = "integer string prefix matching with early-exit divergence"
+
+    def build(self, scale: float = 1.0, seed: int = 0) -> WorkloadInstance:
+        queries = self._scaled(1024, scale, minimum=128, multiple=128)
+        query_len = 24
+        ref_len = queries + query_len
+        r_base = 16
+        q_base = r_base + ref_len
+        o_base = q_base + queries * query_len
+        source = f"""
+            S2R R0, SR_TID
+            S2R R1, SR_CTAID
+            S2R R2, SR_NTID
+            IMAD R3, R1, R2, R0       // t: match offset & query index
+            IMAD R4, R3, {query_len}, RZ
+            IADD R4, R4, {q_base}     // query base
+            IADD R5, R3, {r_base}     // reference base + offset
+            MOV R6, 0                 // i
+            MOV R7, 0                 // match length
+        mloop:
+            IADD R8, R5, R6
+            LDG R9, [R8]
+            IADD R10, R4, R6
+            LDG R11, [R10]
+            ISETP.NE P0, R9, R11
+        @P0 BRA mdone, reconv=mdone
+            IADD R7, R7, 1
+            IADD R6, R6, 1
+            ISETP.LT P0, R6, {query_len}
+        @P0 BRA mloop
+        mdone:
+            IADD R12, R3, {o_base}
+            STG [R12], R7
+            EXIT
+        """
+        kernel = self._assemble("mummer", source)
+        launch = LaunchConfig(queries // 128, 128)
+        memory = MemorySpace(o_base + queries, name="mummer")
+        rng = np.random.default_rng(seed)
+        reference = rng.integers(0, 4, size=ref_len).astype(np.uint32)
+        query_data = np.zeros((queries, query_len), dtype=np.uint32)
+        for q in range(queries):
+            # Seed each query with a random-length true prefix match.
+            prefix = int(rng.integers(0, query_len + 1))
+            query_data[q, :prefix] = reference[q:q + prefix]
+            query_data[q, prefix:] = rng.integers(
+                4, 8, size=query_len - prefix)
+        memory.write_words(r_base, reference)
+        memory.write_words(q_base, query_data.reshape(-1))
+
+        def verify(mem: MemorySpace) -> bool:
+            want = np.zeros(queries, dtype=np.uint32)
+            for q in range(queries):
+                length = 0
+                while length < query_len and \
+                        reference[q + length] == query_data[q, length]:
+                    length += 1
+                want[q] = length
+            return np.array_equal(mem.read_words(o_base, queries), want)
+
+        return WorkloadInstance("mummer", kernel, launch, memory, verify)
+
+
+class Needle(Workload):
+    """needle: Needleman-Wunsch anti-diagonal DP in shared memory."""
+
+    name = "needle"
+    paper_name = "needle"
+    description = "integer sequence-alignment DP with per-diagonal barriers"
+
+    def build(self, scale: float = 1.0, seed: int = 0) -> WorkloadInstance:
+        width = 64            # columns (threads per CTA)
+        height = 32           # rows
+        tiles = self._scaled(12, scale)
+        penalty = 2
+        stride = width + 1
+        shared_words = (height + 1) * stride
+        s_base = 16           # similarity matrices, one per tile
+        o_base = s_base + tiles * height * width
+        source = f"""
+            S2R R0, SR_TID            // j (column)
+            S2R R1, SR_CTAID
+            // init shared borders: row -1 and column -1
+            IMUL R2, R0, -{penalty}
+            STS [R0+1], R2            // S[-1][j] = -(j+1)*p ... filled below
+            MOV R3, 0                 // i
+        binit:
+            IMUL R4, R3, {stride}
+            IMAD R5, R3, -{penalty}, RZ
+            ISETP.NE P0, R0, 0
+        @P0 BRA bskip, reconv=bskip
+            STS [R4], R5              // S[i-1][-1] = -i*p (thread 0 only)
+        bskip:
+            IADD R3, R3, 1
+            ISETP.LE P0, R3, {height}
+        @P0 BRA binit
+            IMAD R6, R0, -{penalty}, RZ
+            IADD R6, R6, -{penalty}   // -(j+1)*p
+            STS [R0+1], R6
+            BAR
+            MOV R7, 0                 // d (diagonal)
+        dloop:
+            ISUB R8, R7, R0           // i = d - j
+            ISETP.LT P0, R8, 0
+        @P0 BRA dnext, reconv=dnext
+            ISETP.GE P0, R8, {height}
+        @P0 BRA dnext, reconv=dnext
+            // score = max(diag + sim, up - p, left - p)
+            IMUL R9, R8, {stride}     // row i-1 base (shared row index i)
+            IADD R10, R9, R0          // S[i-1][j-1]
+            LDS R11, [R10]
+            IMAD R12, R8, {width}, R0
+            IMAD R13, R1, {height * width}, R12
+            LDG R14, [R13+{s_base}]   // sim[i][j]
+            IADD R11, R11, R14
+            LDS R15, [R10+1]          // S[i-1][j]
+            IADD R15, R15, -{penalty}
+            IMAX R11, R11, R15
+            IADD R16, R9, {stride}    // row i base
+            IADD R16, R16, R0         // S[i][j-1]
+            LDS R17, [R16]
+            IADD R17, R17, -{penalty}
+            IMAX R11, R11, R17
+            STS [R16+1], R11          // S[i][j]
+        dnext:
+            BAR
+            IADD R7, R7, 1
+            ISETP.LT P0, R7, {height + width - 1}
+        @P0 BRA dloop
+            // write back this thread's column
+            MOV R18, 0
+        wloop:
+            IMUL R19, R18, {stride}
+            IADD R19, R19, {stride}
+            IADD R19, R19, R0
+            LDS R20, [R19+1]
+            IMAD R21, R18, {width}, R0
+            IMAD R22, R1, {height * width}, R21
+            STG [R22+{o_base}], R20
+            IADD R18, R18, 1
+            ISETP.LT P0, R18, {height}
+        @P0 BRA wloop
+            EXIT
+        """
+        kernel = self._assemble("needle", source)
+        launch = LaunchConfig(tiles, width,
+                              shared_words_per_cta=shared_words)
+        memory = MemorySpace(o_base + tiles * height * width,
+                             name="needle")
+        rng = np.random.default_rng(seed)
+        sim = rng.integers(-3, 4, size=(tiles, height, width)).astype(
+            np.int32)
+        memory.write_i32(s_base, sim.reshape(-1))
+
+        def verify(mem: MemorySpace) -> bool:
+            got = mem.read_i32(o_base, tiles * height * width).reshape(
+                tiles, height, width)
+            for tile in range(tiles):
+                score = np.zeros((height + 1, width + 1), dtype=np.int64)
+                score[0, :] = -penalty * np.arange(width + 1)
+                score[:, 0] = -penalty * np.arange(height + 1)
+                for i in range(1, height + 1):
+                    for j in range(1, width + 1):
+                        score[i, j] = max(
+                            score[i - 1, j - 1] + sim[tile, i - 1, j - 1],
+                            score[i - 1, j] - penalty,
+                            score[i, j - 1] - penalty)
+                if not np.array_equal(got[tile],
+                                      score[1:, 1:].astype(np.int32)):
+                    return False
+            return True
+
+        return WorkloadInstance("needle", kernel, launch, memory, verify)
+
+
+class Bfs(Workload):
+    """bfs: level-synchronous breadth-first search (memory/divergence)."""
+
+    name = "bfs"
+    paper_name = "bfs"
+    description = "level-synchronous BFS over a CSR graph"
+
+    def build(self, scale: float = 1.0, seed: int = 0) -> WorkloadInstance:
+        nodes = 256
+        graphs = self._scaled(8, scale)
+        degree = 4
+        levels = 6
+        infinity = 9999
+        #: per-graph region: offsets, edge targets, levels
+        graph_words = (nodes + 1) + nodes * degree + nodes
+        base = 16
+        off_off = 0
+        edge_off = nodes + 1
+        level_off = edge_off + nodes * degree
+        source = f"""
+            S2R R0, SR_TID            // node id within this CTA's graph
+            S2R R1, SR_CTAID
+            IMAD R12, R1, {graph_words}, {base}   // graph base address
+            MOV R13, R12
+            IADD R13, R13, {level_off}            // levels base
+            MOV R1, 0                 // current level l
+        lloop:
+            IADD R2, R0, R13
+            LDG R3, [R2]
+            ISETP.NE P0, R3, R1
+        @P0 BRA lnext, reconv=lnext
+            IADD R4, R0, R12
+            LDG R5, [R4+{off_off}]    // edge start
+            LDG R6, [R4+{off_off + 1}]
+            IADD R7, R1, 1            // l + 1
+        eloop:
+            ISETP.GE P1, R5, R6
+        @P1 BRA edone, reconv=edone
+            IADD R8, R5, R12
+            LDG R9, [R8+{edge_off}]   // neighbour
+            IADD R10, R9, R13
+            LDG R11, [R10]
+            ISETP.LE P2, R11, R7
+        @P2 BRA noupd, reconv=noupd
+            STG [R10], R7
+        noupd:
+            IADD R5, R5, 1
+            BRA eloop
+        edone:
+        lnext:
+            BAR
+            IADD R1, R1, 1
+            ISETP.LT P0, R1, {levels}
+        @P0 BRA lloop
+            EXIT
+        """
+        kernel = self._assemble("bfs", source)
+        launch = LaunchConfig(graphs, nodes)
+        memory = MemorySpace(base + graphs * graph_words, name="bfs")
+        rng = np.random.default_rng(seed)
+        all_targets = []
+        for g in range(graphs):
+            targets = rng.integers(0, nodes, size=(nodes, degree)).astype(
+                np.uint32)
+            all_targets.append(targets)
+            offsets = (np.arange(nodes + 1) * degree).astype(np.uint32)
+            level_init = np.full(nodes, infinity, dtype=np.uint32)
+            level_init[0] = 0
+            gbase = base + g * graph_words
+            memory.write_words(gbase + off_off, offsets)
+            memory.write_words(gbase + edge_off, targets.reshape(-1))
+            memory.write_words(gbase + level_off, level_init)
+
+        def verify(mem: MemorySpace) -> bool:
+            for g in range(graphs):
+                targets = all_targets[g]
+                want = np.full(nodes, infinity, dtype=np.int64)
+                want[0] = 0
+                frontier = [0]
+                for level in range(levels):
+                    nxt = []
+                    for node in frontier:
+                        for neighbour in targets[node]:
+                            if want[neighbour] > level + 1:
+                                want[neighbour] = level + 1
+                                nxt.append(int(neighbour))
+                    frontier = nxt
+                gbase = base + g * graph_words
+                got = mem.read_words(gbase + level_off, nodes).astype(
+                    np.int64)
+                if not np.array_equal(got, want):
+                    return False
+            return True
+
+        return WorkloadInstance("bfs", kernel, launch, memory, verify)
+
+
+class Pathfinder(Workload):
+    """pathfinder: row-by-row dynamic programming with IMIN chains."""
+
+    name = "pathfinder"
+    paper_name = "pathf"
+    description = "integer grid DP: cost + min of three upper neighbours"
+
+    def build(self, scale: float = 1.0, seed: int = 0) -> WorkloadInstance:
+        cols = 128
+        rows = self._scaled(8, scale, minimum=3)
+        strips = self._scaled(8, scale)
+        big = 1 << 20
+        w_base = 16
+        o_base = w_base + strips * rows * cols
+        shared_words = 2 * (cols + 2)
+        source = f"""
+            S2R R0, SR_TID            // j (column)
+            S2R R1, SR_CTAID          // strip
+            // prev row = weights row 0; borders = big
+            IMAD R2, R1, {rows * cols}, R0
+            LDG R3, [R2+{w_base}]
+            STS [R0+1], R3
+            ISETP.NE P0, R0, 0
+        @P0 BRA binit, reconv=binit
+            MOV R4, {big}
+            STS [0], R4
+            STS [{cols + 1}], R4
+            STS [{cols + 2}], R4
+            STS [{2 * cols + 3}], R4
+        binit:
+            BAR
+            MOV R5, 1                 // row i
+        rloop:
+            LDS R6, [R0]              // prev[j-1]
+            LDS R7, [R0+1]            // prev[j]
+            LDS R8, [R0+2]            // prev[j+1]
+            IMIN R6, R6, R7
+            IMIN R6, R6, R8
+            IMAD R9, R5, {cols}, R0
+            IMAD R10, R1, {rows * cols}, R9
+            LDG R11, [R10+{w_base}]
+            IADD R12, R6, R11
+            STS [R0+{cols + 3}], R12  // cur[j]
+            BAR
+            LDS R13, [R0+{cols + 3}]
+            STS [R0+1], R13           // prev[j] = cur[j]
+            BAR
+            IADD R5, R5, 1
+            ISETP.LT P0, R5, {rows}
+        @P0 BRA rloop
+            IMAD R14, R1, {cols}, R0
+            STG [R14+{o_base}], R13
+            EXIT
+        """
+        kernel = self._assemble("pathfinder", source)
+        launch = LaunchConfig(strips, cols,
+                              shared_words_per_cta=shared_words)
+        memory = MemorySpace(o_base + strips * cols, name="pathfinder")
+        rng = np.random.default_rng(seed)
+        weights = rng.integers(0, 10, size=(strips, rows, cols)).astype(
+            np.uint32)
+        memory.write_words(w_base, weights.reshape(-1))
+
+        def verify(mem: MemorySpace) -> bool:
+            for strip in range(strips):
+                prev = weights[strip, 0].astype(np.int64)
+                for i in range(1, rows):
+                    padded = np.concatenate(([big], prev, [big]))
+                    best = np.minimum(
+                        np.minimum(padded[:-2], padded[1:-1]), padded[2:])
+                    prev = best + weights[strip, i]
+                got = mem.read_words(o_base + strip * cols, cols).astype(
+                    np.int64)
+                if not np.array_equal(got, prev):
+                    return False
+            return True
+
+        return WorkloadInstance("pathfinder", kernel, launch, memory,
+                                verify)
+
+
+register(BTree())
+register(Mummer())
+register(Needle())
+register(Bfs())
+register(Pathfinder())

@@ -1,0 +1,219 @@
+"""Tests for the resilience compiler passes."""
+
+import numpy as np
+import pytest
+
+from repro.compiler import (SCHEMES, apply_interthread, apply_swap_ecc,
+                            apply_swdup, compile_for_scheme,
+                            resilience_mode)
+from repro.errors import CompilationError
+from repro.gpu import (LaunchConfig, MemorySpace, ResilienceState, assemble,
+                       run_functional)
+
+SIMPLE = """
+    S2R R0, SR_TID
+    LDG R1, [R0]
+    IADD R2, R1, 5
+    IMAD R3, R2, 3, R1
+    STG [R0+64], R3
+    EXIT
+"""
+
+ACCUMULATOR = """
+    S2R R0, SR_TID
+    MOV R1, 0
+    MOV R2, 0
+loop:
+    IADD R1, R1, 1
+    IMAD R2, R1, R1, R2
+    ISETP.LT P0, R1, 8
+@P0 BRA loop
+    STG [R0], R2
+    EXIT
+"""
+
+
+def run_config(kernel_source, scheme, threads=32, words=256, init=None):
+    kernel = assemble("k", kernel_source)
+    launch = LaunchConfig(1, threads)
+    compiled = compile_for_scheme(kernel, launch, scheme)
+    memory = MemorySpace(words)
+    if init:
+        for address, values in init.items():
+            memory.write_words(address, values)
+    state = ResilienceState(mode="none")
+    run_functional(compiled.kernel, compiled.adjust_launch(launch), memory,
+                   state)
+    return compiled, memory, state
+
+
+class TestSwDup:
+    def test_doubles_register_usage(self):
+        kernel = assemble("k", SIMPLE)
+        compiled = apply_swdup(kernel)
+        assert compiled.kernel.register_count() >= \
+            2 * kernel.register_count()
+
+    def test_inserts_checking_before_stores(self):
+        kernel = assemble("k", SIMPLE)
+        compiled = apply_swdup(kernel)
+        ops = [i.op for i in compiled.kernel.instructions]
+        store = ops.index("STG")
+        assert "ISETP" in ops[:store]
+        assert "BPT" in ops[:store]
+
+    def test_nocheck_variant_has_no_traps(self):
+        kernel = assemble("k", SIMPLE)
+        compiled = apply_swdup(kernel, check=False)
+        assert all(i.op != "BPT" for i in compiled.kernel.instructions)
+
+    def test_duplicates_setps_into_shadow_predicates(self):
+        kernel = assemble("k", ACCUMULATOR)
+        compiled = apply_swdup(kernel)
+        setps = [i for i in compiled.kernel.instructions
+                 if i.op == "ISETP" and
+                 i.meta.get("klass") != "checking"]
+        dests = {i.dest.value for i in setps}
+        assert 0 in dests and 3 in dests  # P0 and its shadow P3
+
+    def test_functional_equivalence(self):
+        init = {0: list(range(32))}
+        __, base_mem, __ = run_config(SIMPLE, "baseline", init=init)
+        __, dup_mem, state = run_config(SIMPLE, "swdup", init=init)
+        assert np.array_equal(base_mem.read_words(64, 32),
+                              dup_mem.read_words(64, 32))
+        assert not state.detected  # no false-positive traps
+
+    def test_reserved_predicate_rejected(self):
+        kernel = assemble("k", """
+            S2R R0, SR_TID
+            ISETP.LT P4, R0, 4
+        @P4 IADD R1, R0, 1
+            STG [R0], R1
+            EXIT
+        """)
+        with pytest.raises(CompilationError):
+            apply_swdup(kernel)
+
+
+class TestSwapEcc:
+    def test_pairs_share_destination(self):
+        kernel = assemble("k", SIMPLE)
+        compiled = apply_swap_ecc(kernel)
+        shadows = [i for i in compiled.kernel.instructions
+                   if i.meta.get("role") == "shadow"]
+        assert shadows
+        for shadow in shadows:
+            assert shadow.meta.get("swap_shadow")
+        # No checking code at all.
+        ops = {i.op for i in compiled.kernel.instructions}
+        assert "BPT" not in ops
+
+    def test_no_shadow_register_space(self):
+        kernel = assemble("k", SIMPLE)
+        compiled = apply_swap_ecc(kernel)
+        # Only a couple of scratch registers may be added.
+        assert compiled.kernel.register_count() <= \
+            kernel.register_count() + 2
+
+    def test_moves_not_duplicated(self):
+        kernel = assemble("k", "S2R R0, SR_TID\nMOV R1, R0\n"
+                               "STG [R0], R1\nEXIT")
+        compiled = apply_swap_ecc(kernel)
+        moves = [i for i in compiled.kernel.instructions if i.op == "MOV"]
+        assert len(moves) == 1
+        assert moves[0].meta["role"] == "predicted"
+
+    def test_accumulation_rewritten_through_scratch(self):
+        kernel = assemble("k", ACCUMULATOR)
+        compiled = apply_swap_ecc(kernel)
+        for instruction in compiled.kernel.instructions:
+            if instruction.meta.get("role") in ("original", "shadow"):
+                dest = set(instruction.dest_registers())
+                assert not dest.intersection(
+                    instruction.source_registers()), str(instruction)
+
+    def test_functional_equivalence_with_accumulators(self):
+        __, base_mem, __ = run_config(ACCUMULATOR, "baseline")
+        __, swap_mem, __ = run_config(ACCUMULATOR, "swap-ecc")
+        assert np.array_equal(base_mem.read_words(0, 32),
+                              swap_mem.read_words(0, 32))
+
+    def test_predict_tiers_shrink_duplication(self):
+        kernel = assemble("k", SIMPLE)
+
+        def shadow_count(tier):
+            compiled = apply_swap_ecc(assemble("k", SIMPLE), tier)
+            return sum(1 for i in compiled.kernel.instructions
+                       if i.meta.get("role") == "shadow")
+
+        assert shadow_count(None) > shadow_count("addsub") >= \
+            shadow_count("mad")
+        assert shadow_count("mad") == 0  # IADD and IMAD both predicted
+
+    def test_unknown_tier_rejected(self):
+        with pytest.raises(CompilationError):
+            apply_swap_ecc(assemble("k", SIMPLE), "quantum")
+
+
+class TestInterthread:
+    def test_doubles_threads_and_halves_tid(self):
+        kernel = assemble("k", SIMPLE)
+        launch = LaunchConfig(1, 32)
+        compiled = apply_interthread(kernel, launch)
+        assert compiled.thread_multiplier == 2
+        adjusted = compiled.adjust_launch(launch)
+        assert adjusted.threads_per_cta == 64
+
+    def test_rejects_shuffles(self):
+        kernel = assemble("k", """
+            S2R R0, SR_TID
+            SHFL.BFLY R1, R0, 16
+            STG [R0], R1
+            EXIT
+        """)
+        with pytest.raises(CompilationError):
+            apply_interthread(kernel, LaunchConfig(1, 32))
+
+    def test_rejects_oversized_ctas(self):
+        kernel = assemble("k", SIMPLE)
+        with pytest.raises(CompilationError):
+            apply_interthread(kernel, LaunchConfig(1, 1024))
+
+    def test_functional_equivalence(self):
+        init = {0: list(range(32))}
+        __, base_mem, __ = run_config(SIMPLE, "baseline", init=init)
+        __, inter_mem, state = run_config(SIMPLE, "interthread", init=init)
+        assert np.array_equal(base_mem.read_words(64, 32),
+                              inter_mem.read_words(64, 32))
+        assert not state.detected
+
+    def test_atomic_broadcast(self):
+        source = """
+            S2R R0, SR_TID
+            MOV R1, 1
+            ATOM.ADD R2, [0], R1
+            STG [R0+8], R2
+            EXIT
+        """
+        __, memory, __ = run_config(source, "interthread", threads=32)
+        # Only the original half performed atomics: count is 32, not 64.
+        assert memory.read_words(0, 1)[0] == 32
+        old = memory.read_words(8, 32)
+        assert sorted(old.tolist()) == list(range(32))
+
+
+class TestRegistry:
+    def test_all_schemes_resolve(self):
+        kernel_source = SIMPLE
+        for scheme in SCHEMES:
+            kernel = assemble("k", kernel_source)
+            compiled = compile_for_scheme(kernel, LaunchConfig(1, 32),
+                                          scheme)
+            assert compiled.kernel.instructions
+            assert resilience_mode(scheme) in ("none", "swdup", "swap")
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(CompilationError):
+            compile_for_scheme(assemble("k", SIMPLE), LaunchConfig(1, 32),
+                               "magic")

@@ -1,0 +1,112 @@
+"""Tests for the code-mix profiler and operand tracer."""
+
+import numpy as np
+
+from repro.compiler import (CodeMixProfiler, MixCounts, OperandTracer,
+                            compile_for_scheme)
+from repro.gpu import LaunchConfig, MemorySpace, assemble, run_functional
+from repro.inject import OperandTrace
+
+SOURCE = """
+    S2R R0, SR_TID
+    LDG R1, [R0]
+    IADD R2, R1, 5
+    FADD R3, R1, 1.5
+    DFMA RD4, RD6, RD6, RD6
+    STG [R0+64], R2
+    EXIT
+"""
+
+
+def profile(scheme):
+    kernel = assemble("k", SOURCE)
+    launch = LaunchConfig(1, 32)
+    compiled = compile_for_scheme(kernel, launch, scheme)
+    memory = MemorySpace(256)
+    profiler = CodeMixProfiler()
+    run_functional(compiled.kernel, compiled.adjust_launch(launch), memory,
+                   observer=profiler)
+    return profiler.counts
+
+
+class TestCodeMixProfiler:
+    def test_baseline_classification(self):
+        counts = profile("baseline")
+        assert counts.not_eligible == 3  # LDG, STG, EXIT
+        assert counts.plain_eligible == 4  # S2R, IADD, FADD, DFMA
+        assert counts.checking == 0
+
+    def test_swdup_adds_checking_and_duplicates(self):
+        counts = profile("swdup")
+        assert counts.checked_duplicated >= 6  # 3 pairs
+        assert counts.checking > 0
+        assert counts.inserted > 0  # shadow copy of the load
+
+    def test_swap_ecc_has_no_checking(self):
+        counts = profile("swap-ecc")
+        assert counts.checking == 0
+        assert counts.checked_duplicated == 6
+        assert counts.inserted == 0
+
+    def test_predict_moves_work_to_predicted(self):
+        mad = profile("pre-mad")
+        fp = profile("pre-fp-mad")
+        assert fp.checked_predicted > mad.checked_predicted
+        assert fp.checked_duplicated == 0
+
+    def test_bloat_math(self):
+        counts = MixCounts(not_eligible=10, checked_duplicated=20,
+                           checking=5, inserted=5)
+        assert counts.total == 40
+        assert counts.bloat(20) == 1.0
+        fractions = counts.as_fractions(20)
+        assert fractions["checking"] == 0.25
+
+
+class TestOperandTracer:
+    def test_collects_arithmetic_operands(self):
+        kernel = assemble("k", """
+            S2R R0, SR_TID
+            IADD R1, R0, 100
+            FADD R2, R1, 2.0
+            DFMA RD4, RD6, RD6, RD6
+            STG [R0], R1
+            EXIT
+        """)
+        tracer = OperandTracer(limit_per_kind=100, lanes_per_step=4)
+        memory = MemorySpace(256)
+        run_functional(kernel, LaunchConfig(1, 32), memory,
+                       observer=tracer)
+        trace = tracer.trace
+        int_adds = trace.values.get("int_add", [])
+        assert int_adds
+        assert all(pair[1] == 100 for pair in int_adds)
+        assert trace.values.get("fp32_add")
+        mads = trace.values.get("fp64_mad", [])
+        assert mads and all(len(t) == 3 for t in mads)
+
+    def test_respects_limit(self):
+        kernel = assemble("k", """
+            S2R R0, SR_TID
+            MOV R1, 0
+        loop:
+            IADD R2, R1, 7
+            IADD R1, R2, 1
+            ISETP.LT P0, R1, 64
+        @P0 BRA loop
+            STG [R0], R1
+            EXIT
+        """)
+        tracer = OperandTracer(limit_per_kind=5, lanes_per_step=2)
+        run_functional(kernel, LaunchConfig(1, 32), MemorySpace(256),
+                       observer=tracer)
+        assert len(tracer.trace.values["int_add"]) <= 6
+
+    def test_feeds_injection_campaign(self):
+        from repro.inject import run_unit_campaign
+        trace = OperandTrace()
+        trace.add("int_add", (3, 4))
+        trace.add("int_add", (1000, 2000))
+        result = run_unit_campaign("fxp-add-32", sample_count=20,
+                                   site_count=40, trace=trace)
+        assert result.sample_count == 20

@@ -1,0 +1,102 @@
+"""Tests for parity code, SRAM packing, and codeword layout (Figs 6-7)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ecc import (BitSite, EccSramPacking, ParityCode,
+                       interleaved_layout, naive_layout, separated_layout)
+
+U32 = st.integers(min_value=0, max_value=2**32 - 1)
+
+
+class TestParityCode:
+    code = ParityCode()
+
+    @given(U32)
+    def test_roundtrip(self, data):
+        assert not self.code.decode(data, self.code.encode(data)).is_error
+
+    @given(U32, st.integers(min_value=0, max_value=31))
+    def test_single_bit_detected(self, data, bit):
+        check = self.code.encode(data)
+        assert self.code.decode(data ^ (1 << bit), check).is_due
+
+    @given(U32, st.data())
+    def test_double_bit_missed(self, data, draw):
+        # Even-weight patterns are invisible to parity, by definition.
+        first, second = draw.draw(
+            st.lists(st.integers(min_value=0, max_value=31), min_size=2,
+                     max_size=2, unique=True))
+        check = self.code.encode(data)
+        bad = data ^ (1 << first) ^ (1 << second)
+        assert not self.code.decode(bad, check).is_due
+
+    def test_rejects_bad_width(self):
+        with pytest.raises(ValueError):
+            ParityCode(0)
+
+
+class TestEccSramPacking:
+    def test_paper_figure_6_geometry(self):
+        # 128b ECC SRAM row, 16 words of 7b check bits -> 16 spare bits,
+        # exactly enough for one free DP bit per word.
+        packing = EccSramPacking(row_bits=128, words_per_row=16,
+                                 check_bits_per_word=7)
+        assert packing.used_bits == 112
+        assert packing.fragmentation_bits == 16
+        assert packing.dp_fits_free
+        assert packing.added_redundancy_fraction() == 0.0
+
+    def test_combined_sram_costs_one_bit(self):
+        # A 156b-wide combined data+ECC SRAM has no slack: the paper quotes
+        # a 1/39 = 2.6% redundancy increase for the DP bit.
+        packing = EccSramPacking(row_bits=28, words_per_row=4,
+                                 check_bits_per_word=7)
+        assert not packing.dp_fits_free
+        assert packing.added_redundancy_fraction() == pytest.approx(
+            1 / 39, abs=1e-6)
+
+    def test_overfull_row_rejected(self):
+        packing = EccSramPacking(row_bits=64, words_per_row=16,
+                                 check_bits_per_word=7)
+        with pytest.raises(ValueError):
+            __ = packing.fragmentation_bits
+
+
+class TestPhysicalRowLayout:
+    def test_naive_layout_is_vulnerable(self):
+        layout = naive_layout(words=4)
+        vulnerable = layout.vulnerable_adjacent_pairs()
+        # Every word has its last data bit adjacent to its first check bit.
+        assert len(vulnerable) == 4
+
+    def test_separated_layout_is_safe(self):
+        layout = separated_layout(words=4)
+        assert layout.vulnerable_adjacent_pairs() == []
+        assert layout.min_intra_word_data_check_distance() >= 4
+
+    def test_interleaved_layout_is_safe(self):
+        layout = interleaved_layout(words=4)
+        assert layout.vulnerable_adjacent_pairs() == []
+        # Bit-plane interleaving spaces *any* two bits of a word by >= words.
+        assert layout.min_intra_word_data_check_distance() >= 4
+
+    def test_layout_sizes(self):
+        assert len(naive_layout(words=4, data_bits=32, check_bits=6)) == 152
+        assert len(separated_layout(words=2, data_bits=8, check_bits=4)) == 24
+
+    def test_single_word_separated_layout_distance(self):
+        layout = separated_layout(words=1, data_bits=8, check_bits=4)
+        # One word per row: data and check are adjacent at the seam.
+        assert layout.min_intra_word_data_check_distance() == 1
+        assert len(layout.vulnerable_adjacent_pairs()) == 1
+
+    def test_bad_segment_rejected(self):
+        with pytest.raises(ValueError):
+            BitSite(0, "banana", 0)
+
+    def test_empty_layout_rejected(self):
+        from repro.ecc.layout import PhysicalRowLayout
+        with pytest.raises(ValueError):
+            PhysicalRowLayout([])

@@ -1,0 +1,197 @@
+"""Tests for the linear block codes (Hamming SEC, Hsiao SEC-DED, TED)."""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ecc import HammingSec, HsiaoSecDed, TedCode
+from repro.ecc.base import DecodeStatus
+from repro.ecc.linear import (LinearCode, distinct_nonzero_columns,
+                              odd_weight_columns)
+from repro.errors import CodeConstructionError, DecodingError
+
+U32 = st.integers(min_value=0, max_value=2**32 - 1)
+
+
+class TestColumnConstruction:
+    def test_odd_weight_columns_are_odd_and_distinct(self):
+        columns = odd_weight_columns(7, 32)
+        assert len(set(columns)) == 32
+        assert all(col.bit_count() % 2 == 1 for col in columns)
+        assert all(col.bit_count() >= 3 for col in columns)
+
+    def test_odd_weight_columns_balanced_rows(self):
+        columns = odd_weight_columns(7, 32)
+        loads = [sum(1 for col in columns if col >> row & 1)
+                 for row in range(7)]
+        # 32 columns x weight 3 = 96 ones over 7 rows: loads of 13-14.
+        assert max(loads) - min(loads) <= 1
+
+    def test_odd_weight_overflow_raises(self):
+        with pytest.raises(CodeConstructionError):
+            odd_weight_columns(3, 10)  # only C(3,3)=1 odd column available
+
+    def test_distinct_columns_prefer_even_weight(self):
+        columns = distinct_nonzero_columns(6, 32)
+        even = [col for col in columns if col.bit_count() % 2 == 0]
+        assert len(even) == 31  # every even-weight non-unit 6-bit column
+
+    def test_distinct_columns_overflow_raises(self):
+        with pytest.raises(CodeConstructionError):
+            distinct_nonzero_columns(3, 10)
+
+    def test_unit_weight_data_column_rejected(self):
+        with pytest.raises(CodeConstructionError):
+            LinearCode("bad", [1, 3], check_bits=4)
+
+    def test_duplicate_data_columns_rejected(self):
+        with pytest.raises(CodeConstructionError):
+            LinearCode("bad", [3, 3], check_bits=4)
+
+
+class TestHsiaoSecDed:
+    code = HsiaoSecDed()
+
+    def test_geometry(self):
+        assert self.code.data_bits == 32
+        assert self.code.check_bits == 7
+        assert self.code.total_bits == 39
+        assert self.code.can_correct
+
+    @given(U32)
+    def test_roundtrip(self, data):
+        check = self.code.encode(data)
+        result = self.code.decode(data, check)
+        assert result.status is DecodeStatus.OK
+        assert result.data == data
+
+    @given(U32, st.integers(min_value=0, max_value=31))
+    def test_single_data_bit_corrects(self, data, bit):
+        check = self.code.encode(data)
+        result = self.code.decode(data ^ (1 << bit), check)
+        assert result.status is DecodeStatus.CORRECTED_DATA
+        assert result.data == data
+        assert result.corrected_bit == bit
+
+    @given(U32, st.integers(min_value=0, max_value=6))
+    def test_single_check_bit_corrects(self, data, bit):
+        check = self.code.encode(data)
+        result = self.code.decode(data, check ^ (1 << bit))
+        assert result.status is DecodeStatus.CORRECTED_CHECK
+        assert result.data == data
+
+    @given(U32, st.data())
+    def test_double_bit_detects(self, data, draw):
+        positions = draw.draw(
+            st.lists(st.integers(min_value=0, max_value=38), min_size=2,
+                     max_size=2, unique=True))
+        check = self.code.encode(data)
+        for position in positions:
+            if position < 32:
+                data ^= 1 << position
+            else:
+                check ^= 1 << (position - 32)
+        assert self.code.decode(data, check).status is DecodeStatus.DUE
+
+    def test_exhaustive_double_bit_detection_one_word(self):
+        data = 0xA5A5_5A5A
+        check = self.code.encode(data)
+        for first, second in itertools.combinations(range(39), 2):
+            bad_data, bad_check = data, check
+            for position in (first, second):
+                if position < 32:
+                    bad_data ^= 1 << position
+                else:
+                    bad_check ^= 1 << (position - 32)
+            result = self.code.decode(bad_data, bad_check)
+            assert result.status is DecodeStatus.DUE
+
+    def test_out_of_range_data_raises(self):
+        with pytest.raises(DecodingError):
+            self.code.decode(1 << 32, 0)
+        with pytest.raises(DecodingError):
+            self.code.decode(0, 1 << 7)
+
+    def test_low_alias_variant_reduces_alias_count(self):
+        default_count = self.code.check_alias_error_count()
+        low = HsiaoSecDed.low_alias()
+        assert low.check_alias_error_count() < default_count
+
+    def test_low_alias_variant_still_secded(self):
+        low = HsiaoSecDed.low_alias()
+        rng = random.Random(7)
+        for _ in range(200):
+            data = rng.getrandbits(32)
+            check = low.encode(data)
+            bit = rng.randrange(32)
+            result = low.decode(data ^ (1 << bit), check)
+            assert result.status is DecodeStatus.CORRECTED_DATA
+            assert result.data == data
+            first, second = rng.sample(range(32), 2)
+            bad = data ^ (1 << first) ^ (1 << second)
+            assert low.decode(bad, check).status is DecodeStatus.DUE
+
+
+class TestHammingSec:
+    code = HammingSec()
+
+    def test_geometry(self):
+        assert self.code.data_bits == 32
+        assert self.code.check_bits == 6
+        assert self.code.total_bits == 38
+
+    @given(U32)
+    def test_roundtrip(self, data):
+        check = self.code.encode(data)
+        assert self.code.decode(data, check).status is DecodeStatus.OK
+
+    @given(U32, st.integers(min_value=0, max_value=31))
+    def test_single_data_bit_corrects(self, data, bit):
+        check = self.code.encode(data)
+        result = self.code.decode(data ^ (1 << bit), check)
+        assert result.status is DecodeStatus.CORRECTED_DATA
+        assert result.data == data
+
+    def test_double_data_errors_never_alias_to_clean(self):
+        # Distance 3 guarantees a double error cannot look error-free.
+        data = 0x1234_5678
+        check = self.code.encode(data)
+        for first, second in itertools.combinations(range(32), 2):
+            bad = data ^ (1 << first) ^ (1 << second)
+            result = self.code.decode(bad, check)
+            assert result.status is not DecodeStatus.OK
+
+    def test_few_check_alias_pairs(self):
+        # The even-weight-preferred construction leaves only the pairs
+        # involving the single odd column (6 of 496).
+        assert self.code.check_alias_error_count(max_weight=2) <= 6
+
+
+class TestTedCode:
+    code = TedCode()
+
+    def test_detection_only(self):
+        assert not self.code.can_correct
+
+    @given(U32, st.data())
+    def test_detects_up_to_three_errors(self, data, draw):
+        count = draw.draw(st.integers(min_value=1, max_value=3))
+        positions = draw.draw(
+            st.lists(st.integers(min_value=0, max_value=38), min_size=count,
+                     max_size=count, unique=True))
+        check = self.code.encode(data)
+        bad_data, bad_check = data, check
+        for position in positions:
+            if position < 32:
+                bad_data ^= 1 << position
+            else:
+                bad_check ^= 1 << (position - 32)
+        assert self.code.decode(bad_data, bad_check).status is DecodeStatus.DUE
+
+    @given(U32)
+    def test_roundtrip(self, data):
+        check = self.code.encode(data)
+        assert self.code.decode(data, check).status is DecodeStatus.OK

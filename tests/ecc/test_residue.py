@@ -1,0 +1,126 @@
+"""Tests for the low-cost residue codes and their arithmetic closure."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ecc import (LOW_COST_MODULI, ResidueCode, combine_split_residues,
+                       is_low_cost_modulus, split_correction_factor)
+from repro.errors import CodeConstructionError
+
+U32 = st.integers(min_value=0, max_value=2**32 - 1)
+U64 = st.integers(min_value=0, max_value=2**64 - 1)
+MODULI = st.sampled_from(LOW_COST_MODULI)
+
+
+class TestModulusValidation:
+    def test_low_cost_moduli_recognized(self):
+        for modulus in LOW_COST_MODULI:
+            assert is_low_cost_modulus(modulus)
+
+    @pytest.mark.parametrize("modulus", [0, 1, 2, 4, 5, 9, 128])
+    def test_non_low_cost_rejected(self, modulus):
+        assert not is_low_cost_modulus(modulus)
+        with pytest.raises(CodeConstructionError):
+            ResidueCode(modulus)
+
+    def test_check_bit_width(self):
+        assert ResidueCode(3).check_bits == 2
+        assert ResidueCode(127).check_bits == 7
+        assert ResidueCode(255).check_bits == 8
+
+
+class TestEncodeDecode:
+    @given(MODULI, U32)
+    def test_roundtrip(self, modulus, data):
+        code = ResidueCode(modulus)
+        assert not code.decode(data, code.encode(data)).is_error
+
+    @given(MODULI, U32)
+    def test_double_zero_accepted(self, modulus, data):
+        # The all-ones check pattern is an alternate encoding of residue 0.
+        code = ResidueCode(modulus)
+        if data % modulus == 0:
+            assert not code.decode(data, modulus).is_error
+
+    @given(MODULI, U32, st.integers(min_value=0, max_value=31))
+    def test_single_bit_error_always_detected(self, modulus, data, bit):
+        # 2**bit mod (2**a - 1) is never 0, so every single-bit flip moves
+        # the residue: low-cost residues catch all single-bit errors.
+        code = ResidueCode(modulus)
+        check = code.encode(data)
+        assert code.decode(data ^ (1 << bit), check).is_due
+
+    @given(MODULI, U32)
+    def test_modulus_multiple_offset_escapes(self, modulus, data):
+        # Value changes that are multiples of the modulus are the code's
+        # blind spot by definition.
+        code = ResidueCode(modulus)
+        check = code.encode(data)
+        shifted = data + modulus
+        if shifted < 2**32:
+            assert not code.decode(shifted, check).is_due
+
+
+class TestArithmeticClosure:
+    @given(MODULI, U32, U32)
+    def test_add_prediction(self, modulus, lhs, rhs):
+        code = ResidueCode(modulus)
+        predicted = code.predict_add(code.encode(lhs), code.encode(rhs))
+        assert predicted == code.encode((lhs + rhs) & 0xFFFF_FFFF_FFFF_FFFF) \
+            or predicted == (lhs + rhs) % modulus
+
+    @given(MODULI, U32, U32)
+    def test_add_prediction_matches_full_sum(self, modulus, lhs, rhs):
+        code = ResidueCode(modulus)
+        predicted = code.predict_add(lhs % modulus, rhs % modulus)
+        assert predicted == (lhs + rhs) % modulus
+
+    @given(MODULI, U32, U32)
+    def test_mul_prediction_matches_full_product(self, modulus, lhs, rhs):
+        code = ResidueCode(modulus)
+        predicted = code.predict_mul(lhs % modulus, rhs % modulus)
+        assert predicted == (lhs * rhs) % modulus
+
+    @given(MODULI, U32, U32)
+    def test_sub_prediction(self, modulus, lhs, rhs):
+        code = ResidueCode(modulus)
+        predicted = code.predict_sub(lhs % modulus, rhs % modulus)
+        assert predicted == (lhs - rhs) % modulus
+
+
+class TestSplitResidues:
+    def test_correction_factors_match_paper(self):
+        # Paper Section III-C: moduli 3,7,15,31,63,127,255 have correction
+        # factors 1,4,1,4,4,16,1.
+        expected = {3: 1, 7: 4, 15: 1, 31: 4, 63: 4, 127: 16, 255: 1}
+        for modulus, factor in expected.items():
+            assert split_correction_factor(modulus) == factor
+
+    def test_correction_factors_are_powers_of_two(self):
+        for modulus in LOW_COST_MODULI:
+            factor = split_correction_factor(modulus)
+            assert factor & (factor - 1) == 0  # wiring-only correction
+
+    @given(MODULI, U64)
+    def test_combine_split_residues_equation_1(self, modulus, value):
+        high = (value >> 32) % modulus
+        low = (value & 0xFFFF_FFFF) % modulus
+        assert combine_split_residues(high, low, modulus) == value % modulus
+
+    @given(MODULI, U32, U32, U64)
+    def test_mad_prediction(self, modulus, a, b, addend):
+        # Full mixed-width MAD: 32b x 32b + 64b with split addend residues.
+        code = ResidueCode(modulus)
+        predicted = code.predict_mad(
+            a % modulus, b % modulus,
+            (addend >> 32) % modulus, (addend & 0xFFFF_FFFF) % modulus)
+        assert predicted == (a * b + addend) % modulus
+
+    @given(MODULI, U64)
+    def test_split_output_residues(self, modulus, value):
+        code = ResidueCode(modulus)
+        high, low = code.split_output_residues(value)
+        assert high == ((value >> 32) & 0xFFFF_FFFF) % modulus
+        assert low == (value & 0xFFFF_FFFF) % modulus
+        assert combine_split_residues(high, low, modulus) == value % modulus

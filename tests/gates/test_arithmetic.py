@@ -1,0 +1,203 @@
+"""Tests for adders, shifters, multipliers, and the MOMA blocks."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import NetlistError
+from repro.gates import Netlist, build_add_unit, build_mad_unit, multiply_bus
+from repro.gates.adders import (eac_add, incrementer, kogge_stone_add,
+                                ripple_carry_add, subtract)
+from repro.gates.moma import cs_moma_sum
+from repro.gates.shifters import (normalize_bus, shift_left_bus,
+                                  shift_right_bus)
+
+U16 = st.integers(min_value=0, max_value=2**16 - 1)
+
+
+def run_samples(netlist, inputs):
+    packed = netlist.pack_inputs(inputs)
+    return netlist.evaluate(packed)
+
+
+class TestAdders:
+    @given(st.lists(st.tuples(U16, U16), min_size=1, max_size=32))
+    @settings(max_examples=30)
+    def test_ripple_and_prefix_agree(self, pairs):
+        netlist = Netlist()
+        a = netlist.input_bus("a", 16)
+        b = netlist.input_bus("b", 16)
+        ripple, ripple_carry = ripple_carry_add(netlist, a, b)
+        prefix, prefix_carry = kogge_stone_add(netlist, a, b)
+        netlist.set_output("r", ripple + [ripple_carry])
+        netlist.set_output("p", prefix + [prefix_carry])
+        values = run_samples(netlist, {"a": [p[0] for p in pairs],
+                                       "b": [p[1] for p in pairs]})
+        for index, (x, y) in enumerate(pairs):
+            want = x + y
+            assert netlist.read_output(values, "r", index) == want
+            assert netlist.read_output(values, "p", index) == want
+
+    @given(st.lists(st.tuples(U16, U16), min_size=1, max_size=32))
+    @settings(max_examples=30)
+    def test_eac_add_is_modular(self, pairs):
+        netlist = Netlist()
+        a = netlist.input_bus("a", 16)
+        b = netlist.input_bus("b", 16)
+        netlist.set_output("s", eac_add(netlist, a, b))
+        values = run_samples(netlist, {"a": [p[0] for p in pairs],
+                                       "b": [p[1] for p in pairs]})
+        modulus = 2**16 - 1
+        for index, (x, y) in enumerate(pairs):
+            got = netlist.read_output(values, "s", index)
+            assert got % modulus == (x + y) % modulus
+
+    def test_eac_double_zero(self):
+        # x + ~x produces the all-ones alternate zero, never canonical 0.
+        netlist = Netlist()
+        a = netlist.input_bus("a", 8)
+        b = netlist.input_bus("b", 8)
+        netlist.set_output("s", eac_add(netlist, a, b))
+        values = run_samples(netlist, {"a": [0x5A], "b": [0xA5]})
+        assert netlist.read_output(values, "s", 0) == 0xFF
+
+    @given(st.lists(st.tuples(U16, U16), min_size=1, max_size=32))
+    @settings(max_examples=30)
+    def test_subtract(self, pairs):
+        netlist = Netlist()
+        a = netlist.input_bus("a", 16)
+        b = netlist.input_bus("b", 16)
+        diff, not_borrow = subtract(netlist, a, b)
+        netlist.set_output("d", diff)
+        netlist.set_output("nb", [not_borrow])
+        values = run_samples(netlist, {"a": [p[0] for p in pairs],
+                                       "b": [p[1] for p in pairs]})
+        for index, (x, y) in enumerate(pairs):
+            assert netlist.read_output(values, "d", index) == (x - y) % 2**16
+            assert netlist.read_output(values, "nb", index) == int(x >= y)
+
+    @given(st.lists(st.tuples(U16, st.integers(0, 1)), min_size=1,
+                    max_size=32))
+    @settings(max_examples=30)
+    def test_incrementer(self, cases):
+        netlist = Netlist()
+        a = netlist.input_bus("a", 16)
+        en = netlist.input_bus("en", 1)
+        total, carry = incrementer(netlist, a, en[0])
+        netlist.set_output("s", total + [carry])
+        values = run_samples(netlist, {"a": [c[0] for c in cases],
+                                       "en": [c[1] for c in cases]})
+        for index, (x, e) in enumerate(cases):
+            assert netlist.read_output(values, "s", index) == x + e
+
+    def test_width_mismatch_rejected(self):
+        netlist = Netlist()
+        a = netlist.input_bus("a", 4)
+        b = netlist.input_bus("b", 5)
+        with pytest.raises(NetlistError):
+            kogge_stone_add(netlist, a, b)
+
+
+class TestShifters:
+    @given(st.lists(st.tuples(U16, st.integers(0, 31)), min_size=1,
+                    max_size=32))
+    @settings(max_examples=30)
+    def test_shift_right(self, cases):
+        netlist = Netlist()
+        a = netlist.input_bus("a", 16)
+        amount = netlist.input_bus("n", 5)
+        netlist.set_output("s", shift_right_bus(netlist, a, amount))
+        values = run_samples(netlist, {"a": [c[0] for c in cases],
+                                       "n": [c[1] for c in cases]})
+        for index, (x, n) in enumerate(cases):
+            assert netlist.read_output(values, "s", index) == x >> n
+
+    @given(st.lists(st.tuples(U16, st.integers(0, 31)), min_size=1,
+                    max_size=32))
+    @settings(max_examples=30)
+    def test_shift_left(self, cases):
+        netlist = Netlist()
+        a = netlist.input_bus("a", 16)
+        amount = netlist.input_bus("n", 5)
+        netlist.set_output("s", shift_left_bus(netlist, a, amount))
+        values = run_samples(netlist, {"a": [c[0] for c in cases],
+                                       "n": [c[1] for c in cases]})
+        for index, (x, n) in enumerate(cases):
+            assert netlist.read_output(values, "s", index) == (x << n) % 2**16
+
+    @given(st.lists(st.integers(1, 2**16 - 1), min_size=1, max_size=32))
+    @settings(max_examples=30)
+    def test_normalize(self, cases):
+        netlist = Netlist()
+        a = netlist.input_bus("a", 16)
+        normalized, count = normalize_bus(netlist, a)
+        netlist.set_output("norm", normalized)
+        netlist.set_output("count", count)
+        values = run_samples(netlist, {"a": cases})
+        for index, x in enumerate(cases):
+            lzc = 16 - x.bit_length()
+            assert netlist.read_output(values, "count", index) == lzc
+            assert netlist.read_output(values, "norm", index) == \
+                (x << lzc) % 2**16
+
+
+class TestMultiplier:
+    @given(st.lists(st.tuples(U16, U16), min_size=1, max_size=16))
+    @settings(max_examples=20)
+    def test_multiply_bus(self, pairs):
+        netlist = Netlist()
+        a = netlist.input_bus("a", 16)
+        b = netlist.input_bus("b", 16)
+        netlist.set_output("p", multiply_bus(netlist, a, b))
+        values = run_samples(netlist, {"a": [p[0] for p in pairs],
+                                       "b": [p[1] for p in pairs]})
+        for index, (x, y) in enumerate(pairs):
+            assert netlist.read_output(values, "p", index) == x * y
+
+    def test_mad_unit_full_width(self):
+        mad = build_mad_unit(32)
+        rng = random.Random(5)
+        a = [rng.getrandbits(32) for _ in range(64)]
+        b = [rng.getrandbits(32) for _ in range(64)]
+        c = [rng.getrandbits(64) for _ in range(64)]
+        values = run_samples(mad, {"a": a, "b": b, "c": c})
+        for index in range(64):
+            want = (a[index] * b[index] + c[index]) % 2**64
+            assert mad.read_output(values, "result", index) == want
+
+    def test_add_unit(self):
+        add = build_add_unit(32)
+        values = run_samples(add, {"a": [3, 2**32 - 1], "b": [4, 1]})
+        assert add.read_output(values, "sum", 0) == 7
+        assert add.read_output(values, "sum", 1) == 0  # wraps
+
+    def test_pipelined_units_have_flip_flops(self):
+        assert build_add_unit(32).flip_flop_count() == 96
+        assert build_mad_unit(32).flip_flop_count() > 200
+        assert build_add_unit(32, pipelined=False).flip_flop_count() == 0
+
+
+class TestMoma:
+    @given(st.lists(st.lists(st.integers(0, 127), min_size=1, max_size=9),
+                    min_size=1, max_size=10))
+    @settings(max_examples=30)
+    def test_multi_operand_modular_sum(self, rows):
+        # Each inner list is one sample's operand set; pad to uniform count.
+        operand_count = max(len(row) for row in rows)
+        samples = [row + [0] * (operand_count - len(row)) for row in rows]
+        netlist = Netlist()
+        buses = [netlist.input_bus(f"x{i}", 7) for i in range(operand_count)]
+        netlist.set_output("s", cs_moma_sum(netlist, buses))
+        inputs = {f"x{i}": [sample[i] for sample in samples]
+                  for i in range(operand_count)}
+        values = run_samples(netlist, inputs)
+        for index, sample in enumerate(samples):
+            got = netlist.read_output(values, "s", index)
+            assert got % 127 == sum(sample) % 127
+
+    def test_empty_moma_rejected(self):
+        netlist = Netlist()
+        with pytest.raises(NetlistError):
+            cs_moma_sum(netlist, [])

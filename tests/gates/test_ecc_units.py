@@ -1,0 +1,195 @@
+"""Tests for the ECC hardware netlists and the Table IV area model."""
+
+import random
+
+import pytest
+
+from repro.ecc import HsiaoSecDed
+from repro.ecc.base import DecodeStatus
+from repro.gates import (build_decoder, build_dp_reporting, build_encoder,
+                         build_move_propagate, format_table_iv,
+                         table_iv_rows)
+
+
+class TestEncoderNetlist:
+    def test_matches_software_encoder(self):
+        code = HsiaoSecDed()
+        encoder = build_encoder(code)
+        rng = random.Random(0)
+        data = [rng.getrandbits(32) for _ in range(128)]
+        values = encoder.evaluate(encoder.pack_inputs({"data": data}))
+        for index, value in enumerate(data):
+            assert encoder.read_output(values, "check", index) == \
+                code.encode(value)
+
+
+class TestDecoderNetlist:
+    code = HsiaoSecDed()
+    decoder = build_decoder(code)
+
+    def _decode(self, data, check):
+        values = self.decoder.evaluate(
+            self.decoder.pack_inputs({"data": [data], "check": [check]}))
+        return {
+            "corrected": self.decoder.read_output(values, "corrected", 0),
+            "ce_data": self.decoder.read_output(values, "ce_data", 0),
+            "ce_check": self.decoder.read_output(values, "ce_check", 0),
+            "due": self.decoder.read_output(values, "due", 0),
+        }
+
+    def test_clean_word(self):
+        data = 0xDEAD_BEEF
+        out = self._decode(data, self.code.encode(data))
+        assert out == {"corrected": data, "ce_data": 0, "ce_check": 0,
+                       "due": 0}
+
+    def test_single_data_error_corrects(self):
+        data = 0x0BAD_F00D
+        check = self.code.encode(data)
+        rng = random.Random(1)
+        for __ in range(20):
+            bit = rng.randrange(32)
+            out = self._decode(data ^ (1 << bit), check)
+            assert out["corrected"] == data
+            assert out["ce_data"] == 1
+            assert out["due"] == 0
+
+    def test_single_check_error_flags_check(self):
+        data = 0x1234_5678
+        check = self.code.encode(data)
+        for bit in range(7):
+            out = self._decode(data, check ^ (1 << bit))
+            assert out["corrected"] == data
+            assert out["ce_check"] == 1
+            assert out["due"] == 0
+
+    def test_double_error_raises_due(self):
+        data = 0x1111_2222
+        check = self.code.encode(data)
+        rng = random.Random(2)
+        for __ in range(20):
+            first, second = rng.sample(range(32), 2)
+            out = self._decode(data ^ (1 << first) ^ (1 << second), check)
+            assert out["due"] == 1
+            assert out["ce_data"] == 0
+
+    def test_matches_software_decoder_bulk(self):
+        rng = random.Random(3)
+        samples = []
+        for __ in range(128):
+            data = rng.getrandbits(32)
+            check = self.code.encode(data)
+            flips = rng.randrange(3)
+            for __ in range(flips):
+                position = rng.randrange(39)
+                if position < 32:
+                    data ^= 1 << position
+                else:
+                    check ^= 1 << (position - 32)
+            samples.append((data, check))
+        values = self.decoder.evaluate(self.decoder.pack_inputs({
+            "data": [s[0] for s in samples],
+            "check": [s[1] for s in samples],
+        }))
+        for index, (data, check) in enumerate(samples):
+            software = self.code.decode(data, check)
+            due = self.decoder.read_output(values, "due", index)
+            corrected = self.decoder.read_output(values, "corrected", index)
+            assert due == int(software.status is DecodeStatus.DUE)
+            if software.status in (DecodeStatus.OK,
+                                   DecodeStatus.CORRECTED_DATA):
+                assert corrected == software.data
+
+
+class TestDpReporting:
+    unit = build_dp_reporting(32)
+
+    def _report(self, data, dp, ce_data, due_in):
+        values = self.unit.evaluate(self.unit.pack_inputs({
+            "data": [data], "dp": [dp], "ce_data": [ce_data],
+            "due_in": [due_in],
+        }))
+        return (self.unit.read_output(values, "correct_enable", 0),
+                self.unit.read_output(values, "due", 0))
+
+    def test_storage_flip_enables_correction(self):
+        # Parity mismatch: the data changed after the DP bit was written.
+        data = 0b0111  # odd parity
+        correct, due = self._report(data, dp=0, ce_data=1, due_in=0)
+        assert correct == 1 and due == 0
+
+    def test_pipeline_error_raises_due(self):
+        # Parity agrees: data and DP were produced together -> compute error.
+        data = 0b0111
+        correct, due = self._report(data, dp=1, ce_data=1, due_in=0)
+        assert correct == 0 and due == 1
+
+    def test_decoder_due_passes_through(self):
+        __, due = self._report(0, dp=0, ce_data=0, due_in=1)
+        assert due == 1
+
+    def test_clean_read(self):
+        correct, due = self._report(0, dp=0, ce_data=0, due_in=0)
+        assert correct == 0 and due == 0
+
+
+class TestMovePropagate:
+    def test_selects_moved_ecc(self):
+        unit = build_move_propagate(7)
+        values = unit.evaluate(unit.pack_inputs({
+            "encoder_check": [0x55, 0x55],
+            "moved_check": [0x2A, 0x2A],
+            "is_move": [1, 0],
+        }))
+        assert unit.read_output(values, "check", 0) == 0x2A
+        assert unit.read_output(values, "check", 1) == 0x55
+
+    def test_has_pipeline_registers(self):
+        assert build_move_propagate(7).flip_flop_count() == 14
+
+
+class TestTableIv:
+    rows = table_iv_rows()
+
+    def _find(self, section, unit, bits):
+        for row in self.rows:
+            if (row.section, row.unit, row.bits) == (section, unit, bits):
+                return row
+        raise AssertionError(f"missing row {section}/{unit}/{bits}")
+
+    def test_all_rows_present(self):
+        assert len(self.rows) == 13
+
+    def test_mad_predictors_are_cheap(self):
+        # Paper: Mod-3 MAD prediction costs <1% of the MAD unit, Mod-127
+        # about 6%.
+        mod3 = self._find("swap-predict", "MAD", "2")
+        mod127 = self._find("swap-predict", "MAD", "7")
+        assert mod3.overhead < 0.01
+        assert mod127.overhead < 0.10
+
+    def test_add_predictors_cost_more_relatively(self):
+        mod3 = self._find("swap-predict", "Add", "2")
+        mod127 = self._find("swap-predict", "Add", "7")
+        mad3 = self._find("swap-predict", "MAD", "2")
+        assert mod3.overhead > mad3.overhead
+        assert mod127.overhead > mod3.overhead
+
+    def test_modified_encoders_largest_relative_overhead(self):
+        enc3 = self._find("swap-predict", "Mod-3 Enc.", "2")
+        enc127 = self._find("swap-predict", "Mod-127 Enc.", "7")
+        others = [row for row in self.rows if row.section == "swap-predict"
+                  and "Enc" not in row.unit]
+        assert enc3.overhead > max(row.overhead for row in others)
+        assert enc127.overhead > 1.0  # more than doubles the encoder
+
+    def test_swap_ecc_mods_small_vs_decoder(self):
+        move = self._find("swap-ecc", "Move-Propagate", "7")
+        dp = self._find("swap-ecc", "SEC-(DED)-DP", "2")
+        # Together well under the decoder itself (paper: ~50%).
+        assert move.overhead + dp.overhead < 0.6
+
+    def test_formatting_runs(self):
+        text = format_table_iv(self.rows)
+        assert "Original Data Path" in text
+        assert "Move-Propagate" in text

@@ -1,0 +1,149 @@
+"""Tests for the floating-point add/MAD netlists against the reference."""
+
+import random
+import struct
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gates import (FP32, FP64, FloatFormat, build_fp_add_unit,
+                         build_fp_mad_unit, ref_fp_add, ref_fp_mad)
+
+
+def float_to_bits(value):
+    return struct.unpack("<I", struct.pack("<f", value))[0]
+
+
+def bits_to_float(bits):
+    return struct.unpack("<f", struct.pack("<I", bits))[0]
+
+
+def random_encodings(fmt, count, seed):
+    """Raw encodings mixing zeros, random patterns, and nearby exponents."""
+    rng = random.Random(seed)
+    out = []
+    for _ in range(count):
+        kind = rng.randrange(6)
+        if kind == 0:
+            out.append(0)
+        elif kind == 1:
+            out.append(rng.getrandbits(fmt.width))
+        else:
+            exp = fmt.bias + rng.randrange(-24, 25)
+            out.append(fmt.pack(rng.randrange(2), exp,
+                                rng.getrandbits(fmt.man_bits)))
+    return out
+
+
+class TestFloatFormat:
+    def test_fp32_geometry(self):
+        assert FP32.width == 32
+        assert FP32.bias == 127
+        assert FP32.max_exp == 255
+
+    def test_fp64_geometry(self):
+        assert FP64.width == 64
+        assert FP64.bias == 1023
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    def test_pack_unpack_roundtrip(self, raw):
+        assert FP32.pack(*FP32.unpack(raw)) == raw
+
+
+class TestReferenceSemantics:
+    def test_matches_ieee_closely(self):
+        # Truncation + FTZ: relative error vs IEEE stays within one ulp-ish
+        # bound for normal operands.
+        rng = random.Random(0)
+        for _ in range(500):
+            x = rng.uniform(-1e6, 1e6)
+            y = rng.uniform(-1e6, 1e6)
+            got = bits_to_float(
+                ref_fp_add(FP32, float_to_bits(x), float_to_bits(y)))
+            want = x + y
+            if abs(want) > 1e-20:
+                assert abs(got - want) <= abs(want) * 1e-4 + 1e-6
+
+    def test_add_zero_identity(self):
+        x = float_to_bits(3.25)
+        assert ref_fp_add(FP32, x, 0) == x
+        assert ref_fp_add(FP32, 0, x) == x
+
+    def test_add_cancellation_to_zero(self):
+        x = float_to_bits(5.5)
+        minus_x = float_to_bits(-5.5)
+        assert ref_fp_add(FP32, x, minus_x) == 0
+
+    def test_mad_zero_product(self):
+        c = float_to_bits(7.75)
+        assert ref_fp_mad(FP32, 0, float_to_bits(2.0), c) == c
+
+    def test_mad_matches_ieee_closely(self):
+        rng = random.Random(1)
+        for _ in range(300):
+            a = rng.uniform(-100, 100)
+            b = rng.uniform(-100, 100)
+            c = rng.uniform(-100, 100)
+            got = bits_to_float(ref_fp_mad(
+                FP32, float_to_bits(a), float_to_bits(b), float_to_bits(c)))
+            want = a * b + c
+            if abs(want) > 1e-12:
+                assert abs(got - want) <= abs(want) * 1e-3 + \
+                    abs(a * b) * 1e-5 + 1e-6
+
+    def test_overflow_saturates(self):
+        huge = FP32.pack(0, FP32.max_exp, 0)
+        result = ref_fp_add(FP32, huge, huge)
+        __, exp, man = FP32.unpack(result)
+        assert exp == FP32.max_exp
+        assert man == (1 << FP32.man_bits) - 1
+
+
+@pytest.mark.parametrize("fmt", [FP32, FP64], ids=lambda f: f.name)
+class TestAddNetlist:
+    def test_matches_reference(self, fmt):
+        unit = build_fp_add_unit(fmt, pipelined=False)
+        x = random_encodings(fmt, 256, seed=10)
+        y = random_encodings(fmt, 256, seed=11)
+        values = unit.evaluate(unit.pack_inputs({"x": x, "y": y}))
+        for index in range(256):
+            got = unit.read_output(values, "result", index)
+            want = ref_fp_add(fmt, x[index], y[index])
+            assert got == want, (fmt.name, hex(x[index]), hex(y[index]))
+
+    def test_pipelined_variant_matches(self, fmt):
+        unit = build_fp_add_unit(fmt, pipelined=True)
+        assert unit.flip_flop_count() > 0
+        x = random_encodings(fmt, 64, seed=12)
+        y = random_encodings(fmt, 64, seed=13)
+        values = unit.evaluate(unit.pack_inputs({"x": x, "y": y}))
+        for index in range(64):
+            assert unit.read_output(values, "result", index) == \
+                ref_fp_add(fmt, x[index], y[index])
+
+
+@pytest.mark.parametrize("fmt", [FP32, FP64], ids=lambda f: f.name)
+class TestMadNetlist:
+    def test_matches_reference(self, fmt):
+        unit = build_fp_mad_unit(fmt, pipelined=False)
+        a = random_encodings(fmt, 128, seed=20)
+        b = random_encodings(fmt, 128, seed=21)
+        c = random_encodings(fmt, 128, seed=22)
+        values = unit.evaluate(unit.pack_inputs({"a": a, "b": b, "c": c}))
+        for index in range(128):
+            got = unit.read_output(values, "result", index)
+            want = ref_fp_mad(fmt, a[index], b[index], c[index])
+            assert got == want, (fmt.name, hex(a[index]), hex(b[index]),
+                                 hex(c[index]))
+
+    def test_pipelined_variant_matches(self, fmt):
+        unit = build_fp_mad_unit(fmt, pipelined=True)
+        assert unit.flip_flop_count() > 0
+        a = random_encodings(fmt, 32, seed=23)
+        b = random_encodings(fmt, 32, seed=24)
+        c = random_encodings(fmt, 32, seed=25)
+        values = unit.evaluate(unit.pack_inputs({"a": a, "b": b, "c": c}))
+        for index in range(32):
+            assert unit.read_output(values, "result", index) == \
+                ref_fp_mad(fmt, a[index], b[index], c[index])

@@ -1,0 +1,174 @@
+"""Tests for the netlist IR and the bit-parallel simulator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import NetlistError
+from repro.gates import Netlist, Op
+
+
+def build_xor_chain(width=4):
+    netlist = Netlist("chain")
+    a = netlist.input_bus("a", width)
+    b = netlist.input_bus("b", width)
+    out = [netlist.xor(x, y) for x, y in zip(a, b)]
+    netlist.set_output("out", out)
+    return netlist
+
+
+class TestConstruction:
+    def test_forward_reference_rejected(self):
+        netlist = Netlist()
+        with pytest.raises(NetlistError):
+            netlist.and_(0, 5)
+
+    def test_duplicate_input_bus_rejected(self):
+        netlist = Netlist()
+        netlist.input_bus("a", 2)
+        with pytest.raises(NetlistError):
+            netlist.input_bus("a", 2)
+
+    def test_duplicate_output_rejected(self):
+        netlist = Netlist()
+        bus = netlist.input_bus("a", 2)
+        netlist.set_output("o", bus)
+        with pytest.raises(NetlistError):
+            netlist.set_output("o", bus)
+
+    def test_const_cached(self):
+        netlist = Netlist()
+        assert netlist.const(0) == netlist.const(0)
+        assert netlist.const(1) == netlist.const(1)
+        assert netlist.const(0) != netlist.const(1)
+
+    def test_counts(self):
+        netlist = build_xor_chain(4)
+        assert netlist.gate_count() == 4
+        assert netlist.flip_flop_count() == 0
+        staged = netlist.stage(netlist.output_buses["out"])
+        assert netlist.flip_flop_count() == 4
+        assert len(staged) == 4
+
+    def test_empty_reduction_rejected(self):
+        netlist = Netlist()
+        with pytest.raises(NetlistError):
+            netlist.xor_tree([])
+
+
+class TestEvaluation:
+    @given(st.lists(st.tuples(st.integers(0, 15), st.integers(0, 15)),
+                    min_size=1, max_size=40))
+    def test_xor_bus(self, pairs):
+        netlist = build_xor_chain(4)
+        packed = netlist.pack_inputs({
+            "a": [a for a, __ in pairs],
+            "b": [b for __, b in pairs],
+        })
+        values = netlist.evaluate(packed)
+        for index, (a, b) in enumerate(pairs):
+            assert netlist.read_output(values, "out", index) == a ^ b
+
+    def test_all_primitive_ops(self):
+        netlist = Netlist()
+        a = netlist.input_bus("a", 1)[0]
+        b = netlist.input_bus("b", 1)[0]
+        s = netlist.input_bus("s", 1)[0]
+        ops = {
+            "not": netlist.not_(a),
+            "and": netlist.and_(a, b),
+            "or": netlist.or_(a, b),
+            "xor": netlist.xor(a, b),
+            "nand": netlist.nand(a, b),
+            "nor": netlist.nor(a, b),
+            "xnor": netlist.xnor(a, b),
+            "mux": netlist.mux(s, a, b),
+            "dff": netlist.dff(a),
+        }
+        for name, net in ops.items():
+            netlist.set_output(name, [net])
+        cases = [(x, y, z) for x in (0, 1) for y in (0, 1) for z in (0, 1)]
+        packed = netlist.pack_inputs({
+            "a": [c[0] for c in cases],
+            "b": [c[1] for c in cases],
+            "s": [c[2] for c in cases],
+        })
+        values = netlist.evaluate(packed)
+        for index, (x, y, z) in enumerate(cases):
+            assert netlist.read_output(values, "not", index) == 1 - x
+            assert netlist.read_output(values, "and", index) == (x & y)
+            assert netlist.read_output(values, "or", index) == (x | y)
+            assert netlist.read_output(values, "xor", index) == (x ^ y)
+            assert netlist.read_output(values, "nand", index) == 1 - (x & y)
+            assert netlist.read_output(values, "nor", index) == 1 - (x | y)
+            assert netlist.read_output(values, "xnor", index) == 1 - (x ^ y)
+            assert netlist.read_output(values, "mux", index) == (x if z else y)
+            assert netlist.read_output(values, "dff", index) == x
+
+    def test_missing_input_bus_rejected(self):
+        netlist = build_xor_chain(4)
+        with pytest.raises(NetlistError):
+            netlist.pack_inputs({"a": [1]})
+
+    def test_mismatched_sample_counts_rejected(self):
+        netlist = build_xor_chain(4)
+        with pytest.raises(NetlistError):
+            netlist.pack_inputs({"a": [1], "b": [1, 2]})
+
+
+class TestFaultInjection:
+    def test_flip_propagates_downstream(self):
+        netlist = Netlist()
+        a = netlist.input_bus("a", 1)[0]
+        mid = netlist.not_(a)
+        out = netlist.not_(mid)
+        netlist.set_output("out", [out])
+        packed = netlist.pack_inputs({"a": [0, 1]})
+        baseline = netlist.evaluate(packed)
+        changed = netlist.evaluate_with_fault(packed, baseline, mid)
+        assert changed[mid] == baseline[mid] ^ 0b11
+        assert changed[out] == baseline[out] ^ 0b11
+
+    def test_flip_mask_selects_samples(self):
+        netlist = build_xor_chain(1)
+        packed = netlist.pack_inputs({"a": [0, 0, 0], "b": [0, 0, 0]})
+        baseline = netlist.evaluate(packed)
+        site = netlist.output_buses["out"][0]
+        changed = netlist.evaluate_with_fault(packed, baseline, site,
+                                              flip_mask=0b010)
+        assert changed[site] == 0b010
+
+    def test_masked_fault_leaves_no_trace(self):
+        # AND gate with the other input 0: a flip on one side is masked.
+        netlist = Netlist()
+        a = netlist.input_bus("a", 1)[0]
+        b = netlist.input_bus("b", 1)[0]
+        anded = netlist.and_(a, b)
+        netlist.set_output("out", [anded])
+        packed = netlist.pack_inputs({"a": [1], "b": [0]})
+        baseline = netlist.evaluate(packed)
+        changed = netlist.evaluate_with_fault(packed, baseline, a)
+        assert anded not in changed  # flip of `a` masked by b == 0
+
+    def test_fanout_cone(self):
+        netlist = Netlist()
+        a = netlist.input_bus("a", 1)[0]
+        b = netlist.input_bus("b", 1)[0]
+        left = netlist.not_(a)
+        right = netlist.not_(b)
+        join = netlist.and_(left, right)
+        netlist.set_output("out", [join])
+        cone = netlist.fanout_cone(left)
+        assert left in cone and join in cone
+        assert right not in cone
+
+    def test_fault_sites_exclude_inputs_and_consts(self):
+        netlist = Netlist()
+        a = netlist.input_bus("a", 2)
+        c = netlist.const(1)
+        g = netlist.and_(a[0], a[1])
+        d = netlist.dff(g)
+        netlist.set_output("out", [d])
+        sites = netlist.fault_sites()
+        assert g in sites and d in sites
+        assert a[0] not in sites and c not in sites

@@ -1,0 +1,196 @@
+"""Tests for the residue hardware: generators, predictors, recode encoder."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ecc.residue import split_correction_factor
+from repro.gates import (build_add_predictor, build_mad_predictor,
+                         build_recode_encoder, build_residue_adder,
+                         build_residue_generator, build_residue_multiplier,
+                         table3_adjustment)
+
+MODULI = (3, 7, 15, 31, 63, 127, 255)
+
+
+def canonical(value, modulus):
+    return value % modulus
+
+
+class TestResidueGenerator:
+    @pytest.mark.parametrize("modulus", MODULI)
+    def test_generator_matches_mod(self, modulus):
+        generator = build_residue_generator(modulus, 32, pipelined=False)
+        rng = random.Random(modulus)
+        data = [rng.getrandbits(32) for _ in range(128)] + [0, 2**32 - 1]
+        values = generator.evaluate(generator.pack_inputs({"data": data}))
+        for index, value in enumerate(data):
+            got = generator.read_output(values, "residue", index)
+            assert canonical(got, modulus) == value % modulus
+
+    def test_64_bit_generator(self):
+        generator = build_residue_generator(7, 64, pipelined=False)
+        rng = random.Random(1)
+        data = [rng.getrandbits(64) for _ in range(64)]
+        values = generator.evaluate(generator.pack_inputs({"data": data}))
+        for index, value in enumerate(data):
+            got = generator.read_output(values, "residue", index)
+            assert canonical(got, 7) == value % 7
+
+    def test_non_low_cost_modulus_rejected(self):
+        from repro.errors import NetlistError
+        with pytest.raises(NetlistError):
+            build_residue_generator(5, 32)
+
+
+class TestPredictors:
+    @pytest.mark.parametrize("modulus", (3, 7, 31, 127))
+    def test_add_predictor(self, modulus):
+        predictor = build_add_predictor(modulus, pipelined=False)
+        rng = random.Random(modulus)
+        cases = [(rng.randrange(modulus), rng.randrange(modulus),
+                  rng.randrange(2)) for _ in range(128)]
+        values = predictor.evaluate(predictor.pack_inputs({
+            "ra": [c[0] for c in cases],
+            "rb": [c[1] for c in cases],
+            "subtract": [c[2] for c in cases],
+        }))
+        for index, (a, b, sub) in enumerate(cases):
+            got = predictor.read_output(values, "prediction", index)
+            want = (a - b) % modulus if sub else (a + b) % modulus
+            assert canonical(got, modulus) == want
+
+    @pytest.mark.parametrize("modulus", (3, 7, 31, 127))
+    def test_multiplier(self, modulus):
+        unit = build_residue_multiplier(modulus)
+        rng = random.Random(modulus)
+        cases = [(rng.randrange(modulus), rng.randrange(modulus))
+                 for _ in range(128)]
+        values = unit.evaluate(unit.pack_inputs({
+            "a": [c[0] for c in cases],
+            "b": [c[1] for c in cases],
+        }))
+        for index, (a, b) in enumerate(cases):
+            got = unit.read_output(values, "product", index)
+            assert canonical(got, modulus) == (a * b) % modulus
+
+    @pytest.mark.parametrize("modulus", MODULI)
+    def test_mad_predictor_equation_1(self, modulus):
+        predictor = build_mad_predictor(modulus, pipelined=False)
+        factor = split_correction_factor(modulus)
+        rng = random.Random(modulus * 7)
+        cases = [tuple(rng.randrange(modulus) for _ in range(4))
+                 for _ in range(128)]
+        values = predictor.evaluate(predictor.pack_inputs({
+            "ra": [c[0] for c in cases],
+            "rb": [c[1] for c in cases],
+            "rc_hi": [c[2] for c in cases],
+            "rc_lo": [c[3] for c in cases],
+        }))
+        for index, (ra, rb, rc_hi, rc_lo) in enumerate(cases):
+            got = predictor.read_output(values, "prediction", index)
+            want = (ra * rb + rc_hi * factor + rc_lo) % modulus
+            assert canonical(got, modulus) == want
+
+    def test_mad_predictor_end_to_end(self):
+        # Predictor output matches the residue of an actual 32x32+64 MAD.
+        modulus = 127
+        predictor = build_mad_predictor(modulus, pipelined=False)
+        rng = random.Random(9)
+        cases = []
+        for _ in range(64):
+            a, b = rng.getrandbits(32), rng.getrandbits(32)
+            c = rng.getrandbits(64)
+            cases.append((a, b, c))
+        values = predictor.evaluate(predictor.pack_inputs({
+            "ra": [a % modulus for a, __, __ in cases],
+            "rb": [b % modulus for __, b, __ in cases],
+            "rc_hi": [(c >> 32) % modulus for __, __, c in cases],
+            "rc_lo": [(c & 0xFFFFFFFF) % modulus for __, __, c in cases],
+        }))
+        for index, (a, b, c) in enumerate(cases):
+            got = predictor.read_output(values, "prediction", index)
+            assert canonical(got, modulus) == (a * b + c) % modulus
+
+
+class TestRecodeEncoder:
+    @pytest.mark.parametrize("modulus", (3, 7, 15, 127))
+    def test_direct_encode_path(self, modulus):
+        encoder = build_recode_encoder(modulus, pipelined=False)
+        rng = random.Random(modulus)
+        data = [rng.getrandbits(32) for _ in range(64)]
+        count = len(data)
+        values = encoder.evaluate(encoder.pack_inputs({
+            "z": data, "pred": [0] * count, "rz": [0] * count,
+            "zadj": [0] * count, "seg_hi": [0] * count,
+            "cin": [0] * count, "cout": [0] * count,
+        }))
+        for index, value in enumerate(data):
+            got = encoder.read_output(values, "residue", index)
+            assert canonical(got, modulus) == value % modulus
+
+    @pytest.mark.parametrize("modulus", (3, 7, 15, 127, 255))
+    def test_recode_both_segments(self, modulus):
+        encoder = build_recode_encoder(modulus, pipelined=False)
+        rng = random.Random(modulus + 1)
+        cases = []
+        for _ in range(128):
+            full = rng.getrandbits(64)
+            seg_hi = rng.randrange(2)
+            cases.append((full, seg_hi))
+        values = encoder.evaluate(encoder.pack_inputs({
+            "z": [((f >> 32) if hi else (f & 0xFFFFFFFF))
+                  for f, hi in cases],
+            "pred": [1] * len(cases),
+            "rz": [f % modulus for f, __ in cases],
+            "zadj": [((f & 0xFFFFFFFF) if hi else (f >> 32))
+                     for f, hi in cases],
+            "seg_hi": [hi for __, hi in cases],
+            "cin": [0] * len(cases),
+            "cout": [0] * len(cases),
+        }))
+        for index, (full, seg_hi) in enumerate(cases):
+            want = ((full >> 32) if seg_hi else (full & 0xFFFFFFFF)) % modulus
+            got = encoder.read_output(values, "residue", index)
+            assert canonical(got, modulus) == want, (modulus, index, seg_hi)
+
+    @pytest.mark.parametrize("modulus", (7, 15))
+    def test_carry_adjustment(self, modulus):
+        # Low-segment recode with carry bits: out = rz - f*|zadj| + cin - cout.
+        encoder = build_recode_encoder(modulus, pipelined=False)
+        factor = split_correction_factor(modulus)
+        rng = random.Random(4)
+        cases = [(rng.getrandbits(64), rng.randrange(2), rng.randrange(2))
+                 for _ in range(64)]
+        values = encoder.evaluate(encoder.pack_inputs({
+            "z": [f & 0xFFFFFFFF for f, __, __ in cases],
+            "pred": [1] * len(cases),
+            "rz": [f % modulus for f, __, __ in cases],
+            "zadj": [f >> 32 for f, __, __ in cases],
+            "seg_hi": [0] * len(cases),
+            "cin": [c[1] for c in cases],
+            "cout": [c[2] for c in cases],
+        }))
+        for index, (full, cin, cout) in enumerate(cases):
+            high = full >> 32
+            want = (full - factor * high + cin - cout) % modulus
+            got = encoder.read_output(values, "residue", index)
+            assert canonical(got, modulus) == want
+
+
+class TestTable3:
+    def test_adjustment_signals_match_paper(self):
+        # Table III for a 4-bit residue: 0000, 0001, 1110, 1111.
+        assert table3_adjustment(0, 0, 15) == 0b0000
+        assert table3_adjustment(1, 0, 15) == 0b0001
+        assert table3_adjustment(0, 1, 15) == 0b1110
+        assert table3_adjustment(1, 1, 15) == 0b1111
+
+    @pytest.mark.parametrize("modulus", MODULI)
+    def test_signal_value_is_cin_minus_cout(self, modulus):
+        for cin in (0, 1):
+            for cout in (0, 1):
+                signal = table3_adjustment(cin, cout, modulus)
+                assert signal % modulus == (cin - cout) % modulus

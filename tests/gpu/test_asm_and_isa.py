@@ -1,0 +1,129 @@
+"""Tests for the assembler and ISA metadata."""
+
+import pytest
+
+from repro.errors import AssemblyError
+from repro.gpu import OPCODES, PT, RZ, Operand, OperandKind, assemble, \
+    parse_instruction
+
+
+class TestParseInstruction:
+    def test_basic_add(self):
+        instruction = parse_instruction("IADD R1, R2, 5")
+        assert instruction.op == "IADD"
+        assert instruction.dest.value == 1
+        assert instruction.sources[0].value == 2
+        assert instruction.sources[1].kind is OperandKind.IMMEDIATE
+        assert instruction.sources[1].value == 5
+
+    def test_predicated_negated(self):
+        instruction = parse_instruction("@!P2 MOV R1, R2")
+        assert instruction.predicate == 2
+        assert instruction.predicate_negated
+
+    def test_setp_compare_modifier(self):
+        instruction = parse_instruction("ISETP.GE P0, R1, R2")
+        assert instruction.compare == "GE"
+        assert instruction.dest.kind is OperandKind.PREDICATE
+
+    def test_setp_without_compare_rejected(self):
+        with pytest.raises(AssemblyError):
+            parse_instruction("ISETP P0, R1, R2")
+
+    def test_memory_operand(self):
+        instruction = parse_instruction("LDG R1, [R2+12]")
+        assert instruction.offset == 12
+        assert instruction.sources[0].value == 2
+
+    def test_immediate_address(self):
+        instruction = parse_instruction("STG [64], R1")
+        assert instruction.sources[0].value == RZ
+        assert instruction.offset == 64
+
+    def test_register_pair(self):
+        instruction = parse_instruction("DFMA RD2, RD4, RD6, RD8")
+        assert instruction.dest.kind is OperandKind.REGISTER64
+        assert instruction.dest_registers() == (2, 3)
+
+    def test_odd_pair_rejected(self):
+        with pytest.raises(AssemblyError):
+            parse_instruction("DADD RD3, RD4, RD6")
+
+    def test_float_literal(self):
+        instruction = parse_instruction("FADD R1, R2, 1.5")
+        import struct
+        expected = struct.unpack("<I", struct.pack("<f", 1.5))[0]
+        assert instruction.sources[1].value == expected
+
+    def test_branch_with_reconverge(self):
+        instruction = parse_instruction("@P0 BRA out, reconv=join")
+        assert instruction.target == "out"
+        assert instruction.reconverge == "join"
+
+    def test_shuffle_needs_mode(self):
+        with pytest.raises(AssemblyError):
+            parse_instruction("SHFL R1, R2, 16")
+
+    def test_atom_needs_op(self):
+        with pytest.raises(AssemblyError):
+            parse_instruction("ATOM R1, [R2], R3")
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(AssemblyError):
+            parse_instruction("IADD R1, R2")
+
+    def test_unknown_opcode_rejected(self):
+        with pytest.raises(AssemblyError):
+            parse_instruction("FROB R1, R2")
+
+
+class TestAssemble:
+    def test_labels_resolve(self):
+        kernel = assemble("k", """
+        top:
+            IADD R1, R1, 1
+            ISETP.LT P0, R1, 4
+        @P0 BRA top
+            EXIT
+        """)
+        assert kernel.labels["top"] == 0
+        assert kernel.register_count() == 2
+
+    def test_undefined_label_rejected(self):
+        with pytest.raises(AssemblyError):
+            assemble("k", "BRA nowhere\nEXIT")
+
+    def test_comments_stripped(self):
+        kernel = assemble("k", """
+            MOV R1, 3   // a comment
+            EXIT        # another
+        """)
+        assert len(kernel.instructions) == 2
+
+    def test_listing_roundtrips_text(self):
+        kernel = assemble("k", "MOV R1, 3\nEXIT")
+        listing = kernel.listing()
+        assert "MOV R1, 3" in listing
+        assert "EXIT" in listing
+
+
+class TestOpcodeMetadata:
+    def test_every_opcode_has_pipe_and_class(self):
+        for name, spec in OPCODES.items():
+            assert spec.latency >= 1, name
+            assert spec.initiation_interval >= 1, name
+
+    def test_fp64_double_rate_penalty(self):
+        assert OPCODES["DFMA"].initiation_interval == 2
+        assert OPCODES["FFMA"].initiation_interval == 1
+
+    def test_prediction_tiers(self):
+        assert OPCODES["IADD"].predict_kind == "addsub"
+        assert OPCODES["IMAD"].predict_kind == "mad"
+        assert OPCODES["SHL"].predict_kind == "fxp"
+        assert OPCODES["DFMA"].predict_kind == "fp-mad"
+        assert OPCODES["FRCP"].predict_kind is None
+
+    def test_rz_reads_zero_registers(self):
+        assert Operand.reg(RZ).registers() == ()
+        assert Operand.reg(4).registers() == (4,)

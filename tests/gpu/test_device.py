@@ -1,0 +1,69 @@
+"""Tests for the device-level launch API."""
+
+import numpy as np
+import pytest
+
+from repro.gpu import (Device, LaunchConfig, MemorySpace, TimingParams,
+                       assemble)
+from repro.gpu.power import PowerModel
+
+
+def counting_kernel():
+    return assemble("count", """
+        S2R R0, SR_TID
+        S2R R1, SR_CTAID
+        S2R R2, SR_NTID
+        IMAD R3, R1, R2, R0
+        MOV R4, 1
+        ATOM.ADD R5, [0], R4
+        STG [R3+8], R3
+        EXIT
+    """)
+
+
+class TestDeviceLaunch:
+    def test_all_ctas_execute_across_sms(self):
+        kernel = counting_kernel()
+        memory = MemorySpace(4096)
+        result = Device(TimingParams(num_sms=2)).launch(
+            kernel, LaunchConfig(6, 64), memory)
+        assert memory.read_words(0, 1)[0] == 6 * 64
+        assert np.array_equal(memory.read_words(8, 6 * 64),
+                              np.arange(6 * 64))
+        assert result.cycles > 0
+        assert result.issued >= 6 * 64 // 32 * 8
+
+    def test_seconds_follow_clock(self):
+        kernel = counting_kernel()
+        slow = Device(TimingParams(clock_ghz=1.0)).launch(
+            kernel, LaunchConfig(2, 64), MemorySpace(4096))
+        fast = Device(TimingParams(clock_ghz=2.0)).launch(
+            kernel, LaunchConfig(2, 64), MemorySpace(4096))
+        assert slow.seconds == pytest.approx(
+            slow.cycles / 1e9)
+        assert fast.seconds == pytest.approx(fast.cycles / 2e9)
+
+    def test_pipe_accounting_sums_to_issued(self):
+        kernel = counting_kernel()
+        result = Device().launch(kernel, LaunchConfig(4, 64),
+                                 MemorySpace(4096))
+        assert sum(result.issued_by_pipe.values()) == result.issued
+
+    def test_more_sms_do_not_change_results(self):
+        kernel = counting_kernel()
+        first = MemorySpace(4096)
+        second = MemorySpace(4096)
+        Device(TimingParams(num_sms=1)).launch(
+            kernel, LaunchConfig(4, 64), first)
+        Device(TimingParams(num_sms=4)).launch(
+            kernel, LaunchConfig(4, 64), second)
+        assert np.array_equal(first.words, second.words)
+
+    def test_power_estimate_positive(self):
+        kernel = counting_kernel()
+        result = Device().launch(kernel, LaunchConfig(2, 64),
+                                 MemorySpace(4096))
+        estimate = PowerModel().estimate(result)
+        assert estimate.watts > 60.0  # above static floor
+        assert estimate.joules == pytest.approx(
+            estimate.watts * result.seconds)

@@ -1,0 +1,233 @@
+"""Functional tests of warp execution: SIMT divergence, memory, shuffles."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.gpu import (Device, LaunchConfig, MemorySpace, assemble,
+                       run_functional)
+
+
+def run(source, words=512, ctas=1, threads=32, shared=0, init=None):
+    kernel = assemble("t", source)
+    memory = MemorySpace(words)
+    if init:
+        for address, values in init.items():
+            memory.write_words(address, values)
+    run_functional(kernel, LaunchConfig(ctas, threads, shared), memory)
+    return memory
+
+
+class TestDivergence:
+    def test_if_else(self):
+        memory = run("""
+            S2R R0, SR_TID
+            AND R1, R0, 1
+            ISETP.EQ P0, R1, 0
+        @P0 BRA even, reconv=join
+            MOV R2, 100
+            BRA join
+        even:
+            MOV R2, 200
+        join:
+            STG [R0], R2
+            EXIT
+        """)
+        out = memory.read_words(0, 32)
+        want = np.where(np.arange(32) % 2 == 0, 200, 100)
+        assert np.array_equal(out, want)
+
+    def test_divergent_loop_trip_counts(self):
+        memory = run("""
+            S2R R0, SR_TID
+            MOV R1, 0
+            MOV R2, 0
+        loop:
+            IADD R1, R1, 1
+            IADD R2, R2, R1
+            ISETP.LT P0, R1, R0
+        @P0 BRA loop
+            STG [R0], R2
+            EXIT
+        """)
+        out = memory.read_words(0, 32)
+        want = np.array([max(1, t) * (max(1, t) + 1) // 2
+                         for t in range(32)])
+        assert np.array_equal(out, want)
+
+    def test_nested_divergence(self):
+        memory = run("""
+            S2R R0, SR_TID
+            AND R1, R0, 3
+            ISETP.LT P0, R1, 2
+        @P0 BRA low, reconv=join
+            ISETP.EQ P1, R1, 2
+        @P1 BRA two, reconv=inner
+            MOV R2, 33
+            BRA inner
+        two:
+            MOV R2, 22
+        inner:
+            BRA join
+        low:
+            MOV R2, 11
+        join:
+            STG [R0], R2
+            EXIT
+        """)
+        out = memory.read_words(0, 32)
+        lanes = np.arange(32) % 4
+        want = np.where(lanes < 2, 11, np.where(lanes == 2, 22, 33))
+        assert np.array_equal(out, want)
+
+    def test_early_loop_exit_divergence(self):
+        memory = run("""
+            S2R R0, SR_TID
+            MOV R1, 0
+        loop:
+            ISETP.GE P0, R1, R0
+        @P0 BRA done, reconv=done
+            IADD R1, R1, 1
+            BRA loop
+        done:
+            STG [R0], R1
+            EXIT
+        """)
+        assert np.array_equal(memory.read_words(0, 32), np.arange(32))
+
+    def test_missing_exit_detected(self):
+        with pytest.raises(SimulationError):
+            run("MOV R1, 1")
+
+
+class TestPredication:
+    def test_predicated_off_instruction_has_no_effect(self):
+        memory = run("""
+            S2R R0, SR_TID
+            MOV R1, 7
+            ISETP.LT P0, R0, 0
+        @P0 MOV R1, 9
+            STG [R0], R1
+            EXIT
+        """)
+        assert (memory.read_words(0, 32) == 7).all()
+
+    def test_sel(self):
+        memory = run("""
+            S2R R0, SR_TID
+            AND R1, R0, 1
+            ISETP.EQ P0, R1, 1
+            MOV R2, 5
+            MOV R3, 6
+            SEL R4, R2, R3, P0
+            STG [R0], R4
+            EXIT
+        """)
+        out = memory.read_words(0, 32)
+        want = np.where(np.arange(32) % 2 == 1, 5, 6)
+        assert np.array_equal(out, want)
+
+
+class TestMemoryAndAtomics:
+    def test_atomic_add_counts_lanes(self):
+        memory = run("""
+            MOV R1, 1
+            ATOM.ADD R2, [0], R1
+            S2R R0, SR_TID
+            STG [R0+8], R2
+            EXIT
+        """)
+        assert memory.read_words(0, 1)[0] == 32
+        # returned old values are a permutation of 0..31
+        old = memory.read_words(8, 32)
+        assert sorted(old.tolist()) == list(range(32))
+
+    def test_atomic_max(self):
+        memory = run("""
+            S2R R0, SR_TID
+            ATOM.MAX R1, [0], R0
+            EXIT
+        """)
+        assert memory.read_words(0, 1)[0] == 31
+
+    def test_shared_memory_roundtrip(self):
+        memory = run("""
+            S2R R0, SR_TID
+            STS [R0], R0
+            BAR
+            XOR R1, R0, 31
+            LDS R2, [R1]
+            STG [R0], R2
+            EXIT
+        """, shared=32)
+        assert np.array_equal(memory.read_words(0, 32),
+                              np.arange(32) ^ 31)
+
+    def test_out_of_range_access_raises(self):
+        with pytest.raises(SimulationError):
+            run("""
+                MOV R1, 100000
+                LDG R2, [R1]
+                EXIT
+            """)
+
+    def test_64_bit_load_store(self):
+        memory = MemorySpace(256)
+        memory.write_f64(0, [2.5])
+        kernel = assemble("t", """
+            LDG.64 RD2, [0]
+            DADD RD4, RD2, RD2
+            STG.64 [2], RD4
+            EXIT
+        """)
+        run_functional(kernel, LaunchConfig(1, 1), memory)
+        assert memory.read_f64(2, 1)[0] == 5.0
+
+
+class TestShuffles:
+    @pytest.mark.parametrize("mode,amount,expect", [
+        ("BFLY", 8, lambda lanes: lanes ^ 8),
+        ("DOWN", 1, lambda lanes: np.minimum(lanes + 1, 31)),
+        ("UP", 1, lambda lanes: np.maximum(lanes - 1, 0)),
+        ("IDX", 5, lambda lanes: np.full(32, 5)),
+    ])
+    def test_modes(self, mode, amount, expect):
+        memory = run(f"""
+            S2R R0, SR_TID
+            SHFL.{mode} R1, R0, {amount}
+            STG [R0], R1
+            EXIT
+        """)
+        lanes = np.arange(32)
+        want = expect(lanes)
+        # out-of-range sources keep the lane's own value (UP/DOWN edges)
+        assert np.array_equal(memory.read_words(0, 32), want)
+
+
+class TestBarriers:
+    def test_cross_warp_barrier(self):
+        memory = run("""
+            S2R R0, SR_TID
+            STS [R0], R0
+            BAR
+            XOR R1, R0, 63
+            LDS R2, [R1]
+            STG [R0], R2
+            EXIT
+        """, threads=64, shared=64)
+        assert np.array_equal(memory.read_words(0, 64),
+                              np.arange(64) ^ 63)
+
+    def test_multiple_ctas_isolated_shared(self):
+        memory = run("""
+            S2R R0, SR_TID
+            S2R R1, SR_CTAID
+            STS [R0], R1
+            BAR
+            LDS R2, [R0]
+            IMAD R3, R1, 32, R0
+            STG [R3], R2
+            EXIT
+        """, ctas=2, shared=32)
+        assert (memory.read_words(0, 32) == 0).all()
+        assert (memory.read_words(32, 32) == 1).all()

@@ -1,0 +1,86 @@
+"""Tests for checkpoint-restart recovery over SwapCodes detection."""
+
+import numpy as np
+import pytest
+
+from repro.compiler import compile_for_scheme
+from repro.ecc import SecDedDpSwap
+from repro.errors import SimulationError
+from repro.gpu import (FaultPlan, LaunchConfig, MemorySpace,
+                       ResilienceState, assemble)
+from repro.gpu.recovery import run_with_recovery
+
+SOURCE = """
+    S2R R0, SR_TID
+    LDG R1, [R0]
+    IMAD R2, R1, 7, R1
+    STG [R0+64], R2
+    EXIT
+"""
+
+
+def compiled_kernel():
+    kernel = assemble("k", SOURCE)
+    launch = LaunchConfig(1, 32)
+    return compile_for_scheme(kernel, launch, "swap-ecc").kernel, launch
+
+
+def checkpoint():
+    memory = MemorySpace(256)
+    memory.write_words(0, list(range(32)))
+    return memory
+
+
+def expected():
+    values = np.arange(32)
+    return (values * 7 + values).astype(np.uint32)
+
+
+class TestRecovery:
+    def test_clean_run_single_attempt(self):
+        kernel, launch = compiled_kernel()
+        result = run_with_recovery(
+            kernel, launch, checkpoint(),
+            lambda: ResilienceState(mode="swap", scheme=SecDedDpSwap()))
+        assert result.attempts == 1
+        assert not result.recovered
+        assert np.array_equal(result.memory.read_words(64, 32), expected())
+
+    def test_transient_fault_costs_one_retry(self):
+        kernel, launch = compiled_kernel()
+        states = []
+
+        def make_state():
+            # The transient strikes only the first attempt.
+            fault = FaultPlan(0, 0, 1, lane=5, bit=9) if not states \
+                else None
+            state = ResilienceState(mode="swap", scheme=SecDedDpSwap(),
+                                    fault=fault)
+            states.append(state)
+            return state
+
+        result = run_with_recovery(kernel, launch, checkpoint(), make_state)
+        assert result.attempts == 2
+        assert result.recovered
+        assert np.array_equal(result.memory.read_words(64, 32), expected())
+
+    def test_persistent_fault_exhausts_attempts(self):
+        kernel, launch = compiled_kernel()
+
+        def make_state():
+            return ResilienceState(
+                mode="swap", scheme=SecDedDpSwap(),
+                fault=FaultPlan(0, 0, 1, lane=5, bit=9))
+
+        with pytest.raises(SimulationError):
+            run_with_recovery(kernel, launch, checkpoint(), make_state,
+                              max_attempts=2)
+
+    def test_checkpoint_never_mutated(self):
+        kernel, launch = compiled_kernel()
+        image = checkpoint()
+        before = image.words.copy()
+        run_with_recovery(
+            kernel, launch, image,
+            lambda: ResilienceState(mode="swap", scheme=SecDedDpSwap()))
+        assert np.array_equal(image.words, before)

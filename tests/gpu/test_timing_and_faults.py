@@ -1,0 +1,193 @@
+"""Tests for the timing model (occupancy, pipes, cache) and fault model."""
+
+import numpy as np
+import pytest
+
+from repro.ecc import SecDedDpSwap, DetectOnlySwap, ResidueCode
+from repro.errors import SimulationError
+from repro.gpu import (Device, FaultPlan, LaunchConfig, MemorySpace,
+                       ResilienceState, TimingParams, assemble,
+                       run_functional)
+
+
+def simple_kernel(body="IADD R1, R1, 1"):
+    return assemble("t", f"""
+        S2R R0, SR_TID
+        {body}
+        STG [R0], R1
+        EXIT
+    """)
+
+
+class TestOccupancy:
+    params = TimingParams()
+
+    def test_register_pressure_limits_ctas(self):
+        light = assemble("light", "MOV R1, 1\nEXIT")
+        heavy_moves = "\n".join(f"MOV R{i}, {i}" for i in range(1, 65))
+        heavy = assemble("heavy", heavy_moves + "\nEXIT")
+        launch = LaunchConfig(1, 128)
+        light_occ = self.params.occupancy(light, launch)
+        heavy_occ = self.params.occupancy(heavy, launch)
+        assert heavy_occ.ctas_per_sm < light_occ.ctas_per_sm
+        assert heavy_occ.limiter == "registers"
+
+    def test_warp_limit(self):
+        kernel = assemble("k", "MOV R1, 1\nEXIT")
+        occupancy = self.params.occupancy(kernel, LaunchConfig(64, 1024))
+        assert occupancy.warps_per_sm == self.params.max_warps_per_sm
+
+    def test_shared_memory_limit(self):
+        kernel = assemble("k", "MOV R1, 1\nEXIT")
+        occupancy = self.params.occupancy(
+            kernel, LaunchConfig(8, 32, shared_words_per_cta=6144))
+        assert occupancy.ctas_per_sm == 2
+        assert occupancy.limiter == "shared"
+
+    def test_impossible_launch_raises(self):
+        kernel = assemble("k", "MOV R1, 1\nEXIT")
+        with pytest.raises(SimulationError):
+            self.params.occupancy(
+                kernel, LaunchConfig(1, 32, shared_words_per_cta=999999))
+
+
+class TestTimingBehaviour:
+    def test_duplicated_arithmetic_costs_cycles_when_saturated(self):
+        # A dense fp64 loop saturates the half-rate pipe: doubling the
+        # DFMAs roughly doubles runtime.
+        def build(dup):
+            body = "DFMA RD2, RD4, RD4, RD2\n" * (2 if dup else 1)
+            return assemble("k", f"""
+                S2R R0, SR_TID
+                MOV R1, 0
+            loop:
+                {body}
+                IADD R1, R1, 1
+                ISETP.LT P0, R1, 32
+            @P0 BRA loop
+                STG [R0], R1
+                EXIT
+            """)
+
+        device = Device(TimingParams(num_sms=1))
+        memory = MemorySpace(4096)
+        single = device.launch(build(False), LaunchConfig(8, 128), memory)
+        double = device.launch(build(True), LaunchConfig(8, 128),
+                               MemorySpace(4096))
+        assert double.cycles > single.cycles * 1.5
+
+    def test_cache_hits_shorten_reuse(self):
+        # Re-loading the same word repeatedly should hit in L1.
+        kernel = assemble("k", """
+            S2R R0, SR_TID
+            MOV R1, 0
+            MOV R2, 0
+        loop:
+            LDG R3, [0]
+            IADD R2, R2, R3
+            IADD R1, R1, 1
+            ISETP.LT P0, R1, 16
+        @P0 BRA loop
+            STG [R0+8], R2
+            EXIT
+        """)
+        warm = Device(TimingParams(num_sms=1)).launch(
+            kernel, LaunchConfig(1, 32), MemorySpace(256))
+        cold = Device(TimingParams(num_sms=1, l1_lines=0)).launch(
+            kernel, LaunchConfig(1, 32), MemorySpace(256))
+        assert warm.cycles < cold.cycles
+
+    def test_coalescing_cost(self):
+        # Strided accesses touch more segments and hold the LSU longer.
+        def kernel(stride):
+            return assemble("k", f"""
+                S2R R0, SR_TID
+                IMUL R1, R0, {stride}
+                LDG R2, [R1]
+                STG [R0+4096], R2
+                EXIT
+            """)
+
+        device = Device(TimingParams(num_sms=1, l1_lines=0))
+        unit = device.launch(kernel(1), LaunchConfig(8, 128),
+                             MemorySpace(16384))
+        strided = device.launch(kernel(32), LaunchConfig(8, 128),
+                                MemorySpace(16384))
+        assert strided.memory_transactions > unit.memory_transactions
+        assert strided.cycles > unit.cycles
+
+    def test_results_match_functional_mode(self):
+        kernel = simple_kernel("IMAD R1, R0, R0, R0")
+        timed_memory = MemorySpace(256)
+        Device().launch(kernel, LaunchConfig(1, 64), timed_memory)
+        functional_memory = MemorySpace(256)
+        run_functional(kernel, LaunchConfig(1, 64), functional_memory)
+        assert np.array_equal(timed_memory.words, functional_memory.words)
+
+
+class TestFaultModel:
+    def make_state(self, occurrence=1, lane=0, bit=3, where="result",
+                   scheme=None):
+        return ResilienceState(
+            mode="swap" if scheme else "none", scheme=scheme,
+            fault=FaultPlan(0, 0, occurrence, lane, bit, where))
+
+    def test_unprotected_fault_corrupts_output(self):
+        kernel = simple_kernel("IMAD R1, R0, 3, R0")
+        memory = MemorySpace(256)
+        state = self.make_state()
+        run_functional(kernel, LaunchConfig(1, 32), memory, state)
+        assert state.fault_fired
+        out = memory.read_words(0, 32)
+        want = np.arange(32) * 4
+        assert (out != want).sum() == 1  # exactly one lane corrupted
+
+    def test_swap_taint_detected_on_read(self):
+        kernel = simple_kernel("IMAD R1, R0, 3, R0")
+        memory = MemorySpace(256)
+        state = self.make_state(scheme=SecDedDpSwap())
+        # Without a shadow, the original writes a valid codeword of the
+        # bad value; this kernel is un-duplicated so the fault escapes.
+        run_functional(kernel, LaunchConfig(1, 32), memory, state)
+        assert state.fault_fired and not state.detected
+
+    def test_fault_plan_validation(self):
+        with pytest.raises(SimulationError):
+            FaultPlan(0, 0, 0, lane=99, bit=0)
+        with pytest.raises(SimulationError):
+            FaultPlan(0, 0, 0, lane=0, bit=99)
+        with pytest.raises(SimulationError):
+            FaultPlan(0, 0, 0, lane=0, bit=0, where="everywhere")
+
+    def test_inactive_lane_fault_is_masked(self):
+        kernel = assemble("k", """
+            S2R R0, SR_TID
+            ISETP.LT P0, R0, 8
+        @P0 IADD R1, R0, 1
+            STG [R0], R1
+            EXIT
+        """)
+        memory = MemorySpace(256)
+        state = ResilienceState(
+            mode="none", fault=FaultPlan(0, 0, 1, lane=20, bit=0))
+        run_functional(kernel, LaunchConfig(1, 32), memory, state)
+        assert not state.fault_fired  # lane 20 never executed the IADD
+
+    def test_detection_event_recording(self):
+        from repro.compiler import compile_for_scheme
+        kernel = assemble("k", """
+            S2R R0, SR_TID
+            IADD R1, R0, 5
+            IMAD R2, R1, 2, R0
+            STG [R0], R2
+            EXIT
+        """)
+        launch = LaunchConfig(1, 32)
+        compiled = compile_for_scheme(kernel, launch, "swap-ecc")
+        memory = MemorySpace(256)
+        state = ResilienceState(
+            mode="swap", scheme=DetectOnlySwap(ResidueCode(7)),
+            fault=FaultPlan(0, 0, 2, lane=4, bit=7))
+        run_functional(compiled.kernel, launch, memory, state)
+        assert state.detected
+        assert state.events[0].kind == "due"

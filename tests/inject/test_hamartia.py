@@ -1,0 +1,94 @@
+"""Tests for the fault injector and campaign statistics."""
+
+import pytest
+
+from repro.errors import InjectionError
+from repro.gates import Netlist, build_add_unit
+from repro.inject import (CampaignResult, FaultInjector, classify_severity,
+                          run_unit_campaign, severity_distribution)
+from repro.inject.hamartia import SEVERITY_CLASSES
+
+
+def tiny_xor_unit():
+    netlist = Netlist("tiny")
+    a = netlist.input_bus("a", 4)
+    b = netlist.input_bus("b", 4)
+    out = [netlist.xor(x, y) for x, y in zip(a, b)]
+    netlist.set_output("out", out)
+    return netlist
+
+
+class TestClassifySeverity:
+    def test_classes(self):
+        assert classify_severity(0b1) == "1"
+        assert classify_severity(0b11) == "2-3"
+        assert classify_severity(0b111) == "2-3"
+        assert classify_severity(0b1111) == ">=4"
+        assert classify_severity(0xFFFF_FFFF) == ">=4"
+
+    def test_masked_rejected(self):
+        with pytest.raises(InjectionError):
+            classify_severity(0)
+
+
+class TestFaultInjector:
+    def test_xor_unit_every_fault_is_single_bit(self):
+        # Each XOR gate feeds exactly one output bit, so every unmasked
+        # error is a single-bit error.
+        unit = tiny_xor_unit()
+        injector = FaultInjector(unit)
+        result = injector.run({"a": [3, 5, 9], "b": [1, 1, 1]})
+        assert result.sample_count == 3
+        assert result.masked_input_fraction == 0.0
+        for record in result.records:
+            assert record.pattern.bit_count() == 1
+        dist = severity_distribution(result)
+        assert dist["1"].mean == 1.0
+        assert dist["2-3"].mean == 0.0
+
+    def test_golden_values_recorded(self):
+        unit = tiny_xor_unit()
+        result = FaultInjector(unit).run({"a": [3], "b": [5]})
+        assert all(record.golden == 3 ^ 5 for record in result.records)
+
+    def test_site_subsampling(self):
+        unit = build_add_unit(32)
+        injector = FaultInjector(unit)
+        result = injector.run({"a": [1, 2], "b": [3, 4]}, site_count=50)
+        assert result.sites_evaluated == 50
+
+    def test_ambiguous_output_rejected(self):
+        netlist = Netlist()
+        a = netlist.input_bus("a", 1)
+        netlist.set_output("x", a)
+        netlist.set_output("y", a)
+        with pytest.raises(InjectionError):
+            FaultInjector(netlist)
+
+    def test_unknown_output_rejected(self):
+        with pytest.raises(InjectionError):
+            FaultInjector(tiny_xor_unit(), output="nope")
+
+    def test_deterministic_given_seed(self):
+        unit = tiny_xor_unit()
+        first = FaultInjector(unit).run({"a": [3, 7], "b": [2, 2]}, seed=5)
+        second = FaultInjector(unit).run({"a": [3, 7], "b": [2, 2]}, seed=5)
+        assert [r.site for r in first.records] == \
+            [r.site for r in second.records]
+
+    def test_add_unit_faults_propagate_multibit(self):
+        # A carry-chain fault in an adder can corrupt several output bits.
+        result = run_unit_campaign("fxp-add-32", sample_count=50,
+                                   site_count=120, seed=3)
+        dist = severity_distribution(result)
+        assert dist["1"].mean > 0.5  # single-bit dominates (paper Fig. 10)
+        assert dist["1"].mean < 1.0  # but carry faults fan out
+        total = sum(dist[name].mean for name in SEVERITY_CLASSES)
+        assert total == pytest.approx(1.0, abs=1e-9)
+
+    def test_class_counts_consistent_with_unmasked(self):
+        result = run_unit_campaign("fxp-add-32", sample_count=20,
+                                   site_count=60, seed=4)
+        for counts, total in zip(result.class_counts,
+                                 result.unmasked_site_counts):
+            assert sum(counts.values()) == total

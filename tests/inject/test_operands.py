@@ -1,0 +1,63 @@
+"""Tests for operand traces and synthetic operand streams."""
+
+import pytest
+
+from repro.errors import InjectionError
+from repro.inject import OPERAND_KINDS, OperandTrace, synthetic_operands
+
+
+class TestSyntheticOperands:
+    @pytest.mark.parametrize("kind", OPERAND_KINDS)
+    def test_shapes(self, kind):
+        tuples = synthetic_operands(kind, 50, seed=1)
+        assert len(tuples) == 50
+        arity = 3 if kind.endswith("mad") else 2
+        assert all(len(t) == arity for t in tuples)
+
+    def test_width_bounds(self):
+        for a, b in synthetic_operands("int_add", 200, seed=2):
+            assert 0 <= a < 2**32 and 0 <= b < 2**32
+        for a, b, c in synthetic_operands("int_mad", 200, seed=3):
+            assert 0 <= c < 2**64
+        for a, b, c in synthetic_operands("fp64_mad", 100, seed=4):
+            assert 0 <= a < 2**64
+
+    def test_deterministic(self):
+        assert synthetic_operands("fp32_add", 20, seed=7) == \
+            synthetic_operands("fp32_add", 20, seed=7)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(InjectionError):
+            synthetic_operands("complex_fma", 5)
+
+
+class TestOperandTrace:
+    def test_add_and_sample(self):
+        trace = OperandTrace()
+        trace.add("int_add", (1, 2))
+        trace.add("int_add", (3, 4))
+        samples = trace.sample("int_add", 10, seed=0)
+        assert len(samples) == 10
+        assert set(samples) <= {(1, 2), (3, 4)}
+
+    def test_sample_falls_back_to_synthetic(self):
+        trace = OperandTrace()
+        samples = trace.sample("fp32_add", 5, seed=0)
+        assert len(samples) == 5
+
+    def test_sample_without_fallback_raises(self):
+        with pytest.raises(InjectionError):
+            OperandTrace().sample("fp32_add", 5, fallback=False)
+
+    def test_merge_and_len(self):
+        first = OperandTrace()
+        first.add("int_add", (1, 1))
+        second = OperandTrace()
+        second.add("int_add", (2, 2))
+        second.add("fp32_add", (3, 3))
+        first.merge(second)
+        assert len(first) == 3
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(InjectionError):
+            OperandTrace().add("nope", (1,))

@@ -1,0 +1,78 @@
+"""Tests for the shared bit-manipulation helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import bitutils
+
+NONNEG = st.integers(min_value=0, max_value=2**64 - 1)
+
+
+class TestPopcountParity:
+    @given(NONNEG)
+    def test_popcount_matches_bin(self, value):
+        assert bitutils.popcount(value) == bin(value).count("1")
+
+    @given(NONNEG)
+    def test_parity_is_popcount_lsb(self, value):
+        assert bitutils.parity(value) == bitutils.popcount(value) % 2
+
+
+class TestMaskAndBits:
+    def test_mask(self):
+        assert bitutils.mask(0) == 0
+        assert bitutils.mask(8) == 0xFF
+        assert bitutils.mask(32) == 0xFFFF_FFFF
+
+    def test_mask_negative_raises(self):
+        with pytest.raises(ValueError):
+            bitutils.mask(-1)
+
+    @given(NONNEG, st.integers(min_value=0, max_value=63))
+    def test_get_set_bit(self, value, index):
+        assert bitutils.get_bit(
+            bitutils.set_bit(value, index, 1), index) == 1
+        assert bitutils.get_bit(
+            bitutils.set_bit(value, index, 0), index) == 0
+
+    @given(NONNEG)
+    def test_bits_roundtrip(self, value):
+        bits = bitutils.int_to_bits(value, 64)
+        assert bitutils.bits_to_int(bits) == value
+
+    @given(NONNEG)
+    def test_bit_positions(self, value):
+        positions = bitutils.bit_positions(value)
+        assert bitutils.bits_to_int(
+            [1 if i in set(positions) else 0 for i in range(70)]) == value
+
+    @given(NONNEG, st.sets(st.integers(min_value=0, max_value=63)))
+    def test_flip_bits_involution(self, value, indices):
+        flipped = bitutils.flip_bits(value, indices)
+        assert bitutils.flip_bits(flipped, indices) == value
+
+    @given(NONNEG)
+    def test_iter_bits(self, value):
+        assert list(bitutils.iter_bits(value, 64)) == bitutils.int_to_bits(
+            value, 64)
+
+
+class TestRotateAndSignExtend:
+    @given(st.integers(min_value=0, max_value=2**32 - 1),
+           st.integers(min_value=0, max_value=100))
+    def test_rotate_roundtrip(self, value, amount):
+        rotated = bitutils.rotate_left(value, amount, 32)
+        back = bitutils.rotate_left(rotated, (32 - amount % 32) % 32, 32)
+        assert back == value
+
+    def test_rotate_known(self):
+        assert bitutils.rotate_left(0b1000_0000, 1, 8) == 1
+
+    @given(st.integers(min_value=-2**31, max_value=2**31 - 1))
+    def test_sign_extend_roundtrip(self, value):
+        assert bitutils.sign_extend(value & 0xFFFF_FFFF, 32) == value
+
+    def test_sign_extend_known(self):
+        assert bitutils.sign_extend(0xFF, 8) == -1
+        assert bitutils.sign_extend(0x7F, 8) == 127

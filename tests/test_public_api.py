@@ -1,0 +1,72 @@
+"""Cross-cutting tests of the public API surface and small helpers."""
+
+import pytest
+
+from repro import __version__, bitutils
+from repro.ecc import standard_register_codes
+from repro.ecc.base import DecodeStatus
+from repro.inject.classify import Estimate
+from repro.compiler import MixCounts
+
+
+class TestVersionAndImports:
+    def test_version(self):
+        assert __version__ == "1.0.0"
+
+    def test_top_level_packages_import(self):
+        import repro.ecc
+        import repro.gates
+        import repro.gpu
+        import repro.inject
+        import repro.compiler
+        import repro.workloads
+        import repro.experiments
+        assert repro.ecc.__doc__ and repro.gpu.__doc__
+
+
+class TestStandardRegisterCodes:
+    def test_registry_contents(self):
+        codes = standard_register_codes()
+        assert set(codes) == {"parity", "mod3", "mod7", "mod15", "mod31",
+                              "mod63", "mod127", "mod255", "secded", "ted"}
+
+    def test_all_roundtrip(self):
+        for name, code in standard_register_codes().items():
+            check = code.encode(0xCAFE_BABE)
+            result = code.decode(0xCAFE_BABE, check)
+            assert result.status is DecodeStatus.OK, name
+
+    def test_detects_helper(self):
+        codes = standard_register_codes()
+        assert codes["secded"].detects(7, data_error=1)
+        assert codes["mod3"].detects(7, data_error=1)
+        # a mod-3-invisible pattern: +3 (bits 0 and 1 from value 1 -> 4)
+        assert not codes["mod3"].detects(1, data_error=0b101)
+
+
+class TestEstimate:
+    def test_str_format(self):
+        estimate = Estimate(0.123, 0.01)
+        assert "12.30%" in str(estimate)
+
+    def test_zero_samples(self):
+        from repro.inject.classify import _proportion_estimate
+        assert _proportion_estimate([]).mean == 0.0
+        assert _proportion_estimate([1.0]).ci95 == 0.0
+
+
+class TestMixCounts:
+    def test_fraction_guard(self):
+        with pytest.raises(ValueError):
+            MixCounts().as_fractions(0)
+
+
+class TestBitutilsEdges:
+    def test_rotate_full_width(self):
+        assert bitutils.rotate_left(0b1011, 4, 4) == 0b1011
+
+    def test_bits_to_int_empty(self):
+        assert bitutils.bits_to_int([]) == 0
+
+    def test_flip_bits_empty(self):
+        assert bitutils.flip_bits(42, []) == 42

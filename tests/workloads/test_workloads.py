@@ -1,0 +1,110 @@
+"""Tests for the workload suite: structure, verification, scheme matrix."""
+
+import numpy as np
+import pytest
+
+from repro.compiler import compile_for_scheme, resilience_mode
+from repro.ecc import SecDedDpSwap
+from repro.errors import CompilationError, WorkloadError
+from repro.gpu import ResilienceState, run_functional
+from repro.workloads import (ALL_ORDER, RODINIA_ORDER, WORKLOADS,
+                             get_workload)
+
+SMALL = 0.25
+
+
+class TestRegistry:
+    def test_all_fifteen_registered(self):
+        assert len(WORKLOADS) == 15
+        assert set(ALL_ORDER) == set(WORKLOADS)
+        assert len(RODINIA_ORDER) == 13
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(WorkloadError):
+            get_workload("doom")
+
+    def test_paper_names_present(self):
+        labels = {WORKLOADS[name].paper_name for name in ALL_ORDER}
+        assert {"lavaMD", "b+tree", "srad_v2", "SNAP"} <= labels
+
+
+@pytest.mark.parametrize("name", ALL_ORDER)
+class TestEachWorkload:
+    def test_builds_and_verifies(self, name):
+        instance = get_workload(name).build(scale=SMALL, seed=11)
+        memory = instance.fresh_memory()
+        run_functional(instance.kernel, instance.launch, memory)
+        assert instance.verify(memory), name
+
+    def test_fresh_memory_is_independent(self, name):
+        instance = get_workload(name).build(scale=SMALL, seed=11)
+        first = instance.fresh_memory()
+        second = instance.fresh_memory()
+        first.words[:] = 0
+        assert not np.array_equal(first.words, second.words) or \
+            second.words.sum() == 0
+
+    def test_unverified_fresh_image_fails(self, name):
+        # Before running, the output region is empty: verify must fail
+        # (guards against vacuous verifiers).
+        instance = get_workload(name).build(scale=SMALL, seed=11)
+        assert not instance.verify(instance.fresh_memory())
+
+    def test_deterministic_given_seed(self, name):
+        first = get_workload(name).build(scale=SMALL, seed=3)
+        second = get_workload(name).build(scale=SMALL, seed=3)
+        assert np.array_equal(first.memory.words, second.memory.words)
+
+    def test_swap_ecc_compiles_and_verifies(self, name):
+        instance = get_workload(name).build(scale=SMALL, seed=11)
+        compiled = compile_for_scheme(instance.kernel, instance.launch,
+                                      "swap-ecc")
+        memory = instance.fresh_memory()
+        state = ResilienceState(mode="swap", scheme=SecDedDpSwap())
+        run_functional(compiled.kernel,
+                       compiled.adjust_launch(instance.launch), memory,
+                       state)
+        assert instance.verify(memory)
+        assert not state.detected
+
+
+class TestInterthreadApplicability:
+    def test_rodinia_accepts(self):
+        for name in RODINIA_ORDER:
+            instance = get_workload(name).build(scale=SMALL, seed=1)
+            compiled = compile_for_scheme(instance.kernel, instance.launch,
+                                          "interthread")
+            assert compiled.thread_multiplier == 2
+
+    @pytest.mark.parametrize("name", ["snap", "matmul"])
+    def test_paper_failures_reproduce(self, name):
+        instance = get_workload(name).build(scale=SMALL, seed=1)
+        with pytest.raises(CompilationError):
+            compile_for_scheme(instance.kernel, instance.launch,
+                               "interthread")
+
+
+class TestWorkloadCharacter:
+    def test_lavamd_is_fp64_heavy(self):
+        instance = get_workload("lavamd").build(scale=SMALL)
+        ops = [i.op for i in instance.kernel.instructions]
+        fp64 = sum(1 for op in ops if op.startswith("D"))
+        assert fp64 >= 10
+
+    def test_btree_is_integer_only(self):
+        instance = get_workload("btree").build(scale=SMALL)
+        assert not any(i.op.startswith(("F", "D"))
+                       for i in instance.kernel.instructions)
+
+    def test_snap_uses_shuffles(self):
+        instance = get_workload("snap").build(scale=SMALL)
+        assert any(i.op == "SHFL" for i in instance.kernel.instructions)
+
+    def test_matmul_uses_full_ctas(self):
+        instance = get_workload("matmul").build(scale=SMALL)
+        assert instance.launch.threads_per_cta == 1024
+
+    def test_scale_grows_problem(self):
+        small = get_workload("btree").build(scale=0.25)
+        large = get_workload("btree").build(scale=1.0)
+        assert large.launch.grid_ctas > small.launch.grid_ctas
