@@ -2,79 +2,77 @@
 """End-to-end fault injection: what happens to a real kernel's output?
 
 For one workload, injects random single-bit datapath transients into
-running kernels under three protections and classifies each run:
+running kernels under four protections and classifies each run with the
+engine's outcome taxonomy:
 
-* ``detected`` — a checking trap (SW-Dup) or register-file DUE (Swap-ECC);
-* ``crash``    — the corrupted value (usually an address) aborted the run,
+* ``due``/``trap`` — a register-file DUE (Swap-ECC) or checking trap
+  (SW-Dup) caught the error;
+* ``crash``   — the corrupted value (usually an address) aborted the run,
   which the hardware reports as a detectable fault;
-* ``sdc``      — the kernel finished with a wrong result;
-* ``masked``   — the flipped value never influenced the output.
+* ``sdc``     — the kernel finished with a wrong result;
+* ``masked``  — the flipped value never influenced the output;
+* ``not-hit`` — the planned fault never fired (too few dynamic ops).
 
-This goes beyond the paper's unit-level study: it shows Swap-ECC's
-*error containment* (faults caught at the register read, before reaching
-memory) on a full program.
+Each protection scheme sweeps as one work unit of the resilient campaign
+engine: trials run in a crash-isolated worker, results stream to an
+optional ``--journal`` checkpoint (rerun the same command to resume), and
+the detection rate is reported with its Wilson 95% confidence interval.
 
 Usage::
 
     python examples/end_to_end_faults.py [workload] [trials]
+        [--journal PATH] [--recover]
 """
 
-import random
-import sys
+import argparse
 
-from repro.compiler import compile_for_scheme, resilience_mode
-from repro.ecc import SecDedDpSwap
-from repro.errors import SimulationError
-from repro.gpu import FaultPlan, ResilienceState, run_functional
-from repro.workloads import get_workload
+from repro.inject import CampaignEngine, EngineConfig, gpu_work_unit
 
-
-def classify(instance, scheme, plan):
-    compiled = compile_for_scheme(instance.kernel, instance.launch, scheme)
-    launch = compiled.adjust_launch(instance.launch)
-    memory = instance.fresh_memory()
-    mode = resilience_mode(scheme)
-    state = ResilienceState(
-        mode=mode, scheme=SecDedDpSwap() if mode == "swap" else None,
-        fault=plan)
-    try:
-        run_functional(compiled.kernel, launch, memory, state)
-    except SimulationError:
-        return "crash"
-    if state.detected:
-        return "detected"
-    if not state.fault_fired:
-        return "not-hit"
-    return "masked" if instance.verify(memory) else "sdc"
+SCHEMES = ("baseline", "swdup", "swap-ecc", "pre-mad")
 
 
 def main():
-    workload = sys.argv[1] if len(sys.argv) > 1 else "pathfinder"
-    trials = int(sys.argv[2]) if len(sys.argv) > 2 else 40
-    instance = get_workload(workload).build(scale=0.25, seed=1)
-    rng = random.Random(0)
-    schemes = ("baseline", "swdup", "swap-ecc", "pre-mad")
-    tallies = {scheme: {"detected": 0, "crash": 0, "sdc": 0, "masked": 0,
-                        "not-hit": 0}
-               for scheme in schemes}
-    for trial in range(trials):
-        plan = FaultPlan(
-            cta_index=rng.randrange(instance.launch.grid_ctas),
-            warp_index=rng.randrange(instance.launch.warps_per_cta),
-            occurrence=rng.randrange(60),
-            lane=rng.randrange(min(32, instance.launch.threads_per_cta)),
-            bit=rng.randrange(32))
-        for scheme in schemes:
-            tallies[scheme][classify(instance, scheme, plan)] += 1
+    parser = argparse.ArgumentParser(
+        description="end-to-end FaultPlan sweep per protection scheme")
+    parser.add_argument("workload", nargs="?", default="pathfinder")
+    parser.add_argument("trials", nargs="?", type=int, default=40)
+    parser.add_argument("--journal", default=None, metavar="PATH",
+                        help="JSONL checkpoint journal for resume")
+    parser.add_argument("--recover", action="store_true",
+                        help="re-execute detected faults from the "
+                             "checkpoint image to confirm containment")
+    args = parser.parse_args()
 
-    print(f"single-bit transients into {workload} "
-          f"({trials} trials per scheme)")
-    print(f"{'scheme':12s} {'detected':>9s} {'crash':>6s} {'sdc':>6s} "
-          f"{'masked':>7s} {'not-hit':>8s}")
-    for scheme, tally in tallies.items():
-        print(f"{scheme:12s} {tally['detected']:9d} {tally['crash']:6d} "
-              f"{tally['sdc']:6d} {tally['masked']:7d} "
-              f"{tally['not-hit']:8d}")
+    units = [
+        gpu_work_unit(args.workload, scheme, scale=0.25, build_seed=1,
+                      seed=index, recovery_attempts=3 if args.recover else 0)
+        for index, scheme in enumerate(SCHEMES)
+    ]
+    config = EngineConfig(batch_size=args.trials, max_batches=1,
+                          ci_half_width=None, timeout_s=600.0)
+    report = CampaignEngine(config).run(units, args.journal)
+
+    print(f"single-bit transients into {args.workload} "
+          f"({args.trials} trials per scheme)")
+    header = (f"{'scheme':12s} {'due':>5s} {'trap':>5s} {'crash':>6s} "
+              f"{'sdc':>5s} {'masked':>7s} {'not-hit':>8s} "
+              f"{'hang':>5s} {'detection rate (95% CI)':>28s}")
+    print(header)
+    for unit in units:
+        result = report.units[unit.unit_id]
+        counts = result.counts
+        scheme = unit.params["compile_scheme"]
+        label = str(result.estimate) if result.trials else "n/a"
+        if result.failed:
+            label = f"worker {result.status}: {result.detail[:40]}"
+        print(f"{scheme:12s} {counts['due']:5d} {counts['trap']:5d} "
+              f"{counts['crash']:6d} {counts['sdc']:5d} "
+              f"{counts['masked']:7d} {counts['not_hit']:8d} "
+              f"{counts['hang']:5d} {label:>28s}")
+    if args.recover:
+        recovered = sum(report.units[u.unit_id].counts["recovered"]
+                        for u in units)
+        print(f"\nrecovered-from-checkpoint confirmations: {recovered}")
     print("\nexpectation: the unprotected baseline shows SDCs; SW-Dup and "
           "the SwapCodes variants detect (or mask) everything.")
 

@@ -6,30 +6,72 @@ at random gates/flip-flops until each input pair sees an unmasked error
 (the Hamartia methodology), then reports the output error patterns and the
 SDC risk of SwapCodes under every register-file code.
 
+The sweep runs on the resilient campaign engine: each unit executes in a
+crash-isolated worker subprocess, and with ``--journal`` every batch
+streams to an append-only JSONL checkpoint — kill the run at any point
+and re-invoking the same command resumes where it stopped.  ``--ci``
+switches to batched sweeps with Wilson-interval early stopping.
+
 Usage::
 
     python examples/injection_campaign.py [samples] [sites]
+        [--journal PATH] [--ci HALF_WIDTH] [--batch N] [--timeout S]
 
 Defaults (600 samples, 200 sites) finish in about a minute; the paper's
 10,000-pair setting is ``python examples/injection_campaign.py 10000 None``.
 """
 
-import sys
+import argparse
 
 from repro.experiments import (render_figure10, render_figure11,
                                run_injection_study)
+from repro.inject import EngineConfig
+
+
+def parse_args():
+    parser = argparse.ArgumentParser(
+        description="Figure 10/11 gate-level injection campaign")
+    parser.add_argument("samples", nargs="?", type=int, default=600,
+                        help="input pairs per unit (paper: 10000)")
+    parser.add_argument("sites", nargs="?", default="200",
+                        help="fault sites per unit, or 'None' for all")
+    parser.add_argument("--journal", default=None, metavar="PATH",
+                        help="JSONL checkpoint journal; rerun with the "
+                             "same path to resume an interrupted campaign")
+    parser.add_argument("--ci", type=float, default=None,
+                        metavar="HALF_WIDTH",
+                        help="early-stop a unit once its Wilson 95%% CI "
+                             "half-width drops below this (e.g. 0.01)")
+    parser.add_argument("--batch", type=int, default=None, metavar="N",
+                        help="samples per engine batch (default: all "
+                             "samples in one batch)")
+    parser.add_argument("--timeout", type=float, default=None, metavar="S",
+                        help="per-batch wall-clock timeout in seconds")
+    return parser.parse_args()
 
 
 def main():
-    samples = int(sys.argv[1]) if len(sys.argv) > 1 else 600
-    sites = None
-    if len(sys.argv) > 2:
-        sites = None if sys.argv[2] == "None" else int(sys.argv[2])
-    else:
-        sites = 200
-    print(f"running campaigns: {samples} input pairs, "
-          f"{'all' if sites is None else sites} fault sites per unit")
-    study = run_injection_study(sample_count=samples, site_count=sites)
+    args = parse_args()
+    if args.samples < 1:
+        raise SystemExit(f"samples must be >= 1, got {args.samples}")
+    if args.batch is not None and args.batch < 1:
+        raise SystemExit(f"--batch must be >= 1, got {args.batch}")
+    sites = None if args.sites == "None" else int(args.sites)
+    engine_config = None
+    if args.ci is not None or args.batch is not None or \
+            args.timeout is not None:
+        batch = args.batch if args.batch is not None else \
+            max(1, args.samples // 8)
+        engine_config = EngineConfig(
+            batch_size=batch,
+            max_batches=max(1, -(-args.samples // batch)),
+            ci_half_width=args.ci, timeout_s=args.timeout)
+    print(f"running campaigns: {args.samples} input pairs, "
+          f"{'all' if sites is None else sites} fault sites per unit"
+          + (f", journal={args.journal}" if args.journal else ""))
+    study = run_injection_study(
+        sample_count=args.samples, site_count=sites,
+        journal_path=args.journal, engine_config=engine_config)
 
     print("\nFigure 10 — unmasked error severity per unit")
     print(render_figure10(study))

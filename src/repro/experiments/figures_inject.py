@@ -5,13 +5,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional, Sequence
 
-from repro.ecc import (DetectOnlySwap, ParityCode, ResidueCode, SecDedDpSwap,
-                       SecDpSwap, TedCode)
 from repro.ecc.swap import SwapScheme
 from repro.experiments.common import render_table
 from repro.inject import (SEVERITY_CLASSES, UNIT_ORDER, CampaignResult,
-                          Estimate, OperandTrace, run_full_campaign,
-                          sdc_risk_sweep, severity_distribution)
+                          Estimate, OperandTrace, make_scheme,
+                          run_full_campaign, sdc_risk_sweep,
+                          severity_distribution)
 
 #: the register-file codes swept in Figure 11, in display order
 FIG11_CODE_ORDER = ("parity", "mod3", "mod7", "mod15", "mod31", "mod63",
@@ -20,15 +19,7 @@ FIG11_CODE_ORDER = ("parity", "mod3", "mod7", "mod15", "mod31", "mod63",
 
 def figure11_schemes() -> Dict[str, SwapScheme]:
     """SwapCodes organizations for each Figure 11 register-file code."""
-    schemes: Dict[str, SwapScheme] = {
-        "parity": DetectOnlySwap(ParityCode()),
-    }
-    for modulus in (3, 7, 15, 31, 63, 127):
-        schemes[f"mod{modulus}"] = DetectOnlySwap(ResidueCode(modulus))
-    schemes["ted"] = DetectOnlySwap(TedCode())
-    schemes["secded-dp"] = SecDedDpSwap()
-    schemes["sec-dp"] = SecDpSwap()
-    return schemes
+    return {name: make_scheme(name) for name in FIG11_CODE_ORDER}
 
 
 @dataclass
@@ -49,11 +40,19 @@ class InjectionStudy:
 def run_injection_study(sample_count: int = 1000,
                         site_count: Optional[int] = 300, seed: int = 0,
                         trace: Optional[OperandTrace] = None,
-                        units: Sequence[str] = UNIT_ORDER
-                        ) -> InjectionStudy:
-    """Run the six-unit campaign and fold in every Figure 11 code."""
+                        units: Sequence[str] = UNIT_ORDER,
+                        journal_path: Optional[str] = None,
+                        engine_config=None) -> InjectionStudy:
+    """Run the six-unit campaign and fold in every Figure 11 code.
+
+    ``journal_path``/``engine_config`` flow to the resilient campaign
+    engine: the study then checkpoints per batch, resumes after
+    interruption, and isolates unit crashes (crashed units drop out of
+    the study instead of aborting it).
+    """
     campaigns = run_full_campaign(sample_count, site_count, seed, trace,
-                                  units)
+                                  units, journal_path=journal_path,
+                                  engine_config=engine_config)
     schemes = figure11_schemes()
     severity = {}
     risk = {}

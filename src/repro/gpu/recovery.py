@@ -45,6 +45,10 @@ def run_with_recovery(kernel: Kernel, launch: LaunchConfig,
     attempt if repeated strikes are wanted).  Raises
     :class:`SimulationError` when every attempt was cut short.
     """
+    if max_attempts < 1:
+        raise SimulationError(
+            f"{kernel.name}: max_attempts must be at least 1, "
+            f"got {max_attempts}")
     detections = 0
     for attempt in range(1, max_attempts + 1):
         memory = MemorySpace(len(checkpoint), name=checkpoint.name)
@@ -55,5 +59,5 @@ def run_with_recovery(kernel: Kernel, launch: LaunchConfig,
             return RecoveryResult(memory, attempt, detections)
         detections += 1
     raise SimulationError(
-        f"{kernel.name}: still detecting errors after "
-        f"{max_attempts} attempts")
+        f"{kernel.name}: still detecting errors after {max_attempts} "
+        f"attempts ({detections} detections)")

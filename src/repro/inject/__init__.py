@@ -7,9 +7,15 @@ from repro.inject.classify import (Estimate, record_is_detected, sdc_risk,
                                    split_into_registers)
 from repro.inject.hamartia import (SEVERITY_CLASSES, CampaignResult,
                                    FaultInjector, InjectionRecord,
-                                   classify_severity)
+                                   classify_severity, merge_results)
 from repro.inject.operands import (OPERAND_KINDS, OperandTrace,
                                    synthetic_operands)
+from repro.inject.engine import (OUTCOMES, CampaignEngine, CampaignReport,
+                                 EngineConfig, UnitReport, WilsonEstimate,
+                                 WorkUnit, gate_work_unit, gpu_work_unit,
+                                 make_scheme, merged_gate_results,
+                                 register_unit_kind, wilson_interval)
+from repro.inject.journal import Journal, JournalState
 
 __all__ = [
     "UNIT_ORDER", "build_unit", "run_full_campaign", "run_unit_campaign",
@@ -17,6 +23,11 @@ __all__ = [
     "Estimate", "record_is_detected", "sdc_risk", "sdc_risk_sweep",
     "severity_distribution", "split_into_registers",
     "SEVERITY_CLASSES", "CampaignResult", "FaultInjector", "InjectionRecord",
-    "classify_severity",
+    "classify_severity", "merge_results",
     "OPERAND_KINDS", "OperandTrace", "synthetic_operands",
+    "OUTCOMES", "CampaignEngine", "CampaignReport", "EngineConfig",
+    "UnitReport", "WilsonEstimate", "WorkUnit", "gate_work_unit",
+    "gpu_work_unit", "make_scheme", "merged_gate_results",
+    "register_unit_kind", "wilson_interval",
+    "Journal", "JournalState",
 ]

@@ -45,6 +45,10 @@ def unit_inputs(name: str, count: int, seed: int = 0,
     if name not in _UNIT_SPECS:
         raise InjectionError(
             f"unknown unit {name!r}; choose from {UNIT_ORDER}")
+    if count <= 0:
+        raise InjectionError(
+            f"operand count must be positive, got {count}; an empty "
+            f"operand set would make the campaign vacuously masked")
     __, kind, buses = _UNIT_SPECS[name]
     if trace is not None:
         tuples = trace.sample(kind, count, seed)
@@ -72,11 +76,34 @@ def run_unit_campaign(name: str, sample_count: int = 1000,
 def run_full_campaign(sample_count: int = 1000,
                       site_count: Optional[int] = 300, seed: int = 0,
                       trace: Optional[OperandTrace] = None,
-                      units: Sequence[str] = UNIT_ORDER
-                      ) -> Dict[str, CampaignResult]:
-    """Campaigns for every Figure 10 unit, keyed by unit name."""
-    return {
-        name: run_unit_campaign(name, sample_count, site_count,
-                                seed + index, trace)
-        for index, name in enumerate(units)
-    }
+                      units: Sequence[str] = UNIT_ORDER, *,
+                      journal_path: Optional[str] = None,
+                      engine_config=None) -> Dict[str, CampaignResult]:
+    """Campaigns for every Figure 10 unit, keyed by unit name.
+
+    Runs through the resilient campaign engine: each unit sweeps in a
+    crash-isolated worker and, given ``journal_path``, streams its
+    batches to a JSONL journal so an interrupted campaign resumes where
+    it stopped.  The default configuration reproduces the legacy
+    single-shot sweep exactly (one batch of ``sample_count`` samples per
+    unit, no early stopping); pass ``engine_config`` (an
+    :class:`~repro.inject.engine.EngineConfig`) for batched sweeps with
+    Wilson-interval early stopping, timeouts, and retries — then
+    ``engine_config.batch_size``/``max_batches`` bound the work and
+    ``sample_count`` is ignored.
+
+    Units that crash or hang are recorded in the engine journal and
+    omitted from the returned dict instead of aborting the campaign.
+    """
+    from repro.inject.engine import (CampaignEngine, EngineConfig,
+                                     gate_work_unit, merged_gate_results)
+    if engine_config is None:
+        engine_config = EngineConfig(
+            batch_size=sample_count, max_batches=1, ci_half_width=None,
+            timeout_s=None)
+    work = [gate_work_unit(name, site_count=site_count, seed=seed + index,
+                           trace=trace)
+            for index, name in enumerate(units)]
+    report = CampaignEngine(engine_config).run(work, journal_path)
+    merged = merged_gate_results(report)
+    return {name: merged[name] for name in units if name in merged}

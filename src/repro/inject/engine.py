@@ -1,0 +1,702 @@
+"""Resilient fault-injection campaign engine (crash-isolated workers).
+
+The paper's evaluation hinges on large injection campaigns, and a single
+hung netlist sweep or crashing worker must not cost the whole run.  This
+engine executes *work units* — gate-level unit campaigns and GPU-level
+:class:`~repro.gpu.resilience.FaultPlan` sweeps — as sequences of batches,
+each batch in a crash-isolated subprocess with a wall-clock timeout:
+
+* a worker that raises or dies is retried with exponential backoff, and a
+  unit whose batches keep failing is *recorded* as ``crashed``/``hung`` in
+  the outcome taxonomy (masked/SDC/DUE/trap/hang/crash) instead of
+  aborting the campaign;
+* every completed batch streams to an append-only JSONL journal
+  (:mod:`repro.inject.journal`), so an interrupted campaign resumes where
+  it stopped — finished units are skipped, partial units continue after
+  their last journaled batch;
+* a Wilson-score early-stopping rule ends a unit's sweep once the
+  monitored detection-rate confidence interval is tighter than a
+  configurable half-width, and every report carries the interval, not
+  just the point estimate.
+
+New unit kinds plug in through :func:`register_unit_kind`; batch runners
+must be module-level callables so worker processes can reach them under
+any start method.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import random
+import time
+from dataclasses import dataclass, field
+from queue import Empty
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+import multiprocessing
+
+from repro.errors import InjectionError, SimulationError
+from repro.inject.campaign import run_unit_campaign
+from repro.inject.classify import record_is_detected
+from repro.inject.hamartia import CampaignResult, merge_results
+from repro.inject.journal import Journal, JournalState, NullJournal
+
+#: the expanded outcome taxonomy every unit report tallies
+OUTCOMES = ("masked", "sdc", "due", "trap", "hang", "crash")
+
+#: extra (non-terminal) outcome keys runners may report
+EXTRA_OUTCOMES = ("not_hit", "recovered")
+
+
+def make_scheme(spec: str):
+    """Build a register-file SwapCodes scheme from its Figure 11 name.
+
+    Accepts ``parity``, ``modN`` (N a residue modulus), ``ted``,
+    ``secded-dp`` and ``sec-dp`` — the spellings used throughout the
+    figures and the campaign journals.
+    """
+    from repro.ecc import (DetectOnlySwap, ParityCode, ResidueCode,
+                           SecDedDpSwap, SecDpSwap, TedCode)
+    if spec == "parity":
+        return DetectOnlySwap(ParityCode())
+    if spec == "ted":
+        return DetectOnlySwap(TedCode())
+    if spec == "secded-dp":
+        return SecDedDpSwap()
+    if spec == "sec-dp":
+        return SecDpSwap()
+    if spec.startswith("mod"):
+        try:
+            modulus = int(spec[3:])
+        except ValueError:
+            raise InjectionError(f"bad residue scheme spec {spec!r}") \
+                from None
+        return DetectOnlySwap(ResidueCode(modulus))
+    raise InjectionError(
+        f"unknown scheme spec {spec!r}; expected parity/modN/ted/"
+        f"secded-dp/sec-dp")
+
+
+def wilson_interval(successes: int, trials: int,
+                    z: float = 1.96) -> "WilsonEstimate":
+    """Wilson score interval for a binomial proportion.
+
+    Unlike the normal approximation it stays inside [0, 1] and behaves at
+    the extremes (0 or all successes), which campaigns hit routinely.
+    """
+    if trials < 0 or successes < 0 or successes > trials:
+        raise InjectionError(
+            f"bad proportion: {successes} successes of {trials} trials")
+    if trials == 0:
+        return WilsonEstimate(0.0, 0.0, 1.0, 0, 0)
+    p = successes / trials
+    z2 = z * z
+    denominator = 1.0 + z2 / trials
+    center = (p + z2 / (2 * trials)) / denominator
+    spread = (z / denominator) * math.sqrt(
+        p * (1.0 - p) / trials + z2 / (4.0 * trials * trials))
+    return WilsonEstimate(p, max(0.0, center - spread),
+                          min(1.0, center + spread), trials, successes)
+
+
+@dataclass(frozen=True)
+class WilsonEstimate:
+    """A proportion with its Wilson score confidence interval."""
+
+    rate: float
+    low: float
+    high: float
+    trials: int
+    successes: int
+
+    @property
+    def half_width(self) -> float:
+        return (self.high - self.low) / 2.0
+
+    def __str__(self) -> str:
+        return (f"{self.rate * 100:.2f}% "
+                f"[{self.low * 100:.2f}%, {self.high * 100:.2f}%]")
+
+
+@dataclass(frozen=True)
+class BatchSpec:
+    """One batch of injections inside a unit's sweep."""
+
+    index: int
+    size: int
+    seed: int
+
+
+@dataclass(frozen=True)
+class WorkUnit:
+    """One schedulable piece of campaign work.
+
+    ``params`` must be JSON-serializable (it is journaled and checked on
+    resume); ``context`` carries non-serializable extras — an
+    :class:`~repro.inject.operands.OperandTrace`, a prebuilt workload
+    instance — which reach fork-started workers by inheritance and are
+    never journaled.
+    """
+
+    unit_id: str
+    kind: str
+    params: Dict[str, Any] = field(default_factory=dict)
+    context: Any = None
+
+
+@dataclass
+class EngineConfig:
+    """Knobs for isolation, retry, batching, and early stopping."""
+
+    #: injections per batch (one crash-isolated subprocess per batch)
+    batch_size: int = 200
+    #: hard cap on batches per unit
+    max_batches: int = 8
+    #: wall-clock seconds per batch attempt (None = wait forever)
+    timeout_s: Optional[float] = 120.0
+    #: extra attempts after the first failure of a batch
+    max_retries: int = 2
+    #: first retry delay; doubles each retry
+    backoff_s: float = 0.25
+    #: whether a timed-out batch is retried (hangs are usually sticky)
+    retry_on_hang: bool = False
+    #: stop a unit once the Wilson CI half-width shrinks below this
+    #: (None disables early stopping)
+    ci_half_width: Optional[float] = 0.02
+    #: never early-stop before this many monitored trials
+    min_trials: int = 50
+    #: z-score of the confidence level (1.96 = 95%)
+    z: float = 1.96
+    #: multiprocessing start method; "fork" lets workers inherit contexts
+    start_method: str = "fork"
+    #: "process" isolates batches in subprocesses; "inline" runs them in
+    #: the engine process (no isolation — debugging and picky platforms)
+    isolation: str = "process"
+    #: fsync the journal after every record (slower, kill-proof)
+    journal_fsync: bool = False
+
+    def __post_init__(self):
+        if self.batch_size < 1:
+            raise InjectionError(
+                f"batch_size must be >= 1, got {self.batch_size}")
+        if self.max_batches < 1:
+            raise InjectionError(
+                f"max_batches must be >= 1, got {self.max_batches}")
+        if self.max_retries < 0:
+            raise InjectionError(
+                f"max_retries must be >= 0, got {self.max_retries}")
+        if self.ci_half_width is not None and self.ci_half_width <= 0:
+            raise InjectionError(
+                f"ci_half_width must be positive (or None), got "
+                f"{self.ci_half_width}")
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise InjectionError(
+                f"timeout_s must be positive (or None), got "
+                f"{self.timeout_s}")
+        if self.isolation not in ("process", "inline"):
+            raise InjectionError(
+                f"unknown isolation {self.isolation!r}")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "batch_size": self.batch_size, "max_batches": self.max_batches,
+            "timeout_s": self.timeout_s, "max_retries": self.max_retries,
+            "backoff_s": self.backoff_s, "retry_on_hang": self.retry_on_hang,
+            "ci_half_width": self.ci_half_width,
+            "min_trials": self.min_trials, "z": self.z,
+            "isolation": self.isolation,
+        }
+
+
+@dataclass
+class UnitReport:
+    """Terminal outcome of one work unit."""
+
+    unit_id: str
+    kind: str
+    status: str  # "completed", "crashed", or "hung"
+    counts: Dict[str, int]
+    trials: int
+    successes: int
+    batches: int
+    retries: int
+    stopped_early: bool
+    resumed: bool
+    estimate: WilsonEstimate
+    detail: str = ""
+    payloads: List[Dict[str, Any]] = field(default_factory=list)
+
+    @property
+    def failed(self) -> bool:
+        return self.status != "completed"
+
+    def summary(self) -> Dict[str, Any]:
+        """The JSON-serializable digest journaled in ``unit_done``."""
+        return {
+            "counts": dict(self.counts), "trials": self.trials,
+            "successes": self.successes, "batches": self.batches,
+            "retries": self.retries, "stopped_early": self.stopped_early,
+            "detail": self.detail,
+        }
+
+
+@dataclass
+class CampaignReport:
+    """Every unit's report, in campaign order."""
+
+    units: Dict[str, UnitReport]
+    journal_path: Optional[str] = None
+
+    @property
+    def completed(self) -> List[str]:
+        return [unit_id for unit_id, report in self.units.items()
+                if not report.failed]
+
+    @property
+    def failed(self) -> List[str]:
+        return [unit_id for unit_id, report in self.units.items()
+                if report.failed]
+
+    def total_counts(self) -> Dict[str, int]:
+        totals: Dict[str, int] = {}
+        for report in self.units.values():
+            for outcome, count in report.counts.items():
+                totals[outcome] = totals.get(outcome, 0) + count
+        return totals
+
+
+# ---------------------------------------------------------------------------
+# batch runners
+
+_RUNNERS: Dict[str, Callable[[Dict[str, Any], Any, BatchSpec],
+                             Dict[str, Any]]] = {}
+
+
+def register_unit_kind(kind: str, runner: Callable,
+                       replace: bool = False) -> None:
+    """Register a batch runner for a new work-unit kind.
+
+    ``runner(params, context, batch)`` executes ``batch.size`` injections
+    and returns ``{"trials": int, "successes": int, "counts": {...}}``
+    plus an optional JSON-serializable ``"payload"``.  It must be a
+    module-level callable (worker processes import it by reference).
+    """
+    if kind in _RUNNERS and not replace:
+        raise InjectionError(f"unit kind {kind!r} already registered")
+    _RUNNERS[kind] = runner
+
+
+def _empty_counts() -> Dict[str, int]:
+    counts = dict.fromkeys(OUTCOMES, 0)
+    counts.update(dict.fromkeys(EXTRA_OUTCOMES, 0))
+    return counts
+
+
+def run_gate_batch(params: Dict[str, Any], context: Any,
+                   batch: BatchSpec) -> Dict[str, Any]:
+    """One batch of a gate-level unit campaign (Hamartia methodology).
+
+    Without a ``scheme`` the monitored proportion is the unmasked-error
+    rate (all unmasked errors are SDCs on unprotected hardware); with a
+    ``scheme`` it is the detection rate among unmasked errors, the
+    quantity Figure 11 bounds.
+    """
+    trace = context.get("trace") if isinstance(context, dict) else None
+    result = run_unit_campaign(
+        params["unit"], sample_count=batch.size,
+        site_count=params.get("site_count"), seed=batch.seed, trace=trace)
+    counts = _empty_counts()
+    scheme_spec = params.get("scheme")
+    scheme = make_scheme(scheme_spec) if scheme_spec else None
+    masked = sum(1 for record in result.chosen if record is None)
+    counts["masked"] = masked
+    if scheme is None:
+        counts["sdc"] = len(result.records)
+        trials = result.sample_count
+        successes = len(result.records)
+    else:
+        detected = sum(
+            1 for record in result.records
+            if record_is_detected(scheme, record.pattern, record.golden,
+                                  result.output_bits))
+        counts["due"] = detected
+        counts["sdc"] = len(result.records) - detected
+        trials = len(result.records)
+        successes = detected
+    return {"trials": trials, "successes": successes, "counts": counts,
+            "payload": result.to_dict()}
+
+
+def run_gpu_batch(params: Dict[str, Any], context: Any,
+                  batch: BatchSpec) -> Dict[str, Any]:
+    """One batch of a GPU-level FaultPlan sweep over a workload kernel.
+
+    Each trial injects one random single-bit datapath transient
+    (:class:`~repro.gpu.resilience.FaultPlan`) into a fresh run and
+    classifies the outcome; the monitored proportion is the detection
+    rate (DUE + trap + crash) among architecturally visible faults.
+    With ``recovery_attempts > 1`` every detection is additionally
+    re-executed from the checkpoint image to confirm containment
+    (tallied under ``recovered``).
+    """
+    from repro.compiler import compile_for_scheme, resilience_mode
+    from repro.gpu.device import run_functional
+    from repro.gpu.recovery import run_with_recovery
+    from repro.gpu.resilience import FaultPlan, ResilienceState
+    from repro.workloads import get_workload
+
+    instance = context.get("instance") if isinstance(context, dict) else None
+    if instance is None:
+        instance = get_workload(params["workload"]).build(
+            scale=params.get("scale", 0.25),
+            seed=params.get("build_seed", 1))
+    scheme = params.get("compile_scheme", "swap-ecc")
+    compiled = compile_for_scheme(instance.kernel, instance.launch, scheme)
+    launch = compiled.adjust_launch(instance.launch)
+    mode = resilience_mode(scheme)
+    code = params.get("code", "secded-dp")
+    recovery_attempts = params.get("recovery_attempts", 0)
+    occurrence_max = params.get("occurrence_max", 60)
+
+    rng = random.Random(batch.seed)
+    counts = _empty_counts()
+    trials = 0
+    successes = 0
+    for _ in range(batch.size):
+        plan = FaultPlan(
+            cta_index=rng.randrange(instance.launch.grid_ctas),
+            warp_index=rng.randrange(instance.launch.warps_per_cta),
+            occurrence=rng.randrange(occurrence_max),
+            lane=rng.randrange(min(32, instance.launch.threads_per_cta)),
+            bit=rng.randrange(32))
+
+        def fresh_state(fault: Optional[FaultPlan]) -> ResilienceState:
+            return ResilienceState(
+                mode=mode,
+                scheme=make_scheme(code) if mode == "swap" else None,
+                fault=fault)
+
+        state = fresh_state(plan)
+        memory = instance.fresh_memory()
+        try:
+            run_functional(compiled.kernel, launch, memory, state)
+        except SimulationError:
+            counts["crash"] += 1
+            trials += 1
+            successes += 1
+            continue
+        if state.detected:
+            kind = "trap" if any(event.kind == "trap"
+                                 for event in state.events) else "due"
+            counts[kind] += 1
+            trials += 1
+            successes += 1
+            if recovery_attempts > 1:
+                struck = [plan]
+                outcome = run_with_recovery(
+                    compiled.kernel, launch, instance.memory,
+                    lambda: fresh_state(struck.pop() if struck else None),
+                    max_attempts=recovery_attempts)
+                if instance.verify(outcome.memory):
+                    counts["recovered"] += 1
+        elif not state.fault_fired:
+            counts["not_hit"] += 1
+        elif instance.verify(memory):
+            counts["masked"] += 1
+            trials += 1
+        else:
+            counts["sdc"] += 1
+            trials += 1
+    return {"trials": trials, "successes": successes, "counts": counts}
+
+
+register_unit_kind("gate", run_gate_batch)
+register_unit_kind("gpu", run_gpu_batch)
+
+
+def gate_work_unit(name: str, site_count: Optional[int] = 300,
+                   seed: int = 0, scheme: Optional[str] = None,
+                   trace: Any = None,
+                   unit_id: Optional[str] = None) -> WorkUnit:
+    """A gate-level campaign work unit for one Figure 10 arithmetic unit."""
+    params: Dict[str, Any] = {"unit": name, "site_count": site_count,
+                              "seed": seed}
+    if scheme is not None:
+        params["scheme"] = scheme
+    return WorkUnit(unit_id=unit_id or name, kind="gate", params=params,
+                    context={"trace": trace} if trace is not None else None)
+
+
+def gpu_work_unit(workload: str, compile_scheme: str = "swap-ecc",
+                  scale: float = 0.25, build_seed: int = 1, seed: int = 0,
+                  code: str = "secded-dp", occurrence_max: int = 60,
+                  recovery_attempts: int = 0,
+                  unit_id: Optional[str] = None) -> WorkUnit:
+    """A GPU-level FaultPlan sweep work unit over one workload kernel."""
+    params = {"workload": workload, "compile_scheme": compile_scheme,
+              "scale": scale, "build_seed": build_seed, "seed": seed,
+              "code": code, "occurrence_max": occurrence_max,
+              "recovery_attempts": recovery_attempts}
+    return WorkUnit(unit_id=unit_id or f"{workload}/{compile_scheme}",
+                    kind="gpu", params=params)
+
+
+# ---------------------------------------------------------------------------
+# crash-isolated execution
+
+#: spacing between batch seeds so batch 0 reproduces the legacy
+#: single-shot campaign exactly while later batches stay uncorrelated
+_BATCH_SEED_STRIDE = 1000003
+
+
+def _batch_seed(params: Dict[str, Any], index: int) -> int:
+    return params.get("seed", 0) + index * _BATCH_SEED_STRIDE
+
+
+def _worker_entry(runner, params, context, batch, queue) -> None:
+    """Subprocess entry: run one batch, ship the result (or the error)."""
+    try:
+        queue.put(("ok", runner(params, context, batch)))
+    except BaseException as exc:  # noqa: BLE001 — isolation boundary
+        try:
+            queue.put(("error", f"{type(exc).__name__}: {exc}"))
+        except Exception:
+            os._exit(70)
+
+
+class CampaignEngine:
+    """Runs work units to completion with isolation, retry, and resume."""
+
+    def __init__(self, config: Optional[EngineConfig] = None):
+        self.config = config if config is not None else EngineConfig()
+
+    # -- public API --------------------------------------------------------
+
+    def run(self, units: Sequence[WorkUnit],
+            journal_path: Optional[str] = None) -> CampaignReport:
+        """Run ``units`` in order, journaling to ``journal_path``.
+
+        With a journal path, a prior journal at that path is replayed
+        first: units it records as done are skipped (their reports are
+        reconstructed from the journal) and partially-swept units resume
+        after their last completed batch.
+        """
+        ids = [unit.unit_id for unit in units]
+        if len(set(ids)) != len(ids):
+            raise InjectionError(f"duplicate unit ids in campaign: {ids}")
+        state = JournalState.load(journal_path) if journal_path else \
+            JournalState()
+        self._check_config(state)
+        journal = Journal(journal_path, fsync=self.config.journal_fsync) \
+            if journal_path else NullJournal()
+        if journal_path and state.config is None:
+            journal.append({"type": "config",
+                            "config": self.config.to_dict()})
+        reports: Dict[str, UnitReport] = {}
+        try:
+            for unit in units:
+                if unit.unit_id in state.finished:
+                    state.check_params(unit.unit_id, unit.params)
+                    reports[unit.unit_id] = self._replay_unit(unit, state)
+                    continue
+                reports[unit.unit_id] = self._run_unit(unit, state, journal)
+        finally:
+            journal.close()
+        return CampaignReport(units=reports, journal_path=journal_path)
+
+    #: config fields that shape the statistics a journal accumulates;
+    #: operational knobs (timeouts, retries, isolation) may change freely
+    #: between resumptions
+    _STATISTICAL_KNOBS = ("batch_size", "max_batches", "ci_half_width",
+                          "min_trials", "z")
+
+    def _check_config(self, state: JournalState) -> None:
+        """Refuse to resume a journal swept under a different design."""
+        if state.config is None:
+            return
+        current = self.config.to_dict()
+        for knob in self._STATISTICAL_KNOBS:
+            if knob in state.config and state.config[knob] != current[knob]:
+                raise InjectionError(
+                    f"journal {state.path!r} was recorded with "
+                    f"{knob}={state.config[knob]!r} but this run uses "
+                    f"{knob}={current[knob]!r}; use a fresh journal path "
+                    f"for a reconfigured campaign")
+
+    # -- unit execution ----------------------------------------------------
+
+    def _replay_unit(self, unit: WorkUnit,
+                     state: JournalState) -> UnitReport:
+        """Rebuild a finished unit's report from its journal records."""
+        done = state.finished[unit.unit_id]
+        summary = done.get("summary", {})
+        counts = _empty_counts()
+        counts.update(summary.get("counts", {}))
+        trials = summary.get("trials", 0)
+        successes = summary.get("successes", 0)
+        payloads = [record["payload"]
+                    for record in state.batches.get(unit.unit_id, [])
+                    if "payload" in record]
+        return UnitReport(
+            unit_id=unit.unit_id, kind=unit.kind, status=done["status"],
+            counts=counts, trials=trials, successes=successes,
+            batches=summary.get("batches", 0),
+            retries=summary.get("retries", 0),
+            stopped_early=summary.get("stopped_early", False),
+            resumed=True,
+            estimate=wilson_interval(successes, trials, self.config.z),
+            detail=summary.get("detail", ""), payloads=payloads)
+
+    def _run_unit(self, unit: WorkUnit, state: JournalState,
+                  journal: Journal) -> UnitReport:
+        if unit.kind not in _RUNNERS:
+            raise InjectionError(
+                f"unknown unit kind {unit.kind!r}; registered: "
+                f"{sorted(_RUNNERS)}")
+        runner = _RUNNERS[unit.kind]
+        config = self.config
+        state.check_params(unit.unit_id, unit.params)
+        if unit.unit_id not in state.started:
+            journal.unit_started(unit.unit_id, unit.kind, unit.params)
+
+        counts = _empty_counts()
+        trials = 0
+        successes = 0
+        retries = 0
+        payloads: List[Dict[str, Any]] = []
+        resumed = False
+        for record in state.batches.get(unit.unit_id, []):
+            resumed = True
+            trials += record["trials"]
+            successes += record["successes"]
+            for outcome, count in record["counts"].items():
+                counts[outcome] = counts.get(outcome, 0) + count
+            if "payload" in record:
+                payloads.append(record["payload"])
+        batches_done = state.next_batch_index(unit.unit_id)
+
+        status = "completed"
+        detail = ""
+        stopped_early = False
+        while batches_done < config.max_batches:
+            if self._interval_tight_enough(successes, trials):
+                stopped_early = True
+                break
+            batch = BatchSpec(index=batches_done, size=config.batch_size,
+                              seed=_batch_seed(unit.params, batches_done))
+            outcome, payload, attempts = self._run_batch_with_retry(
+                runner, unit, batch)
+            retries += attempts - 1
+            if outcome != "ok":
+                status = "hung" if outcome == "hung" else "crashed"
+                detail = str(payload)
+                counts["hang" if outcome == "hung" else "crash"] += 1
+                break
+            counts_in = payload.get("counts", {})
+            for key, count in counts_in.items():
+                counts[key] = counts.get(key, 0) + count
+            trials += payload["trials"]
+            successes += payload["successes"]
+            journal.batch(unit.unit_id, batch.index, payload["trials"],
+                          payload["successes"], counts_in, attempts,
+                          payload.get("payload"))
+            if payload.get("payload") is not None:
+                payloads.append(payload["payload"])
+            batches_done += 1
+
+        report = UnitReport(
+            unit_id=unit.unit_id, kind=unit.kind, status=status,
+            counts=counts, trials=trials, successes=successes,
+            batches=batches_done, retries=retries,
+            stopped_early=stopped_early, resumed=resumed,
+            estimate=wilson_interval(successes, trials, config.z),
+            detail=detail, payloads=payloads)
+        journal.unit_done(unit.unit_id, status, report.summary())
+        return report
+
+    def _interval_tight_enough(self, successes: int, trials: int) -> bool:
+        config = self.config
+        if config.ci_half_width is None or trials < config.min_trials:
+            return False
+        estimate = wilson_interval(successes, trials, config.z)
+        return estimate.half_width <= config.ci_half_width
+
+    # -- batch isolation ---------------------------------------------------
+
+    def _run_batch_with_retry(self, runner, unit: WorkUnit,
+                              batch: BatchSpec):
+        """Returns ``(outcome, payload_or_detail, attempts)``."""
+        config = self.config
+        attempts = 0
+        while True:
+            attempts += 1
+            outcome, payload = self._run_batch_once(runner, unit, batch)
+            if outcome == "ok":
+                return outcome, payload, attempts
+            retryable = outcome in ("error", "crashed") or \
+                (outcome == "hung" and config.retry_on_hang)
+            if not retryable or attempts > config.max_retries:
+                return outcome, payload, attempts
+            time.sleep(config.backoff_s * (2 ** (attempts - 1)))
+
+    def _run_batch_once(self, runner, unit: WorkUnit, batch: BatchSpec):
+        if self.config.isolation == "inline":
+            try:
+                return "ok", runner(unit.params, unit.context, batch)
+            except Exception as exc:  # noqa: BLE001 — isolation boundary
+                return "error", f"{type(exc).__name__}: {exc}"
+        context = multiprocessing.get_context(self.config.start_method)
+        queue = context.Queue()
+        process = context.Process(
+            target=_worker_entry,
+            args=(runner, unit.params, unit.context, batch, queue),
+            daemon=True)
+        process.start()
+        try:
+            return self._await_worker(process, queue)
+        finally:
+            if process.is_alive():
+                process.terminate()
+                process.join(1.0)
+                if process.is_alive():
+                    process.kill()
+                    process.join(1.0)
+            queue.close()
+
+    def _await_worker(self, process, queue):
+        timeout = self.config.timeout_s
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            if deadline is not None and time.monotonic() >= deadline:
+                return "hung", (f"no result within {timeout:.1f}s "
+                                f"(pid {process.pid})")
+            try:
+                return queue.get(timeout=0.05)
+            except Empty:
+                if not process.is_alive():
+                    # Drain the race where the worker wrote its result
+                    # and exited before our poll saw it.
+                    try:
+                        return queue.get(timeout=0.25)
+                    except Empty:
+                        return "crashed", (
+                            f"worker died with exit code "
+                            f"{process.exitcode} before reporting")
+
+
+def merged_gate_results(report: CampaignReport) -> Dict[str, CampaignResult]:
+    """Reassemble per-unit :class:`CampaignResult`s from gate payloads.
+
+    Units that crashed or hung before producing any batch are omitted —
+    callers see exactly the campaigns that have data, mirroring how the
+    engine degrades instead of aborting.
+    """
+    results: Dict[str, CampaignResult] = {}
+    for unit_id, unit_report in report.units.items():
+        if unit_report.kind != "gate" or not unit_report.payloads:
+            continue
+        results[unit_id] = merge_results(
+            [CampaignResult.from_dict(payload)
+             for payload in unit_report.payloads])
+    return results

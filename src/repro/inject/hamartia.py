@@ -61,6 +61,61 @@ class CampaignResult:
         missing = sum(1 for record in self.chosen if record is None)
         return missing / len(self.chosen)
 
+    def to_dict(self) -> Dict:
+        """JSON-serializable form (the campaign engine journals these)."""
+        return {
+            "unit_name": self.unit_name,
+            "output_bits": self.output_bits,
+            "sample_count": self.sample_count,
+            "sites_evaluated": self.sites_evaluated,
+            "chosen": [None if record is None
+                       else [record.site, record.pattern, record.golden]
+                       for record in self.chosen],
+            "unmasked_site_counts": list(self.unmasked_site_counts),
+            "class_counts": [dict(counts) for counts in self.class_counts],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "CampaignResult":
+        return cls(
+            unit_name=payload["unit_name"],
+            output_bits=payload["output_bits"],
+            sample_count=payload["sample_count"],
+            sites_evaluated=payload["sites_evaluated"],
+            chosen=[None if item is None else InjectionRecord(*item)
+                    for item in payload["chosen"]],
+            unmasked_site_counts=list(payload["unmasked_site_counts"]),
+            class_counts=[dict(counts)
+                          for counts in payload["class_counts"]])
+
+
+def merge_results(parts: Sequence[CampaignResult]) -> CampaignResult:
+    """Concatenate per-batch campaign results over the same unit.
+
+    Batches sweep independently subsampled fault-site sets, so the merged
+    ``sites_evaluated`` reports the largest single-batch sweep while the
+    per-sample statistics simply concatenate.
+    """
+    if not parts:
+        raise InjectionError("cannot merge zero campaign results")
+    first = parts[0]
+    for part in parts[1:]:
+        if part.unit_name != first.unit_name or \
+                part.output_bits != first.output_bits:
+            raise InjectionError(
+                f"cannot merge campaigns over different units: "
+                f"{first.unit_name!r} vs {part.unit_name!r}")
+    return CampaignResult(
+        unit_name=first.unit_name,
+        output_bits=first.output_bits,
+        sample_count=sum(part.sample_count for part in parts),
+        sites_evaluated=max(part.sites_evaluated for part in parts),
+        chosen=[record for part in parts for record in part.chosen],
+        unmasked_site_counts=[count for part in parts
+                              for count in part.unmasked_site_counts],
+        class_counts=[dict(counts) for part in parts
+                      for counts in part.class_counts])
+
 
 def classify_severity(pattern: int) -> str:
     """Figure 10's three severity classes, by erroneous output bit count."""

@@ -1,0 +1,175 @@
+"""Append-only JSONL journal behind the resilient campaign engine.
+
+Every work-unit lifecycle event — ``unit_started``, one ``batch`` per
+completed batch of injections, and a terminal ``unit_done`` — is appended
+as one JSON line and flushed immediately, so a campaign killed at any
+point leaves a prefix of valid records (plus at most one torn final line,
+which replay ignores).  Re-running the engine against the same journal
+path replays that prefix: finished units are skipped outright and a unit
+interrupted mid-sweep resumes after its last journaled batch.
+
+The journal is the single source of truth for resume; the engine never
+keeps checkpoint state anywhere else.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.errors import InjectionError
+
+#: journal schema version, bumped on incompatible record changes
+JOURNAL_VERSION = 1
+
+
+class Journal:
+    """Append-only writer for one campaign's JSONL journal."""
+
+    def __init__(self, path: str, fsync: bool = False):
+        self.path = path
+        self.fsync = fsync
+        directory = os.path.dirname(os.path.abspath(path))
+        os.makedirs(directory, exist_ok=True)
+        fresh = not os.path.exists(path) or os.path.getsize(path) == 0
+        self._handle = open(path, "a", encoding="utf-8")
+        if fresh:
+            self.append({"type": "campaign", "version": JOURNAL_VERSION})
+
+    def append(self, record: Dict[str, Any]) -> None:
+        """Write one record as a JSON line and flush it to the OS."""
+        if "type" not in record:
+            raise InjectionError("journal records need a 'type' field")
+        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+        self._handle.flush()
+        if self.fsync:
+            os.fsync(self._handle.fileno())
+
+    def unit_started(self, unit_id: str, kind: str,
+                     params: Dict[str, Any]) -> None:
+        self.append({"type": "unit_started", "unit": unit_id, "kind": kind,
+                     "params": params})
+
+    def batch(self, unit_id: str, index: int, trials: int, successes: int,
+              counts: Dict[str, int], attempts: int,
+              payload: Optional[Dict[str, Any]] = None) -> None:
+        record = {"type": "batch", "unit": unit_id, "index": index,
+                  "trials": trials, "successes": successes,
+                  "counts": counts, "attempts": attempts}
+        if payload is not None:
+            record["payload"] = payload
+        self.append(record)
+
+    def unit_done(self, unit_id: str, status: str,
+                  summary: Dict[str, Any]) -> None:
+        self.append({"type": "unit_done", "unit": unit_id, "status": status,
+                     "summary": summary})
+
+    def close(self) -> None:
+        self._handle.close()
+
+    def __enter__(self) -> "Journal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class NullJournal(Journal):
+    """Journal stand-in when no path was given: records go nowhere."""
+
+    def __init__(self):  # noqa: super().__init__ intentionally skipped
+        self.path = None
+        self.fsync = False
+
+    def append(self, record: Dict[str, Any]) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+@dataclass
+class JournalState:
+    """Replay of one journal file: who started, what ran, who finished."""
+
+    path: Optional[str] = None
+    #: unit_id -> the unit_started record (parameters it was launched with)
+    started: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    #: unit_id -> batch records sorted by index (first write per index wins)
+    batches: Dict[str, List[Dict[str, Any]]] = field(default_factory=dict)
+    #: unit_id -> the terminal unit_done record
+    finished: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    #: the first journaled engine configuration, if any
+    config: Optional[Dict[str, Any]] = None
+    #: records whose JSON could not be parsed (only a torn tail is expected)
+    corrupt_lines: int = 0
+
+    @classmethod
+    def load(cls, path: str) -> "JournalState":
+        """Replay ``path``; a missing file is an empty (fresh) state."""
+        state = cls(path=path)
+        if not os.path.exists(path):
+            return state
+        with open(path, "r", encoding="utf-8") as handle:
+            lines = handle.readlines()
+        for number, line in enumerate(lines):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                # A torn final line is the expected signature of a kill
+                # mid-append; anything earlier is real corruption but
+                # still only costs that one record.
+                state.corrupt_lines += 1
+                if number != len(lines) - 1:
+                    raise InjectionError(
+                        f"{path}:{number + 1}: corrupt journal record "
+                        f"before the final line") from None
+                continue
+            state._absorb(record)
+        return state
+
+    def _absorb(self, record: Dict[str, Any]) -> None:
+        kind = record.get("type")
+        unit = record.get("unit")
+        if kind == "config" and self.config is None:
+            self.config = record.get("config")
+        elif kind == "unit_started" and unit is not None:
+            self.started.setdefault(unit, record)
+        elif kind == "batch" and unit is not None:
+            batches = self.batches.setdefault(unit, [])
+            if not any(prior["index"] == record["index"]
+                       for prior in batches):
+                batches.append(record)
+                batches.sort(key=lambda item: item["index"])
+        elif kind == "unit_done" and unit is not None:
+            self.finished.setdefault(unit, record)
+
+    def next_batch_index(self, unit_id: str) -> int:
+        """First batch index not yet journaled for ``unit_id``."""
+        batches = self.batches.get(unit_id)
+        if not batches:
+            return 0
+        return batches[-1]["index"] + 1
+
+    def check_params(self, unit_id: str, params: Dict[str, Any]) -> None:
+        """Refuse to resume a unit whose recorded parameters differ."""
+        started = self.started.get(unit_id)
+        if started is None:
+            return
+        recorded = started.get("params")
+        if recorded != _round_trip(params):
+            raise InjectionError(
+                f"journal {self.path!r} recorded unit {unit_id!r} with "
+                f"params {recorded!r}, which differ from {params!r}; "
+                f"use a fresh journal path for a reconfigured campaign")
+
+
+def _round_trip(params: Dict[str, Any]) -> Dict[str, Any]:
+    """Params exactly as they read back from JSON (tuples become lists)."""
+    return json.loads(json.dumps(params))

@@ -65,16 +65,40 @@ class TestRecovery:
         assert np.array_equal(result.memory.read_words(64, 32), expected())
 
     def test_persistent_fault_exhausts_attempts(self):
+        # A fresh FaultPlan per attempt, so every attempt detects and the
+        # retry budget is truly exhausted.
         kernel, launch = compiled_kernel()
+        states = []
 
         def make_state():
-            return ResilienceState(
+            state = ResilienceState(
                 mode="swap", scheme=SecDedDpSwap(),
                 fault=FaultPlan(0, 0, 1, lane=5, bit=9))
+            states.append(state)
+            return state
 
-        with pytest.raises(SimulationError):
+        with pytest.raises(SimulationError,
+                           match=r"2 attempts \(2 detections\)"):
             run_with_recovery(kernel, launch, checkpoint(), make_state,
                               max_attempts=2)
+        assert len(states) == 2
+        assert all(state.detected for state in states)
+
+    def test_zero_attempts_rejected_up_front(self):
+        kernel, launch = compiled_kernel()
+        with pytest.raises(SimulationError, match="at least 1"):
+            run_with_recovery(
+                kernel, launch, checkpoint(),
+                lambda: ResilienceState(mode="swap", scheme=SecDedDpSwap()),
+                max_attempts=0)
+
+    def test_negative_attempts_rejected_up_front(self):
+        kernel, launch = compiled_kernel()
+        with pytest.raises(SimulationError, match="at least 1"):
+            run_with_recovery(
+                kernel, launch, checkpoint(),
+                lambda: ResilienceState(mode="swap", scheme=SecDedDpSwap()),
+                max_attempts=-3)
 
     def test_checkpoint_never_mutated(self):
         kernel, launch = compiled_kernel()

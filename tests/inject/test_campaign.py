@@ -1,0 +1,60 @@
+"""Tests for the six-unit campaign front-end over the resilient engine."""
+
+import pytest
+
+from repro.errors import InjectionError
+from repro.inject import (EngineConfig, run_full_campaign,
+                          run_unit_campaign, unit_inputs)
+
+
+class TestUnitInputs:
+    def test_positive_count_required(self):
+        with pytest.raises(InjectionError, match="must be positive"):
+            unit_inputs("fxp-add-32", 0)
+        with pytest.raises(InjectionError, match="must be positive"):
+            unit_inputs("fxp-add-32", -5)
+
+    def test_unknown_unit_rejected(self):
+        with pytest.raises(InjectionError, match="unknown unit"):
+            unit_inputs("fp-div-128", 10)
+
+    def test_valid_count_produces_buses(self):
+        samples = unit_inputs("fxp-mad-32", 7, seed=1)
+        assert set(samples) == {"a", "b", "c"}
+        assert all(len(values) == 7 for values in samples.values())
+
+
+class TestRunFullCampaign:
+    def test_engine_path_matches_legacy_per_unit_runs(self):
+        # The engine's single-batch default must reproduce the direct
+        # per-unit campaigns bit for bit (seed + index per unit).
+        units = ("fxp-add-32", "fxp-mad-32")
+        campaigns = run_full_campaign(sample_count=25, site_count=30,
+                                      seed=4, units=units)
+        assert list(campaigns) == list(units)
+        for index, name in enumerate(units):
+            legacy = run_unit_campaign(name, 25, 30, 4 + index)
+            assert campaigns[name].sample_count == legacy.sample_count
+            assert [r.site for r in campaigns[name].records] == \
+                [r.site for r in legacy.records]
+
+    def test_journal_resume_skips_finished_units(self, tmp_path):
+        journal = str(tmp_path / "campaign.jsonl")
+        first = run_full_campaign(sample_count=20, site_count=25, seed=1,
+                                  units=("fxp-add-32",),
+                                  journal_path=journal)
+        again = run_full_campaign(sample_count=20, site_count=25, seed=1,
+                                  units=("fxp-add-32",),
+                                  journal_path=journal)
+        assert [r.site for r in first["fxp-add-32"].records] == \
+            [r.site for r in again["fxp-add-32"].records]
+
+    def test_batched_config_covers_requested_units(self, tmp_path):
+        config = EngineConfig(batch_size=10, max_batches=3,
+                              ci_half_width=None, timeout_s=60.0)
+        campaigns = run_full_campaign(site_count=25, seed=2,
+                                      units=("fxp-add-32",),
+                                      journal_path=str(
+                                          tmp_path / "batched.jsonl"),
+                                      engine_config=config)
+        assert campaigns["fxp-add-32"].sample_count == 30

@@ -1,0 +1,347 @@
+"""Tests for the resilient campaign engine: isolation, retry, resume."""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.errors import InjectionError
+from repro.inject import (OUTCOMES, CampaignEngine, EngineConfig, WorkUnit,
+                          gate_work_unit, gpu_work_unit, merged_gate_results,
+                          register_unit_kind, run_unit_campaign,
+                          wilson_interval)
+from repro.inject.engine import BatchSpec, make_scheme
+
+
+def _tally_runner(params, context, batch):
+    """Deterministic batch: all trials succeed; journals invocations."""
+    if params.get("tally"):
+        with open(params["tally"], "a") as handle:
+            handle.write(f"{params.get('tag', '?')}:{batch.index}\n")
+    return {"trials": batch.size, "successes": batch.size,
+            "counts": {"due": batch.size}}
+
+
+def _zero_rate_runner(params, context, batch):
+    """No successes — the Wilson interval tightens quickly around 0."""
+    return {"trials": batch.size, "successes": 0,
+            "counts": {"masked": batch.size}}
+
+
+def _raise_runner(params, context, batch):
+    raise RuntimeError("worker exploded")
+
+
+def _hard_exit_runner(params, context, batch):
+    os._exit(3)
+
+
+def _hang_runner(params, context, batch):
+    time.sleep(60)
+
+
+def _flaky_runner(params, context, batch):
+    """Fails until a flag file exists, then succeeds — a transient fault."""
+    flag = params["flag"]
+    if not os.path.exists(flag):
+        with open(flag, "w") as handle:
+            handle.write("tried\n")
+        raise RuntimeError("transient failure")
+    return {"trials": batch.size, "successes": batch.size,
+            "counts": {"due": batch.size}}
+
+
+for _kind, _runner in (("tally", _tally_runner),
+                       ("zero-rate", _zero_rate_runner),
+                       ("raise", _raise_runner),
+                       ("hard-exit", _hard_exit_runner),
+                       ("hang", _hang_runner),
+                       ("flaky", _flaky_runner)):
+    register_unit_kind(_kind, _runner, replace=True)
+
+
+def quick_config(**overrides):
+    defaults = dict(batch_size=4, max_batches=2, timeout_s=20.0,
+                    max_retries=1, backoff_s=0.01, ci_half_width=None)
+    defaults.update(overrides)
+    return EngineConfig(**defaults)
+
+
+class TestWilsonInterval:
+    def test_zero_trials_is_uninformative(self):
+        estimate = wilson_interval(0, 0)
+        assert (estimate.low, estimate.high) == (0.0, 1.0)
+
+    def test_interval_brackets_rate_and_tightens(self):
+        loose = wilson_interval(5, 10)
+        tight = wilson_interval(500, 1000)
+        for estimate in (loose, tight):
+            assert estimate.low <= estimate.rate <= estimate.high
+        assert tight.half_width < loose.half_width
+
+    def test_extremes_stay_in_unit_interval(self):
+        assert wilson_interval(0, 50).low == 0.0
+        assert wilson_interval(50, 50).high == 1.0
+
+    def test_bad_counts_rejected(self):
+        with pytest.raises(InjectionError):
+            wilson_interval(3, 2)
+
+
+class TestEngineConfigValidation:
+    def test_bad_knobs_rejected(self):
+        for overrides in ({"batch_size": 0}, {"max_batches": 0},
+                          {"max_retries": -1}, {"ci_half_width": 0.0},
+                          {"ci_half_width": -0.1}, {"timeout_s": 0.0},
+                          {"isolation": "thread"}):
+            with pytest.raises(InjectionError):
+                EngineConfig(**overrides)
+
+
+class TestCrashIsolation:
+    def test_raising_worker_is_recorded_not_fatal(self, tmp_path):
+        units = [WorkUnit("ok", "tally", {"seed": 0}),
+                 WorkUnit("bad", "raise", {"seed": 0}),
+                 WorkUnit("ok2", "tally", {"seed": 1})]
+        report = CampaignEngine(quick_config()).run(
+            units, str(tmp_path / "journal.jsonl"))
+        assert report.units["bad"].status == "crashed"
+        assert report.units["bad"].counts["crash"] == 1
+        assert "worker exploded" in report.units["bad"].detail
+        # the campaign degraded gracefully: both healthy units finished
+        assert report.completed == ["ok", "ok2"]
+        assert report.failed == ["bad"]
+
+    def test_hard_exit_worker_is_crashed(self):
+        report = CampaignEngine(quick_config(max_retries=0)).run(
+            [WorkUnit("dead", "hard-exit", {})])
+        assert report.units["dead"].status == "crashed"
+        assert "exit code 3" in report.units["dead"].detail
+
+    def test_hanging_worker_times_out_as_hung(self):
+        config = quick_config(timeout_s=0.5, max_retries=0)
+        report = CampaignEngine(config).run(
+            [WorkUnit("stuck", "hang", {})])
+        assert report.units["stuck"].status == "hung"
+        assert report.units["stuck"].counts["hang"] == 1
+
+    def test_transient_failure_retried_with_backoff(self, tmp_path):
+        flag = str(tmp_path / "flag")
+        report = CampaignEngine(quick_config(max_batches=1)).run(
+            [WorkUnit("flaky", "flaky", {"flag": flag})])
+        result = report.units["flaky"]
+        assert result.status == "completed"
+        assert result.retries == 1
+        assert result.counts["due"] == 4
+
+    def test_retries_exhausted_means_crashed(self, tmp_path):
+        report = CampaignEngine(quick_config(max_retries=2)).run(
+            [WorkUnit("bad", "raise", {})])
+        assert report.units["bad"].status == "crashed"
+        assert report.units["bad"].retries == 2
+
+
+class TestJournalResume:
+    def test_finished_units_skipped_on_rerun(self, tmp_path):
+        journal = str(tmp_path / "journal.jsonl")
+        tally = str(tmp_path / "tally.txt")
+        unit_a = WorkUnit("a", "tally", {"tally": tally, "tag": "a"})
+        engine = CampaignEngine(quick_config())
+        engine.run([unit_a], journal)
+        first = open(tally).read()
+        assert first.count("a:") == 2  # two batches ran
+
+        # Re-invoking with the same journal completes the campaign
+        # without re-running finished work units.
+        unit_b = WorkUnit("b", "tally", {"tally": tally, "tag": "b"})
+        report = engine.run([unit_a, unit_b], journal)
+        second = open(tally).read()
+        assert second.count("a:") == 2  # unit a did not re-run
+        assert second.count("b:") == 2  # unit b ran fresh
+        assert report.units["a"].resumed
+        assert not report.units["b"].resumed
+        assert report.units["a"].trials == 8
+
+    def test_interrupted_unit_resumes_after_last_batch(self, tmp_path):
+        journal = str(tmp_path / "journal.jsonl")
+        tally = str(tmp_path / "tally.txt")
+        unit = WorkUnit("u", "tally", {"tally": tally, "tag": "u"})
+        config = quick_config(max_batches=3)
+        # Simulate a campaign killed mid-unit: journal holds the start
+        # record and the first batch, but no terminal record.
+        with open(journal, "w") as handle:
+            for record in (
+                    {"type": "campaign", "version": 1},
+                    {"type": "unit_started", "unit": "u", "kind": "tally",
+                     "params": unit.params},
+                    {"type": "batch", "unit": "u", "index": 0, "trials": 4,
+                     "successes": 4, "counts": {"due": 4}, "attempts": 1}):
+                handle.write(json.dumps(record) + "\n")
+        report = CampaignEngine(config).run([unit], journal)
+        result = report.units["u"]
+        assert result.status == "completed"
+        assert result.resumed
+        assert result.batches == 3
+        assert result.trials == 12
+        # only the two missing batches actually executed
+        assert open(tally).read() == "u:1\nu:2\n"
+
+    def test_crashed_unit_outcome_survives_resume(self, tmp_path):
+        journal = str(tmp_path / "journal.jsonl")
+        units = [WorkUnit("ok", "tally", {}), WorkUnit("bad", "raise", {})]
+        engine = CampaignEngine(quick_config(max_retries=0))
+        engine.run(units, journal)
+        report = engine.run(units, journal)
+        assert report.units["bad"].resumed
+        assert report.units["bad"].status == "crashed"
+        assert report.units["bad"].counts["crash"] == 1
+        assert report.completed == ["ok"]
+
+    def test_torn_final_line_tolerated(self, tmp_path):
+        journal = str(tmp_path / "journal.jsonl")
+        unit = WorkUnit("a", "tally", {})
+        engine = CampaignEngine(quick_config())
+        engine.run([unit], journal)
+        with open(journal, "a") as handle:
+            handle.write('{"type": "batch", "unit": "a", "ind')  # torn
+        report = engine.run([unit], journal)
+        assert report.units["a"].resumed
+
+    def test_param_mismatch_rejected(self, tmp_path):
+        journal = str(tmp_path / "journal.jsonl")
+        engine = CampaignEngine(quick_config())
+        engine.run([WorkUnit("a", "tally", {"seed": 0})], journal)
+        with pytest.raises(InjectionError):
+            engine.run([WorkUnit("a", "tally", {"seed": 9})], journal)
+
+    def test_duplicate_unit_ids_rejected(self):
+        engine = CampaignEngine(quick_config())
+        with pytest.raises(InjectionError):
+            engine.run([WorkUnit("a", "tally", {}),
+                        WorkUnit("a", "tally", {})])
+
+    def test_statistical_config_change_rejected(self, tmp_path):
+        journal = str(tmp_path / "journal.jsonl")
+        CampaignEngine(quick_config(max_batches=3)).run(
+            [WorkUnit("a", "tally", {})], journal)
+        with pytest.raises(InjectionError, match="max_batches"):
+            CampaignEngine(quick_config(max_batches=2)).run(
+                [WorkUnit("a", "tally", {})], journal)
+
+    def test_operational_config_change_allowed(self, tmp_path):
+        journal = str(tmp_path / "journal.jsonl")
+        CampaignEngine(quick_config(timeout_s=20.0)).run(
+            [WorkUnit("a", "tally", {})], journal)
+        report = CampaignEngine(quick_config(timeout_s=5.0,
+                                             max_retries=0)).run(
+            [WorkUnit("a", "tally", {})], journal)
+        assert report.units["a"].resumed
+
+
+class TestEarlyStopping:
+    def test_sweep_ends_once_interval_is_tight(self):
+        config = EngineConfig(batch_size=50, max_batches=10,
+                              ci_half_width=0.05, min_trials=100,
+                              timeout_s=20.0)
+        report = CampaignEngine(config).run(
+            [WorkUnit("fast", "zero-rate", {})])
+        result = report.units["fast"]
+        assert result.stopped_early
+        assert result.batches == 2  # min_trials gate, then tight enough
+        assert result.estimate.half_width <= 0.05
+
+    def test_no_early_stop_without_bound(self):
+        report = CampaignEngine(quick_config()).run(
+            [WorkUnit("full", "zero-rate", {})])
+        assert not report.units["full"].stopped_early
+        assert report.units["full"].batches == 2
+
+
+class TestGateUnits:
+    def test_single_batch_matches_legacy_campaign(self, tmp_path):
+        legacy = run_unit_campaign("fxp-add-32", sample_count=30,
+                                   site_count=40, seed=5)
+        config = EngineConfig(batch_size=30, max_batches=1,
+                              ci_half_width=None, timeout_s=60.0)
+        report = CampaignEngine(config).run(
+            [gate_work_unit("fxp-add-32", site_count=40, seed=5)],
+            str(tmp_path / "journal.jsonl"))
+        merged = merged_gate_results(report)["fxp-add-32"]
+        assert merged.sample_count == legacy.sample_count
+        assert [r.site for r in merged.records] == \
+            [r.site for r in legacy.records]
+        assert merged.unmasked_site_counts == legacy.unmasked_site_counts
+
+    def test_scheme_monitors_detection_rate(self, tmp_path):
+        config = EngineConfig(batch_size=25, max_batches=2,
+                              ci_half_width=None, timeout_s=60.0)
+        report = CampaignEngine(config).run(
+            [gate_work_unit("fxp-add-32", site_count=40, seed=5,
+                            scheme="mod3")])
+        result = report.units["fxp-add-32"]
+        counts = result.counts
+        assert result.trials == counts["due"] + counts["sdc"]
+        assert result.successes == counts["due"]
+        assert counts["due"] > 0  # mod3 catches most patterns
+
+    def test_make_scheme_specs(self):
+        assert make_scheme("mod7").code.check_bits == 3
+        with pytest.raises(InjectionError):
+            make_scheme("modseven")
+        with pytest.raises(InjectionError):
+            make_scheme("hamming-zop")
+
+
+class TestGpuUnits:
+    def test_fault_plan_sweep_over_kernel(self, tmp_path):
+        config = EngineConfig(batch_size=6, max_batches=1,
+                              ci_half_width=None, timeout_s=120.0)
+        unit = gpu_work_unit("pathfinder", "swap-ecc", scale=0.2, seed=7)
+        report = CampaignEngine(config).run(
+            [unit], str(tmp_path / "journal.jsonl"))
+        result = report.units["pathfinder/swap-ecc"]
+        assert result.status == "completed"
+        total = sum(result.counts[name] for name in OUTCOMES) \
+            + result.counts["not_hit"]
+        assert total == 6
+        # swap-ecc leaves no silent corruption
+        assert result.counts["sdc"] == 0
+
+    def test_recovery_confirms_containment(self):
+        config = EngineConfig(batch_size=6, max_batches=1,
+                              ci_half_width=None, timeout_s=120.0,
+                              isolation="inline")
+        unit = gpu_work_unit("pathfinder", "swap-ecc", scale=0.2, seed=7,
+                             recovery_attempts=2)
+        report = CampaignEngine(config).run([unit])
+        result = report.units["pathfinder/swap-ecc"]
+        assert result.counts["recovered"] == result.counts["due"] \
+            + result.counts["trap"]
+
+
+class TestInlineIsolation:
+    def test_inline_mode_runs_and_catches_errors(self):
+        config = quick_config(isolation="inline")
+        report = CampaignEngine(config).run(
+            [WorkUnit("ok", "tally", {}), WorkUnit("bad", "raise", {})])
+        assert report.units["ok"].status == "completed"
+        assert report.units["bad"].status == "crashed"
+
+
+@pytest.mark.slow
+class TestBenchmarkScale:
+    def test_six_unit_campaign_with_early_stopping(self, tmp_path):
+        config = EngineConfig(batch_size=100, max_batches=10,
+                              ci_half_width=0.03, min_trials=200,
+                              timeout_s=600.0)
+        units = [gate_work_unit(name, site_count=100, seed=index,
+                                scheme="mod3")
+                 for index, name in enumerate(
+                     ("fxp-add-32", "fxp-mad-32", "fp-add-32"))]
+        report = CampaignEngine(config).run(
+            units, str(tmp_path / "journal.jsonl"))
+        assert not report.failed
+        for result in report.units.values():
+            assert result.estimate.half_width <= 0.03 or \
+                result.batches == 10

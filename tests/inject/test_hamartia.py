@@ -4,7 +4,8 @@ import pytest
 
 from repro.errors import InjectionError
 from repro.gates import Netlist, build_add_unit
-from repro.inject import (CampaignResult, FaultInjector, classify_severity,
+from repro.inject import (CampaignResult, FaultInjector, InjectionRecord,
+                          classify_severity, merge_results,
                           run_unit_campaign, severity_distribution)
 from repro.inject.hamartia import SEVERITY_CLASSES
 
@@ -92,3 +93,69 @@ class TestFaultInjector:
         for counts, total in zip(result.class_counts,
                                  result.unmasked_site_counts):
             assert sum(counts.values()) == total
+
+
+def empty_result():
+    return CampaignResult(unit_name="empty", output_bits=4, sample_count=0,
+                          sites_evaluated=0, chosen=[],
+                          unmasked_site_counts=[], class_counts=[])
+
+
+def fully_masked_result():
+    return CampaignResult(
+        unit_name="masked", output_bits=4, sample_count=3,
+        sites_evaluated=10, chosen=[None, None, None],
+        unmasked_site_counts=[0, 0, 0],
+        class_counts=[dict.fromkeys(SEVERITY_CLASSES, 0)
+                      for _ in range(3)])
+
+
+class TestCampaignResultEdges:
+    def test_empty_campaign_has_no_records_and_zero_fraction(self):
+        result = empty_result()
+        assert result.records == []
+        assert result.masked_input_fraction == 0.0
+        distribution = severity_distribution(result)
+        assert all(distribution[name].mean == 0.0
+                   for name in SEVERITY_CLASSES)
+
+    def test_fully_masked_campaign(self):
+        result = fully_masked_result()
+        assert result.records == []
+        assert result.masked_input_fraction == 1.0
+
+    def test_dict_round_trip(self):
+        record = InjectionRecord(site=7, pattern=0b101, golden=9)
+        result = CampaignResult(
+            unit_name="rt", output_bits=4, sample_count=2,
+            sites_evaluated=5, chosen=[record, None],
+            unmasked_site_counts=[1, 0],
+            class_counts=[{"1": 0, "2-3": 1, ">=4": 0},
+                          dict.fromkeys(SEVERITY_CLASSES, 0)])
+        restored = CampaignResult.from_dict(result.to_dict())
+        assert restored == result
+
+    def test_merge_concatenates_batches(self):
+        record = InjectionRecord(site=1, pattern=0b1, golden=2)
+        unmasked = CampaignResult(
+            unit_name="m", output_bits=4, sample_count=1,
+            sites_evaluated=5, chosen=[record],
+            unmasked_site_counts=[1],
+            class_counts=[{"1": 1, "2-3": 0, ">=4": 0}])
+        masked = CampaignResult(
+            unit_name="m", output_bits=4, sample_count=2,
+            sites_evaluated=3, chosen=[None, None],
+            unmasked_site_counts=[0, 0],
+            class_counts=[dict.fromkeys(SEVERITY_CLASSES, 0)
+                          for _ in range(2)])
+        merged = merge_results([unmasked, masked])
+        assert merged.sample_count == 3
+        assert merged.sites_evaluated == 5  # largest single-batch sweep
+        assert merged.chosen == [record, None, None]
+        assert merged.masked_input_fraction == pytest.approx(2 / 3)
+
+    def test_merge_rejects_mixed_units_and_empty(self):
+        with pytest.raises(InjectionError):
+            merge_results([])
+        with pytest.raises(InjectionError):
+            merge_results([empty_result(), fully_masked_result()])

@@ -1,0 +1,113 @@
+"""Tests for the append-only campaign journal and its replay."""
+
+import json
+
+import pytest
+
+from repro.errors import InjectionError
+from repro.inject.journal import Journal, JournalState, NullJournal
+
+
+def write_journal(path, *records):
+    with Journal(str(path)) as journal:
+        for record in records:
+            journal.append(record)
+
+
+class TestJournalWriter:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        with Journal(str(path)) as journal:
+            journal.unit_started("u", "gate", {"seed": 1})
+            journal.batch("u", 0, trials=10, successes=4,
+                          counts={"due": 4, "sdc": 6}, attempts=1)
+            journal.unit_done("u", "completed", {"trials": 10})
+        state = JournalState.load(str(path))
+        assert state.started["u"]["params"] == {"seed": 1}
+        assert state.batches["u"][0]["successes"] == 4
+        assert state.finished["u"]["status"] == "completed"
+        assert state.corrupt_lines == 0
+
+    def test_header_written_once(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        Journal(str(path)).close()
+        Journal(str(path)).close()  # reopening must not duplicate
+        lines = [json.loads(line) for line in open(path)]
+        assert [line["type"] for line in lines] == ["campaign"]
+
+    def test_record_needs_type(self, tmp_path):
+        with Journal(str(tmp_path / "journal.jsonl")) as journal:
+            with pytest.raises(InjectionError):
+                journal.append({"unit": "u"})
+
+    def test_null_journal_writes_nothing(self, tmp_path):
+        journal = NullJournal()
+        journal.unit_started("u", "gate", {})
+        journal.close()
+        assert journal.path is None
+
+
+class TestJournalReplay:
+    def test_missing_file_is_fresh_state(self, tmp_path):
+        state = JournalState.load(str(tmp_path / "nope.jsonl"))
+        assert not state.started and not state.finished
+        assert state.next_batch_index("anything") == 0
+
+    def test_torn_final_line_ignored(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        write_journal(path, {"type": "unit_started", "unit": "u",
+                             "kind": "gate", "params": {}})
+        with open(path, "a") as handle:
+            handle.write('{"type": "batch", "uni')
+        state = JournalState.load(str(path))
+        assert "u" in state.started
+        assert state.corrupt_lines == 1
+
+    def test_mid_file_corruption_raises(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        with open(path, "w") as handle:
+            handle.write("not json at all\n")
+            handle.write(json.dumps({"type": "unit_started", "unit": "u",
+                                     "kind": "gate", "params": {}}) + "\n")
+        with pytest.raises(InjectionError):
+            JournalState.load(str(path))
+
+    def test_duplicate_batch_index_keeps_first(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        write_journal(
+            path,
+            {"type": "batch", "unit": "u", "index": 0, "trials": 5,
+             "successes": 5, "counts": {}, "attempts": 1},
+            {"type": "batch", "unit": "u", "index": 0, "trials": 9,
+             "successes": 0, "counts": {}, "attempts": 1})
+        state = JournalState.load(str(path))
+        assert len(state.batches["u"]) == 1
+        assert state.batches["u"][0]["trials"] == 5
+
+    def test_next_batch_index_after_gap_free_prefix(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        write_journal(
+            path,
+            {"type": "batch", "unit": "u", "index": 0, "trials": 1,
+             "successes": 0, "counts": {}, "attempts": 1},
+            {"type": "batch", "unit": "u", "index": 1, "trials": 1,
+             "successes": 0, "counts": {}, "attempts": 1})
+        assert JournalState.load(str(path)).next_batch_index("u") == 2
+
+    def test_param_check(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        write_journal(path, {"type": "unit_started", "unit": "u",
+                             "kind": "gate", "params": {"seed": 3}})
+        state = JournalState.load(str(path))
+        state.check_params("u", {"seed": 3})  # fine
+        state.check_params("unseen", {"seed": 4})  # unknown unit: fine
+        with pytest.raises(InjectionError):
+            state.check_params("u", {"seed": 4})
+
+    def test_param_check_tolerates_tuples(self, tmp_path):
+        # params journal as JSON, so tuples come back as lists; the
+        # check must compare post-round-trip forms.
+        path = tmp_path / "journal.jsonl"
+        write_journal(path, {"type": "unit_started", "unit": "u",
+                             "kind": "gate", "params": {"units": ["a"]}})
+        JournalState.load(str(path)).check_params("u", {"units": ("a",)})
