@@ -1,0 +1,276 @@
+#!/usr/bin/env python
+"""Codec throughput benchmark driver — emits ``BENCH_codec.json``.
+
+Measures the scalar Python ECC codec against the vectorized batch layer
+(:mod:`repro.ecc.vectorized`) on three axes:
+
+* per-code encode/decode ops/s over a large word batch;
+* warp-wide register reads (32 lanes per call) through
+  ``SwapScheme.read_many`` versus 32 scalar ``read`` calls — the GPU
+  simulator's hot path;
+* end-to-end gate-campaign trials/s through the injection engine's
+  batched classification.
+
+Run it from the repo root::
+
+    PYTHONPATH=src python benchmarks/run_bench.py [--smoke] \
+        [--output BENCH_codec.json]
+
+``--smoke`` shrinks every workload for CI; the JSON schema is documented
+in EXPERIMENTS.md ("Codec benchmark harness").  Compare two runs with::
+
+    python benchmarks/run_bench.py --compare old.json new.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from datetime import datetime, timezone
+from typing import Callable, Dict
+
+SCHEMA = "swapcodes-bench-codec/1"
+
+
+def _best_seconds(func: Callable[[], None], repeats: int) -> float:
+    """Wall-clock seconds of the fastest of ``repeats`` runs of ``func``."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        func()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def bench_codes(words: int, repeats: int, rng) -> Dict[str, Dict[str, float]]:
+    """Scalar vs. vectorized encode/decode ops/s for each swept code."""
+    import numpy as np
+    from repro.ecc import HammingSec, HsiaoSecDed, ParityCode, ResidueCode, \
+        TedCode
+
+    codes = {
+        "secded-39-32": HsiaoSecDed(),
+        "sec-38-32": HammingSec(),
+        "ted-39-32": TedCode(),
+        "mod7": ResidueCode(7),
+        "parity-32": ParityCode(),
+    }
+    data = rng.integers(0, 2**32, size=words, dtype=np.uint64)
+    results: Dict[str, Dict[str, float]] = {}
+    for name, code in codes.items():
+        check = code.encode_many(data)
+        # Corrupt a third of the words with single-bit data errors so the
+        # decoder exercises every verdict, not just the clean fast path.
+        bad = data.copy()
+        struck = rng.integers(0, 3, size=words) == 0
+        bad[struck] ^= np.uint64(1) << rng.integers(
+            0, code.data_bits, size=int(struck.sum()), dtype=np.uint64)
+
+        bad_list = [int(value) for value in bad]
+        check_list = [int(value) for value in check]
+        scalar_decode = _best_seconds(
+            lambda: [code.decode(d, c)
+                     for d, c in zip(bad_list, check_list)], repeats)
+        vector_decode = _best_seconds(
+            lambda: code.decode_many(bad, check), repeats)
+        scalar_encode = _best_seconds(
+            lambda: [code.encode(d) for d in bad_list], repeats)
+        vector_encode = _best_seconds(
+            lambda: code.encode_many(bad), repeats)
+        results[name] = {
+            "scalar_decode_ops_per_s": words / scalar_decode,
+            "vector_decode_ops_per_s": words / vector_decode,
+            "decode_speedup": scalar_decode / vector_decode,
+            "scalar_encode_ops_per_s": words / scalar_encode,
+            "vector_encode_ops_per_s": words / vector_encode,
+            "encode_speedup": scalar_encode / vector_encode,
+        }
+    return results
+
+
+def bench_warp_read(batches: int, repeats: int, rng) -> Dict[str, float]:
+    """Warp-wide register-read decode: scalar loop vs. ``read_many``.
+
+    Mirrors the simulator's read-port granularity: ``WarpState`` gathers
+    every tainted lane of every source register of an instruction —
+    up to 3 registers x 32 lanes — into ONE ``read_many`` call (see
+    ``repro.gpu.warp._check_tainted_read``).  The scalar baseline is the
+    pre-batching behaviour: one ``scheme.read`` per lane.  A
+    single-register (32-lane) breakdown is reported alongside.
+    """
+    import numpy as np
+    from repro.ecc import SecDedDpSwap
+
+    scheme = SecDedDpSwap()
+    lanes = 32
+    registers = 3  # a 3-operand instruction (e.g. fused multiply-add)
+    span = lanes * registers
+    values = rng.integers(0, 2**32, size=batches * span, dtype=np.uint64)
+    words = [scheme.write_pair(int(value)) for value in values]
+    # Strike one lane per warp-read so each batch carries a real error.
+    for index in range(0, len(words), span):
+        words[index] = words[index].with_data_error(
+            1 << int(rng.integers(0, 32)))
+    data = np.array([word.data for word in words], dtype=np.uint64)
+    check = np.array([word.check for word in words], dtype=np.uint64)
+    dp = np.array([word.dp for word in words], dtype=np.uint64)
+
+    def scalar_pass():
+        for word in words:
+            scheme.read(word)
+
+    def warp_pass(width):
+        def run():
+            for start in range(0, len(words), width):
+                end = start + width
+                scheme.read_many(data[start:end], check[start:end],
+                                 dp[start:end])
+        return run
+
+    scalar = _best_seconds(scalar_pass, repeats)
+    vector = _best_seconds(warp_pass(span), repeats)
+    single = _best_seconds(warp_pass(lanes), repeats)
+    reads = batches * span
+    return {
+        "scheme": scheme.name,
+        "lanes": lanes,
+        "registers_per_read": registers,
+        "words_per_call": span,
+        "batches": batches,
+        "scalar_reads_per_s": reads / scalar,
+        "vector_reads_per_s": reads / vector,
+        "speedup": scalar / vector,
+        "single_register": {
+            "words_per_call": lanes,
+            "vector_reads_per_s": reads / single,
+            "speedup": scalar / single,
+        },
+    }
+
+
+def bench_campaign(samples: int, sites: int) -> Dict[str, float]:
+    """Gate-campaign trials/s through the engine's batched classification."""
+    from repro.inject.engine import BatchSpec, run_gate_batch
+
+    params = {"unit": "fxp-add-32", "site_count": sites,
+              "scheme": "secded-dp"}
+    batch = BatchSpec(index=0, size=samples, seed=3)
+    start = time.perf_counter()
+    payload = run_gate_batch(params, None, batch)
+    seconds = time.perf_counter() - start
+    return {
+        "unit": params["unit"],
+        "scheme": params["scheme"],
+        "samples": samples,
+        "sites": sites,
+        "trials": payload["trials"],
+        "seconds": seconds,
+        "trials_per_s": payload["trials"] / seconds if seconds else 0.0,
+    }
+
+
+def run(smoke: bool = False, output: str = "BENCH_codec.json",
+        seed: int = 0) -> Dict:
+    """Run every benchmark and write the JSON report to ``output``."""
+    import numpy as np
+
+    rng = np.random.default_rng(seed)
+    words = 4096 if smoke else 65536
+    batches = 256 if smoke else 2048
+    repeats = 2 if smoke else 3
+    samples = 120 if smoke else 600
+    sites = 40 if smoke else 150
+
+    report = {
+        "schema": SCHEMA,
+        "generated": datetime.now(timezone.utc).isoformat(
+            timespec="seconds"),
+        "config": {"smoke": smoke, "words": words, "warp_batches": batches,
+                   "repeats": repeats, "campaign_samples": samples,
+                   "campaign_sites": sites, "seed": seed},
+        "codes": bench_codes(words, repeats, rng),
+        "warp_read": bench_warp_read(batches, repeats, rng),
+        "campaign": bench_campaign(samples, sites),
+    }
+    if output:
+        with open(output, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    return report
+
+
+def summarize(report: Dict) -> str:
+    """Human-readable digest of one report."""
+    lines = [f"codec benchmark ({report['generated']}, "
+             f"smoke={report['config']['smoke']})"]
+    lines.append(f"{'code':<14} {'scalar dec/s':>14} {'vector dec/s':>14} "
+                 f"{'speedup':>9}")
+    for name, row in sorted(report["codes"].items()):
+        lines.append(f"{name:<14} {row['scalar_decode_ops_per_s']:>14.0f} "
+                     f"{row['vector_decode_ops_per_s']:>14.0f} "
+                     f"{row['decode_speedup']:>8.1f}x")
+    warp = report["warp_read"]
+    lines.append(
+        f"warp read ({warp['scheme']}, {warp['registers_per_read']} regs x "
+        f"{warp['lanes']} lanes/call): {warp['scalar_reads_per_s']:.0f} -> "
+        f"{warp['vector_reads_per_s']:.0f} reads/s "
+        f"({warp['speedup']:.1f}x; single-register "
+        f"{warp['single_register']['speedup']:.1f}x)")
+    campaign = report["campaign"]
+    lines.append(
+        f"campaign ({campaign['unit']}, {campaign['scheme']}): "
+        f"{campaign['trials']} trials in {campaign['seconds']:.2f}s "
+        f"({campaign['trials_per_s']:.0f} trials/s)")
+    return "\n".join(lines)
+
+
+def compare(old_path: str, new_path: str) -> str:
+    """Delta of two BENCH_codec.json reports (new relative to old)."""
+    with open(old_path, encoding="utf-8") as handle:
+        old = json.load(handle)
+    with open(new_path, encoding="utf-8") as handle:
+        new = json.load(handle)
+    lines = [f"comparing {new_path} against {old_path}"]
+    for name in sorted(set(old["codes"]) & set(new["codes"])):
+        before = old["codes"][name]["vector_decode_ops_per_s"]
+        after = new["codes"][name]["vector_decode_ops_per_s"]
+        lines.append(f"{name:<14} vector decode {after / before:>6.2f}x "
+                     f"of prior run")
+    before = old["warp_read"]["vector_reads_per_s"]
+    after = new["warp_read"]["vector_reads_per_s"]
+    lines.append(f"warp read      vector        {after / before:>6.2f}x "
+                 f"of prior run")
+    before = old["campaign"]["trials_per_s"]
+    after = new["campaign"]["trials_per_s"]
+    lines.append(f"campaign       trials/s      {after / before:>6.2f}x "
+                 f"of prior run")
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    """Command-line entry point."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized workloads")
+    parser.add_argument("--output", default="BENCH_codec.json",
+                        help="where to write the JSON report "
+                             "('' to skip writing)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--compare", nargs=2, metavar=("OLD", "NEW"),
+                        help="compare two existing reports and exit")
+    arguments = parser.parse_args(argv)
+    if arguments.compare:
+        print(compare(*arguments.compare))
+        return 0
+    report = run(smoke=arguments.smoke, output=arguments.output,
+                 seed=arguments.seed)
+    print(summarize(report))
+    if arguments.output:
+        print(f"wrote {arguments.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

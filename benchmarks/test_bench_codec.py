@@ -1,0 +1,35 @@
+"""Codec throughput: batched ECC decode vs. the scalar Python path.
+
+Drives ``benchmarks/run_bench.py`` (the ``BENCH_codec.json`` harness) at
+smoke scale and asserts the tentpole acceptance bar: warp-wide register
+reads through ``read_many`` must beat a 32-lane scalar ``read`` loop by
+at least 10x, and every swept code's vectorized decode must beat its
+scalar loop.
+"""
+
+import json
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+
+import run_bench  # noqa: E402
+
+
+def test_codec_throughput(once, tmp_path):
+    output = tmp_path / "BENCH_codec.json"
+    report = once(run_bench.run, smoke=True, output=str(output))
+    print()
+    print(run_bench.summarize(report))
+
+    assert report["schema"] == run_bench.SCHEMA
+    written = json.loads(output.read_text())
+    assert written["schema"] == run_bench.SCHEMA
+
+    # Acceptance bar: vectorized warp-wide decode >=10x the scalar loop.
+    assert report["warp_read"]["speedup"] >= 10.0, report["warp_read"]
+
+    for name, row in report["codes"].items():
+        assert row["decode_speedup"] > 1.0, (name, row)
+    assert report["campaign"]["trials"] > 0
+    assert report["campaign"]["trials_per_s"] > 0

@@ -11,6 +11,10 @@ Quick tour::
     scheme = SecDedDpSwap()               # Figure 5 reporting
     word = scheme.write_pair(42, 42 ^ 4)  # pipeline error in the shadow
     scheme.read(word)                     # -> benign (data intact)
+
+Every code also exposes a batched API (``encode_many`` / ``decode_many``,
+and ``SwapScheme.read_many``) that decodes numpy arrays of words in one
+call — see :mod:`repro.ecc.vectorized` for the machinery and the caches.
 """
 
 from repro.ecc.base import (DecodeResult, DecodeStatus, DetectionOnlyCode,
@@ -29,6 +33,8 @@ from repro.ecc.residue import (LOW_COST_MODULI, ResidueCode,
 from repro.ecc.swap import (DetectOnlySwap, ErrorClass, NaiveSecDedSwap,
                             ReadResult, ReadStatus, RegisterWord, SecDedDpSwap,
                             SecDpSwap, SwapScheme)
+from repro.ecc.vectorized import (BatchDecodeResult, BatchReadResult,
+                                  parity_many, popcount_many)
 
 __all__ = [
     "DecodeResult", "DecodeStatus", "DetectionOnlyCode", "ErrorCode",
@@ -40,6 +46,7 @@ __all__ = [
     "naive_layout", "separated_layout",
     "DetectOnlySwap", "ErrorClass", "NaiveSecDedSwap", "ReadResult",
     "ReadStatus", "RegisterWord", "SecDedDpSwap", "SecDpSwap", "SwapScheme",
+    "BatchDecodeResult", "BatchReadResult", "parity_many", "popcount_many",
 ]
 
 

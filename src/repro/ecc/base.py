@@ -13,17 +13,52 @@ import enum
 from dataclasses import dataclass
 from typing import Optional
 
+import numpy as np
+
 from repro.bitutils import mask
 from repro.errors import DecodingError
+from repro.ecc.vectorized import (BatchDecodeResult, STATUS_CORRECTED_CHECK,
+                                  STATUS_CORRECTED_DATA, STATUS_DUE,
+                                  STATUS_OK, as_u64)
 
 
 class DecodeStatus(enum.Enum):
-    """Outcome of decoding one ECC word."""
+    """Outcome of decoding one ECC word.
+
+    Against the campaign taxonomy (masked / SDC / DUE):
+
+    * ``OK`` — the stored word is consistent.  An error-free read, or a
+      fault whose effect the code cannot see (an aliasing pattern); in
+      the latter case the wrong data is silently accepted, which the
+      campaigns tally as **SDC** unless the data happens to be intact
+      (**masked**).
+    * ``CORRECTED_DATA`` — a single-bit data correction was applied.  A
+      true storage flip repaired this way is **masked**; a multi-bit
+      pipeline error *mis*-corrected this way becomes an **SDC** (the
+      hazard the data-parity schemes of Figure 5 exist to close).
+    * ``CORRECTED_CHECK`` — a single check-bit was repaired; the data
+      segment was never wrong, so the read is **masked**.
+    * ``DUE`` — detected-uncorrectable: the decoder refuses the word and
+      the machine halts or recovers.  This is the **DUE** bucket, the
+      paper's desired outcome for every pipeline error.
+    """
 
     OK = "ok"
     CORRECTED_DATA = "corrected_data"
     CORRECTED_CHECK = "corrected_check"
     DUE = "due"
+
+
+#: DecodeStatus -> integer code used by the batched decoders
+STATUS_TO_CODE = {
+    DecodeStatus.OK: STATUS_OK,
+    DecodeStatus.CORRECTED_DATA: STATUS_CORRECTED_DATA,
+    DecodeStatus.CORRECTED_CHECK: STATUS_CORRECTED_CHECK,
+    DecodeStatus.DUE: STATUS_DUE,
+}
+
+#: integer code -> DecodeStatus (inverse of :data:`STATUS_TO_CODE`)
+CODE_TO_STATUS = {code: status for status, code in STATUS_TO_CODE.items()}
 
 
 @dataclass(frozen=True)
@@ -86,6 +121,65 @@ class ErrorCode(abc.ABC):
     def decode(self, data: int, check: int) -> DecodeResult:
         """Decode a stored ``(data, check)`` pair."""
 
+    # -- batched API -------------------------------------------------------
+    #
+    # The defaults below are *exact-equivalence fallbacks*: they loop the
+    # scalar encode/decode so any subclass gets a correct batched API for
+    # free.  Performance-critical codes (the linear codes, parity,
+    # residues) override them with numpy implementations; the property
+    # tests in tests/ecc/test_vectorized.py pin the two paths together
+    # bit for bit.
+
+    def encode_many(self, data) -> np.ndarray:
+        """Check bits for an array of data words (``uint64`` in and out).
+
+        Fallback implementation: loops the scalar :meth:`encode`.
+        """
+        words = as_u64(data)
+        return np.fromiter((self.encode(int(word)) for word in words),
+                           dtype=np.uint64, count=len(words))
+
+    def syndrome_many(self, data, check) -> np.ndarray:
+        """XOR of recomputed and stored check bits, element-wise.
+
+        Zero means the stored check segment matches the canonical
+        encoding; codes with non-canonical equivalent encodings (the
+        residue double zero) may still accept a nonzero value, which is
+        why :meth:`decode_many` — not this helper — is the authority on
+        acceptance.
+        """
+        return self.encode_many(data) ^ as_u64(check)
+
+    def decode_many(self, data, check) -> BatchDecodeResult:
+        """Decode arrays of ``(data, check)`` pairs in one call.
+
+        Fallback implementation: loops the scalar :meth:`decode` and
+        packs the verdicts into a :class:`BatchDecodeResult`.
+        """
+        data_words = as_u64(data)
+        check_words = as_u64(check)
+        count = len(data_words)
+        status = np.empty(count, dtype=np.uint8)
+        out = np.empty(count, dtype=np.uint64)
+        corrected = np.full(count, -1, dtype=np.int16)
+        for index in range(count):
+            result = self.decode(int(data_words[index]),
+                                 int(check_words[index]))
+            status[index] = STATUS_TO_CODE[result.status]
+            out[index] = result.data
+            if result.corrected_bit is not None:
+                corrected[index] = result.corrected_bit
+        return BatchDecodeResult(status, out, corrected)
+
+    def _validate_many(self, data: np.ndarray, check: np.ndarray) -> None:
+        """Raise :class:`DecodingError` when any element is out of range."""
+        if len(data) and int(data.max()) > mask(self.data_bits):
+            raise DecodingError(
+                f"data word exceeds {self.data_bits} bits")
+        if len(check) and int(check.max()) > mask(self.check_bits):
+            raise DecodingError(
+                f"check word exceeds {self.check_bits} bits")
+
     def detects(self, data: int, data_error: int, check_error: int = 0) -> bool:
         """Report whether an error pattern on a valid codeword is caught.
 
@@ -115,13 +209,32 @@ class ErrorCode(abc.ABC):
 
 
 class DetectionOnlyCode(ErrorCode):
-    """Base for codes that never attempt correction (residue, parity, TED)."""
+    """Base for codes that never attempt correction (residue, parity, TED).
+
+    A detection-only decoder has exactly two verdicts — ``OK`` or ``DUE``
+    — so the batched path reduces to one vectorized re-encode and a
+    comparison; subclasses only supply :meth:`encode_many` (and, for
+    non-canonical encodings, :meth:`_check_equivalent_many`).
+    """
 
     def decode(self, data: int, check: int) -> DecodeResult:
+        """Accept (``OK``) or reject (``DUE``) — never correct."""
         self._validate(data, check)
         if self.encode(data) == check or self._check_equivalent(data, check):
             return DecodeResult(DecodeStatus.OK, data)
         return DecodeResult(DecodeStatus.DUE, data)
+
+    def decode_many(self, data, check) -> BatchDecodeResult:
+        """Vectorized decode: OK where the check segment is accepted."""
+        data_words = as_u64(data)
+        check_words = as_u64(check)
+        self._validate_many(data_words, check_words)
+        accepted = (self.encode_many(data_words) == check_words) | \
+            self._check_equivalent_many(data_words, check_words)
+        status = np.where(accepted, STATUS_OK, STATUS_DUE).astype(np.uint8)
+        return BatchDecodeResult(
+            status, data_words.copy(),
+            np.full(len(data_words), -1, dtype=np.int16))
 
     def _check_equivalent(self, data: int, check: int) -> bool:
         """Hook for codes with non-canonical check encodings.
@@ -131,3 +244,8 @@ class DetectionOnlyCode(ErrorCode):
         accept the alternate encoding.
         """
         return False
+
+    def _check_equivalent_many(self, data: np.ndarray,
+                               check: np.ndarray) -> np.ndarray:
+        """Vectorized counterpart of :meth:`_check_equivalent`."""
+        return np.zeros(len(data), dtype=bool)

@@ -11,7 +11,17 @@ from repro.ecc.linear import LinearCode, distinct_nonzero_columns
 
 
 class HammingSec(LinearCode):
-    """A (k + c, k) Hamming SEC code; default is the (38, 32) register code."""
+    """A (k + c, k) Hamming SEC code; default is the (38, 32) register code.
+
+    Geometry: ``(data_bits + check_bits, data_bits)`` — the default
+    ``(38, 32)`` leaves one bit of the SEC-DED redundancy budget free for
+    the data-parity bit of the SEC-DP scheme (Section III-B).
+    Guarantees: corrects every single-bit error; double-bit errors are
+    *detected or miscorrected* (distance 3, no guaranteed double
+    detection), which is exactly why SEC-DP augments it with data parity
+    before trusting corrections.  Reproduces the ``sec-dp`` column of
+    Figure 11.
+    """
 
     def __init__(self, data_bits: int = 32, check_bits: int = 6):
         columns = distinct_nonzero_columns(check_bits, data_bits)

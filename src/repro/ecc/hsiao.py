@@ -9,6 +9,8 @@ exploits against pipeline errors (Section IV-B).
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.bitutils import popcount
 from repro.ecc.base import DecodeResult, DecodeStatus, DetectionOnlyCode
 from repro.ecc.linear import LinearCode, odd_weight_columns
@@ -25,7 +27,15 @@ LOW_ALIAS_COLUMNS_39_32 = (
 
 
 class HsiaoSecDed(LinearCode):
-    """A (k + c, k) Hsiao SEC-DED code; default is the (39, 32) register code."""
+    """A (k + c, k) Hsiao SEC-DED code; default is the (39, 32) register code.
+
+    Geometry: ``(data_bits + check_bits, data_bits)`` — the default
+    ``(39, 32)`` matches the per-register SEC-DED budget of GPU register
+    files (Section II-A).  Guarantees: corrects every single-bit error
+    (data or check), detects every double-bit error; under SwapCodes'
+    swapped writeback it is the correcting code inside the SEC-DED-DP
+    scheme of Figure 5 and the ``secded-dp`` column of Figure 11.
+    """
 
     def __init__(self, data_bits: int = 32, check_bits: int = 7):
         columns = odd_weight_columns(check_bits, data_bits)
@@ -53,8 +63,11 @@ class HsiaoSecDed(LinearCode):
 class TedCode(DetectionOnlyCode):
     """A Hsiao SEC-DED code operated detection-only (triple error detecting).
 
-    Any nonzero syndrome raises a DUE; because the underlying code has
-    minimum distance 4, every 1-, 2-, or 3-bit error is guaranteed caught.
+    Geometry: the same ``(39, 32)`` codeword as :class:`HsiaoSecDed`.
+    Guarantees: any nonzero syndrome raises a DUE; because the underlying
+    code has minimum distance 4, every 1-, 2-, or 3-bit error is caught —
+    the property Section IV-B leans on against pipeline errors, and the
+    ``ted`` column of Figure 11.
     """
 
     def __init__(self, data_bits: int = 32, check_bits: int = 7):
@@ -64,4 +77,9 @@ class TedCode(DetectionOnlyCode):
         self.name = f"ted-{data_bits + check_bits}-{data_bits}"
 
     def encode(self, data: int) -> int:
+        """Return the underlying Hsiao code's check bits for ``data``."""
         return self._inner.encode(data)
+
+    def encode_many(self, data) -> np.ndarray:
+        """Vectorized encode via the underlying Hsiao code's bit matrices."""
+        return self._inner.encode_many(data)

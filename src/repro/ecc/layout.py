@@ -45,6 +45,7 @@ class EccSramPacking:
 
     @property
     def used_bits(self) -> int:
+        """Check bits actually occupied per ECC SRAM row."""
         return self.words_per_row * self.check_bits_per_word
 
     @property

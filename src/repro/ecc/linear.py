@@ -10,12 +10,18 @@ bit positions.
 
 from __future__ import annotations
 
+from functools import lru_cache
 from itertools import combinations
-from typing import Dict, List, Sequence
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
 
 from repro.bitutils import popcount
 from repro.errors import CodeConstructionError
 from repro.ecc.base import DecodeResult, DecodeStatus, ErrorCode
+from repro.ecc.vectorized import (BROADCAST_MAX, BatchDecodeResult, as_u64,
+                                  linear_decode_tables, pack_bit_columns,
+                                  parity_bits_u8, parity_many)
 
 
 def odd_weight_columns(check_bits: int, count: int) -> List[int]:
@@ -24,7 +30,16 @@ def odd_weight_columns(check_bits: int, count: int) -> List[int]:
     Columns are chosen in increasing weight (3, then 5, ...) and, within a
     weight class, to balance the number of ones per matrix row — the Hsiao
     construction heuristic, which minimizes encoder/decoder logic depth.
+    The greedy search is quadratic in the candidate pool, so results are
+    memoized process-wide (:func:`_odd_weight_columns_cached`).
     """
+    return list(_odd_weight_columns_cached(check_bits, count))
+
+
+@lru_cache(maxsize=None)
+def _odd_weight_columns_cached(check_bits: int,
+                               count: int) -> Tuple[int, ...]:
+    """Process-wide cache behind :func:`odd_weight_columns`."""
     columns: List[int] = []
     row_load = [0] * check_bits
     for weight in range(3, check_bits + 1, 2):
@@ -55,7 +70,7 @@ def odd_weight_columns(check_bits: int, count: int) -> List[int]:
         raise CodeConstructionError(
             f"cannot build {count} odd-weight columns from {check_bits} "
             f"check bits")
-    return columns
+    return tuple(columns)
 
 
 def distinct_nonzero_columns(check_bits: int, count: int) -> List[int]:
@@ -67,6 +82,13 @@ def distinct_nonzero_columns(check_bits: int, count: int) -> List[int]:
     appended (lowest weight first) only when the even pool runs out — this
     is the "careful code design" lever the SEC-DP discussion relies on.
     """
+    return list(_distinct_nonzero_columns_cached(check_bits, count))
+
+
+@lru_cache(maxsize=None)
+def _distinct_nonzero_columns_cached(check_bits: int,
+                                     count: int) -> Tuple[int, ...]:
+    """Process-wide cache behind :func:`distinct_nonzero_columns`."""
     unit = {1 << bit for bit in range(check_bits)}
     candidates = [
         value for value in range(1, 1 << check_bits) if value not in unit
@@ -77,7 +99,7 @@ def distinct_nonzero_columns(check_bits: int, count: int) -> List[int]:
         raise CodeConstructionError(
             f"cannot build {count} distinct columns from {check_bits} "
             f"check bits")
-    return candidates[:count]
+    return tuple(candidates[:count])
 
 
 class LinearCode(ErrorCode):
@@ -109,9 +131,11 @@ class LinearCode(ErrorCode):
 
     @property
     def can_correct(self) -> bool:
+        """Linear codes here map syndromes to correctable bit positions."""
         return True
 
     def encode(self, data: int) -> int:
+        """Check bits for ``data``: XOR of the columns of its set bits."""
         check = 0
         for index, column in enumerate(self.data_columns):
             if data >> index & 1:
@@ -123,6 +147,7 @@ class LinearCode(ErrorCode):
         return self.encode(data) ^ check
 
     def decode(self, data: int, check: int) -> DecodeResult:
+        """Map the syndrome to OK / corrected-bit / DUE (scalar path)."""
         self._validate(data, check)
         syndrome = self.syndrome(data, check)
         if syndrome == 0:
@@ -140,6 +165,54 @@ class LinearCode(ErrorCode):
     def _syndrome_correctable(self, syndrome: int) -> bool:
         """Hook: may this nonzero syndrome be treated as a single-bit error?"""
         return True
+
+    # -- batched API (see repro.ecc.vectorized) ----------------------------
+
+    def _tables(self):
+        """The shared decode tables for this code's geometry (cached)."""
+        tables = getattr(self, "_vector_tables", None)
+        if tables is None:
+            tables = linear_decode_tables(self)
+            self._vector_tables = tables
+        return tables
+
+    def encode_many(self, data) -> np.ndarray:
+        """Vectorized encode: GF(2) matmul as XOR-popcount over row masks.
+
+        Warp-sized batches broadcast against the packed parity-check rows
+        (a fixed handful of numpy calls); larger batches stream one pass
+        per check row to avoid the ``(n, rows)`` intermediates.
+        """
+        words = as_u64(data)
+        tables = self._tables()
+        if words.size <= BROADCAST_MAX:
+            bits = parity_bits_u8(words[:, None] & tables.row_masks)
+            return (bits * tables.row_weights).sum(axis=1, dtype=np.uint64)
+        check = np.zeros(len(words), dtype=np.uint64)
+        for row, row_mask in enumerate(tables.row_masks):
+            check |= parity_many(words & row_mask) << np.uint64(row)
+        return check
+
+    def decode_many(self, data, check) -> BatchDecodeResult:
+        """Vectorized decode via the precomputed syndrome tables."""
+        data_words = as_u64(data)
+        check_words = as_u64(check)
+        self._validate_many(data_words, check_words)
+        tables = self._tables()
+        if tables.codeword_masks is not None \
+                and data_words.size <= BROADCAST_MAX:
+            # Fused path: pack data|check into one word so each syndrome
+            # bit is a single popcount-parity against a codeword mask.
+            packed = (data_words << np.uint64(self.check_bits)) \
+                | check_words
+            bits = parity_bits_u8(packed[:, None] & tables.codeword_masks)
+            syndrome = pack_bit_columns(bits)
+        else:
+            syndrome = self.encode_many(data_words) ^ check_words
+        return BatchDecodeResult(
+            tables.status[syndrome],
+            data_words ^ tables.data_xor[syndrome],
+            tables.corrected_bit[syndrome])
 
     def check_alias_error_count(self, max_weight: int = 3) -> int:
         """Count data error patterns of weight <= ``max_weight`` whose

@@ -1,0 +1,317 @@
+"""Batched GF(2) machinery behind the vectorized ECC codec layer.
+
+Scalar :meth:`~repro.ecc.base.ErrorCode.decode` is the hot path of every
+injection campaign: the GPU model funnels each register read through the
+SwapCodes decoder, and a statistically meaningful campaign replays whole
+programs thousands of times.  This module supplies the shared numpy
+plumbing that lets codes decode *arrays* of words at once:
+
+* packed bit-matrix representations of a linear code's parity-check
+  matrix (one ``uint64`` row mask per check bit) so ``encode_many`` is a
+  GF(2) matrix-vector product computed as XOR-popcount over machine
+  words;
+* precomputed syndrome-decode tables (status, data-correction mask,
+  corrected-bit index per syndrome) so ``decode_many`` is a table
+  lookup;
+* a process-wide constructor cache: tables are built once per
+  ``(class, data_bits, check_bits, columns)`` and shared by every code
+  instance with that geometry, so repeatedly constructing
+  ``HsiaoSecDed()`` — as worker subprocesses and sweeps do — costs a
+  dictionary hit instead of a column search.
+
+The integer status encodings here mirror the public enums
+(:class:`~repro.ecc.base.DecodeStatus`, :class:`~repro.ecc.swap.ReadStatus`)
+one-for-one; containers carry plain numpy arrays so callers can stay
+vectorized end to end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+#: integer encodings of :class:`~repro.ecc.base.DecodeStatus`, in enum order
+STATUS_OK = 0
+STATUS_CORRECTED_DATA = 1
+STATUS_CORRECTED_CHECK = 2
+STATUS_DUE = 3
+
+#: integer encodings of :class:`~repro.ecc.swap.ReadStatus`, in enum order
+READ_OK = 0
+READ_CORRECTED = 1
+READ_DUE = 2
+
+#: batch size up to which the fused broadcast paths beat per-row passes.
+#: Broadcasting against the packed parity-check rows costs a handful of
+#: numpy calls regardless of width — ideal for warp-sized batches — but
+#: materializes ``(n, rows)`` intermediates; past this size the per-row
+#: streaming passes win on memory traffic.
+BROADCAST_MAX = 2048
+
+
+def as_u64(values) -> np.ndarray:
+    """Coerce a sequence of non-negative words to a 1-D ``uint64`` array."""
+    array = np.asarray(values, dtype=np.uint64)
+    if array.ndim != 1:
+        array = array.reshape(-1)
+    return array
+
+
+if hasattr(np, "bitwise_count"):
+    def popcount_many(values: np.ndarray) -> np.ndarray:
+        """Per-element population count of a ``uint64`` array."""
+        return np.bitwise_count(values).astype(np.uint64)
+else:  # numpy < 2.0: SWAR popcount over 64-bit words
+    def popcount_many(values: np.ndarray) -> np.ndarray:
+        """Per-element population count of a ``uint64`` array."""
+        v = values.astype(np.uint64)
+        v = v - ((v >> np.uint64(1)) & np.uint64(0x5555555555555555))
+        v = (v & np.uint64(0x3333333333333333)) + \
+            ((v >> np.uint64(2)) & np.uint64(0x3333333333333333))
+        v = (v + (v >> np.uint64(4))) & np.uint64(0x0F0F0F0F0F0F0F0F)
+        return (v * np.uint64(0x0101010101010101)) >> np.uint64(56)
+
+
+def parity_many(values: np.ndarray) -> np.ndarray:
+    """Per-element XOR-of-all-bits (0 or 1) of a ``uint64`` array."""
+    return popcount_many(values) & np.uint64(1)
+
+
+if hasattr(np, "bitwise_count"):
+    def parity_bits_u8(values: np.ndarray) -> np.ndarray:
+        """Per-element parity as ``uint8`` (shape-preserving, 2-D friendly).
+
+        The narrow dtype keeps the hot read path allocation-light and
+        feeds :func:`np.packbits` directly.
+        """
+        return np.bitwise_count(values) & np.uint8(1)
+else:  # numpy < 2.0
+    def parity_bits_u8(values: np.ndarray) -> np.ndarray:
+        """Per-element parity as ``uint8`` (shape-preserving, 2-D friendly)."""
+        return (popcount_many(values) & np.uint64(1)).astype(np.uint8)
+
+
+def pack_bit_columns(bits: np.ndarray) -> np.ndarray:
+    """Collapse an ``(n, k)`` 0/1 ``uint8`` matrix into per-row integers.
+
+    Column ``j`` contributes ``2**j`` — the weighted sum that turns a
+    matrix of syndrome/report bits into table indices.  Up to eight
+    columns this is a single ``np.packbits`` call; wider matrices take
+    the explicit weighted sum.
+    """
+    if bits.shape[1] <= 8:
+        return np.packbits(bits, axis=1, bitorder="little")[:, 0]
+    weights = np.uint64(1) << np.arange(bits.shape[1], dtype=np.uint64)
+    return (bits * weights).sum(axis=1, dtype=np.uint64)
+
+
+@dataclass(frozen=True)
+class BatchDecodeResult:
+    """Array-of-structs verdicts from one ``decode_many`` call.
+
+    Attributes:
+        status: per-word ``STATUS_*`` codes (``uint8``), mirroring
+            :class:`~repro.ecc.base.DecodeStatus` in declaration order.
+        data: per-word (possibly corrected) data values (``uint64``).
+            Words flagged ``STATUS_DUE`` echo their raw input data, which
+            callers must not trust — exactly like the scalar decoder.
+        corrected_bit: per-word corrected global bit index (``int16``),
+            or ``-1`` when no single-bit correction was performed.
+    """
+
+    status: np.ndarray
+    data: np.ndarray
+    corrected_bit: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.status)
+
+
+@dataclass(frozen=True)
+class BatchReadResult:
+    """Array-of-structs verdicts from one ``SwapScheme.read_many`` call.
+
+    Attributes:
+        status: per-word ``READ_*`` codes (``uint8``), mirroring
+            :class:`~repro.ecc.swap.ReadStatus` in declaration order.
+        data: per-word data as the register file would deliver it
+            (``uint64``); corrected where the scheme corrected, raw where
+            it raised a DUE.
+    """
+
+    status: np.ndarray
+    data: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.status)
+
+
+class LinearDecodeTables:
+    """Packed matrices and syndrome tables for one linear code geometry.
+
+    ``row_masks[j]`` holds the ``data_bits``-wide mask of data positions
+    feeding check bit ``j`` (row ``j`` of the parity-check matrix), so the
+    check bits of a word are ``parity(data & row_masks[j]) << j`` — a
+    GF(2) matrix product evaluated as XOR-popcount.  The three syndrome
+    tables are indexed by syndrome value and answer the whole decode in
+    one gather each.
+    """
+
+    __slots__ = ("row_masks", "row_weights", "codeword_masks", "status",
+                 "data_xor", "corrected_bit")
+
+    def __init__(self, code) -> None:
+        check_bits = code.check_bits
+        columns = code.data_columns
+        self.row_masks = np.array(
+            [sum(1 << index for index, column in enumerate(columns)
+                 if column >> row & 1)
+             for row in range(check_bits)], dtype=np.uint64)
+        self.row_weights = np.uint64(1) << np.arange(check_bits,
+                                                     dtype=np.uint64)
+        # Codeword-layout masks over ``data << check_bits | check``: one
+        # popcount per row yields the syndrome bit (recomputed XOR stored)
+        # directly.  Only possible when the codeword fits a machine word.
+        if code.data_bits + check_bits <= 64:
+            self.codeword_masks = np.array(
+                [(int(row_mask) << check_bits) | (1 << row)
+                 for row, row_mask in enumerate(self.row_masks)],
+                dtype=np.uint64)
+        else:
+            self.codeword_masks = None
+        size = 1 << check_bits
+        self.status = np.full(size, STATUS_DUE, dtype=np.uint8)
+        self.data_xor = np.zeros(size, dtype=np.uint64)
+        self.corrected_bit = np.full(size, -1, dtype=np.int16)
+        self.status[0] = STATUS_OK
+        for syndrome in range(1, size):
+            if not code._syndrome_correctable(syndrome):
+                continue
+            position = code._syndrome_map.get(syndrome)
+            if position is None:
+                continue
+            if position < code.data_bits:
+                self.status[syndrome] = STATUS_CORRECTED_DATA
+                self.data_xor[syndrome] = np.uint64(1 << position)
+            else:
+                self.status[syndrome] = STATUS_CORRECTED_CHECK
+            self.corrected_bit[syndrome] = position
+
+
+#: process-wide constructor cache: geometry key -> shared decode tables
+_TABLE_CACHE: Dict[Tuple, LinearDecodeTables] = {}
+
+
+def linear_decode_tables(code) -> LinearDecodeTables:
+    """The shared :class:`LinearDecodeTables` for ``code``'s geometry.
+
+    Keyed by ``(class, data_bits, check_bits, data columns)`` so distinct
+    column sets (e.g. :meth:`~repro.ecc.hsiao.HsiaoSecDed.low_alias`)
+    never share tables, while repeated constructions of the same code —
+    one per injection-campaign worker, typically — reuse one build.
+    """
+    key = (type(code), code.data_bits, code.check_bits,
+           tuple(code.data_columns))
+    tables = _TABLE_CACHE.get(key)
+    if tables is None:
+        tables = LinearDecodeTables(code)
+        _TABLE_CACHE[key] = tables
+    return tables
+
+
+class SwapReadTables:
+    """One-gather decode tables for a SwapCodes register read port.
+
+    Flattens a whole ``SwapScheme.read`` — linear decode *plus* the
+    Figure 5 data-parity reporting — into a single lookup.  The stored
+    word is packed as ``dp << (data_bits + check_bits) | data <<
+    check_bits | check``; each mask row extracts one index bit by parity
+    (the ``check_bits`` syndrome rows, then — for the data-parity
+    policies — one stale-DP row covering the data segment and the DP
+    bit).  The resulting index addresses ``status``/``data_xor`` arrays
+    that answer the read in one gather each, which is what makes
+    warp-wide ``read_many`` an order of magnitude faster than looping
+    the scalar read port.
+    """
+
+    __slots__ = ("masks", "weights", "status", "data_xor")
+
+    def __init__(self, code, policy: str) -> None:
+        decode = linear_decode_tables(code)
+        check_bits = code.check_bits
+        data_bits = code.data_bits
+        masks = [int(mask) for mask in decode.codeword_masks]
+        with_dp = policy in ("accept", "strict")
+        if with_dp:
+            data_segment = ((1 << data_bits) - 1) << check_bits
+            dp_bit = 1 << (data_bits + check_bits)
+            masks.append(data_segment | dp_bit)
+        self.masks = np.array(masks, dtype=np.uint64)
+        self.weights = np.uint64(1) << np.arange(len(masks), dtype=np.uint64)
+        size = 1 << len(masks)
+        syndromes = 1 << check_bits
+        self.status = np.empty(size, dtype=np.uint8)
+        self.data_xor = np.zeros(size, dtype=np.uint64)
+        for index in range(size):
+            syndrome = index & (syndromes - 1)
+            stale_dp = index >> check_bits
+            decoded = int(decode.status[syndrome])
+            if not with_dp:  # the naive (miscorrecting) strawman
+                if decoded == STATUS_OK:
+                    self.status[index] = READ_OK
+                elif decoded == STATUS_DUE:
+                    self.status[index] = READ_DUE
+                else:
+                    self.status[index] = READ_CORRECTED
+                    self.data_xor[index] = decode.data_xor[syndrome]
+                continue
+            # Figure 5 reporting (see _DataParitySwap.read for the prose).
+            if decoded == STATUS_OK:
+                self.status[index] = READ_CORRECTED if stale_dp else READ_OK
+            elif decoded == STATUS_CORRECTED_CHECK:
+                self.status[index] = READ_DUE if policy == "strict" \
+                    else READ_CORRECTED
+            elif decoded == STATUS_CORRECTED_DATA:
+                if stale_dp:
+                    self.status[index] = READ_CORRECTED
+                    self.data_xor[index] = decode.data_xor[syndrome]
+                else:
+                    self.status[index] = READ_DUE
+            else:
+                self.status[index] = READ_DUE
+
+
+#: process-wide cache: (geometry key, reporting policy) -> read tables
+_READ_TABLE_CACHE: Dict[Tuple, SwapReadTables] = {}
+
+
+def swap_read_tables(code, policy: str):
+    """Shared :class:`SwapReadTables` for ``code`` under ``policy``.
+
+    ``policy`` is ``"accept"`` or ``"strict"`` (the data-parity schemes'
+    check-correction policies) or ``"naive"`` (plain SEC-DED reporting).
+    Returns ``None`` when the packed layout cannot fit a 64-bit word or
+    the code exposes no linear decode tables — callers then fall back to
+    their generic vectorized path.
+    """
+    if not hasattr(code, "data_columns"):
+        return None
+    extra = 1 if policy in ("accept", "strict") else 0
+    if code.data_bits + code.check_bits + extra > 64:
+        return None
+    if linear_decode_tables(code).codeword_masks is None:
+        return None
+    key = (type(code), code.data_bits, code.check_bits,
+           tuple(code.data_columns), policy)
+    tables = _READ_TABLE_CACHE.get(key)
+    if tables is None:
+        tables = SwapReadTables(code, policy)
+        _READ_TABLE_CACHE[key] = tables
+    return tables
+
+
+def table_cache_size() -> int:
+    """Number of distinct code geometries currently cached (for tests)."""
+    return len(_TABLE_CACHE)

@@ -19,9 +19,12 @@ Modes:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.ecc.swap import ReadStatus, RegisterWord, SwapScheme
+from repro.ecc.vectorized import BatchReadResult
 from repro.errors import SimulationError
 
 
@@ -156,3 +159,19 @@ class TaintTracker:
         word = self.words.pop((register, lane))
         result = self.scheme.read(word)
         return result.status, result.data
+
+    def read_many(self, keys: Sequence[Tuple[int, int]]) -> BatchReadResult:
+        """Decode several tainted lanes in one vectorized read-port pass.
+
+        ``keys`` are (register, lane) pairs that must all be tainted; the
+        taints are dropped (as :meth:`read` does) and the whole batch runs
+        through :meth:`~repro.ecc.swap.SwapScheme.read_many` — this is how
+        the warp register file decodes every tainted lane of a register
+        read in one call instead of one scalar decode per lane.
+        """
+        words = [self.words.pop(key) for key in keys]
+        data = np.array([word.data for word in words], dtype=np.uint64)
+        check = np.array([word.check for word in words], dtype=np.uint64)
+        dp = np.array([word.dp for word in words], dtype=np.uint64) \
+            if self.scheme.uses_data_parity else None
+        return self.scheme.read_many(data, check, dp)

@@ -15,6 +15,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.ecc.vectorized import READ_CORRECTED, READ_DUE
 from repro.errors import SimulationError
 from repro.gpu.isa import (OPCODES, PT, RZ, WARP_SIZE, Instruction, Operand,
                            OperandKind)
@@ -121,29 +122,35 @@ class Warp:
     # ------------------------------------------------------------------
     def _check_tainted_read(self, registers: Tuple[int, ...],
                             mask: np.ndarray) -> None:
-        if not self.taint or not self.taint.words:
+        taint = self.taint
+        if not taint or not taint.words:
             return
-        for register in registers:
-            for lane in range(WARP_SIZE):
-                if not mask[lane]:
-                    continue
-                if (register, lane) not in self.taint.words:
-                    continue
-                status, data = self.taint.read(register, lane)
-                pc = self.stack[-1].pc if self.stack else -1
-                from repro.ecc.swap import ReadStatus
-                if status is ReadStatus.DUE:
-                    self.resilience.record("due", self.cta_index,
-                                           self.warp_index, pc,
-                                           f"R{register} lane {lane}")
-                    if self.resilience.halt_on_detect:
-                        raise KernelHalt("ecc-due")
-                elif status is ReadStatus.CORRECTED:
-                    self.resilience.record("corrected", self.cta_index,
-                                           self.warp_index, pc,
-                                           f"R{register} lane {lane}")
-                    self.regs[register][lane] = data & 0xFFFF_FFFF
-                # OK: the (possibly wrong) stored data flows on.
+        # Gather every tainted lane this read touches and decode them all
+        # in one vectorized register-file pass (read order: register as
+        # listed, then lane ascending — matching the scalar read port).
+        keys = [(register, lane)
+                for register in registers
+                for lane in sorted(
+                    lane for (tainted_register, lane) in taint.words
+                    if tainted_register == register and mask[lane])]
+        if not keys:
+            return
+        batch = taint.read_many(keys)
+        pc = self.stack[-1].pc if self.stack else -1
+        for (register, lane), status, data in zip(keys, batch.status,
+                                                  batch.data):
+            if status == READ_DUE:
+                self.resilience.record("due", self.cta_index,
+                                       self.warp_index, pc,
+                                       f"R{register} lane {lane}")
+                if self.resilience.halt_on_detect:
+                    raise KernelHalt("ecc-due")
+            elif status == READ_CORRECTED:
+                self.resilience.record("corrected", self.cta_index,
+                                       self.warp_index, pc,
+                                       f"R{register} lane {lane}")
+                self.regs[register][lane] = int(data) & 0xFFFF_FFFF
+            # OK: the (possibly wrong) stored data flows on.
 
     def read_u32(self, operand: Operand, mask: np.ndarray) -> np.ndarray:
         if operand.kind is OperandKind.IMMEDIATE:

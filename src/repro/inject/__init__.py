@@ -2,7 +2,8 @@
 
 from repro.inject.campaign import (UNIT_ORDER, build_unit, run_full_campaign,
                                    run_unit_campaign, unit_inputs)
-from repro.inject.classify import (Estimate, record_is_detected, sdc_risk,
+from repro.inject.classify import (Estimate, detection_outcomes,
+                                   record_is_detected, sdc_risk,
                                    sdc_risk_sweep, severity_distribution,
                                    split_into_registers)
 from repro.inject.hamartia import (SEVERITY_CLASSES, CampaignResult,
@@ -20,8 +21,8 @@ from repro.inject.journal import Journal, JournalState
 __all__ = [
     "UNIT_ORDER", "build_unit", "run_full_campaign", "run_unit_campaign",
     "unit_inputs",
-    "Estimate", "record_is_detected", "sdc_risk", "sdc_risk_sweep",
-    "severity_distribution", "split_into_registers",
+    "Estimate", "detection_outcomes", "record_is_detected", "sdc_risk",
+    "sdc_risk_sweep", "severity_distribution", "split_into_registers",
     "SEVERITY_CLASSES", "CampaignResult", "FaultInjector", "InjectionRecord",
     "classify_severity", "merge_results",
     "OPERAND_KINDS", "OperandTrace", "synthetic_operands",

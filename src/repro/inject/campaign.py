@@ -84,7 +84,9 @@ def run_full_campaign(sample_count: int = 1000,
     Runs through the resilient campaign engine: each unit sweeps in a
     crash-isolated worker and, given ``journal_path``, streams its
     batches to a JSONL journal so an interrupted campaign resumes where
-    it stopped.  The default configuration reproduces the legacy
+    it stopped.  Per-trial ECC classification inside each batch is
+    vectorized (one :func:`~repro.inject.classify.detection_outcomes`
+    decoder pass per batch, not one scalar decode per trial).  The default configuration reproduces the legacy
     single-shot sweep exactly (one batch of ``sample_count`` samples per
     unit, no early stopping); pass ``engine_config`` (an
     :class:`~repro.inject.engine.EngineConfig`) for batched sweeps with

@@ -6,7 +6,10 @@ import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.ecc.swap import SwapScheme
+from repro.ecc.vectorized import READ_DUE, parity_many
 from repro.errors import InjectionError
 from repro.inject.hamartia import (SEVERITY_CLASSES, CampaignResult,
                                    classify_severity)
@@ -98,13 +101,55 @@ def record_is_detected(scheme: SwapScheme, pattern: int, golden: int,
     return all_repaired
 
 
+def detection_outcomes(scheme: SwapScheme,
+                       result: CampaignResult) -> np.ndarray:
+    """Per-record detection verdicts for a whole campaign, batched.
+
+    Equivalent to calling :func:`record_is_detected` on every unmasked
+    record, but every erroneous register word of the campaign runs
+    through one vectorized
+    :meth:`~repro.ecc.swap.SwapScheme.read_many` call — the encode/
+    decode batching that keeps large Figure 11 sweeps off the scalar
+    Python decoder.  Returns a boolean array aligned with
+    ``result.records``.
+    """
+    records = result.records
+    detected = np.zeros(len(records), dtype=bool)
+    repaired = np.ones(len(records), dtype=bool)
+    index: List[int] = []
+    golden_words: List[int] = []
+    bad_words: List[int] = []
+    for position, record in enumerate(records):
+        if record.pattern == 0:
+            raise InjectionError("masked record has no detection outcome")
+        for golden_word, pattern_word in split_into_registers(
+                record.pattern, record.golden, result.output_bits):
+            if pattern_word == 0:
+                continue
+            index.append(position)
+            golden_words.append(golden_word)
+            bad_words.append(golden_word ^ pattern_word)
+    if not index:
+        return detected
+    word_index = np.array(index, dtype=np.intp)
+    golden = np.array(golden_words, dtype=np.uint64)
+    data = np.array(bad_words, dtype=np.uint64)
+    # The register ends up holding the erroneous data with the clean
+    # shadow's check bits and (for DP schemes) a parity bit the original
+    # computed from the bad data — the same word record_is_detected builds
+    # one at a time.
+    check = scheme.code.encode_many(golden)
+    dp = parity_many(data) if scheme.uses_data_parity else None
+    batch = scheme.read_many(data, check, dp)
+    np.logical_or.at(detected, word_index, batch.status == READ_DUE)
+    np.logical_and.at(repaired, word_index, batch.data == golden)
+    return detected | repaired
+
+
 def sdc_risk(result: CampaignResult, scheme: SwapScheme) -> Estimate:
     """Figure 11: probability an unmasked pipeline error goes undiagnosed."""
-    outcomes = [
-        0.0 if record_is_detected(scheme, record.pattern, record.golden,
-                                  result.output_bits) else 1.0
-        for record in result.records
-    ]
+    outcomes = [0.0 if verdict else 1.0
+                for verdict in detection_outcomes(scheme, result)]
     return _proportion_estimate(outcomes)
 
 

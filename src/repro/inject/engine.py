@@ -38,7 +38,7 @@ import multiprocessing
 
 from repro.errors import InjectionError, SimulationError
 from repro.inject.campaign import run_unit_campaign
-from repro.inject.classify import record_is_detected
+from repro.inject.classify import detection_outcomes
 from repro.inject.hamartia import CampaignResult, merge_results
 from repro.inject.journal import Journal, JournalState, NullJournal
 
@@ -300,7 +300,10 @@ def run_gate_batch(params: Dict[str, Any], context: Any,
     Without a ``scheme`` the monitored proportion is the unmasked-error
     rate (all unmasked errors are SDCs on unprotected hardware); with a
     ``scheme`` it is the detection rate among unmasked errors, the
-    quantity Figure 11 bounds.
+    quantity Figure 11 bounds.  Detection is classified for the whole
+    batch in one vectorized decoder pass
+    (:func:`~repro.inject.classify.detection_outcomes`) rather than one
+    scalar decode per trial.
     """
     trace = context.get("trace") if isinstance(context, dict) else None
     result = run_unit_campaign(
@@ -316,10 +319,7 @@ def run_gate_batch(params: Dict[str, Any], context: Any,
         trials = result.sample_count
         successes = len(result.records)
     else:
-        detected = sum(
-            1 for record in result.records
-            if record_is_detected(scheme, record.pattern, record.golden,
-                                  result.output_bits))
+        detected = int(detection_outcomes(scheme, result).sum())
         counts["due"] = detected
         counts["sdc"] = len(result.records) - detected
         trials = len(result.records)

@@ -1,0 +1,214 @@
+"""Property tests pinning the batched codec layer to the scalar path.
+
+The vectorized ``encode_many``/``decode_many``/``read_many`` implementations
+must agree with scalar ``encode``/``decode``/``read`` bit for bit — for
+clean words, injected single-bit errors (data and check), and double-bit
+errors — across every registered register-file code.  A second group
+verifies the process-wide constructor cache: independent constructions of
+the same geometry share one set of decode tables.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ecc import (DetectOnlySwap, HammingSec, HsiaoSecDed,
+                       NaiveSecDedSwap, ResidueCode, SecDedDpSwap, SecDpSwap,
+                       standard_register_codes)
+from repro.ecc.base import DecodeResult, DecodeStatus, ErrorCode, \
+    STATUS_TO_CODE
+from repro.ecc.linear import _odd_weight_columns_cached
+from repro.ecc.swap import READ_STATUS_TO_CODE, RegisterWord
+from repro.ecc.vectorized import linear_decode_tables
+from repro.errors import DecodingError
+
+
+def registered_codes():
+    """Every register-file code the library registers, plus the variants."""
+    codes = dict(standard_register_codes())
+    codes["sec"] = HammingSec()
+    codes["secded-lowalias"] = HsiaoSecDed.low_alias()
+    return codes
+
+
+CODES = registered_codes()
+
+U32 = st.integers(min_value=0, max_value=2**32 - 1)
+WORDS = st.lists(U32, min_size=1, max_size=64)
+
+
+def assert_batch_matches_scalar(code, data_words, check_words):
+    """One decode_many call must equal element-wise scalar decodes."""
+    batch = code.decode_many(data_words, check_words)
+    assert len(batch) == len(data_words)
+    for index, (data, check) in enumerate(zip(data_words, check_words)):
+        scalar = code.decode(data, check)
+        assert int(batch.status[index]) == STATUS_TO_CODE[scalar.status], \
+            (code.name, index)
+        assert int(batch.data[index]) == scalar.data, (code.name, index)
+        expected_bit = -1 if scalar.corrected_bit is None \
+            else scalar.corrected_bit
+        assert int(batch.corrected_bit[index]) == expected_bit, \
+            (code.name, index)
+
+
+class TestEncodeManyEquivalence:
+    @pytest.mark.parametrize("name", sorted(CODES))
+    @given(words=WORDS)
+    @settings(max_examples=25, deadline=None)
+    def test_encode_many_matches_scalar(self, name, words):
+        code = CODES[name]
+        batch = code.encode_many(words)
+        assert batch.dtype == np.uint64
+        assert [int(value) for value in batch] == \
+            [code.encode(word) for word in words]
+
+    @pytest.mark.parametrize("name", sorted(CODES))
+    def test_syndrome_many_zero_on_clean_words(self, name):
+        code = CODES[name]
+        words = [0, 1, 0xFFFF_FFFF, 0xDEAD_BEEF, 0x1234_5678]
+        checks = [code.encode(word) for word in words]
+        assert not code.syndrome_many(words, checks).any()
+
+
+class TestDecodeManyEquivalence:
+    @pytest.mark.parametrize("name", sorted(CODES))
+    @given(words=WORDS, data=st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_decode_many_matches_scalar_under_errors(self, name, words,
+                                                     data):
+        code = CODES[name]
+        checks = [code.encode(word) for word in words]
+        bad_data, bad_check = [], []
+        for word, check in zip(words, checks):
+            kind = data.draw(st.sampled_from(
+                ["clean", "data1", "check1", "data2", "data1check1"]))
+            data_error = 0
+            check_error = 0
+            if kind in ("data1", "data1check1"):
+                data_error = 1 << data.draw(
+                    st.integers(0, code.data_bits - 1))
+            if kind == "data2":
+                first, second = data.draw(st.lists(
+                    st.integers(0, code.data_bits - 1), min_size=2,
+                    max_size=2, unique=True))
+                data_error = (1 << first) | (1 << second)
+            if kind in ("check1", "data1check1"):
+                check_error = 1 << data.draw(
+                    st.integers(0, code.check_bits - 1))
+            bad_data.append(word ^ data_error)
+            bad_check.append(check ^ check_error)
+        assert_batch_matches_scalar(code, bad_data, bad_check)
+
+    @pytest.mark.parametrize("name", sorted(CODES))
+    def test_decode_many_validates_range(self, name):
+        code = CODES[name]
+        with pytest.raises(DecodingError):
+            code.decode_many([1 << code.data_bits], [0])
+        with pytest.raises(DecodingError):
+            code.decode_many([0], [1 << code.check_bits])
+
+    def test_residue_double_zero_accepted_in_batch(self):
+        code = ResidueCode(7)
+        # 0 and the all-ones modulus value both encode residue zero.
+        batch = code.decode_many([0, 7, 14], [7, 7, 7])
+        assert [int(status) for status in batch.status] == \
+            [STATUS_TO_CODE[DecodeStatus.OK]] * 3
+
+    def test_fallback_path_matches_scalar(self):
+        """A code that does not opt in gets the exact scalar semantics."""
+
+        class XorNibbleCode(ErrorCode):
+            """Toy detection code: check = XOR of the data nibbles."""
+
+            data_bits = 8
+            check_bits = 4
+            name = "xor-nibble"
+
+            def encode(self, data):
+                return (data ^ (data >> 4)) & 0xF
+
+            def decode(self, data, check):
+                self._validate(data, check)
+                if self.encode(data) == check:
+                    return DecodeResult(DecodeStatus.OK, data)
+                return DecodeResult(DecodeStatus.DUE, data)
+
+        code = XorNibbleCode()
+        words = list(range(40))
+        checks = [code.encode(word) ^ (word % 3 == 0) for word in words]
+        assert_batch_matches_scalar(code, words, checks)
+
+
+SCHEMES = {
+    "secded-dp": SecDedDpSwap(),
+    "secded-dp-strict": SecDedDpSwap(check_correction="strict"),
+    "sec-dp": SecDpSwap(),
+    "swap-mod7": DetectOnlySwap(ResidueCode(7)),
+    "naive-secded": NaiveSecDedSwap(),
+}
+
+
+class TestReadManyEquivalence:
+    @pytest.mark.parametrize("name", sorted(SCHEMES))
+    @given(words=WORDS, data=st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_read_many_matches_scalar(self, name, words, data):
+        scheme = SCHEMES[name]
+        stored = []
+        for value in words:
+            shadow = value
+            if data.draw(st.booleans()):
+                shadow = value ^ (1 << data.draw(st.integers(0, 31)))
+            word = scheme.write_pair(value, shadow)
+            if data.draw(st.booleans()):
+                word = word.with_data_error(
+                    1 << data.draw(st.integers(0, 31)))
+            if data.draw(st.booleans()):
+                word = word.with_check_error(
+                    1 << data.draw(st.integers(0, scheme.code.check_bits - 1)))
+            if scheme.uses_data_parity and data.draw(st.booleans()):
+                word = word.with_dp_error()
+            stored.append(word)
+        batch = scheme.read_many(
+            [word.data for word in stored],
+            [word.check for word in stored],
+            [word.dp for word in stored] if scheme.uses_data_parity
+            else None)
+        for index, word in enumerate(stored):
+            scalar = scheme.read(word)
+            assert int(batch.status[index]) == \
+                READ_STATUS_TO_CODE[scalar.status], (name, index)
+            assert int(batch.data[index]) == scalar.data, (name, index)
+
+    def test_dp_scheme_requires_parity_array(self):
+        with pytest.raises(ValueError):
+            SecDedDpSwap().read_many([1], [2], None)
+
+
+class TestConstructorCache:
+    def test_two_constructions_share_decode_tables(self):
+        first, second = HsiaoSecDed(), HsiaoSecDed()
+        assert first.data_columns == second.data_columns
+        assert linear_decode_tables(first) is linear_decode_tables(second)
+
+    def test_instance_accessor_uses_shared_tables(self):
+        first, second = HammingSec(), HammingSec()
+        assert first._tables() is second._tables()
+
+    def test_variant_geometries_do_not_collide(self):
+        assert linear_decode_tables(HsiaoSecDed()) is not \
+            linear_decode_tables(HsiaoSecDed.low_alias())
+        assert linear_decode_tables(HsiaoSecDed()) is not \
+            linear_decode_tables(HammingSec())
+
+    def test_column_search_memoized(self):
+        assert _odd_weight_columns_cached(7, 32) is \
+            _odd_weight_columns_cached(7, 32)
+
+    def test_cached_columns_copy_is_private(self):
+        from repro.ecc.linear import odd_weight_columns
+        columns = odd_weight_columns(7, 32)
+        columns[0] = -1
+        assert odd_weight_columns(7, 32)[0] != -1

@@ -3,10 +3,11 @@
 import pytest
 
 from repro.ecc import (DetectOnlySwap, NaiveSecDedSwap, ParityCode,
-                       ResidueCode, SecDedDpSwap, TedCode)
+                       ResidueCode, SecDedDpSwap, SecDpSwap, TedCode)
 from repro.errors import InjectionError
-from repro.inject import (record_is_detected, run_unit_campaign, sdc_risk,
-                          sdc_risk_sweep, split_into_registers)
+from repro.inject import (detection_outcomes, record_is_detected,
+                          run_unit_campaign, sdc_risk, sdc_risk_sweep,
+                          split_into_registers)
 
 
 class TestSplitIntoRegisters:
@@ -66,6 +67,37 @@ class TestRecordIsDetected:
     def test_masked_record_rejected(self):
         with pytest.raises(InjectionError):
             record_is_detected(self.ted, pattern=0, golden=0, output_bits=32)
+
+
+class TestDetectionOutcomesBatching:
+    """The batched campaign classifier must equal per-record scalar calls."""
+
+    @pytest.mark.parametrize("scheme", [
+        DetectOnlySwap(ParityCode()),
+        DetectOnlySwap(ResidueCode(3)),
+        DetectOnlySwap(TedCode()),
+        SecDedDpSwap(),
+        SecDedDpSwap(check_correction="strict"),
+        SecDpSwap(),
+        NaiveSecDedSwap(),
+    ], ids=lambda scheme: scheme.name)
+    def test_matches_record_is_detected(self, scheme):
+        result = run_unit_campaign("fp-mad-64", sample_count=120,
+                                   site_count=60, seed=11)
+        assert result.records, "campaign produced no unmasked records"
+        batched = detection_outcomes(scheme, result)
+        scalar = [record_is_detected(scheme, record.pattern, record.golden,
+                                     result.output_bits)
+                  for record in result.records]
+        assert list(batched) == scalar
+
+    def test_empty_campaign_yields_empty_outcomes(self):
+        from repro.inject import FaultInjector
+        from tests.inject.test_hamartia import tiny_xor_unit
+
+        result = FaultInjector(tiny_xor_unit()).run({"a": [], "b": []})
+        outcomes = detection_outcomes(DetectOnlySwap(ParityCode()), result)
+        assert outcomes.shape == (0,)
 
 
 class TestSdcRisk:

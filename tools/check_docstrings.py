@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Docstring checker for the public ECC API (pydocstyle-lite, offline).
+
+Walks the given packages with ``ast`` and requires a docstring on every
+module, every public class, and every public function/method (public =
+name without a leading underscore, plus ``__init__`` is exempt).  The
+build environment has no pydocstyle wheel, so this covers the subset of
+its checks the docs CI job needs without a new dependency.
+
+Usage::
+
+    python tools/check_docstrings.py src/repro/ecc [more paths...]
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+FUNCTION_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+def missing_docstrings(path: Path) -> list:
+    """(line, kind, name) for every public definition lacking a docstring."""
+    tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+    problems = []
+    if ast.get_docstring(tree) is None:
+        problems.append((1, "module", path.name))
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef):
+            members = [(child, "method") for child in node.body]
+            kind = "class"
+        elif isinstance(node, FUNCTION_NODES):
+            continue  # visited through their parent below
+        else:
+            continue
+        if node.name.startswith("_"):
+            continue
+        if ast.get_docstring(node) is None:
+            problems.append((node.lineno, kind, node.name))
+        for child, child_kind in members:
+            if not isinstance(child, FUNCTION_NODES):
+                continue
+            if child.name.startswith("_") and child.name != "__init__":
+                continue
+            if child.name == "__init__":
+                continue  # documented by the class docstring
+            if ast.get_docstring(child) is None:
+                problems.append((child.lineno, child_kind,
+                                 f"{node.name}.{child.name}"))
+    # Module-level functions (not nested, not methods).
+    for node in ast.iter_child_nodes(tree):
+        if isinstance(node, FUNCTION_NODES) and \
+                not node.name.startswith("_") and \
+                ast.get_docstring(node) is None:
+            problems.append((node.lineno, "function", node.name))
+    return sorted(set(problems))
+
+
+def main(argv=None) -> int:
+    """Command-line entry point."""
+    argv = sys.argv[1:] if argv is None else argv
+    roots = [Path(arg) for arg in argv] or [Path("src/repro/ecc")]
+    files = []
+    for root in roots:
+        files.extend(sorted(root.rglob("*.py")) if root.is_dir() else [root])
+    failures = 0
+    for path in files:
+        for line, kind, name in missing_docstrings(path):
+            print(f"{path}:{line}: undocumented public {kind} {name}")
+            failures += 1
+    print(f"checked {len(files)} files: {failures} missing docstring(s)")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

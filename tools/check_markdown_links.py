@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Check relative links (and their anchors) in the repo's markdown files.
+
+Scans every tracked ``*.md`` file for inline links, verifies that
+relative targets exist on disk, and that ``#anchor`` fragments match a
+heading in the target file (GitHub slug rules, simplified).  External
+schemes (http, https, mailto) are skipped — the checker must work
+offline.  Exits nonzero and lists every broken link.
+
+Usage::
+
+    python tools/check_markdown_links.py [root]
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+#: inline markdown links: [text](target), ignoring images' leading "!"
+LINK = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)\)")
+HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+CODE_FENCE = re.compile(r"```.*?```", re.DOTALL)
+SKIP_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
+SKIP_DIRS = {".git", ".pytest_cache", "__pycache__", "node_modules"}
+
+
+def slugify(heading: str) -> str:
+    """GitHub-style anchor slug for a heading (simplified)."""
+    text = re.sub(r"[`*_]", "", heading.strip().lower())
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def heading_slugs(markdown: str) -> set:
+    """All anchor slugs defined by ``markdown``'s headings."""
+    without_code = CODE_FENCE.sub("", markdown)
+    return {slugify(match) for match in HEADING.findall(without_code)}
+
+
+def check_file(path: Path, root: Path) -> list:
+    """Return human-readable problems for every broken link in ``path``."""
+    problems = []
+    text = path.read_text(encoding="utf-8")
+    for target in LINK.findall(CODE_FENCE.sub("", text)):
+        if target.startswith(SKIP_SCHEMES):
+            continue
+        target, _, anchor = target.partition("#")
+        if not target:  # same-file anchor
+            resolved = path
+        else:
+            resolved = (path.parent / target).resolve()
+            if not resolved.exists():
+                problems.append(f"{path.relative_to(root)}: broken link "
+                                f"-> {target}")
+                continue
+        if anchor and resolved.suffix == ".md":
+            slugs = heading_slugs(resolved.read_text(encoding="utf-8"))
+            if anchor.lower() not in slugs:
+                problems.append(f"{path.relative_to(root)}: missing anchor "
+                                f"-> {target}#{anchor}")
+    return problems
+
+
+def main(argv=None) -> int:
+    """Command-line entry point."""
+    argv = sys.argv[1:] if argv is None else argv
+    root = Path(argv[0]).resolve() if argv else Path.cwd()
+    files = [path for path in sorted(root.rglob("*.md"))
+             if not (SKIP_DIRS & set(part for part in path.parts))]
+    problems = []
+    for path in files:
+        problems.extend(check_file(path, root))
+    for problem in problems:
+        print(problem)
+    print(f"checked {len(files)} markdown files: "
+          f"{len(problems)} broken link(s)")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
