@@ -28,6 +28,26 @@ class SimulationError(ReproError):
     """The GPU simulator reached an invalid state (bad address, deadlock)."""
 
 
+class HangError(SimulationError):
+    """A watchdog verdict: the kernel livelocked (budget or deadline hit).
+
+    Subclasses :class:`SimulationError` so existing crash-isolation code
+    keeps working, while classifiers can bin step-limit and wall-clock
+    exhaustion as ``hang`` instead of a generic crash.
+    """
+
+
+class ContainmentViolation(ReproError):
+    """A detected error leaked to memory before the halt.
+
+    SwapCodes' central claim is strict read-time containment: every
+    corrupted value is flagged at the register read port before it can
+    reach a store.  The containment auditor raises this when a
+    post-detection memory image diverges from the fault-free execution of
+    the same prefix — making the claim machine-checked under injection.
+    """
+
+
 class CompilationError(ReproError):
     """A resilience compiler pass could not transform a kernel."""
 

@@ -6,6 +6,8 @@
   (slowdowns, instruction mix, inter-thread comparison, future predictors).
 * Figure 14 — :mod:`repro.experiments.fig14_power`.
 * Tables I-IV — :mod:`repro.experiments.tables`.
+* Recovery coverage (Section VI's re-execution story) —
+  :mod:`repro.experiments.recovery_coverage`.
 """
 
 from repro.experiments.common import (SchemeRun, render_table, run_matrix,
@@ -19,6 +21,11 @@ from repro.experiments.figures_inject import (FIG11_CODE_ORDER,
                                               render_figure10,
                                               render_figure11,
                                               run_injection_study)
+from repro.experiments.recovery_coverage import (RECOVERY_MATRIX,
+                                                 RecoveryCoverageStudy,
+                                                 render_recovery_coverage,
+                                                 run_recovery_coverage_study,
+                                                 write_recovery_artifact)
 from repro.experiments.figures_perf import (FIG12_SCHEMES, FIG15_SCHEMES,
                                             FIG16_SCHEMES, PerformanceStudy,
                                             render_mix_table,
@@ -33,6 +40,8 @@ __all__ = [
     "run_power_study",
     "FIG11_CODE_ORDER", "InjectionStudy", "figure11_schemes",
     "render_figure10", "render_figure11", "run_injection_study",
+    "RECOVERY_MATRIX", "RecoveryCoverageStudy", "render_recovery_coverage",
+    "run_recovery_coverage_study", "write_recovery_artifact",
     "FIG12_SCHEMES", "FIG15_SCHEMES", "FIG16_SCHEMES", "PerformanceStudy",
     "render_mix_table", "render_slowdown_table", "run_performance_study",
     "TABLE_I", "TABLE_II", "format_table_iv", "table_iii", "table_iv_rows",

@@ -42,16 +42,20 @@ def run_injection_study(sample_count: int = 1000,
                         trace: Optional[OperandTrace] = None,
                         units: Sequence[str] = UNIT_ORDER,
                         journal_path: Optional[str] = None,
+                        journal_fsync: bool = False,
                         engine_config=None) -> InjectionStudy:
     """Run the six-unit campaign and fold in every Figure 11 code.
 
-    ``journal_path``/``engine_config`` flow to the resilient campaign
-    engine: the study then checkpoints per batch, resumes after
-    interruption, and isolates unit crashes (crashed units drop out of
-    the study instead of aborting it).
+    ``journal_path``/``journal_fsync``/``engine_config`` flow to the
+    resilient campaign engine: the study then checkpoints per batch
+    (fsyncing each record when asked, so even ``kill -9`` loses at most
+    one torn line), resumes after interruption, and isolates unit
+    crashes (crashed units drop out of the study instead of aborting
+    it).
     """
     campaigns = run_full_campaign(sample_count, site_count, seed, trace,
                                   units, journal_path=journal_path,
+                                  journal_fsync=journal_fsync,
                                   engine_config=engine_config)
     schemes = figure11_schemes()
     severity = {}

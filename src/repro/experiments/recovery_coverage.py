@@ -1,0 +1,149 @@
+"""The recovery-coverage study: per-scheme ladder outcomes and overhead.
+
+SwapCodes argues detection-plus-re-execution covers pipeline errors while
+SEC-DED-DP's retained correction covers storage errors without any replay
+at all (Sections V-VI).  This harness measures exactly that split: it
+sweeps {scheme} x {strike site} injection units through the campaign
+engine's ``gpu-recovery`` runner — every trial runs the full graceful-
+degradation ladder with a containment auditor attached — and reports the
+per-rung coverage breakdown plus the replayed-instruction overhead.
+
+The headline rows to expect: under ``secded-dp`` storage strikes land in
+``corrected_in_place`` with zero replayed instructions, while the *same*
+faults under detect-only ``parity`` (and pipeline ``result`` strikes
+under any scheme) escalate to the replay rungs.  Containment divergence
+is a hard error, so a completed study certifies zero leaks.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.experiments.common import render_table
+from repro.inject.classify import RECOVERY_CLASSES, recovery_coverage
+from repro.inject.engine import (CampaignEngine, EngineConfig, UnitReport,
+                                 gpu_recovery_work_unit)
+
+#: the (code, strike-site) grid the study sweeps, in display order
+RECOVERY_MATRIX: Tuple[Tuple[str, str], ...] = (
+    ("secded-dp", "storage"),
+    ("secded-dp", "result"),
+    ("parity", "storage"),
+    ("parity", "result"),
+)
+
+
+@dataclass
+class RecoveryCoverageStudy:
+    """Per-unit ladder outcomes of one recovery-coverage sweep."""
+
+    workload: str
+    scale: float
+    #: unit id -> the engine's terminal report
+    units: Dict[str, UnitReport]
+    #: unit id -> fraction of visible trials per RECOVERY_CLASSES bin
+    coverage: Dict[str, Dict[str, float]]
+    #: unit id -> summed ladder telemetry across the unit's batches
+    telemetry: Dict[str, Dict[str, int]] = field(default_factory=dict)
+
+    @property
+    def total_violations(self) -> int:
+        return sum(entry.get("violations", 0)
+                   for entry in self.telemetry.values())
+
+
+def _sum_payloads(report: UnitReport) -> Dict[str, int]:
+    keys = ("replayed_instructions", "total_instructions", "detections",
+            "audits", "violations")
+    totals = dict.fromkeys(keys, 0)
+    for payload in report.payloads:
+        for key in keys:
+            totals[key] += int(payload.get(key, 0))
+    return totals
+
+
+def run_recovery_coverage_study(
+        workload: str = "pathfinder", scale: float = 0.2,
+        matrix: Sequence[Tuple[str, str]] = RECOVERY_MATRIX,
+        trials_per_unit: int = 60, seed: int = 0,
+        journal_path: Optional[str] = None,
+        engine_config: Optional[EngineConfig] = None
+        ) -> RecoveryCoverageStudy:
+    """Sweep the {code} x {strike-site} grid through the recovery ladder.
+
+    Each grid cell is one ``gpu-recovery`` work unit; with a
+    ``journal_path`` the sweep checkpoints per batch and resumes.  Runs
+    inline by default (the units are small and deterministic per seed);
+    pass ``engine_config`` for crash-isolated subprocess batches.
+    """
+    if engine_config is None:
+        engine_config = EngineConfig(
+            batch_size=trials_per_unit, max_batches=1, ci_half_width=None,
+            timeout_s=None, isolation="inline")
+    units = [gpu_recovery_work_unit(workload, scale=scale, code=code,
+                                    where=where, seed=seed,
+                                    unit_id=f"{workload}/{code}/{where}")
+             for code, where in matrix]
+    report = CampaignEngine(engine_config).run(units, journal_path)
+    coverage = {unit_id: recovery_coverage(unit.counts)
+                for unit_id, unit in report.units.items()}
+    telemetry = {unit_id: _sum_payloads(unit)
+                 for unit_id, unit in report.units.items()}
+    return RecoveryCoverageStudy(
+        workload=workload, scale=scale, units=report.units,
+        coverage=coverage, telemetry=telemetry)
+
+
+def render_recovery_coverage(study: RecoveryCoverageStudy) -> str:
+    """Plain-text per-rung coverage table, one row per unit."""
+    headers = ["unit"] + [name for name in RECOVERY_CLASSES] + ["replay-ovh"]
+    rows: List[List[str]] = []
+    for unit_id, fractions in study.coverage.items():
+        telemetry = study.telemetry.get(unit_id, {})
+        total = telemetry.get("total_instructions", 0)
+        replayed = telemetry.get("replayed_instructions", 0)
+        overhead = f"{replayed / total * 100:.1f}%" if total else "n/a"
+        rows.append([unit_id] +
+                    [f"{fractions[name] * 100:.0f}%"
+                     for name in RECOVERY_CLASSES] + [overhead])
+    return render_table(headers, rows)
+
+
+def write_recovery_artifact(study: RecoveryCoverageStudy,
+                            path: str) -> Dict[str, Any]:
+    """Write the study's machine-readable JSON artifact; returns the dict.
+
+    Schema (version 1)::
+
+        {"version": 1, "workload": ..., "scale": ...,
+         "classes": [...RECOVERY_CLASSES...],
+         "units": {unit_id: {"status": ..., "trials": ...,
+                             "counts": {...}, "coverage": {...},
+                             "replayed_instructions": ...,
+                             "total_instructions": ...,
+                             "detections": ..., "audits": ...,
+                             "violations": ...}}}
+    """
+    artifact: Dict[str, Any] = {
+        "version": 1,
+        "workload": study.workload,
+        "scale": study.scale,
+        "classes": list(RECOVERY_CLASSES),
+        "units": {},
+    }
+    for unit_id, unit in study.units.items():
+        entry: Dict[str, Any] = {
+            "status": unit.status,
+            "trials": unit.trials,
+            "counts": {key: value for key, value in unit.counts.items()
+                       if value},
+            "coverage": study.coverage[unit_id],
+        }
+        entry.update(study.telemetry.get(unit_id, {}))
+        artifact["units"][unit_id] = entry
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(artifact, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return artifact

@@ -22,9 +22,12 @@ Quick tour::
 """
 
 from repro.gpu.asm import assemble, parse_instruction
-from repro.gpu.device import Device, LaunchResult, run_functional
+from repro.gpu.device import (Device, LaunchResult, run_functional,
+                              run_functional_cta)
 from repro.gpu.power import PowerEstimate, PowerModel
-from repro.gpu.recovery import RecoveryResult, run_with_recovery
+from repro.gpu.recovery import (LADDER_OUTCOMES, ContainmentAuditor,
+                                LadderConfig, LadderReport, RecoveryResult,
+                                run_with_ladder, run_with_recovery)
 from repro.gpu.isa import (OPCODES, PT, RZ, WARP_SIZE, DupClass, Instruction,
                            Operand, OperandKind, OpSpec, Pipe)
 from repro.gpu.memory import MemorySpace
@@ -34,11 +37,15 @@ from repro.gpu.resilience import (DetectionEvent, FaultPlan, ResilienceState,
 from repro.gpu.sm import StreamingMultiprocessor
 from repro.gpu.timing import Occupancy, TimingParams
 from repro.gpu.warp import KernelHalt, StepInfo, Warp
+from repro.gpu.watchdog import Watchdog, WatchdogConfig
 
 __all__ = [
     "assemble", "parse_instruction",
-    "Device", "LaunchResult", "run_functional",
-    "PowerEstimate", "PowerModel", "RecoveryResult", "run_with_recovery",
+    "Device", "LaunchResult", "run_functional", "run_functional_cta",
+    "PowerEstimate", "PowerModel",
+    "LADDER_OUTCOMES", "ContainmentAuditor", "LadderConfig", "LadderReport",
+    "RecoveryResult", "run_with_ladder", "run_with_recovery",
+    "Watchdog", "WatchdogConfig",
     "OPCODES", "PT", "RZ", "WARP_SIZE", "DupClass", "Instruction", "Operand",
     "OperandKind", "OpSpec", "Pipe",
     "MemorySpace",

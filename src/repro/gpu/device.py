@@ -11,6 +11,7 @@ from repro.gpu.resilience import ResilienceState
 from repro.gpu.sm import SmStats, StreamingMultiprocessor
 from repro.gpu.timing import Occupancy, TimingParams
 from repro.gpu.warp import KernelHalt, Warp
+from repro.gpu.watchdog import Watchdog, WatchdogConfig
 
 
 @dataclass
@@ -41,10 +42,18 @@ class Device:
     def launch(self, kernel: Kernel, launch: LaunchConfig,
                global_memory: MemorySpace,
                resilience: Optional[ResilienceState] = None,
-               observer=None) -> LaunchResult:
-        """Run ``kernel`` with timing; CTAs round-robin across SMs."""
+               observer=None,
+               watchdog: Optional[Watchdog] = None) -> LaunchResult:
+        """Run ``kernel`` with timing; CTAs round-robin across SMs.
+
+        ``watchdog`` (optional) is ticked per issued instruction and has
+        its wall-clock deadline polled by every SM; budget exhaustion
+        raises :class:`~repro.errors.HangError`.
+        """
         kernel.validate()
         state = resilience if resilience is not None else ResilienceState()
+        if watchdog is not None:
+            watchdog.start()
         occupancy = self.params.occupancy(kernel, launch)
         cycles = 0
         issued = 0
@@ -58,7 +67,7 @@ class Device:
                 continue
             sm = StreamingMultiprocessor(
                 sm_index, self.params, kernel, launch, global_memory,
-                state, observer)
+                state, observer, watchdog)
             try:
                 sm_cycles = sm.run(cta_indices)
             except KernelHalt as halt:
@@ -80,72 +89,111 @@ class Device:
             halted=halted)
 
 
+def run_functional_cta(kernel: Kernel, launch: LaunchConfig, cta_index: int,
+                       global_memory: MemorySpace,
+                       resilience: Optional[ResilienceState] = None,
+                       observer=None,
+                       watchdog: Optional[Watchdog] = None,
+                       register_count: Optional[int] = None,
+                       step_limit: Optional[int] = None) -> int:
+    """Run one CTA functionally to completion; returns steps executed.
+
+    The building block under :func:`run_functional` and the recovery
+    ladder's rung-1 CTA replay: register state is fresh (architectural
+    checkpoint at CTA launch) and shared memory is pristine, so replaying
+    a CTA only needs the pre-CTA global-memory image.  Warps round-robin
+    so barriers and shared memory behave.
+
+    Detections (:class:`~repro.gpu.warp.KernelHalt`) and watchdog
+    verdicts (:class:`~repro.errors.HangError`) propagate to the caller.
+    ``step_limit`` stops cleanly after that many steps — the containment
+    auditor uses it to replay exactly the executed prefix of a detected
+    run.  Scheduling is deterministic, which is what makes that replay
+    comparable word for word.
+    """
+    from repro.errors import SimulationError
+
+    state = resilience if resilience is not None else ResilienceState()
+    if register_count is None:
+        register_count = max(kernel.register_count(), 1)
+    shared = None
+    if launch.shared_words_per_cta:
+        shared = MemorySpace(launch.shared_words_per_cta,
+                             name=f"shared.cta{cta_index}")
+    warps = []
+    threads_left = launch.threads_per_cta
+    for warp_index in range(launch.warps_per_cta):
+        count = min(32, threads_left)
+        threads_left -= count
+        warp = Warp(kernel, cta_index, warp_index, count,
+                    launch.threads_per_cta, launch.grid_ctas,
+                    register_count, global_memory, shared, state)
+        warp.observer = observer
+        warps.append(warp)
+    steps = 0
+    while True:
+        progressed = False
+        barrier_waiters = 0
+        for warp in warps:
+            if warp.done:
+                continue
+            if warp.at_barrier:
+                barrier_waiters += 1
+                continue
+            # Run this warp until it blocks or finishes.
+            while not warp.done and not warp.at_barrier:
+                if step_limit is not None and steps >= step_limit:
+                    return steps
+                if warp.step() is None:
+                    break
+                progressed = True
+                steps += 1
+                if watchdog is not None:
+                    watchdog.tick(cta_index, warp.warp_index)
+        if all(warp.done for warp in warps):
+            return steps
+        if not progressed:
+            released = False
+            if barrier_waiters:
+                live = [w for w in warps if not w.done]
+                if live and all(w.at_barrier for w in live):
+                    for warp in live:
+                        warp.at_barrier = False
+                    released = True
+            if not released:
+                raise SimulationError(
+                    f"{kernel.name}: functional deadlock in CTA "
+                    f"{cta_index}")
+
+
 def run_functional(kernel: Kernel, launch: LaunchConfig,
                    global_memory: MemorySpace,
                    resilience: Optional[ResilienceState] = None,
                    observer=None,
-                   max_steps: int = 50_000_000) -> ResilienceState:
+                   max_steps: int = 50_000_000,
+                   watchdog: Optional[Watchdog] = None) -> ResilienceState:
     """Fast functional-only execution (no timing model).
 
     CTAs run one after another; warps within a CTA round-robin so barriers
     and shared memory behave.  Returns the resilience state (detection
     events); architectural results land in ``global_memory``.
-    """
-    from repro.errors import SimulationError
 
+    Exhausting ``max_steps`` — or any budget of an explicitly passed
+    ``watchdog``, which then takes precedence over ``max_steps`` — raises
+    :class:`~repro.errors.HangError`, so in-process livelock classifies
+    as a ``hang``, not a generic crash.
+    """
     kernel.validate()
     state = resilience if resilience is not None else ResilienceState()
     register_count = max(kernel.register_count(), 1)
-    steps = 0
-    for cta_index in range(launch.grid_ctas):
-        shared = None
-        if launch.shared_words_per_cta:
-            shared = MemorySpace(launch.shared_words_per_cta,
-                                 name=f"shared.cta{cta_index}")
-        warps = []
-        threads_left = launch.threads_per_cta
-        for warp_index in range(launch.warps_per_cta):
-            count = min(32, threads_left)
-            threads_left -= count
-            warp = Warp(kernel, cta_index, warp_index, count,
-                        launch.threads_per_cta, launch.grid_ctas,
-                        register_count, global_memory, shared, state)
-            warp.observer = observer
-            warps.append(warp)
-        try:
-            while True:
-                progressed = False
-                barrier_waiters = 0
-                for warp in warps:
-                    if warp.done:
-                        continue
-                    if warp.at_barrier:
-                        barrier_waiters += 1
-                        continue
-                    # Run this warp until it blocks or finishes.
-                    while not warp.done and not warp.at_barrier:
-                        if warp.step() is None:
-                            break
-                        progressed = True
-                        steps += 1
-                        if steps > max_steps:
-                            raise SimulationError(
-                                f"{kernel.name}: exceeded {max_steps} "
-                                f"functional steps; runaway kernel?")
-                if all(warp.done for warp in warps):
-                    break
-                if not progressed:
-                    released = False
-                    if barrier_waiters:
-                        live = [w for w in warps if not w.done]
-                        if live and all(w.at_barrier for w in live):
-                            for warp in live:
-                                warp.at_barrier = False
-                            released = True
-                    if not released:
-                        raise SimulationError(
-                            f"{kernel.name}: functional deadlock in CTA "
-                            f"{cta_index}")
-        except KernelHalt:
-            return state
+    if watchdog is None:
+        watchdog = Watchdog(WatchdogConfig(max_steps=max_steps),
+                            name=kernel.name)
+    watchdog.start()
+    try:
+        for cta_index in range(launch.grid_ctas):
+            run_functional_cta(kernel, launch, cta_index, global_memory,
+                               state, observer, watchdog, register_count)
+    except KernelHalt:
+        return state
     return state

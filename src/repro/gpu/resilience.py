@@ -42,6 +42,12 @@ class FaultPlan:
       shadows never write data.
     * ``"predictor"`` — the check-bit prediction unit of a predicted
       instruction (check bits wrong, data intact).
+    * ``"storage"`` — the register-file cell itself, flipping a stored
+      data bit *after* the duplicated pair completed.  Check bits and
+      data-parity still describe the true value, so the correcting
+      schemes (SEC-DED-DP, SEC-DP) repair it in place at the next read
+      while detect-only schemes DUE.  Storage strikes on shadow
+      instructions (which own no data segment) do not fire.
     """
 
     cta_index: int
@@ -52,7 +58,7 @@ class FaultPlan:
     where: str = "result"
 
     def __post_init__(self):
-        if self.where not in ("result", "predictor"):
+        if self.where not in ("result", "predictor", "storage"):
             raise SimulationError(f"unknown fault site {self.where!r}")
         if not 0 <= self.lane < 32:
             raise SimulationError(f"lane {self.lane} out of range")
@@ -143,6 +149,18 @@ class TaintTracker:
         word = self.scheme.write_original(bad_value)
         self.words[(register, lane)] = \
             self.scheme.write_shadow(word, true_value)
+
+    def taint_storage(self, register: int, lane: int, true_value: int,
+                      bit: int) -> None:
+        """A storage upset: flipped stored data under a healthy pair.
+
+        The word is what :meth:`~repro.ecc.swap.SwapScheme.storage_strike`
+        builds — check bits (and DP bit) of the true value over data with
+        one flipped bit — so correcting schemes scrub it in place at the
+        next read and detect-only schemes refuse it.
+        """
+        self.words[(register, lane)] = \
+            self.scheme.storage_strike(true_value, bit)
 
     def taint_bad_check_bit(self, register: int, lane: int,
                             true_value: int, bit: int) -> None:

@@ -123,7 +123,7 @@ class StreamingMultiprocessor:
 
     def __init__(self, sm_index: int, params: TimingParams, kernel: Kernel,
                  launch: LaunchConfig, global_memory: MemorySpace,
-                 resilience: ResilienceState, observer=None):
+                 resilience: ResilienceState, observer=None, watchdog=None):
         self.sm_index = sm_index
         self.params = params
         self.kernel = kernel
@@ -131,6 +131,7 @@ class StreamingMultiprocessor:
         self.global_memory = global_memory
         self.resilience = resilience
         self.observer = observer
+        self.watchdog = watchdog
         self.stats = SmStats()
         self.register_count = max(kernel.register_count(), 1)
         self.l1 = L1Cache(params.l1_lines)
@@ -200,6 +201,8 @@ class StreamingMultiprocessor:
                 if info is None:
                     continue
                 issued += 1
+                if self.watchdog is not None:
+                    self.watchdog.tick(slot.cta.cta_index, warp.warp_index)
                 rr_pointer = (position + 1) % max(len(slots), 1)
                 self._account(slot, instruction, info, pipe, pipe_free,
                               cycle)
@@ -220,6 +223,8 @@ class StreamingMultiprocessor:
             if issued:
                 cycle += 1
             else:
+                if self.watchdog is not None:
+                    self.watchdog.check_deadline()
                 cycle = self._skip_to_next_event(slots, pipe_free, cycle)
         self.stats.cycles = cycle
         return cycle

@@ -260,13 +260,17 @@ class Warp:
             return values, protected
         if not mask[plan.lane]:
             return values, protected  # struck an inactive lane: masked
+        role = instruction.meta.get("role")
+        if plan.where == "storage" and role == "shadow":
+            # Shadows own no data segment, so there is no stored data bit
+            # for a storage strike to hit; the plan stays unfired.
+            return values, protected
         state.fault_fired = True
         width = 64 if is_64bit else 32
         bit = plan.bit % width
         lane = plan.lane
         true_value = int(values[lane])
         bad_value = true_value ^ (1 << bit)
-        role = instruction.meta.get("role")
         dest = instruction.dest
         register = dest.value + (1 if is_64bit and bit >= 32 else 0)
 
@@ -277,6 +281,23 @@ class Warp:
                     self._word_of(true_value, bit, is_64bit), bit % 32)
                 protected.add((register, lane))
             return values, protected
+
+        if plan.where == "storage":
+            # The strike lands in the RF cell after the pair completes:
+            # the architectural data flips, but the check bits (and the
+            # DP bit) keep describing the true value, so correcting
+            # schemes scrub it at the next read.
+            corrupted = values.copy()
+            if is_64bit:
+                corrupted[lane] = np.uint64(bad_value)
+            else:
+                corrupted[lane] = np.uint32(bad_value & 0xFFFF_FFFF)
+            if self.taint is not None:
+                true_word = self._word_of(true_value, bit, is_64bit)
+                self.taint.taint_storage(register, lane, true_word,
+                                         bit % 32)
+                protected.add((register, lane))
+            return corrupted, protected
 
         # Data-path fault: corrupt the computed value.
         corrupted = values.copy()

@@ -2,8 +2,9 @@
 
 from repro.inject.campaign import (UNIT_ORDER, build_unit, run_full_campaign,
                                    run_unit_campaign, unit_inputs)
-from repro.inject.classify import (Estimate, detection_outcomes,
-                                   record_is_detected, sdc_risk,
+from repro.inject.classify import (RECOVERY_CLASSES, Estimate,
+                                   detection_outcomes, record_is_detected,
+                                   recovery_coverage, sdc_risk,
                                    sdc_risk_sweep, severity_distribution,
                                    split_into_registers)
 from repro.inject.hamartia import (SEVERITY_CLASSES, CampaignResult,
@@ -13,7 +14,8 @@ from repro.inject.operands import (OPERAND_KINDS, OperandTrace,
                                    synthetic_operands)
 from repro.inject.engine import (OUTCOMES, CampaignEngine, CampaignReport,
                                  EngineConfig, UnitReport, WilsonEstimate,
-                                 WorkUnit, gate_work_unit, gpu_work_unit,
+                                 WorkUnit, gate_work_unit,
+                                 gpu_recovery_work_unit, gpu_work_unit,
                                  make_scheme, merged_gate_results,
                                  register_unit_kind, wilson_interval)
 from repro.inject.journal import Journal, JournalState
@@ -21,14 +23,16 @@ from repro.inject.journal import Journal, JournalState
 __all__ = [
     "UNIT_ORDER", "build_unit", "run_full_campaign", "run_unit_campaign",
     "unit_inputs",
-    "Estimate", "detection_outcomes", "record_is_detected", "sdc_risk",
+    "RECOVERY_CLASSES", "Estimate", "detection_outcomes",
+    "record_is_detected", "recovery_coverage", "sdc_risk",
     "sdc_risk_sweep", "severity_distribution", "split_into_registers",
     "SEVERITY_CLASSES", "CampaignResult", "FaultInjector", "InjectionRecord",
     "classify_severity", "merge_results",
     "OPERAND_KINDS", "OperandTrace", "synthetic_operands",
     "OUTCOMES", "CampaignEngine", "CampaignReport", "EngineConfig",
     "UnitReport", "WilsonEstimate", "WorkUnit", "gate_work_unit",
-    "gpu_work_unit", "make_scheme", "merged_gate_results",
+    "gpu_recovery_work_unit", "gpu_work_unit", "make_scheme",
+    "merged_gate_results",
     "register_unit_kind", "wilson_interval",
     "Journal", "JournalState",
 ]

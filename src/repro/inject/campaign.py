@@ -78,6 +78,7 @@ def run_full_campaign(sample_count: int = 1000,
                       trace: Optional[OperandTrace] = None,
                       units: Sequence[str] = UNIT_ORDER, *,
                       journal_path: Optional[str] = None,
+                      journal_fsync: bool = False,
                       engine_config=None) -> Dict[str, CampaignResult]:
     """Campaigns for every Figure 10 unit, keyed by unit name.
 
@@ -96,13 +97,22 @@ def run_full_campaign(sample_count: int = 1000,
 
     Units that crash or hang are recorded in the engine journal and
     omitted from the returned dict instead of aborting the campaign.
+    ``journal_fsync=True`` fsyncs the journal after every record —
+    slower, but a ``kill -9`` mid-campaign loses at most one torn final
+    line, which :meth:`~repro.inject.journal.JournalState.load`
+    tolerates on resume.
     """
+    import dataclasses
+
     from repro.inject.engine import (CampaignEngine, EngineConfig,
                                      gate_work_unit, merged_gate_results)
     if engine_config is None:
         engine_config = EngineConfig(
             batch_size=sample_count, max_batches=1, ci_half_width=None,
-            timeout_s=None)
+            timeout_s=None, journal_fsync=journal_fsync)
+    elif journal_fsync and not engine_config.journal_fsync:
+        engine_config = dataclasses.replace(engine_config,
+                                            journal_fsync=True)
     work = [gate_work_unit(name, site_count=site_count, seed=seed + index,
                            trace=trace)
             for index, name in enumerate(units)]

@@ -36,7 +36,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence
 
 import multiprocessing
 
-from repro.errors import InjectionError, SimulationError
+from repro.errors import HangError, InjectionError, SimulationError
 from repro.inject.campaign import run_unit_campaign
 from repro.inject.classify import detection_outcomes
 from repro.inject.hamartia import CampaignResult, merge_results
@@ -45,8 +45,10 @@ from repro.inject.journal import Journal, JournalState, NullJournal
 #: the expanded outcome taxonomy every unit report tallies
 OUTCOMES = ("masked", "sdc", "due", "trap", "hang", "crash")
 
-#: extra (non-terminal) outcome keys runners may report
-EXTRA_OUTCOMES = ("not_hit", "recovered")
+#: extra (non-terminal) outcome keys runners may report; the last three
+#: are the recovery ladder's rungs (gpu-recovery units)
+EXTRA_OUTCOMES = ("not_hit", "recovered", "corrected_in_place",
+                  "cta_replayed", "kernel_replayed")
 
 
 def make_scheme(spec: str):
@@ -358,6 +360,8 @@ def run_gpu_batch(params: Dict[str, Any], context: Any,
     code = params.get("code", "secded-dp")
     recovery_attempts = params.get("recovery_attempts", 0)
     occurrence_max = params.get("occurrence_max", 60)
+    where = params.get("where", "result")
+    max_steps = params.get("max_steps", 50_000_000)
 
     rng = random.Random(batch.seed)
     counts = _empty_counts()
@@ -369,7 +373,7 @@ def run_gpu_batch(params: Dict[str, Any], context: Any,
             warp_index=rng.randrange(instance.launch.warps_per_cta),
             occurrence=rng.randrange(occurrence_max),
             lane=rng.randrange(min(32, instance.launch.threads_per_cta)),
-            bit=rng.randrange(32))
+            bit=rng.randrange(32), where=where)
 
         def fresh_state(fault: Optional[FaultPlan]) -> ResilienceState:
             return ResilienceState(
@@ -380,7 +384,13 @@ def run_gpu_batch(params: Dict[str, Any], context: Any,
         state = fresh_state(plan)
         memory = instance.fresh_memory()
         try:
-            run_functional(compiled.kernel, launch, memory, state)
+            run_functional(compiled.kernel, launch, memory, state,
+                           max_steps=max_steps)
+        except HangError:
+            counts["hang"] += 1
+            trials += 1
+            successes += 1
+            continue
         except SimulationError:
             counts["crash"] += 1
             trials += 1
@@ -403,6 +413,8 @@ def run_gpu_batch(params: Dict[str, Any], context: Any,
         elif not state.fault_fired:
             counts["not_hit"] += 1
         elif instance.verify(memory):
+            if any(event.kind == "corrected" for event in state.events):
+                counts["corrected_in_place"] += 1
             counts["masked"] += 1
             trials += 1
         else:
@@ -411,8 +423,112 @@ def run_gpu_batch(params: Dict[str, Any], context: Any,
     return {"trials": trials, "successes": successes, "counts": counts}
 
 
+def run_gpu_recovery_batch(params: Dict[str, Any], context: Any,
+                           batch: BatchSpec) -> Dict[str, Any]:
+    """One batch of end-to-end recovery-ladder trials over a workload.
+
+    Each trial injects one :class:`~repro.gpu.resilience.FaultPlan`
+    (datapath ``result`` or register-file ``storage`` strike, per
+    ``where``) and runs the kernel under
+    :func:`~repro.gpu.recovery.run_with_ladder` with a
+    :class:`~repro.gpu.recovery.ContainmentAuditor` attached.  Trials
+    tally into mutually exclusive bins — ``not_hit`` / ``masked`` /
+    ``corrected_in_place`` / ``cta_replayed`` / ``kernel_replayed`` /
+    ``due`` / ``hang`` / ``sdc`` — and the monitored proportion is
+    *recovery coverage*: the fraction of architecturally visible faults
+    that end with verified-correct memory.  ``persistent=True`` re-arms
+    the fault on every replay (a stuck-at cell), which must exhaust the
+    ladder and surface a DUE rather than loop.  A containment violation
+    raises, crashing the batch: detected errors leaking to DRAM is a
+    campaign-stopping correctness failure, not an outcome bin.
+    """
+    from repro.compiler import compile_for_scheme, resilience_mode
+    from repro.gpu.recovery import (ContainmentAuditor, LadderConfig,
+                                    run_with_ladder)
+    from repro.gpu.resilience import FaultPlan, ResilienceState
+    from repro.gpu.watchdog import WatchdogConfig
+    from repro.workloads import get_workload
+
+    instance = context.get("instance") if isinstance(context, dict) else None
+    if instance is None:
+        instance = get_workload(params["workload"]).build(
+            scale=params.get("scale", 0.25),
+            seed=params.get("build_seed", 1))
+    scheme = params.get("compile_scheme", "swap-ecc")
+    compiled = compile_for_scheme(instance.kernel, instance.launch, scheme)
+    launch = compiled.adjust_launch(instance.launch)
+    mode = resilience_mode(scheme)
+    code = params.get("code", "secded-dp")
+    where = params.get("where", "result")
+    persistent = params.get("persistent", False)
+    occurrence_max = params.get("occurrence_max", 60)
+    ladder = LadderConfig(
+        max_cta_replays=params.get("max_cta_replays", 1),
+        max_kernel_replays=params.get("max_kernel_replays", 2),
+        watchdog=WatchdogConfig(
+            max_steps=params.get("max_steps", 2_000_000),
+            max_warp_steps=params.get("max_warp_steps")))
+
+    rng = random.Random(batch.seed)
+    counts = _empty_counts()
+    trials = 0
+    successes = 0
+    replayed_instructions = 0
+    total_instructions = 0
+    detections = 0
+    audits = 0
+    for _ in range(batch.size):
+        plan = FaultPlan(
+            cta_index=rng.randrange(instance.launch.grid_ctas),
+            warp_index=rng.randrange(instance.launch.warps_per_cta),
+            occurrence=rng.randrange(occurrence_max),
+            lane=rng.randrange(min(32, instance.launch.threads_per_cta)),
+            bit=rng.randrange(32), where=where)
+        armed = [plan] if not persistent else None
+
+        def make_state() -> ResilienceState:
+            if persistent:
+                fault = plan  # a stuck-at cell strikes every attempt
+            else:
+                fault = armed.pop() if armed else None
+            return ResilienceState(
+                mode=mode,
+                scheme=make_scheme(code) if mode == "swap" else None,
+                fault=fault)
+
+        auditor = ContainmentAuditor(compiled.kernel, launch)
+        report = run_with_ladder(compiled.kernel, launch, instance.memory,
+                                 make_state, config=ladder, auditor=auditor)
+        total_instructions += report.total_instructions
+        replayed_instructions += report.replayed_instructions
+        detections += report.detections
+        audits += report.audits
+        if report.faults_fired == 0:
+            counts["not_hit"] += 1
+            continue
+        trials += 1
+        if report.succeeded:
+            correct = instance.verify(report.memory)
+            if not correct:
+                counts["sdc"] += 1
+                continue
+            successes += 1
+            bins = {"ok": "masked", "corrected": "corrected_in_place",
+                    "cta_replayed": "cta_replayed",
+                    "kernel_replayed": "kernel_replayed"}
+            counts[bins[report.outcome]] += 1
+        else:
+            counts[report.outcome] += 1
+    return {"trials": trials, "successes": successes, "counts": counts,
+            "payload": {"replayed_instructions": replayed_instructions,
+                        "total_instructions": total_instructions,
+                        "detections": detections, "audits": audits,
+                        "violations": 0}}
+
+
 register_unit_kind("gate", run_gate_batch)
 register_unit_kind("gpu", run_gpu_batch)
+register_unit_kind("gpu-recovery", run_gpu_recovery_batch)
 
 
 def gate_work_unit(name: str, site_count: Optional[int] = 300,
@@ -431,15 +547,43 @@ def gate_work_unit(name: str, site_count: Optional[int] = 300,
 def gpu_work_unit(workload: str, compile_scheme: str = "swap-ecc",
                   scale: float = 0.25, build_seed: int = 1, seed: int = 0,
                   code: str = "secded-dp", occurrence_max: int = 60,
-                  recovery_attempts: int = 0,
+                  recovery_attempts: int = 0, where: str = "result",
                   unit_id: Optional[str] = None) -> WorkUnit:
     """A GPU-level FaultPlan sweep work unit over one workload kernel."""
     params = {"workload": workload, "compile_scheme": compile_scheme,
               "scale": scale, "build_seed": build_seed, "seed": seed,
               "code": code, "occurrence_max": occurrence_max,
-              "recovery_attempts": recovery_attempts}
+              "recovery_attempts": recovery_attempts, "where": where}
     return WorkUnit(unit_id=unit_id or f"{workload}/{compile_scheme}",
                     kind="gpu", params=params)
+
+
+def gpu_recovery_work_unit(workload: str, compile_scheme: str = "swap-ecc",
+                           scale: float = 0.25, build_seed: int = 1,
+                           seed: int = 0, code: str = "secded-dp",
+                           where: str = "result", persistent: bool = False,
+                           occurrence_max: int = 60,
+                           max_cta_replays: int = 1,
+                           max_kernel_replays: int = 2,
+                           max_steps: int = 2_000_000,
+                           max_warp_steps: Optional[int] = None,
+                           unit_id: Optional[str] = None) -> WorkUnit:
+    """A recovery-ladder sweep work unit (see :func:`run_gpu_recovery_batch`).
+
+    ``where`` picks the strike site (``"result"`` pipeline faults vs
+    ``"storage"`` register-file upsets), ``persistent`` re-arms the fault
+    on every replay to model a stuck-at cell.
+    """
+    params = {"workload": workload, "compile_scheme": compile_scheme,
+              "scale": scale, "build_seed": build_seed, "seed": seed,
+              "code": code, "where": where, "persistent": persistent,
+              "occurrence_max": occurrence_max,
+              "max_cta_replays": max_cta_replays,
+              "max_kernel_replays": max_kernel_replays,
+              "max_steps": max_steps, "max_warp_steps": max_warp_steps}
+    return WorkUnit(
+        unit_id=unit_id or f"{workload}/{code}/{where}",
+        kind="gpu-recovery", params=params)
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,85 @@
+"""Tests for the recovery-coverage study and its JSON artifact."""
+
+import json
+
+import pytest
+
+from repro.inject import RECOVERY_CLASSES
+from repro.experiments import (RECOVERY_MATRIX, render_recovery_coverage,
+                               run_recovery_coverage_study,
+                               write_recovery_artifact)
+
+
+@pytest.fixture(scope="module")
+def study():
+    return run_recovery_coverage_study(trials_per_unit=16, seed=3)
+
+
+class TestRecoveryCoverageStudy:
+    def test_sweeps_whole_matrix(self, study):
+        assert set(study.units) == {
+            f"pathfinder/{code}/{where}" for code, where in RECOVERY_MATRIX}
+        assert all(unit.status == "completed"
+                   for unit in study.units.values())
+
+    def test_secded_dp_corrects_storage_without_replay(self, study):
+        # The headline claim: retained correction means zero replays.
+        coverage = study.coverage["pathfinder/secded-dp/storage"]
+        assert coverage["corrected_in_place"] > 0
+        assert coverage["cta_replayed"] == coverage["kernel_replayed"] == 0
+        telemetry = study.telemetry["pathfinder/secded-dp/storage"]
+        assert telemetry["replayed_instructions"] == 0
+
+    def test_detect_only_pays_replay_for_storage(self, study):
+        coverage = study.coverage["pathfinder/parity/storage"]
+        assert coverage["corrected_in_place"] == 0
+        assert coverage["cta_replayed"] + coverage["kernel_replayed"] > 0
+
+    def test_pipeline_errors_escalate_to_replay(self, study):
+        for code in ("secded-dp", "parity"):
+            coverage = study.coverage[f"pathfinder/{code}/result"]
+            assert coverage["cta_replayed"] + coverage["kernel_replayed"] > 0
+            assert coverage["sdc"] == 0.0
+
+    def test_zero_containment_divergence(self, study):
+        assert study.total_violations == 0
+        for telemetry in study.telemetry.values():
+            assert telemetry["audits"] == telemetry["detections"]
+
+    def test_render_has_one_row_per_unit(self, study):
+        text = render_recovery_coverage(study)
+        lines = text.splitlines()
+        assert len(lines) == 1 + len(RECOVERY_MATRIX)
+        assert all(name in lines[0] for name in RECOVERY_CLASSES)
+
+    def test_journal_makes_study_resumable(self, tmp_path):
+        journal = str(tmp_path / "recovery.jsonl")
+        first = run_recovery_coverage_study(trials_per_unit=8, seed=5,
+                                            journal_path=journal)
+        second = run_recovery_coverage_study(trials_per_unit=8, seed=5,
+                                             journal_path=journal)
+        assert all(unit.resumed for unit in second.units.values())
+        assert second.coverage == first.coverage
+
+
+class TestRecoveryArtifact:
+    def test_artifact_schema_round_trips(self, study, tmp_path):
+        path = str(tmp_path / "recovery.json")
+        artifact = write_recovery_artifact(study, path)
+        with open(path) as handle:
+            on_disk = json.load(handle)
+        assert on_disk == artifact
+        assert on_disk["version"] == 1
+        assert on_disk["classes"] == list(RECOVERY_CLASSES)
+        unit = on_disk["units"]["pathfinder/secded-dp/storage"]
+        for key in ("status", "trials", "counts", "coverage",
+                    "replayed_instructions", "total_instructions",
+                    "detections", "audits", "violations"):
+            assert key in unit
+        assert unit["violations"] == 0
+
+    def test_zero_counts_omitted_from_artifact(self, study, tmp_path):
+        artifact = write_recovery_artifact(
+            study, str(tmp_path / "recovery.json"))
+        for unit in artifact["units"].values():
+            assert 0 not in unit["counts"].values()

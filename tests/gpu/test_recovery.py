@@ -1,13 +1,18 @@
 """Tests for checkpoint-restart recovery over SwapCodes detection."""
 
+import os
+import random
+
 import numpy as np
 import pytest
 
 from repro.compiler import compile_for_scheme
-from repro.ecc import SecDedDpSwap
-from repro.errors import SimulationError
-from repro.gpu import (FaultPlan, LaunchConfig, MemorySpace,
-                       ResilienceState, assemble)
+from repro.ecc import DetectOnlySwap, ParityCode, SecDedDpSwap
+from repro.errors import ContainmentViolation, SimulationError
+from repro.gpu import (LADDER_OUTCOMES, ContainmentAuditor, FaultPlan,
+                       LadderConfig, LadderReport, LaunchConfig, MemorySpace,
+                       ResilienceState, WatchdogConfig, assemble,
+                       run_functional_cta, run_with_ladder)
 from repro.gpu.recovery import run_with_recovery
 
 SOURCE = """
@@ -108,3 +113,287 @@ class TestRecovery:
             kernel, launch, image,
             lambda: ResilienceState(mode="swap", scheme=SecDedDpSwap()))
         assert np.array_equal(image.words, before)
+
+    def test_reused_state_object_raises(self):
+        # The docstring has always demanded a fresh state per attempt;
+        # silently reusing one (a fired fault latch) degraded to zero
+        # injection.  Now it is validated.
+        kernel, launch = compiled_kernel()
+        shared = ResilienceState(mode="swap", scheme=SecDedDpSwap(),
+                                 fault=FaultPlan(0, 0, 1, lane=5, bit=9))
+        with pytest.raises(SimulationError, match="same ResilienceState"):
+            run_with_recovery(kernel, launch, checkpoint(), lambda: shared)
+
+    def test_already_fired_state_raises(self):
+        kernel, launch = compiled_kernel()
+        stale = ResilienceState(mode="swap", scheme=SecDedDpSwap())
+        stale.fault_fired = True
+        with pytest.raises(SimulationError, match="already ran"):
+            run_with_recovery(kernel, launch, checkpoint(), lambda: stale)
+
+    def test_non_state_return_raises(self):
+        kernel, launch = compiled_kernel()
+        with pytest.raises(SimulationError, match="must return"):
+            run_with_recovery(kernel, launch, checkpoint(), lambda: None)
+
+
+MULTI_CTA_SOURCE = """
+    S2R R0, SR_TID
+    S2R R1, SR_CTAID
+    S2R R2, SR_NTID
+    IMAD R0, R1, R2, R0
+    LDG R1, [R0]
+    IMAD R2, R1, 7, R1
+    STG [R0+128], R2
+    EXIT
+"""
+
+
+def multi_cta_kernel(ctas=4):
+    kernel = assemble("grid", MULTI_CTA_SOURCE)
+    launch = LaunchConfig(ctas, 32)
+    return compile_for_scheme(kernel, launch, "swap-ecc").kernel, launch
+
+
+def multi_cta_checkpoint(ctas=4):
+    memory = MemorySpace(512)
+    memory.write_words(0, list(range(32 * ctas)))
+    return memory
+
+
+def multi_cta_expected(ctas=4):
+    values = np.arange(32 * ctas)
+    return (values * 8).astype(np.uint32)
+
+
+def make_states(scheme_factory, *faults):
+    """A make_state closure arming ``faults`` one per attempt, in order."""
+    queue = list(faults)
+
+    def make_state():
+        fault = queue.pop(0) if queue else None
+        return ResilienceState(mode="swap", scheme=scheme_factory(),
+                               fault=fault)
+
+    return make_state
+
+
+class TestRecoveryLadder:
+    def test_clean_run_is_ok(self):
+        kernel, launch = compiled_kernel()
+        report = run_with_ladder(kernel, launch, checkpoint(),
+                                 make_states(SecDedDpSwap))
+        assert report.outcome == "ok"
+        assert report.succeeded and not report.recovered
+        assert report.cta_replays == 0 and report.kernel_replays == 0
+        assert report.replayed_instructions == 0
+        assert np.array_equal(report.memory.read_words(64, 32), expected())
+
+    def test_storage_error_corrected_in_place(self):
+        # Rung 0: SEC-DED-DP scrubs a storage upset at the next read —
+        # no halt, no replay, one scrub-log entry.
+        kernel, launch = compiled_kernel()
+        report = run_with_ladder(
+            kernel, launch, checkpoint(),
+            make_states(SecDedDpSwap,
+                        FaultPlan(0, 0, 1, lane=5, bit=9, where="storage")))
+        assert report.outcome == "corrected"
+        assert report.corrected_in_place == 1
+        assert report.cta_replays == 0 and report.kernel_replays == 0
+        assert report.replayed_instructions == 0
+        assert np.array_equal(report.memory.read_words(64, 32), expected())
+
+    def test_storage_error_under_detect_only_replays(self):
+        # The same storage upset under parity has no correction story:
+        # it must DUE and climb to rung 1.
+        kernel, launch = compiled_kernel()
+        report = run_with_ladder(
+            kernel, launch, checkpoint(),
+            make_states(lambda: DetectOnlySwap(ParityCode()),
+                        FaultPlan(0, 0, 1, lane=5, bit=9, where="storage")))
+        assert report.outcome == "cta_replayed"
+        assert report.detections == 1 and report.cta_replays == 1
+        assert np.array_equal(report.memory.read_words(64, 32), expected())
+
+    def test_pipeline_error_replays_one_cta(self):
+        kernel, launch = compiled_kernel()
+        report = run_with_ladder(
+            kernel, launch, checkpoint(),
+            make_states(SecDedDpSwap, FaultPlan(0, 0, 1, lane=5, bit=9)))
+        assert report.outcome == "cta_replayed"
+        assert report.recovered
+        assert report.kernel_replays == 0
+        assert report.replayed_instructions > 0
+        assert np.array_equal(report.memory.read_words(64, 32), expected())
+
+    def test_rung_one_disabled_escalates_to_kernel_replay(self):
+        kernel, launch = compiled_kernel()
+        report = run_with_ladder(
+            kernel, launch, checkpoint(),
+            make_states(SecDedDpSwap, FaultPlan(0, 0, 1, lane=5, bit=9)),
+            config=LadderConfig(max_cta_replays=0))
+        assert report.outcome == "kernel_replayed"
+        assert report.kernel_replays == 1
+        assert np.array_equal(report.memory.read_words(64, 32), expected())
+
+    def test_multi_cta_replays_only_struck_cta(self):
+        kernel, launch = multi_cta_kernel()
+        report = run_with_ladder(
+            kernel, launch, multi_cta_checkpoint(),
+            make_states(SecDedDpSwap, FaultPlan(2, 0, 2, lane=7, bit=11)))
+        assert report.outcome == "cta_replayed"
+        assert report.cta_replays == 1
+        # Only CTA 2 re-ran: the replay overhead is about a quarter of
+        # one full grid pass.
+        assert report.replayed_instructions * 3 < report.total_instructions
+        assert np.array_equal(report.memory.read_words(128, 128),
+                              multi_cta_expected())
+
+    def test_persistent_fault_exhausts_ladder_to_due(self):
+        # A stuck-at cell strikes every attempt: the ladder must burn its
+        # bounded budgets and surface a DUE, never loop forever.
+        kernel, launch = compiled_kernel()
+        attempts = []
+
+        def make_state():
+            state = ResilienceState(
+                mode="swap", scheme=DetectOnlySwap(ParityCode()),
+                fault=FaultPlan(0, 0, 1, lane=5, bit=9, where="storage"))
+            attempts.append(state)
+            return state
+
+        config = LadderConfig(max_cta_replays=1, max_kernel_replays=2)
+        report = run_with_ladder(kernel, launch, checkpoint(), make_state,
+                                 config=config)
+        assert report.outcome == "due"
+        assert not report.succeeded
+        assert report.memory is None
+        # (initial + 1 CTA replay) per kernel attempt, 3 kernel attempts.
+        assert len(attempts) == 6
+        assert report.detections == 6
+        assert report.cta_replays == 3 and report.kernel_replays == 2
+
+    def test_persistent_fault_multi_cta_still_bounded(self):
+        kernel, launch = multi_cta_kernel()
+        attempts = []
+
+        def make_state():
+            state = ResilienceState(
+                mode="swap", scheme=DetectOnlySwap(ParityCode()),
+                fault=FaultPlan(1, 0, 2, lane=3, bit=4, where="storage"))
+            attempts.append(state)
+            return state
+
+        report = run_with_ladder(kernel, launch, multi_cta_checkpoint(),
+                                 make_state)
+        assert report.outcome == "due"
+        assert len(attempts) == 6  # same bound as single-CTA: never loops
+
+    def test_hang_exhausts_ladder_to_hang(self):
+        kernel, launch = compiled_kernel()
+        config = LadderConfig(watchdog=WatchdogConfig(max_steps=4))
+        report = run_with_ladder(kernel, launch, checkpoint(),
+                                 make_states(SecDedDpSwap), config=config)
+        assert report.outcome == "hang"
+        assert report.hangs > 0
+        assert report.memory is None
+
+    def test_events_drained_across_attempts(self):
+        kernel, launch = compiled_kernel()
+        report = run_with_ladder(
+            kernel, launch, checkpoint(),
+            make_states(SecDedDpSwap, FaultPlan(0, 0, 1, lane=5, bit=9)))
+        assert [event.kind for event in report.events] == ["due"]
+        assert report.faults_fired == 1
+
+    def test_checkpoint_never_mutated(self):
+        kernel, launch = compiled_kernel()
+        image = checkpoint()
+        before = image.words.copy()
+        run_with_ladder(kernel, launch, image,
+                        make_states(SecDedDpSwap,
+                                    FaultPlan(0, 0, 1, lane=5, bit=9)))
+        assert np.array_equal(image.words, before)
+
+    def test_reused_state_across_rungs_raises(self):
+        # The detection forces a CTA replay, whose fresh-state request
+        # returns the same object — the reuse the validation exists for.
+        kernel, launch = compiled_kernel()
+        shared = ResilienceState(mode="swap", scheme=SecDedDpSwap(),
+                                 fault=FaultPlan(0, 0, 1, lane=5, bit=9))
+        with pytest.raises(SimulationError, match="same ResilienceState"):
+            run_with_ladder(kernel, launch, checkpoint(), lambda: shared)
+
+    def test_negative_budgets_rejected(self):
+        with pytest.raises(SimulationError, match="max_cta_replays"):
+            LadderConfig(max_cta_replays=-1)
+        with pytest.raises(SimulationError, match="max_kernel_replays"):
+            LadderConfig(max_kernel_replays=-2)
+
+
+class TestContainmentAuditor:
+    def test_detections_audit_clean(self):
+        kernel, launch = compiled_kernel()
+        auditor = ContainmentAuditor(kernel, launch)
+        report = run_with_ladder(
+            kernel, launch, checkpoint(),
+            make_states(SecDedDpSwap, FaultPlan(0, 0, 1, lane=5, bit=9)),
+            auditor=auditor)
+        assert report.outcome == "cta_replayed"
+        assert report.audits == 1
+        assert auditor.violations == []
+
+    def test_doctored_memory_is_a_violation(self):
+        # Manufacture a leak: complete the CTA cleanly, then corrupt one
+        # word of "post-detection" memory before auditing the prefix.
+        kernel, launch = compiled_kernel()
+        image = checkpoint()
+        snapshot = image.words.copy()
+        steps = run_functional_cta(kernel, launch, 0, image,
+                                   ResilienceState())
+        image.words[64] ^= 1
+        auditor = ContainmentAuditor(kernel, launch)
+        with pytest.raises(ContainmentViolation, match="leaked 1"):
+            auditor.audit(0, snapshot, steps, image)
+        assert auditor.violations == [(0, [64])]
+
+    def test_non_raising_auditor_records_addresses(self):
+        kernel, launch = compiled_kernel()
+        image = checkpoint()
+        snapshot = image.words.copy()
+        steps = run_functional_cta(kernel, launch, 0, image,
+                                   ResilienceState())
+        image.words[70] ^= 4
+        image.words[71] ^= 4
+        auditor = ContainmentAuditor(kernel, launch,
+                                     raise_on_violation=False)
+        assert auditor.audit(0, snapshot, steps, image) == [70, 71]
+        assert auditor.audits == 1
+
+
+class TestLadderStress:
+    def test_randomized_faults_never_leak_or_loop(self):
+        # Seeded via REPRO_STRESS_SEED so CI can fan the matrix out.
+        seed = int(os.environ.get("REPRO_STRESS_SEED", "0"))
+        rng = random.Random(seed)
+        kernel, launch = multi_cta_kernel()
+        want = multi_cta_expected()
+        for trial in range(12):
+            where = rng.choice(["result", "storage"])
+            plan = FaultPlan(
+                cta_index=rng.randrange(launch.grid_ctas),
+                warp_index=0, occurrence=rng.randrange(12),
+                lane=rng.randrange(32), bit=rng.randrange(32), where=where)
+            scheme = rng.choice(
+                [SecDedDpSwap, lambda: DetectOnlySwap(ParityCode())])
+            auditor = ContainmentAuditor(kernel, launch)
+            report = run_with_ladder(
+                kernel, launch, multi_cta_checkpoint(),
+                make_states(scheme, plan), auditor=auditor)
+            assert report.outcome in LADDER_OUTCOMES
+            assert auditor.violations == []
+            assert report.kernel_replays <= 2
+            if report.succeeded:
+                assert np.array_equal(report.memory.read_words(128, 128),
+                                      want), (seed, trial, plan)
+            assert isinstance(report, LadderReport)

@@ -7,10 +7,12 @@ import time
 import pytest
 
 from repro.errors import InjectionError
-from repro.inject import (OUTCOMES, CampaignEngine, EngineConfig, WorkUnit,
-                          gate_work_unit, gpu_work_unit, merged_gate_results,
-                          register_unit_kind, run_unit_campaign,
-                          wilson_interval)
+from repro.inject import (OUTCOMES, RECOVERY_CLASSES, CampaignEngine,
+                          EngineConfig, WorkUnit, gate_work_unit,
+                          gpu_recovery_work_unit, gpu_work_unit,
+                          merged_gate_results, recovery_coverage,
+                          register_unit_kind, run_full_campaign,
+                          run_unit_campaign, wilson_interval)
 from repro.inject.engine import BatchSpec, make_scheme
 
 
@@ -318,6 +320,114 @@ class TestGpuUnits:
         result = report.units["pathfinder/swap-ecc"]
         assert result.counts["recovered"] == result.counts["due"] \
             + result.counts["trap"]
+
+    def test_step_exhaustion_binned_as_hang_not_crash(self):
+        # A 10-step budget makes every trial livelock by fiat; the
+        # watchdog verdict must land in "hang", never generic "crash".
+        config = EngineConfig(batch_size=4, max_batches=1,
+                              ci_half_width=None, timeout_s=120.0,
+                              isolation="inline")
+        unit = WorkUnit("tiny-budget", "gpu",
+                        params={"workload": "pathfinder", "scale": 0.2,
+                                "seed": 1, "max_steps": 10})
+        report = CampaignEngine(config).run([unit])
+        result = report.units["tiny-budget"]
+        assert result.counts["hang"] == 4
+        assert result.counts["crash"] == 0
+
+
+def recovery_config(batch_size):
+    return EngineConfig(batch_size=batch_size, max_batches=1,
+                        ci_half_width=None, timeout_s=240.0,
+                        isolation="inline")
+
+
+class TestGpuRecoveryUnits:
+    def test_secded_dp_corrects_storage_in_place(self):
+        unit = gpu_recovery_work_unit("pathfinder", scale=0.2, seed=42,
+                                      code="secded-dp", where="storage")
+        report = CampaignEngine(recovery_config(12)).run([unit])
+        result = report.units["pathfinder/secded-dp/storage"]
+        assert result.status == "completed"
+        assert result.counts["corrected_in_place"] > 0
+        assert result.counts["cta_replayed"] == 0
+        assert result.counts["kernel_replayed"] == 0
+        assert result.counts["due"] == result.counts["sdc"] == 0
+        payload = result.payloads[0]
+        assert payload["replayed_instructions"] == 0  # rung 0 never replays
+        assert payload["violations"] == 0
+
+    def test_detect_only_escalates_same_storage_faults(self):
+        unit = gpu_recovery_work_unit("pathfinder", scale=0.2, seed=42,
+                                      code="parity", where="storage")
+        report = CampaignEngine(recovery_config(12)).run([unit])
+        result = report.units["pathfinder/parity/storage"]
+        assert result.counts["corrected_in_place"] == 0
+        assert result.counts["cta_replayed"] > 0
+        payload = result.payloads[0]
+        assert payload["replayed_instructions"] > 0
+        assert payload["audits"] == payload["detections"] > 0
+        assert payload["violations"] == 0
+
+    def test_pipeline_faults_replay_even_under_secded_dp(self):
+        unit = gpu_recovery_work_unit("pathfinder", scale=0.2, seed=42,
+                                      code="secded-dp", where="result")
+        report = CampaignEngine(recovery_config(12)).run([unit])
+        result = report.units["pathfinder/secded-dp/result"]
+        replays = result.counts["cta_replayed"] + \
+            result.counts["kernel_replayed"]
+        assert replays > 0
+        assert result.counts["sdc"] == 0
+        assert result.payloads[0]["violations"] == 0
+
+    def test_persistent_fault_exhausts_ladder_to_due(self):
+        unit = gpu_recovery_work_unit("pathfinder", scale=0.2, seed=7,
+                                      code="parity", where="storage",
+                                      persistent=True)
+        report = CampaignEngine(recovery_config(6)).run([unit])
+        result = report.units["pathfinder/parity/storage"]
+        assert result.status == "completed"  # bounded: never hangs the unit
+        assert result.counts["due"] > 0
+        assert result.successes == 0 or result.counts["due"] < result.trials
+
+    def test_recovery_coverage_fractions_sum_to_one(self):
+        unit = gpu_recovery_work_unit("pathfinder", scale=0.2, seed=42,
+                                      code="parity", where="result")
+        report = CampaignEngine(recovery_config(12)).run([unit])
+        coverage = recovery_coverage(
+            report.units["pathfinder/parity/result"].counts)
+        assert set(coverage) == set(RECOVERY_CLASSES)
+        assert sum(coverage.values()) == pytest.approx(1.0)
+
+    def test_empty_counts_give_zero_coverage(self):
+        assert set(recovery_coverage({}).values()) == {0.0}
+
+
+class TestJournalFsyncPlumbing:
+    def test_engine_config_fsync_reaches_journal(self, tmp_path,
+                                                 monkeypatch):
+        synced = []
+        real_fsync = os.fsync
+        monkeypatch.setattr(
+            os, "fsync", lambda fd: (synced.append(fd), real_fsync(fd)))
+        config = quick_config(isolation="inline", journal_fsync=True)
+        CampaignEngine(config).run([WorkUnit("a", "tally", {})],
+                                   str(tmp_path / "journal.jsonl"))
+        assert synced
+
+    def test_run_full_campaign_plumbs_fsync(self, tmp_path, monkeypatch):
+        synced = []
+        real_fsync = os.fsync
+        monkeypatch.setattr(
+            os, "fsync", lambda fd: (synced.append(fd), real_fsync(fd)))
+        results = run_full_campaign(
+            sample_count=8, site_count=6, units=("fxp-add-32",),
+            journal_path=str(tmp_path / "journal.jsonl"),
+            journal_fsync=True,
+            engine_config=quick_config(isolation="inline", batch_size=8,
+                                       max_batches=1))
+        assert "fxp-add-32" in results
+        assert synced
 
 
 class TestInlineIsolation:

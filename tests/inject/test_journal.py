@@ -1,6 +1,7 @@
 """Tests for the append-only campaign journal and its replay."""
 
 import json
+import os
 
 import pytest
 
@@ -45,6 +46,51 @@ class TestJournalWriter:
         journal.unit_started("u", "gate", {})
         journal.close()
         assert journal.path is None
+
+    def test_fsync_called_per_append(self, tmp_path, monkeypatch):
+        synced = []
+        real_fsync = os.fsync
+        monkeypatch.setattr(os, "fsync",
+                            lambda fd: (synced.append(fd), real_fsync(fd)))
+        with Journal(str(tmp_path / "journal.jsonl"), fsync=True) as journal:
+            header_syncs = len(synced)
+            journal.unit_started("u", "gate", {})
+            journal.batch("u", 0, trials=1, successes=1, counts={},
+                          attempts=1)
+        assert header_syncs == 1  # the campaign header synced too
+        assert len(synced) == 3
+
+    def test_fsync_off_by_default(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(
+            os, "fsync",
+            lambda fd: pytest.fail("fsync without opting in"))
+        with Journal(str(tmp_path / "journal.jsonl")) as journal:
+            journal.unit_started("u", "gate", {})
+
+
+class TestKillDurability:
+    def test_kill_during_append_resumes_from_torn_line(self, tmp_path):
+        # A kill -9 mid-append leaves every fsynced record intact plus
+        # one torn final line; replay must resume after the last
+        # complete batch, losing at most the in-flight record.
+        path = tmp_path / "journal.jsonl"
+        with Journal(str(path), fsync=True) as journal:
+            journal.unit_started("u", "gate", {"seed": 1})
+            journal.batch("u", 0, trials=4, successes=2, counts={"due": 2},
+                          attempts=1)
+            journal.batch("u", 1, trials=4, successes=1, counts={"due": 1},
+                          attempts=1)
+        complete = path.read_bytes()
+        torn = json.dumps({"type": "batch", "unit": "u", "index": 2,
+                           "trials": 4, "successes": 3,
+                           "counts": {"due": 3}, "attempts": 1})
+        path.write_bytes(complete + torn[:len(torn) // 2].encode())
+
+        state = JournalState.load(str(path))
+        assert state.corrupt_lines == 1
+        assert state.next_batch_index("u") == 2  # batch 2 was in flight
+        assert sum(batch["trials"] for batch in state.batches["u"]) == 8
+        assert "u" not in state.finished
 
 
 class TestJournalReplay:
