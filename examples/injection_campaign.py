@@ -8,14 +8,25 @@ SDC risk of SwapCodes under every register-file code.
 
 The sweep runs on the resilient campaign engine: each unit executes in a
 crash-isolated worker subprocess, and with ``--journal`` every batch
-streams to an append-only JSONL checkpoint — kill the run at any point
-and re-invoking the same command resumes where it stopped.  ``--ci``
-switches to batched sweeps with Wilson-interval early stopping.
+streams to an append-only, CRC-sealed JSONL checkpoint — kill the run at
+any point and re-invoking the same command resumes where it stopped.
+``--ci`` switches to batched sweeps with Wilson-interval early stopping.
+
+The campaign supervisor is on by default: Ctrl-C or SIGTERM drains the
+run gracefully (the in-flight batch finishes, a ``campaign_paused``
+record lands in the journal, and resuming reaches counts identical to an
+uninterrupted run), and crash-looping units are quarantined after
+``--quarantine`` consecutive failures instead of aborting anything.
+``--max-rss``/``--max-cpu``/``--heartbeat`` cap each worker subprocess;
+``--salvage`` resumes past a corrupted journal record by truncating at
+the first bad line.
 
 Usage::
 
     python examples/injection_campaign.py [samples] [sites]
         [--journal PATH] [--ci HALF_WIDTH] [--batch N] [--timeout S]
+        [--max-rss MB] [--max-cpu S] [--heartbeat S] [--quarantine K]
+        [--salvage] [--no-supervisor]
 
 Defaults (600 samples, 200 sites) finish in about a minute; the paper's
 10,000-pair setting is ``python examples/injection_campaign.py 10000 None``.
@@ -25,7 +36,7 @@ import argparse
 
 from repro.experiments import (render_figure10, render_figure11,
                                run_injection_study)
-from repro.inject import EngineConfig
+from repro.inject import EngineConfig, ResourceBudget, SupervisorConfig
 
 
 def parse_args():
@@ -47,6 +58,25 @@ def parse_args():
                              "samples in one batch)")
     parser.add_argument("--timeout", type=float, default=None, metavar="S",
                         help="per-batch wall-clock timeout in seconds")
+    parser.add_argument("--max-rss", type=float, default=None, metavar="MB",
+                        help="address-space cap per worker subprocess "
+                             "(hogs die with MemoryError, binned as "
+                             "resource_exhausted)")
+    parser.add_argument("--max-cpu", type=float, default=None, metavar="S",
+                        help="CPU-seconds cap per worker subprocess")
+    parser.add_argument("--heartbeat", type=float, default=None,
+                        metavar="S",
+                        help="kill a worker silent for this many seconds "
+                             "(catches frozen/SIGSTOPped workers)")
+    parser.add_argument("--quarantine", type=int, default=5, metavar="K",
+                        help="dead-letter a unit after K consecutive "
+                             "failed batch attempts (default 5)")
+    parser.add_argument("--salvage", action="store_true",
+                        help="truncate a corrupt journal at its first bad "
+                             "record instead of refusing to resume")
+    parser.add_argument("--no-supervisor", action="store_true",
+                        help="run the bare engine: no signal-safe drain, "
+                             "no quarantine, no resource budgets")
     return parser.parse_args()
 
 
@@ -66,12 +96,24 @@ def main():
             batch_size=batch,
             max_batches=max(1, -(-args.samples // batch)),
             ci_half_width=args.ci, timeout_s=args.timeout)
+    if args.no_supervisor:
+        supervisor = False
+    else:
+        budget = None
+        if args.max_rss is not None or args.max_cpu is not None or \
+                args.heartbeat is not None:
+            budget = ResourceBudget(max_rss_mb=args.max_rss,
+                                    max_cpu_s=args.max_cpu,
+                                    heartbeat_timeout_s=args.heartbeat)
+        supervisor = SupervisorConfig(budget=budget,
+                                      quarantine_after=args.quarantine)
     print(f"running campaigns: {args.samples} input pairs, "
           f"{'all' if sites is None else sites} fault sites per unit"
           + (f", journal={args.journal}" if args.journal else ""))
     study = run_injection_study(
         sample_count=args.samples, site_count=sites,
-        journal_path=args.journal, engine_config=engine_config)
+        journal_path=args.journal, engine_config=engine_config,
+        supervisor=supervisor, salvage=args.salvage)
 
     print("\nFigure 10 — unmasked error severity per unit")
     print(render_figure10(study))

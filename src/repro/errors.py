@@ -37,6 +37,18 @@ class HangError(SimulationError):
     """
 
 
+class ResourceExhausted(ReproError):
+    """A campaign worker blew through its supervised resource budget.
+
+    Raised inside worker subprocesses when a ``resource.setrlimit`` cap
+    trips (the SIGXCPU handler raises it for CPU budgets; address-space
+    caps surface as :class:`MemoryError`, which the worker boundary folds
+    into the same ``resource_exhausted`` outcome).  Lives in the shared
+    error module so the engine's worker entry can catch it without
+    importing the supervisor layer.
+    """
+
+
 class ContainmentViolation(ReproError):
     """A detected error leaked to memory before the halt.
 

@@ -43,7 +43,8 @@ def run_injection_study(sample_count: int = 1000,
                         units: Sequence[str] = UNIT_ORDER,
                         journal_path: Optional[str] = None,
                         journal_fsync: bool = False,
-                        engine_config=None) -> InjectionStudy:
+                        engine_config=None, supervisor=None,
+                        salvage: bool = False) -> InjectionStudy:
     """Run the six-unit campaign and fold in every Figure 11 code.
 
     ``journal_path``/``journal_fsync``/``engine_config`` flow to the
@@ -51,12 +52,18 @@ def run_injection_study(sample_count: int = 1000,
     (fsyncing each record when asked, so even ``kill -9`` loses at most
     one torn line), resumes after interruption, and isolates unit
     crashes (crashed units drop out of the study instead of aborting
-    it).
+    it).  ``supervisor``/``salvage`` flow to the campaign supervisor
+    (on by default — see
+    :func:`~repro.inject.campaign.run_full_campaign`): SIGTERM/SIGINT
+    drain the study gracefully, poison units are quarantined, worker
+    resource budgets are enforced, and journal corruption is detected
+    by per-record CRC (and survived, with ``salvage=True``).
     """
     campaigns = run_full_campaign(sample_count, site_count, seed, trace,
                                   units, journal_path=journal_path,
                                   journal_fsync=journal_fsync,
-                                  engine_config=engine_config)
+                                  engine_config=engine_config,
+                                  supervisor=supervisor, salvage=salvage)
     schemes = figure11_schemes()
     severity = {}
     risk = {}

@@ -69,24 +69,41 @@ def run_recovery_coverage_study(
         matrix: Sequence[Tuple[str, str]] = RECOVERY_MATRIX,
         trials_per_unit: int = 60, seed: int = 0,
         journal_path: Optional[str] = None,
-        engine_config: Optional[EngineConfig] = None
+        engine_config: Optional[EngineConfig] = None,
+        supervisor=None, salvage: bool = False
         ) -> RecoveryCoverageStudy:
     """Sweep the {code} x {strike-site} grid through the recovery ladder.
 
     Each grid cell is one ``gpu-recovery`` work unit; with a
     ``journal_path`` the sweep checkpoints per batch and resumes.  Runs
     inline by default (the units are small and deterministic per seed);
-    pass ``engine_config`` for crash-isolated subprocess batches.
+    pass ``engine_config`` for crash-isolated subprocess batches.  The
+    sweep is supervised by default — SIGTERM/SIGINT drain and journal
+    ``campaign_paused``, poison cells are quarantined rather than
+    crash-looped, worker resource budgets apply under subprocess
+    isolation, and ``salvage=True`` survives journal corruption — pass
+    ``supervisor=False`` to opt out.
     """
+    import dataclasses
+
+    from repro.inject.supervisor import coerce_supervisor
     if engine_config is None:
         engine_config = EngineConfig(
             batch_size=trials_per_unit, max_batches=1, ci_half_width=None,
-            timeout_s=None, isolation="inline")
+            timeout_s=None, isolation="inline", salvage=salvage)
+    elif salvage and not engine_config.salvage:
+        engine_config = dataclasses.replace(engine_config, salvage=True)
     units = [gpu_recovery_work_unit(workload, scale=scale, code=code,
                                     where=where, seed=seed,
                                     unit_id=f"{workload}/{code}/{where}")
              for code, where in matrix]
-    report = CampaignEngine(engine_config).run(units, journal_path)
+    supervisor = coerce_supervisor(supervisor)
+    engine = CampaignEngine(engine_config, supervisor=supervisor)
+    if supervisor is None:
+        report = engine.run(units, journal_path)
+    else:
+        with supervisor:
+            report = engine.run(units, journal_path)
     coverage = {unit_id: recovery_coverage(unit.counts)
                 for unit_id, unit in report.units.items()}
     telemetry = {unit_id: _sum_payloads(unit)

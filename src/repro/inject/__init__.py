@@ -19,6 +19,8 @@ from repro.inject.engine import (OUTCOMES, CampaignEngine, CampaignReport,
                                  make_scheme, merged_gate_results,
                                  register_unit_kind, wilson_interval)
 from repro.inject.journal import Journal, JournalState
+from repro.inject.supervisor import (CampaignSupervisor, ResourceBudget,
+                                     SupervisorConfig)
 
 __all__ = [
     "UNIT_ORDER", "build_unit", "run_full_campaign", "run_unit_campaign",
@@ -35,4 +37,5 @@ __all__ = [
     "merged_gate_results",
     "register_unit_kind", "wilson_interval",
     "Journal", "JournalState",
+    "CampaignSupervisor", "ResourceBudget", "SupervisorConfig",
 ]

@@ -79,7 +79,8 @@ def run_full_campaign(sample_count: int = 1000,
                       units: Sequence[str] = UNIT_ORDER, *,
                       journal_path: Optional[str] = None,
                       journal_fsync: bool = False,
-                      engine_config=None) -> Dict[str, CampaignResult]:
+                      engine_config=None, supervisor=None,
+                      salvage: bool = False) -> Dict[str, CampaignResult]:
     """Campaigns for every Figure 10 unit, keyed by unit name.
 
     Runs through the resilient campaign engine: each unit sweeps in a
@@ -101,21 +102,47 @@ def run_full_campaign(sample_count: int = 1000,
     slower, but a ``kill -9`` mid-campaign loses at most one torn final
     line, which :meth:`~repro.inject.journal.JournalState.load`
     tolerates on resume.
+
+    The sweep runs under a
+    :class:`~repro.inject.supervisor.CampaignSupervisor` by default:
+    SIGTERM/SIGINT drain gracefully (journal a ``campaign_paused``
+    record and return the units finished so far; re-invoking with the
+    same journal resumes to identical final counts), crash-looping
+    units are quarantined instead of retried forever, and any
+    configured worker resource budget is enforced.  Pass a
+    :class:`~repro.inject.supervisor.SupervisorConfig` (or a prebuilt
+    supervisor) as ``supervisor`` to tune the policy, or
+    ``supervisor=False`` for the bare PR 1 engine.  ``salvage=True``
+    truncates a corrupt journal at its first bad record (detected by
+    per-record CRC32) instead of raising, re-deriving the lost batches
+    from their deterministic seeds.
     """
     import dataclasses
 
     from repro.inject.engine import (CampaignEngine, EngineConfig,
                                      gate_work_unit, merged_gate_results)
+    from repro.inject.supervisor import coerce_supervisor
     if engine_config is None:
         engine_config = EngineConfig(
             batch_size=sample_count, max_batches=1, ci_half_width=None,
-            timeout_s=None, journal_fsync=journal_fsync)
-    elif journal_fsync and not engine_config.journal_fsync:
-        engine_config = dataclasses.replace(engine_config,
-                                            journal_fsync=True)
+            timeout_s=None, journal_fsync=journal_fsync, salvage=salvage)
+    else:
+        overrides = {}
+        if journal_fsync and not engine_config.journal_fsync:
+            overrides["journal_fsync"] = True
+        if salvage and not engine_config.salvage:
+            overrides["salvage"] = True
+        if overrides:
+            engine_config = dataclasses.replace(engine_config, **overrides)
     work = [gate_work_unit(name, site_count=site_count, seed=seed + index,
                            trace=trace)
             for index, name in enumerate(units)]
-    report = CampaignEngine(engine_config).run(work, journal_path)
+    supervisor = coerce_supervisor(supervisor)
+    engine = CampaignEngine(engine_config, supervisor=supervisor)
+    if supervisor is None:
+        report = engine.run(work, journal_path)
+    else:
+        with supervisor:
+            report = engine.run(work, journal_path)
     merged = merged_gate_results(report)
     return {name: merged[name] for name in units if name in merged}

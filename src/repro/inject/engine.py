@@ -8,8 +8,8 @@ each batch in a crash-isolated subprocess with a wall-clock timeout:
 
 * a worker that raises or dies is retried with exponential backoff, and a
   unit whose batches keep failing is *recorded* as ``crashed``/``hung`` in
-  the outcome taxonomy (masked/SDC/DUE/trap/hang/crash) instead of
-  aborting the campaign;
+  the outcome taxonomy (masked/SDC/DUE/trap/hang/crash/
+  resource_exhausted) instead of aborting the campaign;
 * every completed batch streams to an append-only JSONL journal
   (:mod:`repro.inject.journal`), so an interrupted campaign resumes where
   it stopped — finished units are skipped, partial units continue after
@@ -18,6 +18,12 @@ each batch in a crash-isolated subprocess with a wall-clock timeout:
   monitored detection-rate confidence interval is tighter than a
   configurable half-width, and every report carries the interval, not
   just the point estimate.
+
+A :class:`~repro.inject.supervisor.CampaignSupervisor` layers four more
+defenses on top (resource-governed workers, poison-unit quarantine,
+signal-safe drains, and CRC-verified journals via ``salvage``); see
+:mod:`repro.inject.supervisor` for the policy objects and
+:class:`CampaignEngine`'s ``supervisor`` argument for the wiring.
 
 New unit kinds plug in through :func:`register_unit_kind`; batch runners
 must be module-level callables so worker processes can reach them under
@@ -29,21 +35,28 @@ from __future__ import annotations
 import math
 import os
 import random
+import signal as _signal
+import threading
 import time
+import traceback as _traceback
 from dataclasses import dataclass, field
 from queue import Empty
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
 import multiprocessing
 
-from repro.errors import HangError, InjectionError, SimulationError
+from repro.errors import (HangError, InjectionError, ResourceExhausted,
+                          SimulationError)
 from repro.inject.campaign import run_unit_campaign
 from repro.inject.classify import detection_outcomes
 from repro.inject.hamartia import CampaignResult, merge_results
 from repro.inject.journal import Journal, JournalState, NullJournal
 
-#: the expanded outcome taxonomy every unit report tallies
-OUTCOMES = ("masked", "sdc", "due", "trap", "hang", "crash")
+#: the expanded outcome taxonomy every unit report tallies;
+#: ``resource_exhausted`` is the supervisor's verdict for workers that
+#: blew an rlimit budget or stopped heartbeating
+OUTCOMES = ("masked", "sdc", "due", "trap", "hang", "crash",
+            "resource_exhausted")
 
 #: extra (non-terminal) outcome keys runners may report; the last three
 #: are the recovery ladder's rungs (gpu-recovery units)
@@ -86,10 +99,17 @@ def wilson_interval(successes: int, trials: int,
 
     Unlike the normal approximation it stays inside [0, 1] and behaves at
     the extremes (0 or all successes), which campaigns hit routinely.
+    Zero trials is legal — a unit that crashed before producing data —
+    and yields the uninformative estimate (rate 0, interval [0, 1]);
+    more successes than trials is always a caller bug and raises.
     """
-    if trials < 0 or successes < 0 or successes > trials:
+    if trials < 0:
+        raise InjectionError(f"trials must be >= 0, got {trials}")
+    if successes < 0:
+        raise InjectionError(f"successes must be >= 0, got {successes}")
+    if successes > trials:
         raise InjectionError(
-            f"bad proportion: {successes} successes of {trials} trials")
+            f"successes ({successes}) cannot exceed trials ({trials})")
     if trials == 0:
         return WilsonEstimate(0.0, 0.0, 1.0, 0, 0)
     p = successes / trials
@@ -177,6 +197,10 @@ class EngineConfig:
     isolation: str = "process"
     #: fsync the journal after every record (slower, kill-proof)
     journal_fsync: bool = False
+    #: tolerate mid-file journal corruption by truncating at the first
+    #: bad record (deterministic seeds re-derive the lost batches);
+    #: default False raises on any CRC/index/decode failure
+    salvage: bool = False
 
     def __post_init__(self):
         if self.batch_size < 1:
@@ -213,11 +237,17 @@ class EngineConfig:
 
 @dataclass
 class UnitReport:
-    """Terminal outcome of one work unit."""
+    """Terminal outcome of one work unit.
+
+    ``status`` is one of ``completed``, ``crashed``, ``hung``,
+    ``resource_exhausted`` (budget/heartbeat kill), ``quarantined``
+    (dead-lettered after repeated consecutive failures), or ``paused``
+    (a drain stopped the unit mid-sweep; a resume will finish it).
+    """
 
     unit_id: str
     kind: str
-    status: str  # "completed", "crashed", or "hung"
+    status: str
     counts: Dict[str, int]
     trials: int
     successes: int
@@ -228,6 +258,8 @@ class UnitReport:
     estimate: WilsonEstimate
     detail: str = ""
     payloads: List[Dict[str, Any]] = field(default_factory=list)
+    #: one entry per failed batch attempt (outcome, detail, traceback)
+    failures: List[Dict[str, Any]] = field(default_factory=list)
 
     @property
     def failed(self) -> bool:
@@ -249,6 +281,13 @@ class CampaignReport:
 
     units: Dict[str, UnitReport]
     journal_path: Optional[str] = None
+    #: True when a drain (signal or request_drain) stopped the campaign
+    #: early; re-run against the same journal to resume
+    paused: bool = False
+    #: why the drain happened (e.g. "signal SIGTERM")
+    drain_reason: str = ""
+    #: unit ids a drain prevented from starting, in campaign order
+    pending: List[str] = field(default_factory=list)
 
     @property
     def completed(self) -> List[str]:
@@ -259,6 +298,12 @@ class CampaignReport:
     def failed(self) -> List[str]:
         return [unit_id for unit_id, report in self.units.items()
                 if report.failed]
+
+    @property
+    def quarantined(self) -> List[str]:
+        """Dead-lettered units, reported apart from ordinary failures."""
+        return [unit_id for unit_id, report in self.units.items()
+                if report.status == "quarantined"]
 
     def total_counts(self) -> Dict[str, int]:
         totals: Dict[str, int] = {}
@@ -598,22 +643,95 @@ def _batch_seed(params: Dict[str, Any], index: int) -> int:
     return params.get("seed", 0) + index * _BATCH_SEED_STRIDE
 
 
-def _worker_entry(runner, params, context, batch, queue) -> None:
-    """Subprocess entry: run one batch, ship the result (or the error)."""
+def _heartbeat_loop(conn, interval: float) -> None:
+    """Daemon thread in the worker: beat until the process dies."""
     try:
+        while True:
+            conn.send_bytes(b".")
+            time.sleep(interval)
+    except Exception:  # parent went away or pipe closed: just stop
+        pass
+
+
+def _failure(exc: BaseException) -> Dict[str, str]:
+    """The JSON-serializable failure description shipped to the engine."""
+    return {"message": f"{type(exc).__name__}: {exc}",
+            "traceback": _traceback.format_exc()}
+
+
+def _worker_entry(runner, params, context, batch, queue, budget=None,
+                  heartbeat=None) -> None:
+    """Subprocess entry: apply the budget, run one batch, ship the result.
+
+    Budget trips — ``MemoryError`` from the address-space cap,
+    :class:`~repro.errors.ResourceExhausted` from the CPU cap's SIGXCPU
+    handler — are reported as the distinct ``resource_exhausted``
+    outcome; everything else stays a generic ``error``.
+    """
+    try:
+        if budget is not None:
+            budget.apply()
+        if heartbeat is not None:
+            threading.Thread(
+                target=_heartbeat_loop,
+                args=(heartbeat, budget.heartbeat_interval_s),
+                daemon=True).start()
         queue.put(("ok", runner(params, context, batch)))
+    except (MemoryError, ResourceExhausted) as exc:
+        try:
+            queue.put(("resource_exhausted", _failure(exc)))
+        except Exception:
+            os._exit(71)
     except BaseException as exc:  # noqa: BLE001 — isolation boundary
         try:
-            queue.put(("error", f"{type(exc).__name__}: {exc}"))
+            queue.put(("error", _failure(exc)))
         except Exception:
             os._exit(70)
 
 
-class CampaignEngine:
-    """Runs work units to completion with isolation, retry, and resume."""
+def _failure_detail(payload: Any) -> str:
+    """Human-readable one-liner for a failure payload (dict or string)."""
+    if isinstance(payload, dict):
+        return str(payload.get("message", payload))
+    return str(payload)
 
-    def __init__(self, config: Optional[EngineConfig] = None):
+
+def _failure_traceback(payload: Any) -> str:
+    if isinstance(payload, dict):
+        return str(payload.get("traceback", ""))
+    return ""
+
+
+def _drain_beats(conn, last_beat: float, now: float) -> float:
+    """Consume queued heartbeats; returns the newest beat timestamp."""
+    try:
+        while conn.poll(0):
+            conn.recv_bytes()
+            last_beat = now
+    except (EOFError, OSError):
+        pass  # worker exited; the liveness poll below settles it
+    return last_beat
+
+
+#: how a terminal batch failure lands in the outcome tally / unit status
+_FAILURE_BINS = {"hung": "hang", "resource_exhausted": "resource_exhausted"}
+_FAILURE_STATUS = {"hung": "hung",
+                   "resource_exhausted": "resource_exhausted"}
+
+
+class CampaignEngine:
+    """Runs work units to completion with isolation, retry, and resume.
+
+    An optional :class:`~repro.inject.supervisor.CampaignSupervisor`
+    adds resource-governed workers, poison-unit quarantine, and
+    signal-safe drains; without one the engine behaves exactly as in
+    PR 1 (first failed batch ends the unit, signals kill the process).
+    """
+
+    def __init__(self, config: Optional[EngineConfig] = None,
+                 supervisor: Any = None):
         self.config = config if config is not None else EngineConfig()
+        self.supervisor = supervisor
 
     # -- public API --------------------------------------------------------
 
@@ -623,31 +741,73 @@ class CampaignEngine:
 
         With a journal path, a prior journal at that path is replayed
         first: units it records as done are skipped (their reports are
-        reconstructed from the journal) and partially-swept units resume
-        after their last completed batch.
+        reconstructed from the journal), quarantined units stay
+        dead-lettered, and partially-swept units resume after their
+        last completed batch.  A drain request (supervised SIGTERM/
+        SIGINT) stops the campaign at the next safe point, journals
+        ``campaign_paused``, and returns a report with ``paused=True``.
         """
         ids = [unit.unit_id for unit in units]
         if len(set(ids)) != len(ids):
             raise InjectionError(f"duplicate unit ids in campaign: {ids}")
-        state = JournalState.load(journal_path) if journal_path else \
-            JournalState()
+        state = JournalState.load(journal_path,
+                                  salvage=self.config.salvage) \
+            if journal_path else JournalState()
         self._check_config(state)
-        journal = Journal(journal_path, fsync=self.config.journal_fsync) \
+        journal = Journal(journal_path, fsync=self.config.journal_fsync,
+                          salvage=self.config.salvage) \
             if journal_path else NullJournal()
         if journal_path and state.config is None:
             journal.append({"type": "config",
                             "config": self.config.to_dict()})
         reports: Dict[str, UnitReport] = {}
+        paused = False
+        in_flight: Optional[str] = None
+        pending: List[str] = []
         try:
-            for unit in units:
+            for position, unit in enumerate(units):
+                if self._draining():
+                    paused = True
+                    pending = [u.unit_id for u in units[position:]]
+                    break
                 if unit.unit_id in state.finished:
                     state.check_params(unit.unit_id, unit.params)
                     reports[unit.unit_id] = self._replay_unit(unit, state)
                     continue
-                reports[unit.unit_id] = self._run_unit(unit, state, journal)
+                report = self._run_unit(unit, state, journal)
+                reports[unit.unit_id] = report
+                if report.status == "paused":
+                    paused = True
+                    in_flight = unit.unit_id
+                    pending = [u.unit_id for u in units[position + 1:]]
+                    break
+            if paused:
+                journal.campaign_paused(self._drain_reason(), in_flight,
+                                        pending)
         finally:
             journal.close()
-        return CampaignReport(units=reports, journal_path=journal_path)
+        return CampaignReport(units=reports, journal_path=journal_path,
+                              paused=paused,
+                              drain_reason=self._drain_reason(),
+                              pending=pending)
+
+    # -- supervisor plumbing -----------------------------------------------
+
+    def _draining(self) -> bool:
+        return self.supervisor is not None and self.supervisor.draining
+
+    def _drain_reason(self) -> str:
+        return self.supervisor.drain_reason if self._draining() else ""
+
+    def _quarantine_after(self) -> Optional[int]:
+        if self.supervisor is None:
+            return None
+        return self.supervisor.config.quarantine_after
+
+    def _budget(self):
+        if self.supervisor is None:
+            return None
+        return self.supervisor.config.budget
 
     #: config fields that shape the statistics a journal accumulates;
     #: operational knobs (timeouts, retries, isolation) may change freely
@@ -672,7 +832,12 @@ class CampaignEngine:
 
     def _replay_unit(self, unit: WorkUnit,
                      state: JournalState) -> UnitReport:
-        """Rebuild a finished unit's report from its journal records."""
+        """Rebuild a finished unit's report from its journal records.
+
+        Quarantined units replay with their dead-letter record's
+        captured failures, so resumed campaigns still report the
+        tracebacks that condemned them.
+        """
         done = state.finished[unit.unit_id]
         summary = done.get("summary", {})
         counts = _empty_counts()
@@ -690,7 +855,8 @@ class CampaignEngine:
             stopped_early=summary.get("stopped_early", False),
             resumed=True,
             estimate=wilson_interval(successes, trials, self.config.z),
-            detail=summary.get("detail", ""), payloads=payloads)
+            detail=summary.get("detail", ""), payloads=payloads,
+            failures=done.get("failures", []))
 
     def _run_unit(self, unit: WorkUnit, state: JournalState,
                   journal: Journal) -> UnitReport:
@@ -720,34 +886,56 @@ class CampaignEngine:
                 payloads.append(record["payload"])
         batches_done = state.next_batch_index(unit.unit_id)
 
+        quarantine_after = self._quarantine_after()
         status = "completed"
         detail = ""
         stopped_early = False
+        streak = 0  # consecutive failed attempts, reset by any success
+        failure_log: List[Dict[str, Any]] = []
         while batches_done < config.max_batches:
+            if self._draining():
+                status = "paused"
+                break
             if self._interval_tight_enough(successes, trials):
                 stopped_early = True
                 break
             batch = BatchSpec(index=batches_done, size=config.batch_size,
                               seed=_batch_seed(unit.params, batches_done))
-            outcome, payload, attempts = self._run_batch_with_retry(
-                runner, unit, batch)
+            attempt_budget = None if quarantine_after is None else \
+                max(1, quarantine_after - streak)
+            outcome, payload, attempts, failures = \
+                self._run_batch_with_retry(runner, unit, batch,
+                                           attempt_budget)
             retries += attempts - 1
-            if outcome != "ok":
-                status = "hung" if outcome == "hung" else "crashed"
-                detail = str(payload)
-                counts["hang" if outcome == "hung" else "crash"] += 1
+            failure_log.extend(failures)
+            if outcome == "paused":
+                status = "paused"
                 break
-            counts_in = payload.get("counts", {})
-            for key, count in counts_in.items():
-                counts[key] = counts.get(key, 0) + count
-            trials += payload["trials"]
-            successes += payload["successes"]
-            journal.batch(unit.unit_id, batch.index, payload["trials"],
-                          payload["successes"], counts_in, attempts,
-                          payload.get("payload"))
-            if payload.get("payload") is not None:
-                payloads.append(payload["payload"])
-            batches_done += 1
+            if outcome == "ok":
+                streak = 0
+                counts_in = payload.get("counts", {})
+                for key, count in counts_in.items():
+                    counts[key] = counts.get(key, 0) + count
+                trials += payload["trials"]
+                successes += payload["successes"]
+                journal.batch(unit.unit_id, batch.index, payload["trials"],
+                              payload["successes"], counts_in, attempts,
+                              payload.get("payload"))
+                if payload.get("payload") is not None:
+                    payloads.append(payload["payload"])
+                batches_done += 1
+                continue
+            # every attempt of this batch failed
+            streak += len(failures)
+            if quarantine_after is not None and streak < quarantine_after:
+                continue  # supervised: re-attempt the same batch index
+            detail = _failure_detail(payload)
+            counts[_FAILURE_BINS.get(outcome, "crash")] += 1
+            if quarantine_after is not None:
+                status = "quarantined"
+            else:
+                status = _FAILURE_STATUS.get(outcome, "crashed")
+            break
 
         report = UnitReport(
             unit_id=unit.unit_id, kind=unit.kind, status=status,
@@ -755,8 +943,14 @@ class CampaignEngine:
             batches=batches_done, retries=retries,
             stopped_early=stopped_early, resumed=resumed,
             estimate=wilson_interval(successes, trials, config.z),
-            detail=detail, payloads=payloads)
-        journal.unit_done(unit.unit_id, status, report.summary())
+            detail=detail, payloads=payloads, failures=failure_log)
+        if status == "paused":
+            pass  # no terminal record: a resume finishes the sweep
+        elif status == "quarantined":
+            journal.unit_quarantined(unit.unit_id, report.summary(),
+                                     failure_log)
+        else:
+            journal.unit_done(unit.unit_id, status, report.summary())
         return report
 
     def _interval_tight_enough(self, successes: int, trials: int) -> bool:
@@ -769,36 +963,64 @@ class CampaignEngine:
     # -- batch isolation ---------------------------------------------------
 
     def _run_batch_with_retry(self, runner, unit: WorkUnit,
-                              batch: BatchSpec):
-        """Returns ``(outcome, payload_or_detail, attempts)``."""
+                              batch: BatchSpec,
+                              attempt_budget: Optional[int] = None):
+        """Returns ``(outcome, payload_or_detail, attempts, failures)``.
+
+        ``failures`` carries one record per failed attempt (outcome,
+        message, traceback) for quarantine dead-letter journaling.
+        ``attempt_budget`` caps total attempts below the configured
+        retry allowance — the supervisor passes the distance to its
+        quarantine threshold so the streak lands exactly on it.
+        """
         config = self.config
+        max_attempts = config.max_retries + 1
+        if attempt_budget is not None:
+            max_attempts = min(max_attempts, attempt_budget)
         attempts = 0
+        failures: List[Dict[str, Any]] = []
         while True:
             attempts += 1
             outcome, payload = self._run_batch_once(runner, unit, batch)
-            if outcome == "ok":
-                return outcome, payload, attempts
-            retryable = outcome in ("error", "crashed") or \
+            if outcome in ("ok", "paused"):
+                return outcome, payload, attempts, failures
+            failures.append({
+                "batch": batch.index, "attempt": attempts,
+                "outcome": outcome,
+                "detail": _failure_detail(payload),
+                "traceback": _failure_traceback(payload)})
+            retryable = outcome in ("error", "crashed",
+                                    "resource_exhausted") or \
                 (outcome == "hung" and config.retry_on_hang)
-            if not retryable or attempts > config.max_retries:
-                return outcome, payload, attempts
+            if not retryable or attempts >= max_attempts or \
+                    self._draining():
+                return outcome, payload, attempts, failures
             time.sleep(config.backoff_s * (2 ** (attempts - 1)))
 
     def _run_batch_once(self, runner, unit: WorkUnit, batch: BatchSpec):
         if self.config.isolation == "inline":
             try:
                 return "ok", runner(unit.params, unit.context, batch)
+            except (MemoryError, ResourceExhausted) as exc:
+                return "resource_exhausted", _failure(exc)
             except Exception as exc:  # noqa: BLE001 — isolation boundary
-                return "error", f"{type(exc).__name__}: {exc}"
+                return "error", _failure(exc)
         context = multiprocessing.get_context(self.config.start_method)
         queue = context.Queue()
+        budget = self._budget()
+        heartbeat_rx = heartbeat_tx = None
+        if budget is not None and budget.monitors_heartbeat:
+            heartbeat_rx, heartbeat_tx = context.Pipe(duplex=False)
         process = context.Process(
             target=_worker_entry,
-            args=(runner, unit.params, unit.context, batch, queue),
+            args=(runner, unit.params, unit.context, batch, queue,
+                  budget, heartbeat_tx),
             daemon=True)
         process.start()
+        if heartbeat_tx is not None:
+            heartbeat_tx.close()  # keep only the worker's write end open
         try:
-            return self._await_worker(process, queue)
+            return self._await_worker(process, queue, heartbeat_rx, budget)
         finally:
             if process.is_alive():
                 process.terminate()
@@ -807,14 +1029,36 @@ class CampaignEngine:
                     process.kill()
                     process.join(1.0)
             queue.close()
+            if heartbeat_rx is not None:
+                heartbeat_rx.close()
 
-    def _await_worker(self, process, queue):
+    def _await_worker(self, process, queue, heartbeat=None, budget=None):
         timeout = self.config.timeout_s
         deadline = None if timeout is None else time.monotonic() + timeout
+        last_beat = time.monotonic()
+        drain_deadline = None
         while True:
-            if deadline is not None and time.monotonic() >= deadline:
+            now = time.monotonic()
+            if drain_deadline is None and self._draining():
+                # Let the in-flight batch finish, but not indefinitely:
+                # past the drain deadline the worker is killed and the
+                # batch is left unjournaled for the resume to re-derive.
+                drain_deadline = now + \
+                    self.supervisor.config.drain_deadline_s
+            if drain_deadline is not None and now >= drain_deadline:
+                return "paused", (f"drain deadline reached with batch "
+                                  f"in flight (pid {process.pid})")
+            if deadline is not None and now >= deadline:
                 return "hung", (f"no result within {timeout:.1f}s "
                                 f"(pid {process.pid})")
+            if heartbeat is not None:
+                last_beat = max(last_beat, _drain_beats(heartbeat,
+                                                        last_beat, now))
+                if now - last_beat > budget.heartbeat_timeout_s:
+                    return "resource_exhausted", (
+                        f"worker (pid {process.pid}) stopped "
+                        f"heartbeating for "
+                        f"{budget.heartbeat_timeout_s:.1f}s")
             try:
                 return queue.get(timeout=0.05)
             except Empty:
@@ -824,9 +1068,22 @@ class CampaignEngine:
                     try:
                         return queue.get(timeout=0.25)
                     except Empty:
-                        return "crashed", (
-                            f"worker died with exit code "
-                            f"{process.exitcode} before reporting")
+                        return self._dead_worker_verdict(process)
+
+    def _dead_worker_verdict(self, process):
+        """Classify a worker that died without reporting a result."""
+        exitcode = process.exitcode
+        if exitcode is not None and exitcode < 0 and \
+                -exitcode in (_signal.SIGXCPU, _signal.SIGKILL) and \
+                self._budget() is not None and \
+                self._budget().max_cpu_s is not None:
+            # RLIMIT_CPU teeth: SIGXCPU at the soft limit, the kernel's
+            # SIGKILL backstop at the hard limit one second later.
+            return "resource_exhausted", (
+                f"worker killed by {_signal.Signals(-exitcode).name} "
+                f"(CPU budget {self._budget().max_cpu_s}s)")
+        return "crashed", (f"worker died with exit code "
+                           f"{exitcode} before reporting")
 
 
 def merged_gate_results(report: CampaignReport) -> Dict[str, CampaignResult]:

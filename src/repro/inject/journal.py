@@ -1,12 +1,37 @@
-"""Append-only JSONL journal behind the resilient campaign engine.
+"""Append-only, tamper-evident JSONL journal behind the campaign engine.
 
 Every work-unit lifecycle event — ``unit_started``, one ``batch`` per
-completed batch of injections, and a terminal ``unit_done`` — is appended
-as one JSON line and flushed immediately, so a campaign killed at any
-point leaves a prefix of valid records (plus at most one torn final line,
-which replay ignores).  Re-running the engine against the same journal
-path replays that prefix: finished units are skipped outright and a unit
-interrupted mid-sweep resumes after its last journaled batch.
+completed batch of injections, a terminal ``unit_done`` (or
+``unit_quarantined`` for dead-lettered units), and ``campaign_paused``
+when a drain request stops the run — is appended as one JSON line and
+flushed immediately, so a campaign killed at any point leaves a prefix of
+valid records (plus at most one torn final line, which replay ignores).
+Re-running the engine against the same journal path replays that prefix:
+finished units are skipped outright and a unit interrupted mid-sweep
+resumes after its last journaled batch.
+
+Two integrity fields make the journal *tamper-evident* rather than merely
+append-only:
+
+``rix``
+    a running record index (0 for the campaign header, incrementing by
+    one per record).  A gap or repeat means records were dropped,
+    reordered, or spliced in.
+``crc``
+    the CRC32 of the record's canonical JSON serialization (sorted keys,
+    ``rix`` included, ``crc`` itself excluded).  One flipped byte in a
+    record fails the check.
+
+:meth:`JournalState.load` streams the file line by line (multi-GB
+journals never load into memory) and verifies both fields on every
+record that carries them; records written before the fields existed are
+accepted unverified, so old journals stay resumable.  Anomalies on the
+*final* line are the expected signature of a kill mid-append and are
+tolerated; anomalies earlier in the file raise ``InjectionError`` with
+the offending ``file:line`` — unless ``salvage=True``, which truncates
+the replayed state at the first bad record so one flipped byte costs the
+batches after it rather than the whole campaign (the engine's
+deterministic batch seeds re-derive the lost records exactly).
 
 The journal is the single source of truth for resume; the engine never
 keeps checkpoint state anywhere else.
@@ -16,34 +41,178 @@ from __future__ import annotations
 
 import json
 import os
+import zlib
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.errors import InjectionError
 
 #: journal schema version, bumped on incompatible record changes
+#: (``crc``/``rix`` are additive and verified only when present, so they
+#: did not bump the version)
 JOURNAL_VERSION = 1
 
 
-class Journal:
-    """Append-only writer for one campaign's JSONL journal."""
+def _canonical(record: Dict[str, Any]) -> str:
+    """The serialization the CRC is computed over (and what is written)."""
+    return json.dumps(record, sort_keys=True)
 
-    def __init__(self, path: str, fsync: bool = False):
+
+@dataclass
+class _ScanResult:
+    """What one streaming pass over a journal file found."""
+
+    #: complete, verified records seen (== the next record's ``rix``)
+    records: int = 0
+    #: lines that failed JSON decoding or an integrity check
+    corrupt_lines: int = 0
+    #: byte offset where a torn/corrupt tail starts (writer repair point)
+    truncate_at: Optional[int] = None
+    #: 1-based line number where a salvage stop happened, if any
+    salvaged_line: Optional[int] = None
+    #: whether the file's last byte is a newline (safe to append after)
+    ends_with_newline: bool = True
+
+
+def _scan_journal(path: str, salvage: bool = False,
+                  absorb: Optional[Callable[[Dict[str, Any]], None]] = None
+                  ) -> _ScanResult:
+    """Stream ``path`` once, verifying and optionally absorbing records.
+
+    Raises :class:`InjectionError` (with ``file:line``) on a mid-file
+    anomaly unless ``salvage`` is set, in which case the scan stops at
+    the first bad record and reports where.  Final-line anomalies — the
+    torn tail a kill mid-append leaves — are tolerated in both modes.
+    """
+    result = _ScanResult()
+    with open(path, "rb") as handle:
+        pending: Optional[tuple] = None
+        offset = 0
+        number = 0
+        for raw in handle:
+            if pending is not None:
+                if not _scan_line(path, result, salvage, absorb,
+                                  *pending, is_last=False):
+                    return result
+            pending = (number, offset, raw)
+            offset += len(raw)
+            number += 1
+        if pending is not None:
+            result.ends_with_newline = pending[2].endswith(b"\n")
+            _scan_line(path, result, salvage, absorb, *pending,
+                       is_last=True)
+    return result
+
+
+def _scan_line(path: str, result: _ScanResult, salvage: bool,
+               absorb: Optional[Callable[[Dict[str, Any]], None]],
+               number: int, offset: int, raw: bytes,
+               is_last: bool) -> bool:
+    """Verify one line; returns False when a salvage stop should end the scan."""
+    text = raw.decode("utf-8", errors="replace").strip()
+    if not text:
+        return True
+
+    def bad(what: str) -> bool:
+        result.corrupt_lines += 1
+        if is_last:
+            # The expected signature of a kill mid-append: tolerate and
+            # remember where the tail starts so a writer can repair it.
+            result.truncate_at = offset
+            return True
+        if salvage:
+            result.salvaged_line = number + 1
+            result.truncate_at = offset
+            return False
+        raise InjectionError(
+            f"{path}:{number + 1}: {what} before the final line; "
+            f"pass salvage=True to resume from the last good record")
+
+    try:
+        record = json.loads(text)
+    except json.JSONDecodeError:
+        return bad("corrupt journal record")
+    if not isinstance(record, dict):
+        return bad("non-object journal record")
+    stored_crc = record.pop("crc", None)
+    if stored_crc is not None and \
+            stored_crc != zlib.crc32(_canonical(record).encode("utf-8")):
+        return bad("journal record failed its CRC32 check")
+    rix = record.get("rix")
+    if rix is not None and rix != result.records:
+        return bad(f"journal record index {rix} != expected "
+                   f"{result.records} (records dropped or spliced)")
+    if absorb is not None:
+        absorb(record)
+    result.records += 1
+    return True
+
+
+class Journal:
+    """Append-only writer for one campaign's JSONL journal.
+
+    Opening an existing non-empty journal validates it before the first
+    append: the header (``campaign``/version record) must parse and match
+    :data:`JOURNAL_VERSION`, every record's CRC/index must verify (with
+    ``salvage=True`` the file is physically truncated at the first bad
+    record instead), and a torn final line left by a kill mid-append is
+    truncated away so new records never merge into it.
+    """
+
+    def __init__(self, path: str, fsync: bool = False,
+                 salvage: bool = False):
         self.path = path
         self.fsync = fsync
         directory = os.path.dirname(os.path.abspath(path))
         os.makedirs(directory, exist_ok=True)
         fresh = not os.path.exists(path) or os.path.getsize(path) == 0
+        self._rix = 0
+        needs_newline = False
+        if not fresh:
+            scan = self._validate_existing(salvage)
+            self._rix = scan.records
+            if scan.truncate_at is not None:
+                os.truncate(path, scan.truncate_at)
+            elif not scan.ends_with_newline:
+                needs_newline = True
         self._handle = open(path, "a", encoding="utf-8")
+        if needs_newline:
+            self._handle.write("\n")
         if fresh:
             self.append({"type": "campaign", "version": JOURNAL_VERSION})
 
+    def _validate_existing(self, salvage: bool) -> _ScanResult:
+        header: List[Dict[str, Any]] = []
+
+        def check_header(record: Dict[str, Any]) -> None:
+            if header:
+                return
+            header.append(record)
+            if record.get("type") != "campaign":
+                raise InjectionError(
+                    f"{self.path}: not a campaign journal (first record "
+                    f"is {record.get('type')!r}, expected 'campaign'); "
+                    f"refusing to append")
+            version = record.get("version")
+            if version != JOURNAL_VERSION:
+                raise InjectionError(
+                    f"{self.path}: journal schema version {version!r} "
+                    f"does not match this engine's {JOURNAL_VERSION}; "
+                    f"refusing to append mixed-schema records")
+
+        return _scan_journal(self.path, salvage=salvage,
+                             absorb=check_header)
+
     def append(self, record: Dict[str, Any]) -> None:
-        """Write one record as a JSON line and flush it to the OS."""
+        """Write one record as a CRC-sealed JSON line and flush it."""
         if "type" not in record:
             raise InjectionError("journal records need a 'type' field")
-        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+        record = dict(record)
+        record["rix"] = self._rix
+        record["crc"] = zlib.crc32(_canonical(record).encode("utf-8"))
+        self._handle.write(_canonical(record) + "\n")
         self._handle.flush()
+        self._rix += 1
         if self.fsync:
             os.fsync(self._handle.fileno())
 
@@ -66,6 +235,19 @@ class Journal:
                   summary: Dict[str, Any]) -> None:
         self.append({"type": "unit_done", "unit": unit_id, "status": status,
                      "summary": summary})
+
+    def unit_quarantined(self, unit_id: str, summary: Dict[str, Any],
+                         failures: List[Dict[str, Any]]) -> None:
+        """Dead-letter a poison unit, keeping its captured tracebacks."""
+        self.append({"type": "unit_quarantined", "unit": unit_id,
+                     "status": "quarantined", "summary": summary,
+                     "failures": failures})
+
+    def campaign_paused(self, reason: str, in_flight: Optional[str],
+                        pending: List[str]) -> None:
+        """Record a signal-safe drain: what was running, what never ran."""
+        self.append({"type": "campaign_paused", "reason": reason,
+                     "in_flight": in_flight, "pending": pending})
 
     def close(self) -> None:
         self._handle.close()
@@ -100,38 +282,36 @@ class JournalState:
     started: Dict[str, Dict[str, Any]] = field(default_factory=dict)
     #: unit_id -> batch records sorted by index (first write per index wins)
     batches: Dict[str, List[Dict[str, Any]]] = field(default_factory=dict)
-    #: unit_id -> the terminal unit_done record
+    #: unit_id -> the terminal unit_done / unit_quarantined record
     finished: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    #: unit_id -> the unit_quarantined record (the dead-letter list)
+    quarantined: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    #: every campaign_paused record, in order (one per drained run)
+    pauses: List[Dict[str, Any]] = field(default_factory=list)
     #: the first journaled engine configuration, if any
     config: Optional[Dict[str, Any]] = None
-    #: records whose JSON could not be parsed (only a torn tail is expected)
+    #: records whose JSON or integrity fields failed verification
     corrupt_lines: int = 0
+    #: 1-based line where a salvage load stopped replaying, if it did
+    salvaged_line: Optional[int] = None
 
     @classmethod
-    def load(cls, path: str) -> "JournalState":
-        """Replay ``path``; a missing file is an empty (fresh) state."""
+    def load(cls, path: str, salvage: bool = False) -> "JournalState":
+        """Stream-replay ``path``; a missing file is an empty (fresh) state.
+
+        Every line is verified (JSON decode, CRC32, record index) as it
+        streams; the file is never buffered whole.  A bad *final* line
+        is the torn tail of a kill and is ignored.  A bad earlier line
+        raises :class:`InjectionError` naming the file and line — or,
+        with ``salvage=True``, truncates the replayed state at the first
+        bad record so resume re-derives everything after it.
+        """
         state = cls(path=path)
         if not os.path.exists(path):
             return state
-        with open(path, "r", encoding="utf-8") as handle:
-            lines = handle.readlines()
-        for number, line in enumerate(lines):
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                record = json.loads(line)
-            except json.JSONDecodeError:
-                # A torn final line is the expected signature of a kill
-                # mid-append; anything earlier is real corruption but
-                # still only costs that one record.
-                state.corrupt_lines += 1
-                if number != len(lines) - 1:
-                    raise InjectionError(
-                        f"{path}:{number + 1}: corrupt journal record "
-                        f"before the final line") from None
-                continue
-            state._absorb(record)
+        scan = _scan_journal(path, salvage=salvage, absorb=state._absorb)
+        state.corrupt_lines = scan.corrupt_lines
+        state.salvaged_line = scan.salvaged_line
         return state
 
     def _absorb(self, record: Dict[str, Any]) -> None:
@@ -149,6 +329,11 @@ class JournalState:
                 batches.sort(key=lambda item: item["index"])
         elif kind == "unit_done" and unit is not None:
             self.finished.setdefault(unit, record)
+        elif kind == "unit_quarantined" and unit is not None:
+            self.finished.setdefault(unit, record)
+            self.quarantined.setdefault(unit, record)
+        elif kind == "campaign_paused":
+            self.pauses.append(record)
 
     def next_batch_index(self, unit_id: str) -> int:
         """First batch index not yet journaled for ``unit_id``."""

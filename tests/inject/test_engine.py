@@ -90,6 +90,55 @@ class TestWilsonInterval:
         with pytest.raises(InjectionError):
             wilson_interval(3, 2)
 
+    def test_zero_trials_estimate_fields(self):
+        # A crashed-before-data unit yields the uninformative estimate,
+        # not a ZeroDivisionError.
+        estimate = wilson_interval(0, 0)
+        assert estimate.rate == 0.0
+        assert estimate.trials == 0 and estimate.successes == 0
+        assert estimate.half_width == 0.5
+
+    def test_successes_exceeding_trials_names_both(self):
+        with pytest.raises(InjectionError) as excinfo:
+            wilson_interval(7, 3)
+        message = str(excinfo.value)
+        assert "7" in message and "3" in message
+        assert "cannot exceed" in message
+
+    def test_negative_counts_rejected_distinctly(self):
+        with pytest.raises(InjectionError, match="trials must be >= 0"):
+            wilson_interval(0, -1)
+        with pytest.raises(InjectionError, match="successes must be >= 0"):
+            wilson_interval(-1, 5)
+
+
+class TestBatchSeedDeterminism:
+    """Resume-equivalence rests on batch seeds being pure functions."""
+
+    def test_seed_schedule_is_pinned(self):
+        from repro.inject.engine import _BATCH_SEED_STRIDE, _batch_seed
+        assert _BATCH_SEED_STRIDE == 1000003
+        assert [_batch_seed({"seed": 7}, index) for index in range(4)] == \
+            [7, 1000010, 2000013, 3000016]
+        assert _batch_seed({}, 2) == 2000006  # missing seed defaults to 0
+
+    def test_batch_zero_reproduces_legacy_seed(self):
+        from repro.inject.engine import _batch_seed
+        # batch 0 must use the unit's own seed so a one-batch campaign
+        # reproduces the legacy single-shot sweep exactly
+        assert _batch_seed({"seed": 42}, 0) == 42
+
+    def test_same_batch_spec_same_results(self):
+        from repro.inject.engine import run_gate_batch
+        batch = BatchSpec(index=1, size=12,
+                          seed=1000003 + 5)  # any fixed derived seed
+        params = {"unit": "fxp-add-32", "site_count": 10}
+        first = run_gate_batch(params, None, batch)
+        second = run_gate_batch(params, None, batch)
+        assert first["counts"] == second["counts"]
+        assert first["trials"] == second["trials"]
+        assert first["payload"] == second["payload"]
+
 
 class TestEngineConfigValidation:
     def test_bad_knobs_rejected(self):

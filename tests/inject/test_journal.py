@@ -157,3 +157,170 @@ class TestJournalReplay:
         write_journal(path, {"type": "unit_started", "unit": "u",
                              "kind": "gate", "params": {"units": ["a"]}})
         JournalState.load(str(path)).check_params("u", {"units": ("a",)})
+
+    def test_quarantine_and_pause_records_replay(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        with Journal(str(path)) as journal:
+            journal.unit_quarantined(
+                "poison", {"trials": 0},
+                [{"outcome": "error", "detail": "RuntimeError: boom",
+                  "traceback": "Traceback..."}])
+            journal.campaign_paused("signal SIGTERM", "u1", ["u2", "u3"])
+        state = JournalState.load(str(path))
+        assert state.finished["poison"]["status"] == "quarantined"
+        assert state.quarantined["poison"]["failures"][0]["detail"] == \
+            "RuntimeError: boom"
+        assert state.pauses == [state.pauses[0]]
+        assert state.pauses[0]["in_flight"] == "u1"
+        assert state.pauses[0]["pending"] == ["u2", "u3"]
+
+
+def _sample_journal(path, batches=4):
+    with Journal(str(path)) as journal:
+        journal.unit_started("u", "gate", {"seed": 1})
+        for index in range(batches):
+            journal.batch("u", index, trials=10, successes=index,
+                          counts={"due": index, "sdc": 10 - index},
+                          attempts=1)
+
+
+def _flip_line(path, line_number, old, new):
+    """Alter one journal line in place (still valid JSON, wrong CRC)."""
+    lines = path.read_bytes().split(b"\n")
+    target = lines[line_number - 1]
+    assert old in target, f"line {line_number} lacks {old!r}"
+    lines[line_number - 1] = target.replace(old, new, 1)
+    path.write_bytes(b"\n".join(lines))
+
+
+class TestTamperEvidence:
+    def test_records_carry_crc_and_running_index(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        _sample_journal(path)
+        records = [json.loads(line) for line in open(path)]
+        assert [record["rix"] for record in records] == \
+            list(range(len(records)))
+        assert all(isinstance(record["crc"], int) for record in records)
+        assert records[0]["type"] == "campaign"
+
+    def test_flipped_byte_detected_with_location(self, tmp_path):
+        """Acceptance: one flipped byte raises, naming the file and line."""
+        path = tmp_path / "journal.jsonl"
+        _sample_journal(path)
+        _flip_line(path, 4, b'"successes": 1', b'"successes": 6')
+        with pytest.raises(InjectionError) as excinfo:
+            JournalState.load(str(path))
+        message = str(excinfo.value)
+        assert f"{path}:4" in message
+        assert "CRC32" in message
+        assert "salvage=True" in message
+
+    def test_flipped_byte_on_final_line_tolerated_as_torn_tail(
+            self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        _sample_journal(path)
+        _flip_line(path, 6, b'"successes": 3', b'"successes": 8')
+        state = JournalState.load(str(path))
+        assert state.corrupt_lines == 1
+        assert state.next_batch_index("u") == 3  # the bad record dropped
+
+    def test_salvage_resumes_from_last_good_record(self, tmp_path):
+        """Acceptance: salvage=True keeps the prefix before the bad byte."""
+        path = tmp_path / "journal.jsonl"
+        _sample_journal(path)
+        _flip_line(path, 4, b'"successes": 1', b'"successes": 6')
+        state = JournalState.load(str(path), salvage=True)
+        assert state.salvaged_line == 4
+        assert state.corrupt_lines == 1
+        # only batch 0 (line 3) survives; everything at and after the
+        # flipped line is re-derived from its deterministic seed later
+        assert state.next_batch_index("u") == 1
+        assert "u" in state.started
+
+    def test_salvage_writer_truncates_file_at_bad_record(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        _sample_journal(path)
+        _flip_line(path, 4, b'"successes": 1', b'"successes": 6')
+        with Journal(str(path), salvage=True) as journal:
+            journal.batch("u", 1, trials=10, successes=1,
+                          counts={"due": 1, "sdc": 9}, attempts=1)
+        state = JournalState.load(str(path))  # strict load passes again
+        assert state.corrupt_lines == 0
+        records = [json.loads(line) for line in open(path)]
+        assert [record["rix"] for record in records] == \
+            list(range(len(records)))
+
+    def test_dropped_record_detected_by_index_gap(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        _sample_journal(path)
+        lines = path.read_bytes().split(b"\n")
+        del lines[2]  # excise batch 0: later rix values now jump
+        path.write_bytes(b"\n".join(lines))
+        with pytest.raises(InjectionError) as excinfo:
+            JournalState.load(str(path))
+        assert "dropped or spliced" in str(excinfo.value)
+
+    def test_legacy_records_without_crc_still_load(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        with open(path, "w") as handle:
+            handle.write('{"type": "campaign", "version": 1}\n')
+            handle.write('{"type": "unit_started", "unit": "u", '
+                         '"kind": "gate", "params": {}}\n')
+        state = JournalState.load(str(path))
+        assert "u" in state.started
+        assert state.corrupt_lines == 0
+
+
+class TestWriterValidation:
+    def test_version_mismatch_refused_on_append(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        with open(path, "w") as handle:
+            handle.write('{"type": "campaign", "version": 99}\n')
+        with pytest.raises(InjectionError) as excinfo:
+            Journal(str(path))
+        message = str(excinfo.value)
+        assert "99" in message and "refusing to append" in message
+
+    def test_non_campaign_file_refused_on_append(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        with open(path, "w") as handle:
+            handle.write('{"type": "batch", "unit": "u", "index": 0, '
+                         '"trials": 1, "successes": 0, "counts": {}, '
+                         '"attempts": 1}\n')
+        with pytest.raises(InjectionError) as excinfo:
+            Journal(str(path))
+        assert "not a campaign journal" in str(excinfo.value)
+
+    def test_corrupt_journal_refused_on_append_without_salvage(
+            self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        _sample_journal(path)
+        _flip_line(path, 4, b'"successes": 1', b'"successes": 6')
+        with pytest.raises(InjectionError):
+            Journal(str(path))
+
+    def test_torn_tail_truncated_before_append(self, tmp_path):
+        # Appending after a torn final line must not merge the new
+        # record into the garbage: the writer truncates the tail first.
+        path = tmp_path / "journal.jsonl"
+        _sample_journal(path, batches=2)
+        with open(path, "ab") as handle:
+            handle.write(b'{"type": "batch", "uni')
+        with Journal(str(path)) as journal:
+            journal.batch("u", 2, trials=10, successes=5,
+                          counts={"due": 5, "sdc": 5}, attempts=1)
+        state = JournalState.load(str(path))
+        assert state.corrupt_lines == 0
+        assert state.next_batch_index("u") == 3
+
+    def test_missing_final_newline_repaired_before_append(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        _sample_journal(path, batches=1)
+        content = path.read_bytes()
+        path.write_bytes(content.rstrip(b"\n"))  # e.g. partial flush
+        with Journal(str(path)) as journal:
+            journal.batch("u", 1, trials=10, successes=2,
+                          counts={"due": 2, "sdc": 8}, attempts=1)
+        state = JournalState.load(str(path))
+        assert state.corrupt_lines == 0
+        assert state.next_batch_index("u") == 2
