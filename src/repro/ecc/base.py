@@ -154,10 +154,13 @@ class ErrorCode(abc.ABC):
         """Decode arrays of ``(data, check)`` pairs in one call.
 
         Fallback implementation: loops the scalar :meth:`decode` and
-        packs the verdicts into a :class:`BatchDecodeResult`.
+        packs the verdicts into a :class:`BatchDecodeResult`.  Inputs are
+        range-checked up front so the batch rejects out-of-range words
+        with the same :class:`DecodingError` the scalar path raises.
         """
         data_words = as_u64(data)
         check_words = as_u64(check)
+        self._validate_many(data_words, check_words)
         count = len(data_words)
         status = np.empty(count, dtype=np.uint8)
         out = np.empty(count, dtype=np.uint64)
@@ -172,13 +175,22 @@ class ErrorCode(abc.ABC):
         return BatchDecodeResult(status, out, corrected)
 
     def _validate_many(self, data: np.ndarray, check: np.ndarray) -> None:
-        """Raise :class:`DecodingError` when any element is out of range."""
+        """Raise :class:`DecodingError` when any element is out of range.
+
+        Mirrors the scalar :meth:`_validate` message, naming the first
+        offending word and its index so a bad element in a warp-wide
+        batch is as diagnosable as a bad scalar.
+        """
         if len(data) and int(data.max()) > mask(self.data_bits):
+            index = int(np.argmax(data > np.uint64(mask(self.data_bits))))
             raise DecodingError(
-                f"data word exceeds {self.data_bits} bits")
+                f"data 0x{int(data[index]):x} at index {index} does not "
+                f"fit in {self.data_bits} bits")
         if len(check) and int(check.max()) > mask(self.check_bits):
+            index = int(np.argmax(check > np.uint64(mask(self.check_bits))))
             raise DecodingError(
-                f"check word exceeds {self.check_bits} bits")
+                f"check 0x{int(check[index]):x} at index {index} does not "
+                f"fit in {self.check_bits} bits")
 
     def detects(self, data: int, data_error: int, check_error: int = 0) -> bool:
         """Report whether an error pattern on a valid codeword is caught.

@@ -32,6 +32,8 @@ from typing import Dict, Tuple
 
 import numpy as np
 
+from repro.errors import DecodingError
+
 #: integer encodings of :class:`~repro.ecc.base.DecodeStatus`, in enum order
 STATUS_OK = 0
 STATUS_CORRECTED_DATA = 1
@@ -52,11 +54,33 @@ BROADCAST_MAX = 2048
 
 
 def as_u64(values) -> np.ndarray:
-    """Coerce a sequence of non-negative words to a 1-D ``uint64`` array."""
-    array = np.asarray(values, dtype=np.uint64)
+    """Coerce a sequence of non-negative words to a 1-D ``uint64`` array.
+
+    Inputs a 64-bit word cannot represent fail loudly with a
+    :class:`~repro.errors.DecodingError` — negative integers and Python
+    ints of 65+ bits would otherwise wrap silently (or surface as a bare
+    ``OverflowError``) and decode as garbage.  Arrays that are already
+    ``uint64`` pass through untouched, keeping the hot batched paths
+    allocation-free.
+    """
+    if isinstance(values, np.ndarray) and values.dtype == np.uint64:
+        return values if values.ndim == 1 else values.reshape(-1)
+    try:
+        array = np.asarray(values)
+    except OverflowError:
+        raise DecodingError(
+            "codeword integer does not fit in 64 bits") from None
     if array.ndim != 1:
         array = array.reshape(-1)
-    return array
+    if array.dtype.kind in "if" and array.size and array.min() < 0:
+        raise DecodingError(
+            f"codeword integers must be non-negative, got "
+            f"{array.min()} at index {int(array.argmin())}")
+    try:
+        return array.astype(np.uint64)
+    except (OverflowError, TypeError):
+        raise DecodingError(
+            "codeword integer does not fit in 64 bits") from None
 
 
 if hasattr(np, "bitwise_count"):

@@ -28,6 +28,29 @@ class SimulationError(ReproError):
     """The GPU simulator reached an invalid state (bad address, deadlock)."""
 
 
+class FaultModelError(SimulationError):
+    """A fault-injection strike was malformed.
+
+    Raised at :class:`~repro.gpu.resilience.FaultPlan` construction (and
+    by the strike helpers in :mod:`repro.ecc.swap`) for bit indices
+    outside the codeword, empty strike masks, non-positive burst widths,
+    or out-of-range lane sets — instead of silently wrapping indices
+    modulo the width or failing later with an ``IndexError``.  Subclasses
+    :class:`SimulationError` so existing crash-isolation boundaries keep
+    treating a malformed plan as a configuration failure.
+    """
+
+
+class CertificationError(ReproError):
+    """The guarantee certifier was misconfigured or could not run.
+
+    Distinct from a *violated claim* — a violation is a legitimate
+    certifier verdict recorded in the certificate artifact, while this
+    exception means the certification request itself was malformed
+    (unknown scheme, empty strike space, unwritable artifact path).
+    """
+
+
 class HangError(SimulationError):
     """A watchdog verdict: the kernel livelocked (budget or deadline hit).
 

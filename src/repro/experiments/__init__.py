@@ -8,6 +8,8 @@
 * Tables I-IV — :mod:`repro.experiments.tables`.
 * Recovery coverage (Section VI's re-execution story) —
   :mod:`repro.experiments.recovery_coverage`.
+* MBU degradation (detection coverage vs strike multiplicity) —
+  :mod:`repro.experiments.mbu_degradation`.
 """
 
 from repro.experiments.common import (SchemeRun, render_table, run_matrix,
@@ -21,6 +23,11 @@ from repro.experiments.figures_inject import (FIG11_CODE_ORDER,
                                               render_figure10,
                                               render_figure11,
                                               run_injection_study)
+from repro.experiments.mbu_degradation import (MBU_MATRIX,
+                                               MbuDegradationStudy,
+                                               render_mbu_degradation,
+                                               run_mbu_degradation_study,
+                                               write_mbu_artifact)
 from repro.experiments.recovery_coverage import (RECOVERY_MATRIX,
                                                  RecoveryCoverageStudy,
                                                  render_recovery_coverage,
@@ -40,6 +47,8 @@ __all__ = [
     "run_power_study",
     "FIG11_CODE_ORDER", "InjectionStudy", "figure11_schemes",
     "render_figure10", "render_figure11", "run_injection_study",
+    "MBU_MATRIX", "MbuDegradationStudy", "render_mbu_degradation",
+    "run_mbu_degradation_study", "write_mbu_artifact",
     "RECOVERY_MATRIX", "RecoveryCoverageStudy", "render_recovery_coverage",
     "run_recovery_coverage_study", "write_recovery_artifact",
     "FIG12_SCHEMES", "FIG15_SCHEMES", "FIG16_SCHEMES", "PerformanceStudy",

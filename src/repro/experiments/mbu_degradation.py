@@ -1,0 +1,165 @@
+"""The MBU-degradation study: detection coverage vs strike multiplicity.
+
+The paper's guarantees are stated for single-bit errors; the certifier
+(:mod:`repro.certify`) machine-checks them, and this harness measures
+what lies *beyond* them — how each register-file code's detection
+coverage degrades as storage strikes widen from one bit to four-bit
+multi-bit upsets (MBUs), the shrinking-geometry failure mode that
+motivates interleaving in real SRAMs.  Each {code} x {multiplicity} grid
+cell is one ``mbu-sweep`` work unit through the campaign engine: every
+trial injects a correlated multi-bit :class:`~repro.gpu.resilience.
+FaultPlan` into a fresh workload run and classifies the outcome, so the
+study rides the same supervisor/journal machinery as every other sweep.
+
+The headline shape to expect: ``secded-dp`` holds full coverage at
+multiplicities 1 and 2 (correct-one/detect-two is its design point) and
+degrades beyond, while ``parity`` already leaks at multiplicity 2 (any
+even-weight strike is parity-invisible).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.experiments.common import render_table
+from repro.inject.classify import DETECTION_CLASSES, detection_coverage
+from repro.inject.engine import (CampaignEngine, EngineConfig, UnitReport,
+                                 mbu_sweep_work_unit)
+
+#: the (code, multiplicity) grid the study sweeps, in display order
+MBU_MATRIX: Tuple[Tuple[str, int], ...] = tuple(
+    (code, multiplicity)
+    for code in ("secded-dp", "ted", "parity")
+    for multiplicity in (1, 2, 3, 4))
+
+
+@dataclass
+class MbuDegradationStudy:
+    """Per-unit detection outcomes of one MBU-degradation sweep."""
+
+    workload: str
+    scale: float
+    where: str
+    pattern: str
+    #: unit id -> the engine's terminal report
+    units: Dict[str, UnitReport]
+    #: unit id -> fraction of visible trials per DETECTION_CLASSES bin
+    coverage: Dict[str, Dict[str, float]]
+    #: unit id -> the strike multiplicity that unit swept
+    multiplicity: Dict[str, int]
+
+    def coverage_by_multiplicity(self, code: str) -> Dict[int, float]:
+        """One code's covered-fraction curve, keyed by multiplicity.
+
+        Covered is the complement of the SDC escape rate: a visible
+        strike that was detected loudly, corrected in place, or benignly
+        masked.  (Plain ``detected`` would misread correcting schemes,
+        whose single-bit storage strikes land in ``masked`` by design.)
+        """
+        curve: Dict[int, float] = {}
+        for unit_id, fractions in self.coverage.items():
+            if unit_id.split("/")[-2] == code:
+                curve[self.multiplicity[unit_id]] = 1.0 - fractions["sdc"]
+        return dict(sorted(curve.items()))
+
+
+def run_mbu_degradation_study(
+        workload: str = "pathfinder", scale: float = 0.2,
+        matrix: Sequence[Tuple[str, int]] = MBU_MATRIX,
+        trials_per_unit: int = 40, seed: int = 0,
+        where: str = "storage", pattern: str = "random",
+        lane_spread: int = 1,
+        journal_path: Optional[str] = None,
+        engine_config: Optional[EngineConfig] = None,
+        supervisor=None, salvage: bool = False) -> MbuDegradationStudy:
+    """Sweep the {code} x {multiplicity} grid through the campaign engine.
+
+    Each grid cell is one ``mbu-sweep`` work unit; with a
+    ``journal_path`` the sweep checkpoints per batch and resumes.  Runs
+    inline by default (the units are small and deterministic per seed);
+    pass ``engine_config`` for crash-isolated subprocess batches and
+    ``supervisor=False`` to opt out of the default supervision.
+    """
+    import dataclasses
+
+    from repro.inject.supervisor import coerce_supervisor
+    if engine_config is None:
+        engine_config = EngineConfig(
+            batch_size=trials_per_unit, max_batches=1, ci_half_width=None,
+            timeout_s=None, isolation="inline", salvage=salvage)
+    elif salvage and not engine_config.salvage:
+        engine_config = dataclasses.replace(engine_config, salvage=True)
+    units = []
+    multiplicity_of: Dict[str, int] = {}
+    for code, multiplicity in matrix:
+        unit_id = f"{workload}/{code}/m{multiplicity}"
+        units.append(mbu_sweep_work_unit(
+            workload, multiplicity, scale=scale, code=code, seed=seed,
+            where=where, pattern=pattern, lane_spread=lane_spread,
+            unit_id=unit_id))
+        multiplicity_of[unit_id] = multiplicity
+    supervisor = coerce_supervisor(supervisor)
+    engine = CampaignEngine(engine_config, supervisor=supervisor)
+    if supervisor is None:
+        report = engine.run(units, journal_path)
+    else:
+        with supervisor:
+            report = engine.run(units, journal_path)
+    coverage = {unit_id: detection_coverage(unit.counts)
+                for unit_id, unit in report.units.items()}
+    return MbuDegradationStudy(
+        workload=workload, scale=scale, where=where, pattern=pattern,
+        units=report.units, coverage=coverage,
+        multiplicity={unit_id: multiplicity_of.get(unit_id, 0)
+                      for unit_id in report.units})
+
+
+def render_mbu_degradation(study: MbuDegradationStudy) -> str:
+    """Plain-text detection-coverage table, one row per unit."""
+    headers = ["unit", "mult"] + [name for name in DETECTION_CLASSES] \
+        + ["visible"]
+    rows: List[List[str]] = []
+    for unit_id, fractions in study.coverage.items():
+        unit = study.units[unit_id]
+        rows.append([unit_id, str(study.multiplicity[unit_id])] +
+                    [f"{fractions[name] * 100:.0f}%"
+                     for name in DETECTION_CLASSES] + [str(unit.trials)])
+    return render_table(headers, rows)
+
+
+def write_mbu_artifact(study: MbuDegradationStudy,
+                       path: str) -> Dict[str, Any]:
+    """Write the study's machine-readable JSON artifact; returns the dict.
+
+    Schema (version 1)::
+
+        {"version": 1, "workload": ..., "scale": ..., "where": ...,
+         "pattern": ..., "classes": [...DETECTION_CLASSES...],
+         "units": {unit_id: {"status": ..., "trials": ...,
+                             "multiplicity": ..., "counts": {...},
+                             "coverage": {...}}}}
+    """
+    artifact: Dict[str, Any] = {
+        "version": 1,
+        "workload": study.workload,
+        "scale": study.scale,
+        "where": study.where,
+        "pattern": study.pattern,
+        "classes": list(DETECTION_CLASSES),
+        "units": {},
+    }
+    for unit_id, unit in study.units.items():
+        artifact["units"][unit_id] = {
+            "status": unit.status,
+            "trials": unit.trials,
+            "multiplicity": study.multiplicity[unit_id],
+            "counts": {key: value for key, value in unit.counts.items()
+                       if value},
+            "coverage": study.coverage[unit_id],
+        }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(artifact, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return artifact

@@ -25,7 +25,7 @@ import numpy as np
 
 from repro.ecc.swap import ReadStatus, RegisterWord, SwapScheme
 from repro.ecc.vectorized import BatchReadResult
-from repro.errors import SimulationError
+from repro.errors import FaultModelError, SimulationError
 
 
 @dataclass(frozen=True)
@@ -48,6 +48,25 @@ class FaultPlan:
       schemes (SEC-DED-DP, SEC-DP) repair it in place at the next read
       while detect-only schemes DUE.  Storage strikes on shadow
       instructions (which own no data segment) do not fire.
+
+    Multi-bit and correlated upsets (the MBU patterns field studies
+    report) are expressed with three optional extensions:
+
+    * ``bits`` — an explicit tuple of bit indices struck together,
+      overriding the ``bit``/``burst`` pair.  Arbitrary (possibly
+      non-contiguous) multi-bit masks.
+    * ``burst`` — a contiguous burst of ``burst`` bits starting at
+      ``bit`` (default 1, the classic single-event upset).
+    * ``lanes`` — a tuple of additional lanes struck by the same event,
+      modelling the row/column-correlated strikes that span a warp's
+      adjacent datapath lanes.  Defaults to just ``lane``.
+
+    Bits that fall outside the struck value's width are *dropped*, never
+    wrapped: a 40-bit burst on a 32-bit register clips to the top of the
+    register, exactly as a physical strike spanning past the array edge
+    would.  Malformed plans (out-of-range indices, empty strike sets,
+    non-positive burst widths) raise :class:`~repro.errors.FaultModelError`
+    at construction.
     """
 
     cta_index: int
@@ -56,6 +75,9 @@ class FaultPlan:
     lane: int
     bit: int
     where: str = "result"
+    bits: Optional[Tuple[int, ...]] = None
+    burst: int = 1
+    lanes: Optional[Tuple[int, ...]] = None
 
     def __post_init__(self):
         if self.where not in ("result", "predictor", "storage"):
@@ -64,6 +86,73 @@ class FaultPlan:
             raise SimulationError(f"lane {self.lane} out of range")
         if not 0 <= self.bit < 64:
             raise SimulationError(f"bit {self.bit} out of range")
+        # JSON round-trips hand us lists; normalise to tuples so the plan
+        # stays hashable and comparable.
+        if self.bits is not None and not isinstance(self.bits, tuple):
+            object.__setattr__(self, "bits", tuple(self.bits))
+        if self.lanes is not None and not isinstance(self.lanes, tuple):
+            object.__setattr__(self, "lanes", tuple(self.lanes))
+        if not isinstance(self.burst, int) or self.burst < 1:
+            raise FaultModelError(
+                f"burst width must be a positive integer, got {self.burst!r}")
+        if self.bits is not None:
+            if len(self.bits) == 0:
+                raise FaultModelError(
+                    "bits must be a nonempty tuple of bit indices (omit it "
+                    "for a single-bit strike at `bit`)")
+            for index in self.bits:
+                if not isinstance(index, int) or not 0 <= index < 64:
+                    raise FaultModelError(
+                        f"strike bit {index!r} out of range [0, 64)")
+            if len(set(self.bits)) != len(self.bits):
+                raise FaultModelError(
+                    f"strike bits must be distinct, got {self.bits}")
+        if self.lanes is not None:
+            if len(self.lanes) == 0:
+                raise FaultModelError(
+                    "lanes must be a nonempty tuple of lane indices (omit "
+                    "it for a single-lane strike at `lane`)")
+            for index in self.lanes:
+                if not isinstance(index, int) or not 0 <= index < 32:
+                    raise FaultModelError(
+                        f"strike lane {index!r} out of range [0, 32)")
+            if len(set(self.lanes)) != len(self.lanes):
+                raise FaultModelError(
+                    f"strike lanes must be distinct, got {self.lanes}")
+
+    @property
+    def strike_bits(self) -> Tuple[int, ...]:
+        """The bit indices this event flips (before width clipping)."""
+        if self.bits is not None:
+            return self.bits
+        return tuple(range(self.bit, min(self.bit + self.burst, 64)))
+
+    @property
+    def strike_lanes(self) -> Tuple[int, ...]:
+        """Every lane this event strikes (always includes ``lane``)."""
+        if self.lanes is None:
+            return (self.lane,)
+        return self.lanes if self.lane in self.lanes \
+            else (self.lane,) + self.lanes
+
+    @property
+    def multiplicity(self) -> int:
+        """Number of bits flipped per struck lane (before clipping)."""
+        return len(self.strike_bits)
+
+    def strike_mask(self, width: int) -> int:
+        """XOR mask of the strike clipped to a ``width``-bit value.
+
+        Bits beyond ``width`` are dropped — a strike aimed past the edge
+        of a narrow register simply has fewer effective flips, and a mask
+        of zero means the event fired without corrupting anything (the
+        campaign bins it as masked).
+        """
+        strike = 0
+        for index in self.strike_bits:
+            if index < width:
+                strike |= 1 << index
+        return strike
 
 
 @dataclass
@@ -162,12 +251,43 @@ class TaintTracker:
         self.words[(register, lane)] = \
             self.scheme.storage_strike(true_value, bit)
 
+    def taint_storage_mask(self, register: int, lane: int, true_value: int,
+                           strike_mask: int) -> None:
+        """A multi-bit storage upset: flipped stored data under a healthy pair.
+
+        The MBU counterpart of :meth:`taint_storage` — every set bit of
+        ``strike_mask`` flips in the stored data segment while the check
+        bits (and DP bit) keep describing the true value.
+        """
+        self.words[(register, lane)] = \
+            self.scheme.storage_strike_mask(true_value, strike_mask)
+
     def taint_bad_check_bit(self, register: int, lane: int,
                             true_value: int, bit: int) -> None:
         """Clean data with one flipped bit in the predicted check field."""
         word = self.scheme.write_original(true_value)
         flip = 1 << (bit % self.scheme.code.check_bits)
         self.words[(register, lane)] = word.with_check_error(flip)
+
+    def taint_check_strike(self, register: int, lane: int, true_value: int,
+                           bits: Sequence[int]) -> bool:
+        """A (possibly multi-bit) strike on the check-prediction unit.
+
+        Each datapath bit index folds onto the narrow predicted check
+        field exactly as :meth:`taint_bad_check_bit` folds one — the
+        physical structure only has ``check_bits`` cells, so a wide event
+        lands on whatever cells underlie the struck positions.  Returns
+        False (and taints nothing) when the folds cancel pairwise and
+        the predicted check field comes out intact.
+        """
+        flip = 0
+        for bit in bits:
+            flip ^= 1 << (bit % self.scheme.code.check_bits)
+        if flip == 0:
+            return False
+        word = self.scheme.write_original(true_value)
+        self.words[(register, lane)] = word.with_check_error(flip)
+        return True
 
     def read(self, register: int, lane: int):
         """Decode a tainted lane as the register file read port would.

@@ -246,7 +246,10 @@ class Warp:
         """Apply a pending FaultPlan to this result; returns (values, keys).
 
         ``keys`` is the set of freshly-tainted (register, lane) pairs the
-        writeback must not clear.
+        writeback must not clear.  One event may flip several bits
+        (``plan.strike_bits``) in several lanes (``plan.strike_lanes``);
+        bits past the value's width are dropped, not wrapped, and lanes
+        that are inactive under the execution mask are untouched.
         """
         state = self.resilience
         plan = state.fault
@@ -258,8 +261,9 @@ class Warp:
                 or instruction.spec.pipe.value not in
                 ("alu", "fma32", "fma64", "sfu")):
             return values, protected
-        if not mask[plan.lane]:
-            return values, protected  # struck an inactive lane: masked
+        active_lanes = [lane for lane in plan.strike_lanes if mask[lane]]
+        if not active_lanes:
+            return values, protected  # struck only inactive lanes: masked
         role = instruction.meta.get("role")
         if plan.where == "storage" and role == "shadow":
             # Shadows own no data segment, so there is no stored data bit
@@ -267,66 +271,89 @@ class Warp:
             return values, protected
         state.fault_fired = True
         width = 64 if is_64bit else 32
-        bit = plan.bit % width
-        lane = plan.lane
-        true_value = int(values[lane])
-        bad_value = true_value ^ (1 << bit)
+        strike = plan.strike_mask(width)
+        if strike == 0:
+            # Every strike bit clipped past the value's edge: the event
+            # fired without corrupting anything (campaigns bin it masked).
+            return values, protected
         dest = instruction.dest
-        register = dest.value + (1 if is_64bit and bit >= 32 else 0)
+        halves = self._strike_halves(strike, is_64bit)
 
         if plan.where == "predictor":
             if self.taint is not None and role == "predicted":
-                self.taint.taint_bad_check_bit(
-                    register, lane,
-                    self._word_of(true_value, bit, is_64bit), bit % 32)
-                protected.add((register, lane))
+                for lane in active_lanes:
+                    true_value = int(values[lane])
+                    for offset, half_mask in halves:
+                        register = dest.value + offset
+                        true_word = (true_value >> (32 * offset)) \
+                            & 0xFFFF_FFFF
+                        bits = [index for index in range(32)
+                                if half_mask >> index & 1]
+                        if self.taint.taint_check_strike(
+                                register, lane, true_word, bits):
+                            protected.add((register, lane))
             return values, protected
 
-        if plan.where == "storage":
-            # The strike lands in the RF cell after the pair completes:
-            # the architectural data flips, but the check bits (and the
-            # DP bit) keep describing the true value, so correcting
-            # schemes scrub it at the next read.
-            corrupted = values.copy()
+        corrupted = values.copy()
+        for lane in active_lanes:
+            true_value = int(corrupted[lane])
+            bad_value = true_value ^ strike
             if is_64bit:
                 corrupted[lane] = np.uint64(bad_value)
             else:
                 corrupted[lane] = np.uint32(bad_value & 0xFFFF_FFFF)
-            if self.taint is not None:
-                true_word = self._word_of(true_value, bit, is_64bit)
-                self.taint.taint_storage(register, lane, true_word,
-                                         bit % 32)
-                protected.add((register, lane))
-            return corrupted, protected
 
-        # Data-path fault: corrupt the computed value.
-        corrupted = values.copy()
-        if is_64bit:
-            corrupted[lane] = np.uint64(bad_value)
-        else:
-            corrupted[lane] = np.uint32(bad_value & 0xFFFF_FFFF)
-        if self.taint is not None and role != "shadow":
-            # Shadows never write data: the masked-writeback compare in
-            # write_result turns their corrupted value into a check-only
-            # taint, so no word is created here.
-            bad_word = self._word_of(bad_value, bit, is_64bit)
-            true_word = self._word_of(true_value, bit, is_64bit)
-            if role == "predicted":
-                self.taint.taint_data_with_true_check(
-                    register, lane, bad_word, true_word)
-            else:
-                # Originals (and unpaired writes) emit a valid codeword of
-                # the bad value; the shadow's later masked write exposes it.
-                self.taint.taint_original(register, lane, bad_word)
-            protected.add((register, lane))
+            if plan.where == "storage":
+                # The strike lands in the RF cell after the pair
+                # completes: the architectural data flips, but the check
+                # bits (and the DP bit) keep describing the true value,
+                # so correcting schemes scrub it at the next read.
+                if self.taint is not None:
+                    for offset, half_mask in halves:
+                        register = dest.value + offset
+                        true_word = (true_value >> (32 * offset)) \
+                            & 0xFFFF_FFFF
+                        self.taint.taint_storage_mask(
+                            register, lane, true_word, half_mask)
+                        protected.add((register, lane))
+                continue
+
+            # Data-path fault: corrupt the computed value.
+            if self.taint is not None and role != "shadow":
+                # Shadows never write data: the masked-writeback compare
+                # in write_result turns their corrupted value into a
+                # check-only taint, so no word is created here.
+                for offset, half_mask in halves:
+                    register = dest.value + offset
+                    true_word = (true_value >> (32 * offset)) & 0xFFFF_FFFF
+                    bad_word = true_word ^ half_mask
+                    if role == "predicted":
+                        self.taint.taint_data_with_true_check(
+                            register, lane, bad_word, true_word)
+                    else:
+                        # Originals (and unpaired writes) emit a valid
+                        # codeword of the bad value; the shadow's later
+                        # masked write exposes it.
+                        self.taint.taint_original(register, lane, bad_word)
+                    protected.add((register, lane))
         return corrupted, protected
 
     @staticmethod
-    def _word_of(value: int, bit: int, is_64bit: bool) -> int:
-        """The 32-bit register word containing ``bit`` of ``value``."""
-        if is_64bit and bit >= 32:
-            return (value >> 32) & 0xFFFF_FFFF
-        return value & 0xFFFF_FFFF
+    def _strike_halves(strike: int, is_64bit: bool):
+        """Split a strike mask into per-register (offset, 32-bit mask) parts.
+
+        64-bit values live in two consecutive 32-bit registers, so a wide
+        strike may taint both; each returned entry names the register
+        offset from the destination and the mask within that word.
+        """
+        if not is_64bit:
+            return [(0, strike & 0xFFFF_FFFF)]
+        halves = []
+        if strike & 0xFFFF_FFFF:
+            halves.append((0, strike & 0xFFFF_FFFF))
+        if strike >> 32:
+            halves.append((1, strike >> 32))
+        return halves
 
     # ------------------------------------------------------------------
     # execution

@@ -2,7 +2,8 @@
 
 from repro.inject.campaign import (UNIT_ORDER, build_unit, run_full_campaign,
                                    run_unit_campaign, unit_inputs)
-from repro.inject.classify import (RECOVERY_CLASSES, Estimate,
+from repro.inject.classify import (DETECTION_CLASSES, RECOVERY_CLASSES,
+                                   Estimate, detection_coverage,
                                    detection_outcomes, record_is_detected,
                                    recovery_coverage, sdc_risk,
                                    sdc_risk_sweep, severity_distribution,
@@ -14,10 +15,11 @@ from repro.inject.operands import (OPERAND_KINDS, OperandTrace,
                                    synthetic_operands)
 from repro.inject.engine import (OUTCOMES, CampaignEngine, CampaignReport,
                                  EngineConfig, UnitReport, WilsonEstimate,
-                                 WorkUnit, gate_work_unit,
+                                 WorkUnit, certify_work_unit, gate_work_unit,
                                  gpu_recovery_work_unit, gpu_work_unit,
-                                 make_scheme, merged_gate_results,
-                                 register_unit_kind, wilson_interval)
+                                 make_scheme, mbu_sweep_work_unit,
+                                 merged_gate_results, register_unit_kind,
+                                 wilson_interval)
 from repro.inject.journal import Journal, JournalState
 from repro.inject.supervisor import (CampaignSupervisor, ResourceBudget,
                                      SupervisorConfig)
@@ -25,16 +27,17 @@ from repro.inject.supervisor import (CampaignSupervisor, ResourceBudget,
 __all__ = [
     "UNIT_ORDER", "build_unit", "run_full_campaign", "run_unit_campaign",
     "unit_inputs",
-    "RECOVERY_CLASSES", "Estimate", "detection_outcomes",
+    "DETECTION_CLASSES", "RECOVERY_CLASSES", "Estimate",
+    "detection_coverage", "detection_outcomes",
     "record_is_detected", "recovery_coverage", "sdc_risk",
     "sdc_risk_sweep", "severity_distribution", "split_into_registers",
     "SEVERITY_CLASSES", "CampaignResult", "FaultInjector", "InjectionRecord",
     "classify_severity", "merge_results",
     "OPERAND_KINDS", "OperandTrace", "synthetic_operands",
     "OUTCOMES", "CampaignEngine", "CampaignReport", "EngineConfig",
-    "UnitReport", "WilsonEstimate", "WorkUnit", "gate_work_unit",
-    "gpu_recovery_work_unit", "gpu_work_unit", "make_scheme",
-    "merged_gate_results",
+    "UnitReport", "WilsonEstimate", "WorkUnit", "certify_work_unit",
+    "gate_work_unit", "gpu_recovery_work_unit", "gpu_work_unit",
+    "make_scheme", "mbu_sweep_work_unit", "merged_gate_results",
     "register_unit_kind", "wilson_interval",
     "Journal", "JournalState",
     "CampaignSupervisor", "ResourceBudget", "SupervisorConfig",

@@ -159,6 +159,34 @@ def sdc_risk_sweep(result: CampaignResult,
     return {scheme.name: sdc_risk(result, scheme) for scheme in schemes}
 
 
+#: the collapsed bins of a detection-rate sweep (gpu / mbu-sweep units):
+#: ``detected`` folds every loud outcome (due, trap, hang, crash) while
+#: ``masked`` and ``sdc`` keep their engine meanings
+DETECTION_CLASSES = ("detected", "masked", "sdc")
+
+#: the engine outcome keys that count as a loud detection
+_DETECTED_OUTCOMES = ("due", "trap", "hang", "crash")
+
+
+def detection_coverage(counts: Dict[str, int]) -> Dict[str, float]:
+    """Collapse a gpu/mbu-sweep unit's tallies into detection fractions.
+
+    Returns each :data:`DETECTION_CLASSES` bin as a fraction of the
+    architecturally *visible* trials (``not_hit`` excluded): ``detected``
+    is the scheme's coverage, ``sdc`` its escape rate, and ``masked``
+    the benign remainder.  The MBU-degradation study plots ``detected``
+    against strike multiplicity.
+    """
+    detected = sum(counts.get(name, 0) for name in _DETECTED_OUTCOMES)
+    masked = counts.get("masked", 0)
+    sdc = counts.get("sdc", 0)
+    visible = detected + masked + sdc
+    if visible == 0:
+        return {name: 0.0 for name in DETECTION_CLASSES}
+    return {"detected": detected / visible, "masked": masked / visible,
+            "sdc": sdc / visible}
+
+
 #: the mutually exclusive bins a gpu-recovery unit tallies visible faults
 #: into, in recovery-ladder escalation order (sdc = recovery *failed
 #: silently*, due/hang = ladder exhausted loudly)

@@ -571,9 +571,151 @@ def run_gpu_recovery_batch(params: Dict[str, Any], context: Any,
                         "violations": 0}}
 
 
+def run_certify_batch(params: Dict[str, Any], context: Any,
+                      batch: BatchSpec) -> Dict[str, Any]:
+    """One guarantee-certification sweep as a campaign work unit.
+
+    Runs :func:`repro.certify.certify_scheme` (or certifies a prebuilt
+    scheme passed via ``context["scheme"]`` — how the tamper tests push a
+    known-broken code through the engine) and folds the claim sweep into
+    the campaign taxonomy: every claim check that held tallies under
+    ``masked`` (the strike was contained as promised) and every violated
+    check under ``sdc`` (a broken guarantee is a silent-corruption
+    escape, not a detected one).  The monitored proportion is therefore
+    the claim-check pass rate — 1.0 for a certified scheme — and the full
+    certificate dict rides along as the batch payload so journals and
+    artifacts retain verdicts, swept spaces, and counterexamples.
+    """
+    from repro.certify import Certifier, certify_scheme
+    mode = params.get("mode", "fast")
+    prebuilt = context.get("scheme") if isinstance(context, dict) else None
+    if prebuilt is not None:
+        certificate = Certifier(mode=mode, seed=batch.seed).certify(
+            prebuilt, name=params.get("scheme"))
+    else:
+        certificate = certify_scheme(params["scheme"], mode=mode,
+                                     seed=batch.seed)
+    counts = _empty_counts()
+    trials = 0
+    violations = 0
+    for report in certificate.claims.values():
+        trials += report.swept
+        violations += report.violations
+    counts["sdc"] = violations
+    counts["masked"] = trials - violations
+    return {"trials": trials, "successes": trials - violations,
+            "counts": counts, "payload": certificate.to_dict()}
+
+
+def run_mbu_sweep_batch(params: Dict[str, Any], context: Any,
+                        batch: BatchSpec) -> Dict[str, Any]:
+    """One batch of multi-bit-upset trials at a fixed strike multiplicity.
+
+    The MBU analogue of :func:`run_gpu_batch`: each trial injects one
+    :class:`~repro.gpu.resilience.FaultPlan` whose strike is
+    ``multiplicity`` bits wide — contiguous when ``pattern`` is
+    ``"burst"``, independently drawn when ``"random"`` — optionally
+    correlated across ``lane_spread`` adjacent-drawn lanes of the struck
+    warp (the row/column MBU shape).  Outcomes classify exactly as in
+    the single-bit sweep, so the monitored proportion is the detection
+    rate among architecturally visible faults and its degradation from
+    multiplicity 1 upward is directly comparable.
+    """
+    from repro.compiler import compile_for_scheme, resilience_mode
+    from repro.gpu.device import run_functional
+    from repro.gpu.resilience import FaultPlan, ResilienceState
+    from repro.workloads import get_workload
+
+    multiplicity = params.get("multiplicity", 1)
+    if not isinstance(multiplicity, int) or not 1 <= multiplicity <= 32:
+        raise InjectionError(
+            f"multiplicity must be an int in [1, 32], got {multiplicity!r}")
+    pattern = params.get("pattern", "random")
+    if pattern not in ("random", "burst"):
+        raise InjectionError(
+            f"pattern must be 'random' or 'burst', got {pattern!r}")
+    lane_spread = params.get("lane_spread", 1)
+    instance = context.get("instance") if isinstance(context, dict) else None
+    if instance is None:
+        instance = get_workload(params["workload"]).build(
+            scale=params.get("scale", 0.25),
+            seed=params.get("build_seed", 1))
+    scheme = params.get("compile_scheme", "swap-ecc")
+    compiled = compile_for_scheme(instance.kernel, instance.launch, scheme)
+    launch = compiled.adjust_launch(instance.launch)
+    mode = resilience_mode(scheme)
+    code = params.get("code", "secded-dp")
+    occurrence_max = params.get("occurrence_max", 60)
+    where = params.get("where", "storage")
+    max_steps = params.get("max_steps", 50_000_000)
+    lane_count = min(32, instance.launch.threads_per_cta)
+    if not isinstance(lane_spread, int) \
+            or not 1 <= lane_spread <= lane_count:
+        raise InjectionError(
+            f"lane_spread must be an int in [1, {lane_count}], "
+            f"got {lane_spread!r}")
+
+    rng = random.Random(batch.seed)
+    counts = _empty_counts()
+    trials = 0
+    successes = 0
+    for _ in range(batch.size):
+        if pattern == "burst":
+            start = rng.randrange(33 - multiplicity)
+            bits = tuple(range(start, start + multiplicity))
+        else:
+            bits = tuple(sorted(rng.sample(range(32), multiplicity)))
+        lanes = tuple(sorted(rng.sample(range(lane_count), lane_spread)))
+        plan = FaultPlan(
+            cta_index=rng.randrange(instance.launch.grid_ctas),
+            warp_index=rng.randrange(instance.launch.warps_per_cta),
+            occurrence=rng.randrange(occurrence_max),
+            lane=lanes[0], bit=bits[0], bits=bits, lanes=lanes,
+            where=where)
+        state = ResilienceState(
+            mode=mode,
+            scheme=make_scheme(code) if mode == "swap" else None,
+            fault=plan)
+        memory = instance.fresh_memory()
+        try:
+            run_functional(compiled.kernel, launch, memory, state,
+                           max_steps=max_steps)
+        except HangError:
+            counts["hang"] += 1
+            trials += 1
+            successes += 1
+            continue
+        except SimulationError:
+            counts["crash"] += 1
+            trials += 1
+            successes += 1
+            continue
+        if state.detected:
+            kind = "trap" if any(event.kind == "trap"
+                                 for event in state.events) else "due"
+            counts[kind] += 1
+            trials += 1
+            successes += 1
+        elif not state.fault_fired:
+            counts["not_hit"] += 1
+        elif instance.verify(memory):
+            if any(event.kind == "corrected" for event in state.events):
+                counts["corrected_in_place"] += 1
+            counts["masked"] += 1
+            trials += 1
+        else:
+            counts["sdc"] += 1
+            trials += 1
+    return {"trials": trials, "successes": successes, "counts": counts,
+            "payload": {"multiplicity": multiplicity, "pattern": pattern,
+                        "lane_spread": lane_spread, "where": where}}
+
+
 register_unit_kind("gate", run_gate_batch)
 register_unit_kind("gpu", run_gpu_batch)
 register_unit_kind("gpu-recovery", run_gpu_recovery_batch)
+register_unit_kind("certify", run_certify_batch)
+register_unit_kind("mbu-sweep", run_mbu_sweep_batch)
 
 
 def gate_work_unit(name: str, site_count: Optional[int] = 300,
@@ -629,6 +771,41 @@ def gpu_recovery_work_unit(workload: str, compile_scheme: str = "swap-ecc",
     return WorkUnit(
         unit_id=unit_id or f"{workload}/{code}/{where}",
         kind="gpu-recovery", params=params)
+
+
+def certify_work_unit(scheme: str, mode: str = "fast", seed: int = 0,
+                      scheme_instance: Any = None,
+                      unit_id: Optional[str] = None) -> WorkUnit:
+    """A guarantee-certification work unit (see :func:`run_certify_batch`).
+
+    ``scheme_instance`` overrides the registry lookup with a prebuilt
+    :class:`~repro.ecc.swap.SwapScheme` — the route for certifying
+    tampered schemes through the engine; it rides in ``context`` so the
+    journaled params stay JSON-serializable.
+    """
+    params = {"scheme": scheme, "mode": mode, "seed": seed}
+    context = {"scheme": scheme_instance} \
+        if scheme_instance is not None else None
+    return WorkUnit(unit_id=unit_id or f"certify/{scheme}/{mode}",
+                    kind="certify", params=params, context=context)
+
+
+def mbu_sweep_work_unit(workload: str, multiplicity: int,
+                        compile_scheme: str = "swap-ecc",
+                        scale: float = 0.25, build_seed: int = 1,
+                        seed: int = 0, code: str = "secded-dp",
+                        occurrence_max: int = 60, where: str = "storage",
+                        pattern: str = "random", lane_spread: int = 1,
+                        unit_id: Optional[str] = None) -> WorkUnit:
+    """A multi-bit-upset sweep unit (see :func:`run_mbu_sweep_batch`)."""
+    params = {"workload": workload, "multiplicity": multiplicity,
+              "compile_scheme": compile_scheme, "scale": scale,
+              "build_seed": build_seed, "seed": seed, "code": code,
+              "occurrence_max": occurrence_max, "where": where,
+              "pattern": pattern, "lane_spread": lane_spread}
+    return WorkUnit(
+        unit_id=unit_id or f"{workload}/{code}/m{multiplicity}",
+        kind="mbu-sweep", params=params)
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,169 @@
+"""Acceptance tests for the guarantee certifier.
+
+Two directions: every *registered* scheme must earn a clean fast-mode
+certificate (the paper's claim matrix holds), and deliberately broken
+schemes — tampered parity columns, the naive no-DP strawman — must earn
+FAILED certificates carrying weight-minimal counterexamples (the
+certifier actually checks something).
+"""
+
+import json
+
+import pytest
+
+from repro.certify import (CERTIFICATE_SCHEMA_VERSION, Certifier, Strike,
+                           certification_registry, certify_all,
+                           certify_scheme, claim_matrix,
+                           make_certified_scheme, tampered_secded_dp,
+                           write_certificate)
+from repro.ecc import NaiveSecDedSwap, SecDedDpSwap
+from repro.errors import CertificationError
+
+
+@pytest.fixture(scope="module")
+def fast_certificates():
+    return certify_all(mode="fast", seed=0)
+
+
+class TestRegisteredSchemesPass:
+    def test_every_registered_scheme_certifies(self, fast_certificates):
+        assert set(fast_certificates) == set(certification_registry())
+        for name, certificate in fast_certificates.items():
+            assert certificate.passed, (name, certificate.violated)
+
+    def test_sweep_is_nontrivial(self, fast_certificates):
+        for name, certificate in fast_certificates.items():
+            assert certificate.strikes_swept > 1000, name
+            assert certificate.tiers.get("exhaustive", 0) > 0, name
+            for claim_name, report in certificate.claims.items():
+                assert report.swept > 0, (name, claim_name)
+
+    def test_claim_matrix_matches_scheme_family(self, fast_certificates):
+        assert "corrects-all-single-storage" in \
+            fast_certificates["secded-dp"].claims
+        assert "ded-on-doubles" in fast_certificates["secded-dp"].claims
+        assert "detects-all-single-storage" in \
+            fast_certificates["parity"].claims
+        assert "residue-arithmetic-coverage" in \
+            fast_certificates["mod7"].claims
+        assert "ded-on-doubles" not in fast_certificates["sec-dp"].claims
+        for certificate in fast_certificates.values():
+            assert "never-miscorrects-pipeline" in certificate.claims
+            assert "batched-read-equivalence" in certificate.claims
+
+    def test_full_mode_adds_adversarial_tiers(self):
+        certificate = certify_scheme("secded-dp", mode="full", seed=1)
+        assert certificate.passed
+        assert certificate.tiers.get("burst", 0) > 0
+        assert certificate.tiers.get("random", 0) > 0
+
+    def test_certification_is_seed_deterministic(self):
+        first = certify_scheme("mod7", mode="full", seed=9)
+        second = certify_scheme("mod7", mode="full", seed=9)
+        assert first.to_dict() == second.to_dict()
+
+
+class TestBrokenSchemesFail:
+    def test_zero_column_tamper_breaks_single_error_detection(self):
+        certificate = Certifier(mode="fast").certify(
+            tampered_secded_dp("zero-column"))
+        assert not certificate.passed
+        assert "detects-all-single-pipeline" in certificate.violated
+        counterexample = \
+            certificate.claims["detects-all-single-pipeline"].counterexample
+        assert counterexample["weight"] == 1
+        # the zeroed column is data bit 11: the minimal strike names it
+        assert counterexample["strike"]["data_error"] == "0x800"
+
+    def test_duplicate_column_tamper_breaks_storage_correction(self):
+        certificate = Certifier(mode="fast").certify(
+            tampered_secded_dp("duplicate-column"))
+        assert not certificate.passed
+        assert "corrects-all-single-storage" in certificate.violated
+        counterexample = \
+            certificate.claims["corrects-all-single-storage"].counterexample
+        assert counterexample["weight"] == 1
+
+    def test_naive_strawman_actively_miscorrects(self):
+        certificate = Certifier(mode="fast").certify(NaiveSecDedSwap(),
+                                                     name="naive-secded")
+        assert "never-miscorrects-pipeline" in certificate.violated
+        counterexample = \
+            certificate.claims["never-miscorrects-pipeline"].counterexample
+        assert counterexample["status"] == "corrected"
+        assert counterexample["returned_data"] != \
+            counterexample["golden_data"]
+
+    def test_counterexamples_are_minimal_after_shrinking(self):
+        certificate = Certifier(mode="full").certify(
+            tampered_secded_dp("zero-column"))
+        report = certificate.claims["detects-all-single-pipeline"]
+        assert report.counterexample["weight"] == 1
+
+    def test_tamper_factory_validates_inputs(self):
+        with pytest.raises(CertificationError):
+            tampered_secded_dp("missing-row")
+        with pytest.raises(CertificationError):
+            tampered_secded_dp(position=77)
+
+
+class TestCertificateArtifact:
+    def test_write_certificate_round_trips(self, tmp_path):
+        certificate = certify_scheme("parity", mode="fast")
+        path = write_certificate(certificate, str(tmp_path))
+        assert path.endswith("CERTIFICATE_parity.json")
+        with open(path, encoding="utf-8") as handle:
+            loaded = json.load(handle)
+        assert loaded["version"] == CERTIFICATE_SCHEMA_VERSION
+        assert loaded["kind"] == "swapcodes-guarantee-certificate"
+        assert loaded["scheme"] == "parity"
+        assert loaded["passed"] is True
+        assert loaded["violated"] == []
+        assert set(loaded["claims"]) == set(certificate.claims)
+        for report in loaded["claims"].values():
+            assert report["verdict"] == "certified"
+            assert report["counterexample"] is None
+
+    def test_failed_certificate_serializes_counterexample(self, tmp_path):
+        certificate = Certifier(mode="fast").certify(
+            tampered_secded_dp("zero-column"))
+        path = write_certificate(certificate, str(tmp_path))
+        with open(path, encoding="utf-8") as handle:
+            loaded = json.load(handle)
+        assert loaded["passed"] is False
+        report = loaded["claims"]["detects-all-single-pipeline"]
+        assert report["verdict"] == "violated"
+        assert report["counterexample"]["strike"]["placement"] in (
+            "pipeline-original", "pipeline-shadow-value")
+
+    def test_write_certificate_rejects_unwritable_path(self):
+        certificate = certify_scheme("parity", mode="fast")
+        with pytest.raises(CertificationError):
+            write_certificate(certificate, "/proc/no-such-dir")
+
+
+class TestRegistryAndConfig:
+    def test_registry_spans_every_figure11_family(self):
+        registry = certification_registry()
+        for name in ("parity", "mod3", "mod255", "ted", "secded-dp",
+                     "secded-dp-strict", "sec-dp"):
+            assert name in registry
+        assert "naive" not in " ".join(registry)
+
+    def test_unknown_scheme_raises(self):
+        with pytest.raises(CertificationError):
+            make_certified_scheme("hamming-mystery")
+
+    def test_bad_certifier_config_raises(self):
+        with pytest.raises(CertificationError):
+            Certifier(mode="extreme")
+        with pytest.raises(CertificationError):
+            Certifier(random_base_words=-1)
+
+    def test_claim_matrix_strict_policy_scopes_storage_claim(self):
+        strict = claim_matrix(SecDedDpSwap(check_correction="strict"))
+        accept = claim_matrix(SecDedDpSwap())
+        strike_on_check = Strike("storage", check_error=0b1)
+        assert accept["corrects-all-single-storage"].covers(strike_on_check)
+        assert not strict["corrects-all-single-storage"].covers(
+            strike_on_check)

@@ -1,0 +1,142 @@
+"""Tests for the certifier's strike spaces and placement semantics."""
+
+import random
+
+import pytest
+
+from repro.certify import (PIPELINE_PLACEMENTS, PLACEMENTS, Strike,
+                           apply_strike, arithmetic_strikes, burst_strikes,
+                           correlated_lane_batch,
+                           exhaustive_pipeline_strikes,
+                           exhaustive_storage_strikes, random_strikes)
+from repro.certify.strikes import shrink_strike
+from repro.ecc import DetectOnlySwap, ParityCode, SecDedDpSwap
+
+
+SCHEME = SecDedDpSwap()
+
+
+class TestEnumerators:
+    def test_pipeline_strikes_cover_every_placement(self):
+        strikes = list(exhaustive_pipeline_strikes(SCHEME))
+        placements = {strike.placement for strike in strikes}
+        assert placements == set(PIPELINE_PLACEMENTS)
+
+    def test_pipeline_strikes_ascend_in_weight(self):
+        weights = [s.weight for s in exhaustive_pipeline_strikes(SCHEME)]
+        assert weights == sorted(weights)
+        assert set(weights) == {1, 2}
+
+    def test_storage_strikes_span_data_check_and_dp(self):
+        singles = [s for s in exhaustive_storage_strikes(SCHEME)
+                   if s.weight == 1]
+        # one strike per stored bit: 32 data + 7 check + 1 dp
+        assert len(singles) == SCHEME.data_bits + SCHEME.code.check_bits + 1
+        assert any(s.dp_error for s in singles)
+
+    def test_detect_only_scheme_has_no_dp_strikes(self):
+        scheme = DetectOnlySwap(ParityCode())
+        strikes = list(exhaustive_pipeline_strikes(scheme)) \
+            + list(exhaustive_storage_strikes(scheme))
+        assert all(strike.dp_error == 0 for strike in strikes)
+        assert all(strike.placement != "pipeline-dp" for strike in strikes)
+
+    def test_burst_strikes_are_contiguous(self):
+        for strike in burst_strikes(SCHEME, widths=(3,)):
+            combined = strike.data_error | strike.check_error
+            assert combined
+            while combined % 2 == 0:
+                combined >>= 1
+            # a width-3 burst collapses to 0b111 once right-aligned
+            assert combined == 0b111
+            assert strike.tier == "burst"
+
+    def test_random_strikes_stratify_by_weight_and_family(self):
+        rng = random.Random(7)
+        strikes = list(random_strikes(SCHEME, rng, 20, weights=(3, 4)))
+        assert all(strike.weight in (3, 4) for strike in strikes)
+        assert all(strike.tier == "random" for strike in strikes)
+        # 20 samples per (weight, placement-family) stratum
+        for weight in (3, 4):
+            for placement in ("pipeline-original", "pipeline-shadow-bus",
+                              "storage"):
+                stratum = [s for s in strikes if s.weight == weight
+                           and s.placement == placement]
+                assert len(stratum) == 20, (weight, placement)
+
+    def test_random_strikes_are_seed_deterministic(self):
+        first = list(random_strikes(SCHEME, random.Random(3), 10))
+        second = list(random_strikes(SCHEME, random.Random(3), 10))
+        assert first == second
+
+    def test_arithmetic_strikes_include_powers_of_two(self):
+        strikes = list(arithmetic_strikes(SCHEME, random.Random(0)))
+        deltas = {strike.delta for strike in strikes}
+        assert (1 << 7) in deltas and -(1 << 7) in deltas
+        assert all(strike.placement == "arithmetic" for strike in strikes)
+
+
+class TestApplyStrike:
+    def test_pipeline_original_corrupts_data_keeps_clean_check(self):
+        strike = Strike("pipeline-original", data_error=0b101)
+        word = apply_strike(SCHEME, 0x1234, strike)
+        assert word.data == 0x1234 ^ 0b101
+        assert word.check == SCHEME.code.encode(0x1234)
+
+    def test_pipeline_shadow_value_keeps_data_corrupts_check(self):
+        strike = Strike("pipeline-shadow-value", data_error=0b1)
+        word = apply_strike(SCHEME, 0x1234, strike)
+        assert word.data == 0x1234
+        assert word.check == SCHEME.code.encode(0x1234 ^ 0b1)
+
+    def test_storage_strike_flips_stored_bits_of_true_codeword(self):
+        strike = Strike("storage", data_error=0b10, check_error=0b1,
+                        dp_error=1)
+        clean = SCHEME.write_pair(0x42)
+        word = apply_strike(SCHEME, 0x42, strike)
+        assert word.data == clean.data ^ 0b10
+        assert word.check == clean.check ^ 0b1
+        assert word.dp == clean.dp ^ 1
+
+    def test_arithmetic_strike_wraps_modulo_word_width(self):
+        strike = Strike("arithmetic", delta=1)
+        word = apply_strike(SCHEME, 0xFFFF_FFFF, strike)
+        assert word.data == 0
+        assert word.check == SCHEME.code.encode(0xFFFF_FFFF)
+
+    def test_unknown_placement_rejected(self):
+        from repro.errors import CertificationError
+        with pytest.raises(CertificationError):
+            apply_strike(SCHEME, 0, Strike("warp-drive", data_error=1))
+
+    def test_describe_is_json_friendly(self):
+        strike = Strike("storage", data_error=0x3, tier="burst")
+        description = strike.describe()
+        assert description["placement"] == "storage"
+        assert description["data_error"] == "0x3"
+        assert description["tier"] == "burst"
+
+
+class TestShrinkAndLanes:
+    def test_shrink_yields_strictly_lighter_strikes(self):
+        strike = Strike("storage", data_error=0b1011, check_error=0b1)
+        candidates = list(shrink_strike(strike))
+        assert candidates
+        assert all(c.weight == strike.weight - 1 for c in candidates)
+
+    def test_weight_one_strike_has_no_shrinks(self):
+        assert list(shrink_strike(Strike("storage", data_error=0b1))) == []
+
+    def test_correlated_lane_batch_applies_same_strike_per_lane(self):
+        strike = Strike("pipeline-original", data_error=0b100)
+        bases = [0x0, 0x1, 0xFFFF_FFFF]
+        words, goldens = correlated_lane_batch(SCHEME, bases, strike)
+        assert len(words) == len(bases)
+        assert goldens == bases
+        for base, word in zip(bases, words):
+            assert word.data == base ^ 0b100
+
+
+def test_every_placement_constant_is_enumerable():
+    assert set(PIPELINE_PLACEMENTS) < set(PLACEMENTS)
+    assert "storage" in PLACEMENTS and "arithmetic" in PLACEMENTS

@@ -1,0 +1,125 @@
+"""The miscorrection boundary: where plain SEC-DED lies and DP saves it.
+
+SwapCodes' central subtlety (Section IV): a SEC-DED decoder presented
+with a *pipeline* error pattern whose syndrome aliases to a correctable
+single-bit syndrome will happily "repair" a bit that was never wrong,
+manufacturing a third value — silent data corruption with a CORRECTED
+status.  The data-parity bit exists to catch exactly this: when the DP
+agrees with the stored data the error cannot be a storage upset, so the
+proposed correction is refused and the read DUEs.  These tests construct
+the precise aliasing strikes on both sides of that boundary and pin the
+naive scheme to the miscorrection and the DP scheme to the DUE.
+"""
+
+import pytest
+
+from repro.bitutils import parity
+from repro.ecc import HsiaoSecDed, NaiveSecDedSwap, SecDedDpSwap
+from repro.ecc.swap import ReadStatus, RegisterWord
+
+
+CODE = HsiaoSecDed()
+
+
+def aliasing_double_strike(base: int, struck_bit: int, aliased_bit: int):
+    """A data+check double-strike whose syndrome aliases to ``aliased_bit``.
+
+    The original instruction computes ``base ^ (1 << struck_bit)`` (so
+    data and DP both describe the wrong value) while the shadow's check
+    bits are struck with ``col(struck) ^ col(aliased)`` on the writeback
+    bus.  The resulting syndrome is exactly ``col(aliased)`` — a
+    perfectly plausible single-bit-correctable pattern pointing at a bit
+    that was never wrong.
+    """
+    bad = base ^ (1 << struck_bit)
+    alias_mask = CODE.data_columns[struck_bit] \
+        ^ CODE.data_columns[aliased_bit]
+    return bad, CODE.encode(base) ^ alias_mask
+
+
+class TestAliasingDoubleStrike:
+    BASE = 0x1234_5678
+    STRUCK = 3
+    ALIASED = 17
+
+    def test_plain_secded_actively_miscorrects(self):
+        bad, check = aliasing_double_strike(self.BASE, self.STRUCK,
+                                            self.ALIASED)
+        word = RegisterWord(data=bad, check=check)
+        result = NaiveSecDedSwap().read(word)
+        assert result.status is ReadStatus.CORRECTED
+        # the decoder invented a third value: neither golden nor stored
+        assert result.data == bad ^ (1 << self.ALIASED)
+        assert result.data != self.BASE
+        assert result.data != bad
+
+    def test_secded_dp_bins_the_same_strike_as_due(self):
+        bad, check = aliasing_double_strike(self.BASE, self.STRUCK,
+                                            self.ALIASED)
+        # the DP travels with the original's (wrong) value, so it agrees
+        # with the stored data — the Figure 5 pipeline signature
+        word = RegisterWord(data=bad, check=check, dp=parity(bad))
+        result = SecDedDpSwap().read(word)
+        assert result.status is ReadStatus.DUE
+
+    def test_boundary_holds_across_bit_positions(self):
+        scheme = SecDedDpSwap()
+        naive = NaiveSecDedSwap()
+        for struck, aliased in ((0, 1), (5, 31), (30, 2)):
+            bad, check = aliasing_double_strike(self.BASE, struck, aliased)
+            naive_result = naive.read(RegisterWord(data=bad, check=check))
+            dp_result = scheme.read(
+                RegisterWord(data=bad, check=check, dp=parity(bad)))
+            assert naive_result.status is ReadStatus.CORRECTED
+            assert naive_result.data != self.BASE
+            assert dp_result.status is ReadStatus.DUE
+
+
+class TestShadowValueSingleStrike:
+    """A single-bit error in the shadow's value computation."""
+
+    BASE = 0xCAFE_F00D
+    BIT = 9
+
+    def make_words(self):
+        # clean data and DP; check bits describe the shadow's wrong value
+        check = CODE.encode(self.BASE ^ (1 << self.BIT))
+        naive_word = RegisterWord(data=self.BASE, check=check)
+        dp_word = RegisterWord(data=self.BASE, check=check,
+                               dp=parity(self.BASE))
+        return naive_word, dp_word
+
+    def test_plain_secded_miscorrects_clean_data(self):
+        naive_word, _ = self.make_words()
+        result = NaiveSecDedSwap().read(naive_word)
+        assert result.status is ReadStatus.CORRECTED
+        assert result.data == self.BASE ^ (1 << self.BIT)
+
+    def test_secded_dp_refuses_the_correction(self):
+        _, dp_word = self.make_words()
+        result = SecDedDpSwap().read(dp_word)
+        assert result.status is ReadStatus.DUE
+
+
+class TestStorageSideOfTheBoundary:
+    """The same decoder verdicts with a *stale* DP honour the correction."""
+
+    BASE = 0x0BAD_BEEF
+    BIT = 21
+
+    def test_genuine_storage_upset_still_corrects(self):
+        # a real storage strike: the stored data flips after the DP was
+        # computed from the true value, so data and DP disagree
+        scheme = SecDedDpSwap()
+        word = scheme.write_pair(self.BASE).with_data_error(1 << self.BIT)
+        result = scheme.read(word)
+        assert result.status is ReadStatus.CORRECTED
+        assert result.data == self.BASE
+
+    def test_double_storage_strike_is_due_not_miscorrected(self):
+        # weight-2 data+check storage double: even-weight Hsiao syndrome
+        scheme = SecDedDpSwap()
+        word = scheme.write_pair(self.BASE) \
+            .with_data_error(1 << self.BIT).with_check_error(0b1)
+        result = scheme.read(word)
+        assert result.status is ReadStatus.DUE

@@ -255,3 +255,39 @@ class TestDetectOnlySchemes:
         assert SecDedDpSwap().redundancy_bits == 8  # 7 check + 1 dp
         assert SecDpSwap().redundancy_bits == 7     # fits SEC-DED budget
         assert DetectOnlySwap(ResidueCode(3)).redundancy_bits == 2
+
+
+class TestStorageStrikeValidation:
+    """Malformed storage strikes raise instead of wrapping silently."""
+
+    def test_bit_out_of_range_raises(self):
+        from repro.errors import FaultModelError
+        scheme = SecDedDpSwap()
+        with pytest.raises(FaultModelError):
+            scheme.storage_strike(0x1234, 32)
+        with pytest.raises(FaultModelError):
+            scheme.storage_strike(0x1234, -1)
+
+    def test_empty_mask_raises(self):
+        from repro.errors import FaultModelError
+        with pytest.raises(FaultModelError):
+            SecDedDpSwap().storage_strike_mask(0x1234, 0)
+
+    def test_mask_outside_data_segment_raises(self):
+        from repro.errors import FaultModelError
+        with pytest.raises(FaultModelError):
+            SecDedDpSwap().storage_strike_mask(0x1234, 1 << 40)
+
+    def test_multibit_mask_flips_exactly_those_bits(self):
+        scheme = SecDedDpSwap()
+        word = scheme.storage_strike_mask(0x1234, 0b101)
+        clean = scheme.write_pair(0x1234)
+        assert word.data == 0x1234 ^ 0b101
+        assert word.check == clean.check
+        assert word.dp == clean.dp
+
+    def test_single_bit_strike_still_corrects(self):
+        scheme = SecDedDpSwap()
+        result = scheme.read(scheme.storage_strike(0xBEEF, 7))
+        assert result.status is ReadStatus.CORRECTED
+        assert result.data == 0xBEEF

@@ -212,3 +212,93 @@ class TestConstructorCache:
         columns = odd_weight_columns(7, 32)
         columns[0] = -1
         assert odd_weight_columns(7, 32)[0] != -1
+
+
+class TestMultiBitFuzz:
+    """Seeded multi-bit fuzz: scalar and vectorized must never diverge.
+
+    The exhaustive equivalence tests above stop at double-bit errors;
+    these push arbitrary-weight masks through both segments (the MBU
+    regime the certifier sweeps adversarially) and pin decode_many and
+    read_many to their scalar references bit for bit.
+    """
+
+    @pytest.mark.parametrize("name", sorted(CODES))
+    @given(words=WORDS, data=st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_decode_many_matches_scalar_on_multibit_masks(self, name,
+                                                          words, data):
+        code = CODES[name]
+        bad_data, bad_check = [], []
+        for word in words:
+            data_error = data.draw(st.integers(
+                0, (1 << code.data_bits) - 1))
+            check_error = data.draw(st.integers(
+                0, (1 << code.check_bits) - 1))
+            bad_data.append(word ^ data_error)
+            bad_check.append(code.encode(word) ^ check_error)
+        assert_batch_matches_scalar(code, bad_data, bad_check)
+
+    @pytest.mark.parametrize("name", sorted(SCHEMES))
+    @given(words=WORDS, data=st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_read_many_matches_scalar_on_multibit_masks(self, name, words,
+                                                        data):
+        scheme = SCHEMES[name]
+        stored = []
+        for value in words:
+            word = scheme.write_pair(value)
+            data_error = data.draw(st.integers(0, 2**32 - 1))
+            check_error = data.draw(st.integers(
+                0, (1 << scheme.code.check_bits) - 1))
+            if data_error:
+                word = word.with_data_error(data_error)
+            if check_error:
+                word = word.with_check_error(check_error)
+            if scheme.uses_data_parity and data.draw(st.booleans()):
+                word = word.with_dp_error()
+            stored.append(word)
+        batch = scheme.read_many(
+            [word.data for word in stored],
+            [word.check for word in stored],
+            [word.dp for word in stored] if scheme.uses_data_parity
+            else None)
+        for index, word in enumerate(stored):
+            scalar = scheme.read(word)
+            assert int(batch.status[index]) == \
+                READ_STATUS_TO_CODE[scalar.status], (name, index)
+            assert int(batch.data[index]) == scalar.data, (name, index)
+
+
+class TestOutOfRangeRejection:
+    """decode/decode_many must reject garbage integers, never wrap them."""
+
+    @pytest.mark.parametrize("name", sorted(CODES))
+    def test_scalar_decode_rejects_wide_data(self, name):
+        code = CODES[name]
+        with pytest.raises(DecodingError):
+            code.decode(1 << code.data_bits, 0)
+        with pytest.raises(DecodingError):
+            code.decode(0, 1 << code.check_bits)
+
+    @pytest.mark.parametrize("name", sorted(CODES))
+    def test_decode_many_rejects_negative_words(self, name):
+        code = CODES[name]
+        with pytest.raises(DecodingError):
+            code.decode_many([0, -1, 0], [0, 0, 0])
+
+    @pytest.mark.parametrize("name", sorted(CODES))
+    def test_decode_many_rejects_oversized_python_ints(self, name):
+        code = CODES[name]
+        with pytest.raises(DecodingError):
+            code.decode_many([1 << 80], [0])
+
+    def test_wide_word_error_names_offending_index(self):
+        code = HsiaoSecDed()
+        with pytest.raises(DecodingError, match="index 2"):
+            code.decode_many([0, 1, 1 << 40, 2], [0, 0, 0, 0])
+
+    def test_read_many_rejects_negative_words(self):
+        scheme = SecDedDpSwap()
+        with pytest.raises(DecodingError):
+            scheme.read_many([-3], [0], [0])

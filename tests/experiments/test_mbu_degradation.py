@@ -1,0 +1,78 @@
+"""Tests for the MBU-degradation study and its JSON artifact."""
+
+import json
+
+import pytest
+
+from repro.inject import DETECTION_CLASSES
+from repro.experiments import (MBU_MATRIX, render_mbu_degradation,
+                               run_mbu_degradation_study, write_mbu_artifact)
+
+SMALL_MATRIX = (("secded-dp", 1), ("secded-dp", 2),
+                ("parity", 1), ("parity", 4))
+
+
+@pytest.fixture(scope="module")
+def study():
+    return run_mbu_degradation_study(matrix=SMALL_MATRIX, scale=0.12,
+                                     trials_per_unit=14, seed=2)
+
+
+class TestMbuDegradationStudy:
+    def test_sweeps_whole_matrix(self, study):
+        assert set(study.units) == {
+            f"pathfinder/{code}/m{multiplicity}"
+            for code, multiplicity in SMALL_MATRIX}
+        assert all(unit.status == "completed"
+                   for unit in study.units.values())
+
+    def test_default_matrix_spans_multiplicities_one_to_four(self):
+        multiplicities = {m for _, m in MBU_MATRIX}
+        assert multiplicities == {1, 2, 3, 4}
+        codes = {code for code, _ in MBU_MATRIX}
+        assert "secded-dp" in codes and "parity" in codes
+
+    def test_coverage_fractions_are_normalised(self, study):
+        for fractions in study.coverage.values():
+            assert set(fractions) == set(DETECTION_CLASSES)
+            total = sum(fractions.values())
+            assert total == pytest.approx(1.0) or total == 0.0
+
+    def test_secded_dp_covers_singles_completely(self, study):
+        # multiplicity 1 is inside the certified guarantee: no escapes
+        assert study.coverage["pathfinder/secded-dp/m1"]["sdc"] == 0.0
+
+    def test_coverage_curve_is_keyed_by_multiplicity(self, study):
+        curve = study.coverage_by_multiplicity("secded-dp")
+        assert set(curve) == {1, 2}
+        assert curve[1] == 1.0
+
+    def test_render_has_one_row_per_unit(self, study):
+        text = render_mbu_degradation(study)
+        lines = text.splitlines()
+        assert len(lines) == 1 + len(SMALL_MATRIX)
+        assert all(name in lines[0] for name in DETECTION_CLASSES)
+
+    def test_artifact_round_trips(self, study, tmp_path):
+        path = str(tmp_path / "mbu.json")
+        artifact = write_mbu_artifact(study, path)
+        with open(path, encoding="utf-8") as handle:
+            loaded = json.load(handle)
+        assert loaded == artifact
+        assert loaded["version"] == 1
+        assert loaded["classes"] == list(DETECTION_CLASSES)
+        for unit_id, entry in loaded["units"].items():
+            assert entry["multiplicity"] == int(unit_id.rsplit("m", 1)[1])
+            assert entry["status"] == "completed"
+
+    def test_journal_makes_study_resumable(self, tmp_path):
+        journal = str(tmp_path / "mbu.jsonl")
+        first = run_mbu_degradation_study(matrix=SMALL_MATRIX[:2],
+                                          scale=0.12, trials_per_unit=6,
+                                          seed=5, journal_path=journal)
+        second = run_mbu_degradation_study(matrix=SMALL_MATRIX[:2],
+                                           scale=0.12, trials_per_unit=6,
+                                           seed=5, journal_path=journal)
+        for unit_id in first.units:
+            assert first.units[unit_id].counts == \
+                second.units[unit_id].counts

@@ -1,0 +1,183 @@
+"""Tests for the multi-bit / cross-lane fault-model extension.
+
+Three layers: FaultPlan construction-time validation (malformed strike
+parameters raise :class:`~repro.errors.FaultModelError`, never wrap
+silently), the derived strike geometry (bits/burst/lanes resolution and
+drop-not-wrap mask clipping), and end-to-end warp injection (multi-bit
+and correlated multi-lane strikes land exactly where the plan says,
+and the certified schemes detect what their claims promise).
+"""
+
+import numpy as np
+import pytest
+
+from repro.ecc import DetectOnlySwap, ParityCode, SecDedDpSwap
+from repro.errors import FaultModelError, SimulationError
+from repro.gpu import (FaultPlan, LaunchConfig, MemorySpace,
+                       ResilienceState, assemble, run_functional)
+
+
+def simple_kernel(body="IMAD R1, R0, 3, R0"):
+    return assemble("t", f"""
+        S2R R0, SR_TID
+        {body}
+        STG [R0], R1
+        EXIT
+    """)
+
+
+class TestFaultPlanValidation:
+    def test_empty_bits_rejected(self):
+        with pytest.raises(FaultModelError):
+            FaultPlan(0, 0, 0, lane=0, bit=0, bits=())
+
+    def test_out_of_range_bits_rejected(self):
+        with pytest.raises(FaultModelError):
+            FaultPlan(0, 0, 0, lane=0, bit=0, bits=(0, 64))
+        with pytest.raises(FaultModelError):
+            FaultPlan(0, 0, 0, lane=0, bit=0, bits=(-1,))
+
+    def test_duplicate_bits_rejected(self):
+        with pytest.raises(FaultModelError):
+            FaultPlan(0, 0, 0, lane=0, bit=0, bits=(3, 3))
+
+    def test_nonpositive_burst_rejected(self):
+        with pytest.raises(FaultModelError):
+            FaultPlan(0, 0, 0, lane=0, bit=0, burst=0)
+        with pytest.raises(FaultModelError):
+            FaultPlan(0, 0, 0, lane=0, bit=0, burst=-2)
+
+    def test_bad_lanes_rejected(self):
+        with pytest.raises(FaultModelError):
+            FaultPlan(0, 0, 0, lane=0, bit=0, lanes=())
+        with pytest.raises(FaultModelError):
+            FaultPlan(0, 0, 0, lane=0, bit=0, lanes=(0, 32))
+        with pytest.raises(FaultModelError):
+            FaultPlan(0, 0, 0, lane=0, bit=0, lanes=(4, 4))
+
+    def test_fault_model_error_is_a_simulation_error(self):
+        # campaign code catches SimulationError; malformed plans must not
+        # slip past those handlers
+        with pytest.raises(SimulationError):
+            FaultPlan(0, 0, 0, lane=0, bit=0, bits=(99,))
+
+    def test_lists_normalise_to_tuples(self):
+        plan = FaultPlan(0, 0, 0, lane=0, bit=0, bits=[1, 2], lanes=[0, 3])
+        assert plan.bits == (1, 2)
+        assert plan.lanes == (0, 3)
+
+
+class TestStrikeGeometry:
+    def test_default_is_single_bit_single_lane(self):
+        plan = FaultPlan(0, 0, 0, lane=5, bit=9)
+        assert plan.strike_bits == (9,)
+        assert plan.strike_lanes == (5,)
+        assert plan.multiplicity == 1
+        assert plan.strike_mask(32) == 1 << 9
+
+    def test_burst_expands_from_base_bit(self):
+        plan = FaultPlan(0, 0, 0, lane=0, bit=4, burst=3)
+        assert plan.strike_bits == (4, 5, 6)
+        assert plan.multiplicity == 3
+        assert plan.strike_mask(32) == 0b111 << 4
+
+    def test_explicit_bits_override_burst(self):
+        plan = FaultPlan(0, 0, 0, lane=0, bit=4, burst=3, bits=(1, 30))
+        assert plan.strike_bits == (1, 30)
+        assert plan.multiplicity == 2
+
+    def test_mask_drops_bits_past_width_never_wraps(self):
+        plan = FaultPlan(0, 0, 0, lane=0, bit=30, burst=4)
+        assert plan.strike_bits == (30, 31, 32, 33)
+        assert plan.strike_mask(32) == (1 << 30) | (1 << 31)
+        assert plan.strike_mask(64) == 0b1111 << 30
+
+    def test_fully_clipped_mask_is_zero(self):
+        plan = FaultPlan(0, 0, 0, lane=0, bit=40)
+        assert plan.strike_mask(32) == 0
+
+    def test_lanes_include_base_lane(self):
+        plan = FaultPlan(0, 0, 0, lane=7, bit=0, lanes=(2, 9))
+        assert 7 in plan.strike_lanes
+        assert set(plan.strike_lanes) == {2, 7, 9}
+
+
+class TestWarpInjection:
+    def run_plan(self, plan, mode="none", scheme=None):
+        kernel = simple_kernel()
+        memory = MemorySpace(256)
+        state = ResilienceState(mode=mode, scheme=scheme, fault=plan)
+        run_functional(kernel, LaunchConfig(1, 32), memory, state)
+        return memory, state
+
+    def test_multibit_strike_flips_exact_mask_in_one_lane(self):
+        plan = FaultPlan(0, 0, 1, lane=6, bit=0, bits=(1, 4, 9))
+        memory, state = self.run_plan(plan)
+        assert state.fault_fired
+        out = memory.read_words(0, 32)
+        want = np.arange(32) * 4
+        assert (out != want).sum() == 1
+        assert int(out[6]) == int(want[6]) ^ ((1 << 1) | (1 << 4) | (1 << 9))
+
+    def test_correlated_strike_hits_every_planned_lane(self):
+        plan = FaultPlan(0, 0, 1, lane=3, bit=2, lanes=(3, 11, 19))
+        memory, state = self.run_plan(plan)
+        assert state.fault_fired
+        out = memory.read_words(0, 32)
+        want = np.arange(32) * 4
+        corrupted = np.nonzero(out != want)[0]
+        assert sorted(corrupted) == [3, 11, 19]
+        for lane in (3, 11, 19):
+            assert int(out[lane]) == int(want[lane]) ^ (1 << 2)
+
+    def test_fully_clipped_strike_fires_as_noop(self):
+        plan = FaultPlan(0, 0, 1, lane=0, bit=40)
+        memory, state = self.run_plan(plan)
+        assert state.fault_fired
+        out = memory.read_words(0, 32)
+        assert np.array_equal(out, np.arange(32) * 4)
+
+    def compiled_run(self, plan, scheme):
+        from repro.compiler import compile_for_scheme
+        kernel = assemble("k", """
+            S2R R0, SR_TID
+            IADD R1, R0, 5
+            IMAD R2, R1, 2, R0
+            STG [R0], R2
+            EXIT
+        """)
+        launch = LaunchConfig(1, 32)
+        compiled = compile_for_scheme(kernel, launch, "swap-ecc")
+        memory = MemorySpace(256)
+        state = ResilienceState(mode="swap", scheme=scheme, fault=plan)
+        run_functional(compiled.kernel, launch, memory, state)
+        return state
+
+    def test_secded_dp_detects_double_bit_pipeline_strike(self):
+        # the certified guarantee: weight-2 pipeline errors never escape
+        plan = FaultPlan(0, 0, 2, lane=4, bit=7, bits=(7, 13))
+        state = self.compiled_run(plan, SecDedDpSwap())
+        assert state.fault_fired
+        assert state.detected
+
+    def test_parity_misses_even_weight_strike(self):
+        # the MBU degradation story: parity is blind to even masks
+        plan = FaultPlan(0, 0, 2, lane=4, bit=7, bits=(7, 13))
+        state = self.compiled_run(plan, DetectOnlySwap(ParityCode()))
+        assert state.fault_fired
+        assert not state.detected
+
+    def test_parity_catches_odd_weight_strike(self):
+        plan = FaultPlan(0, 0, 2, lane=4, bit=7, bits=(7, 13, 21))
+        state = self.compiled_run(plan, DetectOnlySwap(ParityCode()))
+        assert state.fault_fired
+        assert state.detected
+
+    def test_correlated_multilane_strike_detected_in_every_lane(self):
+        plan = FaultPlan(0, 0, 2, lane=4, bit=7, lanes=(4, 5, 6))
+        state = self.compiled_run(plan, SecDedDpSwap())
+        assert state.fault_fired
+        assert state.detected
+        due_events = [event for event in state.events
+                      if event.kind in ("due", "trap")]
+        assert len(due_events) >= 1

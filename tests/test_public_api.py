@@ -21,7 +21,9 @@ class TestVersionAndImports:
         import repro.compiler
         import repro.workloads
         import repro.experiments
+        import repro.certify
         assert repro.ecc.__doc__ and repro.gpu.__doc__
+        assert repro.certify.__doc__
 
 
 class TestStandardRegisterCodes:
