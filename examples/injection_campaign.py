@@ -21,12 +21,22 @@ uninterrupted run), and crash-looping units are quarantined after
 ``--salvage`` resumes past a corrupted journal record by truncating at
 the first bad line.
 
+``--shards N`` runs the campaign on the distributed fabric instead of a
+single engine: the units are split across ``N`` leased shard processes
+under ``<journal>.fabric``, each with its own supervised engine and
+tamper-evident journal.  A shard that dies or stops heartbeating for
+``--lease-ttl`` seconds has its lease re-granted to a fresh holder under
+a new fencing token (work stealing; disable with ``--steal no``), a
+killed coordinator resumes from its own journal, and the per-shard
+journals merge deterministically into ``merged_report.json``.
+
 Usage::
 
     python examples/injection_campaign.py [samples] [sites]
         [--journal PATH] [--ci HALF_WIDTH] [--batch N] [--timeout S]
         [--max-rss MB] [--max-cpu S] [--heartbeat S] [--quarantine K]
         [--salvage] [--no-supervisor]
+        [--shards N] [--lease-ttl S] [--steal yes|no]
 
 Defaults (600 samples, 200 sites) finish in about a minute; the paper's
 10,000-pair setting is ``python examples/injection_campaign.py 10000 None``.
@@ -77,6 +87,18 @@ def parse_args():
     parser.add_argument("--no-supervisor", action="store_true",
                         help="run the bare engine: no signal-safe drain, "
                              "no quarantine, no resource budgets")
+    parser.add_argument("--shards", type=int, default=None, metavar="N",
+                        help="run on the distributed fabric: split the "
+                             "units across N leased shard processes "
+                             "(requires --journal for the fabric dir)")
+    parser.add_argument("--lease-ttl", type=float, default=30.0,
+                        metavar="S",
+                        help="expire a shard lease whose heartbeat stalls "
+                             "this long and re-grant it (default 30)")
+    parser.add_argument("--steal", choices=("yes", "no"), default="yes",
+                        help="re-grant expired/dead leases to fresh "
+                             "holders (default yes); 'no' fails the "
+                             "fabric on the first lost lease")
     return parser.parse_args()
 
 
@@ -107,13 +129,22 @@ def main():
                                     heartbeat_timeout_s=args.heartbeat)
         supervisor = SupervisorConfig(budget=budget,
                                       quarantine_after=args.quarantine)
+    if args.shards is not None:
+        if args.shards < 1:
+            raise SystemExit(f"--shards must be >= 1, got {args.shards}")
+        if args.journal is None:
+            raise SystemExit("--shards needs --journal (the fabric keeps "
+                             "its journals under <journal>.fabric)")
     print(f"running campaigns: {args.samples} input pairs, "
           f"{'all' if sites is None else sites} fault sites per unit"
-          + (f", journal={args.journal}" if args.journal else ""))
+          + (f", journal={args.journal}" if args.journal else "")
+          + (f", shards={args.shards}" if args.shards else ""))
     study = run_injection_study(
         sample_count=args.samples, site_count=sites,
         journal_path=args.journal, engine_config=engine_config,
-        supervisor=supervisor, salvage=args.salvage)
+        supervisor=supervisor, salvage=args.salvage,
+        shards=args.shards, lease_ttl_s=args.lease_ttl,
+        steal=args.steal == "yes")
 
     print("\nFigure 10 — unmasked error severity per unit")
     print(render_figure10(study))

@@ -1,31 +1,102 @@
-"""Exception hierarchy shared by every repro subsystem."""
+"""Exception hierarchy shared by every repro subsystem.
+
+Every exception carries a *stable, dot-namespaced diagnostic code* (the
+``code`` class attribute — ``inject.lease_expired``,
+``journal.merge_conflict``, ...) so campaign journals, merged reports,
+and service-layer clients can match on failures without parsing
+messages.  Codes are registered at class-definition time through
+:meth:`ReproError.__init_subclass__`, which enforces the contract:
+
+* every subclass must declare its *own* ``code`` (no silent
+  inheritance of the parent's identity);
+* codes must be dot-namespaced lowercase identifiers
+  (``<subsystem>.<failure>``);
+* a duplicate code is a programming error and raises ``TypeError`` at
+  import time, so the registry test can never even see one.
+
+:func:`error_code_registry` exposes the full ``code -> class`` map for
+diagnostics tooling and the registry test.
+"""
+
+import re
+from typing import Dict, Type
+
+_CODE_PATTERN = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*)+$")
+
+#: the process-wide code -> exception-class map (see
+#: :func:`error_code_registry` for the public, copied view)
+_REGISTRY: Dict[str, Type["ReproError"]] = {}
+
+
+def error_code_registry() -> Dict[str, Type["ReproError"]]:
+    """A copy of the diagnostic-code registry (``code -> class``)."""
+    return dict(_REGISTRY)
 
 
 class ReproError(Exception):
     """Base class for all errors raised by the repro library."""
 
+    #: stable dot-namespaced diagnostic code; every subclass declares
+    #: its own (enforced by ``__init_subclass__``)
+    code = "repro.error"
+
+    def __init_subclass__(cls, **kwargs):
+        super().__init_subclass__(**kwargs)
+        code = cls.__dict__.get("code")
+        if code is None:
+            raise TypeError(
+                f"{cls.__name__} must declare its own 'code' class "
+                f"attribute (inheriting {cls.__mro__[1].__name__}'s "
+                f"would alias two failure kinds under one code)")
+        if not isinstance(code, str) or not _CODE_PATTERN.match(code):
+            raise TypeError(
+                f"{cls.__name__}.code {code!r} is not a dot-namespaced "
+                f"lowercase identifier (expected '<subsystem>.<failure>')")
+        if code in _REGISTRY:
+            raise TypeError(
+                f"{cls.__name__}.code {code!r} duplicates "
+                f"{_REGISTRY[code].__name__}; diagnostic codes must be "
+                f"unique")
+        _REGISTRY[code] = cls
+
+
+_REGISTRY[ReproError.code] = ReproError
+
 
 class CodeConstructionError(ReproError):
     """An error-correcting code could not be constructed as requested."""
+
+    code = "ecc.construction"
 
 
 class DecodingError(ReproError):
     """An ECC word could not be decoded (inconsistent inputs, bad widths)."""
 
+    code = "ecc.decoding"
+
 
 class NetlistError(ReproError):
     """A gate netlist was malformed (cycles, missing drivers, bad widths)."""
 
+    code = "gates.netlist"
+
+
 class InjectionError(ReproError):
     """A fault-injection campaign was misconfigured."""
+
+    code = "inject.misconfigured"
 
 
 class AssemblyError(ReproError):
     """A GPU kernel program failed to assemble."""
 
+    code = "gpu.assembly"
+
 
 class SimulationError(ReproError):
     """The GPU simulator reached an invalid state (bad address, deadlock)."""
+
+    code = "gpu.simulation"
 
 
 class FaultModelError(SimulationError):
@@ -40,6 +111,8 @@ class FaultModelError(SimulationError):
     treating a malformed plan as a configuration failure.
     """
 
+    code = "gpu.fault_model"
+
 
 class CertificationError(ReproError):
     """The guarantee certifier was misconfigured or could not run.
@@ -50,6 +123,8 @@ class CertificationError(ReproError):
     (unknown scheme, empty strike space, unwritable artifact path).
     """
 
+    code = "certify.misconfigured"
+
 
 class HangError(SimulationError):
     """A watchdog verdict: the kernel livelocked (budget or deadline hit).
@@ -58,6 +133,8 @@ class HangError(SimulationError):
     keeps working, while classifiers can bin step-limit and wall-clock
     exhaustion as ``hang`` instead of a generic crash.
     """
+
+    code = "gpu.hang"
 
 
 class ResourceExhausted(ReproError):
@@ -71,6 +148,8 @@ class ResourceExhausted(ReproError):
     importing the supervisor layer.
     """
 
+    code = "inject.resource_exhausted"
+
 
 class ContainmentViolation(ReproError):
     """A detected error leaked to memory before the halt.
@@ -82,10 +161,69 @@ class ContainmentViolation(ReproError):
     the same prefix — making the claim machine-checked under injection.
     """
 
+    code = "gpu.containment_violation"
+
 
 class CompilationError(ReproError):
     """A resilience compiler pass could not transform a kernel."""
 
+    code = "compiler.transform"
+
 
 class WorkloadError(ReproError):
     """A workload failed to build inputs or verify outputs."""
+
+    code = "workloads.invalid"
+
+
+class FabricError(InjectionError):
+    """The distributed campaign fabric was misconfigured or lost a shard.
+
+    The umbrella code for coordinator-level failures (bad shard plans,
+    a shard that exhausted its lease attempts, a resume against a
+    mismatched plan); the lease-protocol violations below subclass it
+    with their own codes.
+    """
+
+    code = "inject.fabric"
+
+
+class LeaseExpired(FabricError):
+    """A shard lease's TTL lapsed (or its holder died) before completion.
+
+    Raised when a renewal or completion arrives for a lease the
+    coordinator already expired — the holder is a zombie whose work will
+    be (or already was) re-leased to a new holder under a higher fencing
+    token.  Its journal remains on disk and merges idempotently, so the
+    expiry can never lose or double-count trials.
+    """
+
+    code = "inject.lease_expired"
+
+
+class StaleFencingToken(FabricError):
+    """A lease operation carried a superseded fencing token.
+
+    The fencing rule: every grant of a shard increments its token, and
+    renewals/completions are only honored when they carry the *current*
+    token.  A holder that was presumed dead and superseded can therefore
+    never complete over its replacement, which is what makes duplicated
+    execution harmless (the merge layer dedupes the journals; the lease
+    layer guarantees only one holder's completion is ever *accepted*).
+    """
+
+    code = "inject.stale_fencing_token"
+
+
+class MergeConflict(InjectionError):
+    """Two shard journals made contradictory claims about the same work.
+
+    Deterministic merge relies on batch records being pure functions of
+    ``(unit params, batch index)``: duplicated execution after work
+    stealing must reproduce byte-identical records.  If two journals
+    disagree about the same ``(unit, batch)`` — different counts, or the
+    same unit id launched with different params — the campaign data is
+    unsound and the merge refuses to pick a winner.
+    """
+
+    code = "journal.merge_conflict"

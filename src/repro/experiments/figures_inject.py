@@ -44,7 +44,11 @@ def run_injection_study(sample_count: int = 1000,
                         journal_path: Optional[str] = None,
                         journal_fsync: bool = False,
                         engine_config=None, supervisor=None,
-                        salvage: bool = False) -> InjectionStudy:
+                        salvage: bool = False,
+                        shards: Optional[int] = None,
+                        fabric_dir: Optional[str] = None,
+                        lease_ttl_s: float = 30.0,
+                        steal: bool = True) -> InjectionStudy:
     """Run the six-unit campaign and fold in every Figure 11 code.
 
     ``journal_path``/``journal_fsync``/``engine_config`` flow to the
@@ -58,12 +62,19 @@ def run_injection_study(sample_count: int = 1000,
     drain the study gracefully, poison units are quarantined, worker
     resource budgets are enforced, and journal corruption is detected
     by per-record CRC (and survived, with ``salvage=True``).
+    ``shards=N`` runs the campaign on the distributed fabric
+    (:mod:`repro.inject.fabric`): leased shard processes under
+    ``fabric_dir``, heartbeat-TTL work stealing (``steal``,
+    ``lease_ttl_s``), crash-tolerant coordination, and a deterministic
+    merge of the per-shard journals.
     """
     campaigns = run_full_campaign(sample_count, site_count, seed, trace,
                                   units, journal_path=journal_path,
                                   journal_fsync=journal_fsync,
                                   engine_config=engine_config,
-                                  supervisor=supervisor, salvage=salvage)
+                                  supervisor=supervisor, salvage=salvage,
+                                  shards=shards, fabric_dir=fabric_dir,
+                                  lease_ttl_s=lease_ttl_s, steal=steal)
     schemes = figure11_schemes()
     severity = {}
     risk = {}

@@ -20,9 +20,17 @@ from repro.inject.engine import (OUTCOMES, CampaignEngine, CampaignReport,
                                  make_scheme, mbu_sweep_work_unit,
                                  merged_gate_results, register_unit_kind,
                                  wilson_interval)
-from repro.inject.journal import Journal, JournalState
-from repro.inject.supervisor import (CampaignSupervisor, ResourceBudget,
-                                     SupervisorConfig)
+from repro.inject.fabric import (CampaignFabric, FabricConfig, FabricReport,
+                                 partition_units, replicate_units,
+                                 run_fabric_campaign)
+from repro.inject.journal import Journal, JournalCursor, JournalState
+from repro.inject.lease import Lease, LeaseTable, rebase_journal
+from repro.inject.merge import (MergedCampaign, ShardSource,
+                                merge_fabric_dir, merge_shard_journals,
+                                write_merged_report)
+from repro.inject.supervisor import (CampaignSupervisor, LeaseHeartbeat,
+                                     ResourceBudget, SupervisorConfig,
+                                     read_heartbeat)
 
 __all__ = [
     "UNIT_ORDER", "build_unit", "run_full_campaign", "run_unit_campaign",
@@ -39,6 +47,12 @@ __all__ = [
     "gate_work_unit", "gpu_recovery_work_unit", "gpu_work_unit",
     "make_scheme", "mbu_sweep_work_unit", "merged_gate_results",
     "register_unit_kind", "wilson_interval",
-    "Journal", "JournalState",
-    "CampaignSupervisor", "ResourceBudget", "SupervisorConfig",
+    "CampaignFabric", "FabricConfig", "FabricReport", "partition_units",
+    "replicate_units", "run_fabric_campaign",
+    "Journal", "JournalCursor", "JournalState",
+    "Lease", "LeaseTable", "rebase_journal",
+    "MergedCampaign", "ShardSource", "merge_fabric_dir",
+    "merge_shard_journals", "write_merged_report",
+    "CampaignSupervisor", "LeaseHeartbeat", "ResourceBudget",
+    "SupervisorConfig", "read_heartbeat",
 ]

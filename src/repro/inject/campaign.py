@@ -80,7 +80,12 @@ def run_full_campaign(sample_count: int = 1000,
                       journal_path: Optional[str] = None,
                       journal_fsync: bool = False,
                       engine_config=None, supervisor=None,
-                      salvage: bool = False) -> Dict[str, CampaignResult]:
+                      salvage: bool = False,
+                      shards: Optional[int] = None,
+                      fabric_dir: Optional[str] = None,
+                      lease_ttl_s: float = 30.0,
+                      steal: bool = True,
+                      fabric_config=None) -> Dict[str, CampaignResult]:
     """Campaigns for every Figure 10 unit, keyed by unit name.
 
     Runs through the resilient campaign engine: each unit sweeps in a
@@ -116,6 +121,20 @@ def run_full_campaign(sample_count: int = 1000,
     truncates a corrupt journal at its first bad record (detected by
     per-record CRC32) instead of raising, re-deriving the lost batches
     from their deterministic seeds.
+
+    ``shards=N`` opts the campaign into the distributed fabric
+    (:mod:`repro.inject.fabric`): the units are partitioned across ``N``
+    leased shard processes under ``fabric_dir`` (defaults to
+    ``<journal_path>.fabric`` when a journal path is given), each with
+    its own supervised engine and tamper-evident journal; dead shards
+    are re-leased under fresh fencing tokens (``steal``), a crashed
+    coordinator resumes from its own journal, and the per-shard
+    journals merge deterministically.  ``lease_ttl_s`` bounds how long
+    a shard may go without a heartbeat before its lease is stolen.
+    Pass a full :class:`~repro.inject.fabric.FabricConfig` as
+    ``fabric_config`` for fleet-level knobs (replicated mode, global
+    Wilson early-stop); ``supervisor`` is ignored in fabric mode —
+    every shard runs under its own supervisor.
     """
     import dataclasses
 
@@ -137,6 +156,22 @@ def run_full_campaign(sample_count: int = 1000,
     work = [gate_work_unit(name, site_count=site_count, seed=seed + index,
                            trace=trace)
             for index, name in enumerate(units)]
+    if shards is not None or fabric_config is not None:
+        from repro.inject.fabric import FabricConfig, run_fabric_campaign
+        if fabric_dir is None:
+            if journal_path is None:
+                raise InjectionError(
+                    "a sharded campaign needs a fabric_dir (or a "
+                    "journal_path to derive one from)")
+            fabric_dir = f"{journal_path}.fabric"
+        if fabric_config is None:
+            fabric_config = FabricConfig(
+                shards=shards, lease_ttl_s=lease_ttl_s, steal=steal,
+                engine=engine_config)
+        fabric_report = run_fabric_campaign(work, fabric_dir,
+                                            fabric_config)
+        merged = merged_gate_results(fabric_report.report)
+        return {name: merged[name] for name in units if name in merged}
     supervisor = coerce_supervisor(supervisor)
     engine = CampaignEngine(engine_config, supervisor=supervisor)
     if supervisor is None:

@@ -179,8 +179,11 @@ class EngineConfig:
     timeout_s: Optional[float] = 120.0
     #: extra attempts after the first failure of a batch
     max_retries: int = 2
-    #: first retry delay; doubles each retry
+    #: first retry delay; doubles each retry up to ``backoff_max_s``
     backoff_s: float = 0.25
+    #: hard ceiling on any single retry delay — the exponential curve
+    #: saturates here instead of growing unbounded
+    backoff_max_s: float = 30.0
     #: whether a timed-out batch is retried (hangs are usually sticky)
     retry_on_hang: bool = False
     #: stop a unit once the Wilson CI half-width shrinks below this
@@ -212,6 +215,9 @@ class EngineConfig:
         if self.max_retries < 0:
             raise InjectionError(
                 f"max_retries must be >= 0, got {self.max_retries}")
+        if self.backoff_max_s <= 0:
+            raise InjectionError(
+                f"backoff_max_s must be positive, got {self.backoff_max_s}")
         if self.ci_half_width is not None and self.ci_half_width <= 0:
             raise InjectionError(
                 f"ci_half_width must be positive (or None), got "
@@ -228,7 +234,9 @@ class EngineConfig:
         return {
             "batch_size": self.batch_size, "max_batches": self.max_batches,
             "timeout_s": self.timeout_s, "max_retries": self.max_retries,
-            "backoff_s": self.backoff_s, "retry_on_hang": self.retry_on_hang,
+            "backoff_s": self.backoff_s,
+            "backoff_max_s": self.backoff_max_s,
+            "retry_on_hang": self.retry_on_hang,
             "ci_half_width": self.ci_half_width,
             "min_trials": self.min_trials, "z": self.z,
             "isolation": self.isolation,
@@ -820,6 +828,51 @@ def _batch_seed(params: Dict[str, Any], index: int) -> int:
     return params.get("seed", 0) + index * _BATCH_SEED_STRIDE
 
 
+#: spacing between *shard* seed bases — wide enough that every batch
+#: seed a shard can derive (``max_batches`` strides of
+#: ``_BATCH_SEED_STRIDE``) stays disjoint from its neighbors'
+SHARD_SEED_STRIDE = _BATCH_SEED_STRIDE * 4096
+
+
+def shard_unit_id(unit_id: str, shard_index: int) -> str:
+    """The shard-aware id of ``unit_id``'s clone on shard ``shard_index``."""
+    return f"{unit_id}@s{shard_index}"
+
+
+def shard_work_unit(unit: WorkUnit, shard_index: int, shard_count: int,
+                    stride: int = SHARD_SEED_STRIDE) -> WorkUnit:
+    """Clone ``unit`` for one shard of a fleet-wide scale-out sweep.
+
+    The clone gets a shard-aware unit id (``<id>@s<k>``) and a seed base
+    offset by ``shard_index * stride``, so the fleet samples ``shard_count``
+    disjoint deterministic seed ranges of the same campaign — the shape
+    the fabric's *global* Wilson early-stop estimates over.
+    """
+    if not 0 <= shard_index < shard_count:
+        raise InjectionError(
+            f"shard_index must be in [0, {shard_count}), got {shard_index}")
+    params = dict(unit.params)
+    params["seed"] = params.get("seed", 0) + shard_index * stride
+    return WorkUnit(unit_id=shard_unit_id(unit.unit_id, shard_index),
+                    kind=unit.kind, params=params, context=unit.context)
+
+
+def _retry_delay(config: "EngineConfig", seed: int, attempts: int) -> float:
+    """Capped exponential backoff with deterministic seed-derived jitter.
+
+    The exponential curve saturates at ``backoff_max_s`` (unbounded
+    growth once stalled whole campaigns for hours on flaky hosts), and
+    the jitter fraction is drawn from a PRNG keyed on the batch seed —
+    itself a pure function of the unit seed — so sharded re-executions
+    of the same unit desynchronize their retry storms identically on
+    every replay.
+    """
+    capped = min(config.backoff_s * (2 ** (attempts - 1)),
+                 config.backoff_max_s)
+    fraction = random.Random(seed * 1000003 + attempts).random()
+    return capped * (0.5 + 0.5 * fraction)
+
+
 def _heartbeat_loop(conn, interval: float) -> None:
     """Daemon thread in the worker: beat until the process dies."""
     try:
@@ -906,14 +959,23 @@ class CampaignEngine:
     """
 
     def __init__(self, config: Optional[EngineConfig] = None,
-                 supervisor: Any = None):
+                 supervisor: Any = None,
+                 drain_hook: Optional[Callable[[], Optional[str]]] = None):
         self.config = config if config is not None else EngineConfig()
         self.supervisor = supervisor
+        #: the fabric's drain *broadcast* hook: polled at every safe
+        #: point, a non-empty return value (the drain reason — e.g. the
+        #: coordinator's global early-stop verdict) drains this engine
+        #: exactly like a supervised signal would
+        self.drain_hook = drain_hook
+        self._hook_reason = ""
 
     # -- public API --------------------------------------------------------
 
     def run(self, units: Sequence[WorkUnit],
-            journal_path: Optional[str] = None) -> CampaignReport:
+            journal_path: Optional[str] = None,
+            journal_header: Optional[Dict[str, Any]] = None
+            ) -> CampaignReport:
         """Run ``units`` in order, journaling to ``journal_path``.
 
         With a journal path, a prior journal at that path is replayed
@@ -932,7 +994,8 @@ class CampaignEngine:
             if journal_path else JournalState()
         self._check_config(state)
         journal = Journal(journal_path, fsync=self.config.journal_fsync,
-                          salvage=self.config.salvage) \
+                          salvage=self.config.salvage,
+                          header=journal_header) \
             if journal_path else NullJournal()
         if journal_path and state.config is None:
             journal.append({"type": "config",
@@ -971,10 +1034,22 @@ class CampaignEngine:
     # -- supervisor plumbing -----------------------------------------------
 
     def _draining(self) -> bool:
+        if self.drain_hook is not None and not self._hook_reason:
+            reason = self.drain_hook()
+            if reason:
+                self._hook_reason = reason
+                if self.supervisor is not None:
+                    self.supervisor.request_drain(reason)
+        if self._hook_reason:
+            return True
         return self.supervisor is not None and self.supervisor.draining
 
     def _drain_reason(self) -> str:
-        return self.supervisor.drain_reason if self._draining() else ""
+        if not self._draining():
+            return ""
+        if self.supervisor is not None and self.supervisor.draining:
+            return self.supervisor.drain_reason
+        return self._hook_reason
 
     def _quarantine_after(self) -> Optional[int]:
         if self.supervisor is None:
@@ -1172,7 +1247,7 @@ class CampaignEngine:
             if not retryable or attempts >= max_attempts or \
                     self._draining():
                 return outcome, payload, attempts, failures
-            time.sleep(config.backoff_s * (2 ** (attempts - 1)))
+            time.sleep(_retry_delay(config, batch.seed, attempts))
 
     def _run_batch_once(self, runner, unit: WorkUnit, batch: BatchSpec):
         if self.config.isolation == "inline":
@@ -1220,8 +1295,9 @@ class CampaignEngine:
                 # Let the in-flight batch finish, but not indefinitely:
                 # past the drain deadline the worker is killed and the
                 # batch is left unjournaled for the resume to re-derive.
-                drain_deadline = now + \
-                    self.supervisor.config.drain_deadline_s
+                grace = self.supervisor.config.drain_deadline_s \
+                    if self.supervisor is not None else 10.0
+                drain_deadline = now + grace
             if drain_deadline is not None and now >= drain_deadline:
                 return "paused", (f"drain deadline reached with batch "
                                   f"in flight (pid {process.pid})")

@@ -35,6 +35,13 @@ deterministic batch seeds re-derive the lost records exactly).
 
 The journal is the single source of truth for resume; the engine never
 keeps checkpoint state anywhere else.
+
+The distributed fabric (:mod:`repro.inject.fabric`) layers two additions
+on the same format: the campaign header can carry *shard identity*
+fields (``shard``, ``token``, ``shard_count``) that a writer refuses to
+append across, and :class:`JournalCursor` tails a growing shard journal
+incrementally so the coordinator's global estimator never re-reads
+records it already verified.
 """
 
 from __future__ import annotations
@@ -160,9 +167,11 @@ class Journal:
     """
 
     def __init__(self, path: str, fsync: bool = False,
-                 salvage: bool = False):
+                 salvage: bool = False,
+                 header: Optional[Dict[str, Any]] = None):
         self.path = path
         self.fsync = fsync
+        self.header = dict(header) if header else {}
         directory = os.path.dirname(os.path.abspath(path))
         os.makedirs(directory, exist_ok=True)
         fresh = not os.path.exists(path) or os.path.getsize(path) == 0
@@ -179,7 +188,8 @@ class Journal:
         if needs_newline:
             self._handle.write("\n")
         if fresh:
-            self.append({"type": "campaign", "version": JOURNAL_VERSION})
+            self.append({"type": "campaign", "version": JOURNAL_VERSION,
+                         **self.header})
 
     def _validate_existing(self, salvage: bool) -> _ScanResult:
         header: List[Dict[str, Any]] = []
@@ -199,6 +209,16 @@ class Journal:
                     f"{self.path}: journal schema version {version!r} "
                     f"does not match this engine's {JOURNAL_VERSION}; "
                     f"refusing to append mixed-schema records")
+            for key, wanted in self.header.items():
+                if record.get(key) != wanted:
+                    # Shard/fencing identity is part of the header: a
+                    # writer opened for lease token t must never append
+                    # into another lease's journal.
+                    raise InjectionError(
+                        f"{self.path}: journal header {key}="
+                        f"{record.get(key)!r} does not match this "
+                        f"writer's {key}={wanted!r}; refusing to append "
+                        f"across shard/lease identities")
 
         return _scan_journal(self.path, salvage=salvage,
                              absorb=check_header)
@@ -265,6 +285,7 @@ class NullJournal(Journal):
     def __init__(self):  # noqa: super().__init__ intentionally skipped
         self.path = None
         self.fsync = False
+        self.header = {}
 
     def append(self, record: Dict[str, Any]) -> None:
         pass
@@ -278,6 +299,10 @@ class JournalState:
     """Replay of one journal file: who started, what ran, who finished."""
 
     path: Optional[str] = None
+    #: the campaign header record (version plus any shard/lease identity
+    #: fields — ``shard``, ``token``, ``shard_count`` — stamped by the
+    #: fabric when the journal belongs to one leased shard)
+    header: Optional[Dict[str, Any]] = None
     #: unit_id -> the unit_started record (parameters it was launched with)
     started: Dict[str, Dict[str, Any]] = field(default_factory=dict)
     #: unit_id -> batch records sorted by index (first write per index wins)
@@ -317,7 +342,9 @@ class JournalState:
     def _absorb(self, record: Dict[str, Any]) -> None:
         kind = record.get("type")
         unit = record.get("unit")
-        if kind == "config" and self.config is None:
+        if kind == "campaign" and self.header is None:
+            self.header = record
+        elif kind == "config" and self.config is None:
             self.config = record.get("config")
         elif kind == "unit_started" and unit is not None:
             self.started.setdefault(unit, record)
@@ -358,3 +385,74 @@ class JournalState:
 def _round_trip(params: Dict[str, Any]) -> Dict[str, Any]:
     """Params exactly as they read back from JSON (tuples become lists)."""
     return json.loads(json.dumps(params))
+
+
+class JournalCursor:
+    """Incremental reader over a *growing* journal file (the merge cursor).
+
+    The fabric coordinator ticks its global Wilson estimator on every
+    shard progress event; re-reading whole multi-MB shard journals on
+    each tick would be quadratic.  A cursor remembers its byte offset
+    and running record index, and each :meth:`poll` verifies and returns
+    only the records appended since the previous poll:
+
+    * only lines terminated by a newline are consumed — a partial final
+      line is either an append in progress or a torn tail, and stays
+      pending until (unless) it completes;
+    * CRC32 and ``rix`` continuity are verified exactly as in
+      :meth:`JournalState.load`; the first bad record **fuses** the
+      cursor (``corrupt`` becomes the ``file:line``), which permanently
+      stops consumption — the terminal salvage-aware merge, not the
+      online estimator, is the authority on damaged journals;
+    * a file that does not exist yet simply yields no records.
+    """
+
+    def __init__(self, path: str):
+        self.path = path
+        self.records = 0
+        self.corrupt: Optional[str] = None
+        self._offset = 0
+
+    def poll(self) -> List[Dict[str, Any]]:
+        """Verify and return the complete records appended since last poll."""
+        if self.corrupt is not None or not os.path.exists(self.path):
+            return []
+        fresh: List[Dict[str, Any]] = []
+        with open(self.path, "rb") as handle:
+            handle.seek(self._offset)
+            for raw in handle:
+                if not raw.endswith(b"\n"):
+                    break  # partial line: in-flight append or torn tail
+                text = raw.decode("utf-8", errors="replace").strip()
+                self._offset += len(raw)
+                if not text:
+                    continue
+                record = self._verify(text)
+                if record is None:
+                    return fresh
+                self.records += 1
+                fresh.append(record)
+        return fresh
+
+    def _verify(self, text: str) -> Optional[Dict[str, Any]]:
+        def fuse(what: str) -> None:
+            self.corrupt = f"{self.path}: {what} at record {self.records}"
+
+        try:
+            record = json.loads(text)
+        except json.JSONDecodeError:
+            fuse("corrupt journal record")
+            return None
+        if not isinstance(record, dict):
+            fuse("non-object journal record")
+            return None
+        stored_crc = record.pop("crc", None)
+        if stored_crc is not None and \
+                stored_crc != zlib.crc32(_canonical(record).encode("utf-8")):
+            fuse("journal record failed its CRC32 check")
+            return None
+        rix = record.get("rix")
+        if rix is not None and rix != self.records:
+            fuse(f"journal record index {rix} != expected {self.records}")
+            return None
+        return record

@@ -1,0 +1,268 @@
+"""Work-unit leases with TTLs and fencing tokens for the campaign fabric.
+
+A *shard* is a fixed, deterministic slice of a campaign (a list of work
+units with a deterministic seed range).  The coordinator never hands a
+shard to a worker directly — it grants a **lease**:
+
+* every grant increments the shard's **fencing token**, a monotonic
+  per-shard counter that survives coordinator restarts (it is replayed
+  from the coordinator journal);
+* the lease carries a **TTL**: a holder proves liveness by heartbeating
+  (:class:`~repro.inject.supervisor.LeaseHeartbeat`), and a lease whose
+  beats stop advancing for longer than the TTL is *expired* and may be
+  re-granted to a new holder (work stealing);
+* renewals and completions are only honored when they carry the
+  *current* token of an *active* lease — anything else raises
+  :class:`~repro.errors.StaleFencingToken` (superseded holder) or
+  :class:`~repro.errors.LeaseExpired` (TTL lapsed first), so a zombie
+  worker that was presumed dead can keep executing but can never get
+  its result *accepted*.  Duplicated execution is further defused at
+  the data layer: every lease attempt writes its own journal, batch
+  records are pure functions of ``(unit params, batch index)``, and the
+  merge dedupes by that key — acceptance decides *bookkeeping*, never
+  counts.
+
+:func:`rebase_journal` is the work-stealing data path: it compacts the
+surviving records of a shard's previous lease journals into the new
+lease's journal (fresh CRC/rix chain, new shard/token header), so the
+new holder's engine resumes exactly after the last batch any prior
+holder durably completed.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.errors import FabricError, LeaseExpired, StaleFencingToken
+from repro.inject.journal import Journal, _scan_journal
+
+#: lease lifecycle states
+ACTIVE = "active"
+EXPIRED = "expired"
+COMPLETED = "completed"
+
+
+@dataclass
+class Lease:
+    """One grant of one shard to one holder, under one fencing token."""
+
+    shard: str
+    token: int
+    ttl_s: float
+    state: str = ACTIVE
+    #: monotonic timestamp of the last observed liveness proof
+    last_beat: float = field(default_factory=time.monotonic)
+    #: highest beat counter observed from the holder's heartbeat file
+    beat_count: int = 0
+    #: why the lease left the ACTIVE state ("", or an expiry reason)
+    reason: str = ""
+
+    @property
+    def active(self) -> bool:
+        return self.state == ACTIVE
+
+    def expired_at(self, now: float) -> bool:
+        return self.active and now - self.last_beat > self.ttl_s
+
+
+class LeaseTable:
+    """The coordinator's authoritative lease + fencing-counter state.
+
+    The table itself is in-memory; crash tolerance comes from the
+    coordinator journaling every transition (`grant`/`expire`/`complete`)
+    and :meth:`apply_record` replaying those records on resume.  Replayed
+    ACTIVE leases are *not* resurrected — a restarted coordinator cannot
+    see its predecessors' heartbeat timers, so every lease that was
+    in flight at the crash is deterministically expired and re-granted
+    under a fresh token.
+    """
+
+    def __init__(self, ttl_s: float = 30.0):
+        if ttl_s <= 0:
+            raise FabricError(f"lease ttl_s must be positive, got {ttl_s}")
+        self.ttl_s = ttl_s
+        self._tokens: Dict[str, int] = {}
+        self._leases: Dict[str, Lease] = {}
+
+    # -- queries -----------------------------------------------------------
+
+    def current(self, shard: str) -> Optional[Lease]:
+        """The newest lease of ``shard`` in any state, if one was granted."""
+        return self._leases.get(shard)
+
+    def token(self, shard: str) -> int:
+        """The shard's current fencing token (0 = never granted)."""
+        return self._tokens.get(shard, 0)
+
+    def completed(self, shard: str) -> bool:
+        lease = self._leases.get(shard)
+        return lease is not None and lease.state == COMPLETED
+
+    def active_shards(self) -> List[str]:
+        return [shard for shard, lease in self._leases.items()
+                if lease.active]
+
+    def expired_shards(self, now: Optional[float] = None) -> List[str]:
+        """Shards whose active lease's TTL has lapsed, in grant order."""
+        now = time.monotonic() if now is None else now
+        return [shard for shard, lease in self._leases.items()
+                if lease.expired_at(now)]
+
+    # -- transitions -------------------------------------------------------
+
+    def grant(self, shard: str, ttl_s: Optional[float] = None) -> Lease:
+        """Grant ``shard`` under the next fencing token (work stealing).
+
+        Granting over a still-ACTIVE lease is legal — that is exactly
+        the steal path after a TTL expiry was *decided* — but the old
+        lease is first marked expired so only one lease per shard is
+        ever active.
+        """
+        previous = self._leases.get(shard)
+        if previous is not None and previous.state == COMPLETED:
+            raise FabricError(
+                f"shard {shard!r} already completed under token "
+                f"{previous.token}; refusing to re-grant finished work")
+        if previous is not None and previous.active:
+            previous.state = EXPIRED
+            previous.reason = previous.reason or "superseded by re-grant"
+        token = self._tokens.get(shard, 0) + 1
+        self._tokens[shard] = token
+        lease = Lease(shard=shard, token=token,
+                      ttl_s=self.ttl_s if ttl_s is None else ttl_s)
+        self._leases[shard] = lease
+        return lease
+
+    def _checked(self, shard: str, token: int, verb: str) -> Lease:
+        lease = self._leases.get(shard)
+        if lease is None:
+            raise FabricError(
+                f"cannot {verb} shard {shard!r}: no lease was ever granted")
+        if token != lease.token:
+            raise StaleFencingToken(
+                f"cannot {verb} shard {shard!r} with fencing token "
+                f"{token}: current token is {lease.token} (holder was "
+                f"superseded)")
+        if not lease.active:
+            raise LeaseExpired(
+                f"cannot {verb} shard {shard!r}: lease token {token} is "
+                f"{lease.state} ({lease.reason or 'TTL lapsed'})")
+        return lease
+
+    def renew(self, shard: str, token: int, beat_count: int,
+              now: Optional[float] = None) -> Lease:
+        """Record a liveness proof; only *advancing* beats reset the TTL."""
+        lease = self._checked(shard, token, "renew")
+        if beat_count > lease.beat_count:
+            lease.beat_count = beat_count
+            lease.last_beat = time.monotonic() if now is None else now
+        return lease
+
+    def expire(self, shard: str, reason: str = "TTL lapsed") -> Lease:
+        """Expire the shard's active lease (TTL lapse or holder death)."""
+        lease = self._leases.get(shard)
+        if lease is None:
+            raise FabricError(
+                f"cannot expire shard {shard!r}: no lease was ever granted")
+        if lease.state == COMPLETED:
+            raise FabricError(
+                f"cannot expire shard {shard!r}: already completed")
+        if lease.active:
+            lease.state = EXPIRED
+            lease.reason = reason
+        return lease
+
+    def complete(self, shard: str, token: int) -> Lease:
+        """Accept a completion — the one transition fencing really guards."""
+        lease = self._checked(shard, token, "complete")
+        lease.state = COMPLETED
+        return lease
+
+    # -- journal replay ----------------------------------------------------
+
+    def apply_record(self, record: Dict[str, Any]) -> None:
+        """Replay one coordinator-journal lease record (crash recovery).
+
+        Replayed grants restore the fencing counters; replayed
+        completions mark shards done.  A lease that was ACTIVE when the
+        journal ends stays EXPIRED-on-load (reason ``coordinator
+        restart``): the new coordinator re-grants it under a higher
+        token rather than trusting a liveness clock it never saw.
+        """
+        kind = record.get("type")
+        shard = record.get("shard")
+        token = record.get("token")
+        if kind == "lease_granted":
+            lease = Lease(shard=shard, token=token,
+                          ttl_s=record.get("ttl_s", self.ttl_s),
+                          state=EXPIRED, reason="coordinator restart")
+            self._tokens[shard] = max(self._tokens.get(shard, 0), token)
+            self._leases[shard] = lease
+        elif kind in ("lease_expired", "lease_paused"):
+            lease = self._leases.get(shard)
+            if lease is not None and lease.state != COMPLETED:
+                lease.state = EXPIRED
+                lease.reason = record.get("reason", "TTL lapsed") \
+                    if kind == "lease_expired" else "paused"
+        elif kind == "lease_completed":
+            lease = self._leases.get(shard)
+            if lease is not None and token == lease.token:
+                lease.state = COMPLETED
+
+
+#: record types (and their natural first-wins dedup keys) that survive a
+#: journal rebase; anything else — pauses, prior headers — is dropped
+_REBASE_KEYS = {
+    "config": lambda record: ("config",),
+    "unit_started": lambda record: ("unit_started", record.get("unit")),
+    "batch": lambda record: ("batch", record.get("unit"),
+                             record.get("index")),
+    "unit_done": lambda record: ("unit_done", record.get("unit")),
+    "unit_quarantined": lambda record: ("unit_done", record.get("unit")),
+}
+
+
+def rebase_journal(sources: Sequence[str], dest: str,
+                   header: Optional[Dict[str, Any]] = None,
+                   fsync: bool = False) -> int:
+    """Compact prior lease journals into a new lease's journal.
+
+    Streams every ``sources`` journal in order (oldest lease first) with
+    ``salvage`` semantics — a SIGKILLed holder's torn tail or corrupt
+    suffix costs only the records after it — keeps the first occurrence
+    of each durable record (config, unit_started, batch-by-index,
+    terminal unit records), and appends them to ``dest`` under a fresh
+    header/CRC/rix chain.  Returns the number of records carried over.
+
+    The new holder's engine then resumes from ``dest`` exactly as if it
+    had written those records itself; batches no prior holder durably
+    journaled are re-derived from their deterministic seeds.
+    """
+    import os
+
+    carried: List[Dict[str, Any]] = []
+    seen = set()
+
+    def absorb(record: Dict[str, Any]) -> None:
+        key_fn = _REBASE_KEYS.get(record.get("type"))
+        if key_fn is None:
+            return
+        key = key_fn(record)
+        if key in seen:
+            return
+        seen.add(key)
+        carried.append(dict(record))
+
+    for source in sources:
+        if not os.path.exists(source):
+            continue
+        _scan_journal(source, salvage=True, absorb=absorb)
+    journal = Journal(dest, fsync=fsync, header=header)
+    try:
+        for record in carried:
+            journal.append(record)
+    finally:
+        journal.close()
+    return len(carried)

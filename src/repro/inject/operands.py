@@ -13,6 +13,7 @@ from __future__ import annotations
 import math
 import random
 import struct
+import zlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Sequence, Tuple
 
@@ -89,7 +90,11 @@ def _random_int(rng: random.Random) -> int:
 def synthetic_operands(kind: str, count: int,
                        seed: int = 0) -> List[Tuple[int, ...]]:
     """Generate ``count`` operand tuples with workload-like distributions."""
-    rng = random.Random((hash(kind) & 0xFFFF) ^ seed)
+    # zlib.crc32, not hash(): str hashing is salted per process
+    # (PYTHONHASHSEED), which would give every process a different
+    # operand stream for the same seed and break cross-process
+    # campaign reproducibility (journal resume, shard merges).
+    rng = random.Random((zlib.crc32(kind.encode("ascii")) & 0xFFFF) ^ seed)
     out: List[Tuple[int, ...]] = []
     for _ in range(count):
         if kind == "int_add":

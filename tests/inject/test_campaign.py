@@ -49,6 +49,24 @@ class TestRunFullCampaign:
         assert [r.site for r in first["fxp-add-32"].records] == \
             [r.site for r in again["fxp-add-32"].records]
 
+    def test_sharded_campaign_matches_single_engine(self, tmp_path):
+        # shards=N is an execution strategy, not a statistical change:
+        # the partitioned fabric must reproduce the single-engine run
+        units = ("fxp-add-32", "fxp-mad-32")
+        single = run_full_campaign(sample_count=20, site_count=25, seed=3,
+                                   units=units)
+        sharded = run_full_campaign(sample_count=20, site_count=25, seed=3,
+                                    units=units, shards=2,
+                                    fabric_dir=str(tmp_path / "fabric"))
+        assert list(sharded) == list(units)
+        for name in units:
+            assert sharded[name].to_dict() == single[name].to_dict()
+
+    def test_sharded_campaign_requires_a_fabric_dir(self):
+        with pytest.raises(InjectionError, match="fabric_dir"):
+            run_full_campaign(sample_count=10, site_count=10,
+                              units=("fxp-add-32",), shards=2)
+
     def test_batched_config_covers_requested_units(self, tmp_path):
         config = EngineConfig(batch_size=10, max_batches=3,
                               ci_half_width=None, timeout_s=60.0)

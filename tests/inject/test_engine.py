@@ -145,9 +145,70 @@ class TestEngineConfigValidation:
         for overrides in ({"batch_size": 0}, {"max_batches": 0},
                           {"max_retries": -1}, {"ci_half_width": 0.0},
                           {"ci_half_width": -0.1}, {"timeout_s": 0.0},
-                          {"isolation": "thread"}):
+                          {"isolation": "thread"}, {"backoff_max_s": 0.0}):
             with pytest.raises(InjectionError):
                 EngineConfig(**overrides)
+
+
+class TestRetryDelay:
+    """Exponential backoff must saturate, and jitter must be replayable."""
+
+    def test_backoff_is_capped(self):
+        from repro.inject.engine import _retry_delay
+        config = EngineConfig(backoff_s=1.0, backoff_max_s=30.0)
+        # attempt 40 would be 2**39 seconds uncapped; the ceiling (plus
+        # full jitter head-room) bounds every delay to backoff_max_s
+        for attempts in (1, 5, 10, 40):
+            assert _retry_delay(config, seed=123, attempts=attempts) <= \
+                config.backoff_max_s
+
+    def test_backoff_grows_until_the_cap(self):
+        from repro.inject.engine import _retry_delay
+        config = EngineConfig(backoff_s=0.1, backoff_max_s=1000.0)
+        # jitter spans [0.5x, 1x), so successive exponents never overlap
+        delays = [_retry_delay(config, seed=9, attempts=n)
+                  for n in range(1, 5)]
+        assert delays == sorted(delays)
+        assert delays[-1] > delays[0] * 4
+
+    def test_jitter_is_deterministic_per_seed_and_attempt(self):
+        from repro.inject.engine import _retry_delay
+        config = EngineConfig(backoff_s=1.0, backoff_max_s=30.0)
+        assert _retry_delay(config, 7, 3) == _retry_delay(config, 7, 3)
+        # different seeds desynchronize their retry storms
+        assert _retry_delay(config, 7, 3) != _retry_delay(config, 8, 3)
+
+    def test_jitter_stays_within_half_to_full_range(self):
+        from repro.inject.engine import _retry_delay
+        config = EngineConfig(backoff_s=2.0, backoff_max_s=1000.0)
+        for seed in range(20):
+            delay = _retry_delay(config, seed, 2)  # base 4.0
+            assert 2.0 <= delay < 4.0
+
+
+class TestShardUnits:
+    def test_shard_ids_and_seed_ranges_are_disjoint(self):
+        from repro.inject.engine import (SHARD_SEED_STRIDE,
+                                         shard_work_unit)
+        unit = WorkUnit(unit_id="u0", kind="tally",
+                        params={"seed": 5, "tag": "x"})
+        shards = [shard_work_unit(unit, index, 4) for index in range(4)]
+        assert [s.unit_id for s in shards] == \
+            ["u0@s0", "u0@s1", "u0@s2", "u0@s3"]
+        seeds = [s.params["seed"] for s in shards]
+        assert seeds == [5 + i * SHARD_SEED_STRIDE for i in range(4)]
+        # the stride out-runs any batch index the engine can produce
+        from repro.inject.engine import _BATCH_SEED_STRIDE
+        assert SHARD_SEED_STRIDE >= _BATCH_SEED_STRIDE * 4096
+        assert unit.params == {"seed": 5, "tag": "x"}  # original untouched
+
+    def test_out_of_range_shard_index_rejected(self):
+        from repro.inject.engine import shard_work_unit
+        unit = WorkUnit(unit_id="u0", kind="tally", params={})
+        with pytest.raises(InjectionError):
+            shard_work_unit(unit, 4, 4)
+        with pytest.raises(InjectionError):
+            shard_work_unit(unit, -1, 4)
 
 
 class TestCrashIsolation:

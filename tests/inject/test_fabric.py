@@ -1,0 +1,294 @@
+"""Fabric tests: leased shards, work stealing, chaos, global early-stop."""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.errors import FabricError
+from repro.inject.engine import EngineConfig
+from repro.inject.fabric import (CampaignFabric, FabricConfig,
+                                 run_fabric_campaign)
+from repro.inject.merge import fabric_journal_paths
+
+from tests.inject.fabric_driver import toy_config, toy_units
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))))
+
+
+def _merged_bytes(fabric_dir):
+    with open(os.path.join(fabric_dir, "merged_report.json"), "rb") as fh:
+        return fh.read()
+
+
+def _coordinator_records(fabric_dir):
+    records = []
+    with open(os.path.join(fabric_dir, "coordinator.jsonl")) as handle:
+        for line in handle:
+            records.append(json.loads(line))
+    return records
+
+
+def _run_in_thread(fabric):
+    """Run a fabric off the main thread; returns (thread, result dict)."""
+    result = {}
+
+    def target():
+        try:
+            result["report"] = fabric.run()
+        except BaseException as exc:  # re-raised by the test
+            result["error"] = exc
+
+    thread = threading.Thread(target=target, daemon=True)
+    thread.start()
+    return thread, result
+
+
+def _first_shard_process(fabric, deadline_s=30.0):
+    """Wait until some shard process is running and return (shard, proc)."""
+    deadline = time.time() + deadline_s
+    while time.time() < deadline:
+        for shard, process in sorted(fabric.processes.items()):
+            if process.pid is not None and process.is_alive():
+                return shard, process
+        time.sleep(0.01)
+    raise AssertionError("no shard process appeared")
+
+
+class TestFabricBasics:
+    def test_partitioned_campaign_completes(self, tmp_path):
+        fabric_dir = str(tmp_path / "fab")
+        report = run_fabric_campaign(toy_units(4), fabric_dir,
+                                     toy_config(shards=2))
+        assert not report.paused and not report.stopped_globally
+        assert set(report.shard_status.values()) == {"completed"}
+        assert {unit.status for unit in report.report.units.values()} == \
+            {"completed"}
+        assert report.report.units["u0"].trials == 120  # 6 batches of 20
+        kinds = [record["type"]
+                 for record in _coordinator_records(fabric_dir)]
+        assert kinds[-1] == "fabric_done"
+        assert os.path.exists(os.path.join(fabric_dir,
+                                           "merged_report.json"))
+
+    def test_replicated_mode_pools_disjoint_seed_ranges(self, tmp_path):
+        report = run_fabric_campaign(
+            toy_units(1), str(tmp_path / "fab"),
+            toy_config(shards=2, mode="replicate"))
+        assert set(report.report.units) == {"u0@s0", "u0@s1"}
+        assert report.estimate.trials == 240  # both replicas pooled
+
+    def test_rerunning_a_finished_fabric_is_idempotent(self, tmp_path):
+        fabric_dir = str(tmp_path / "fab")
+        run_fabric_campaign(toy_units(4), fabric_dir, toy_config(shards=2))
+        first = _merged_bytes(fabric_dir)
+        report = run_fabric_campaign(toy_units(4), fabric_dir,
+                                     toy_config(shards=2))
+        assert _merged_bytes(fabric_dir) == first
+        assert set(report.shard_status.values()) == {"completed"}
+
+    def test_twin_fabrics_are_byte_identical(self, tmp_path):
+        for name in ("a", "b"):
+            run_fabric_campaign(toy_units(4), str(tmp_path / name),
+                                toy_config(shards=2))
+        assert _merged_bytes(str(tmp_path / "a")) == \
+            _merged_bytes(str(tmp_path / "b"))
+
+    def test_changed_plan_is_refused(self, tmp_path):
+        fabric_dir = str(tmp_path / "fab")
+        run_fabric_campaign(toy_units(4), fabric_dir, toy_config(shards=2))
+        with pytest.raises(FabricError, match="planned with shards"):
+            run_fabric_campaign(toy_units(6), fabric_dir,
+                                toy_config(shards=2))
+
+    def test_duplicate_unit_ids_are_rejected(self, tmp_path):
+        units = toy_units(2) + toy_units(1)
+        with pytest.raises(FabricError, match="duplicate unit ids"):
+            CampaignFabric(units, str(tmp_path / "fab"),
+                           toy_config(shards=2))
+
+    def test_bad_config_knobs_are_rejected(self):
+        with pytest.raises(FabricError, match="shards"):
+            FabricConfig(shards=0)
+        with pytest.raises(FabricError, match="heartbeat_interval_s"):
+            FabricConfig(lease_ttl_s=1.0, heartbeat_interval_s=2.0)
+        with pytest.raises(FabricError, match="mode"):
+            FabricConfig(mode="scatter")
+        with pytest.raises(FabricError, match="global_ci_half_width"):
+            FabricConfig(global_ci_half_width=-0.1)
+
+
+class TestChaos:
+    def test_shard_sigkill_mid_lease_is_count_identical(self, tmp_path):
+        """The headline guarantee: SIGKILL one of 4 shards mid-lease and
+        the stolen, rebased, merged campaign is byte-identical to an
+        undisturbed same-seed run."""
+        units = toy_units(8, delay=0.05)
+        config = toy_config(shards=4, lease_ttl_s=1.5, batch_size=10,
+                            max_batches=4)
+        undisturbed_dir = str(tmp_path / "undisturbed")
+        run_fabric_campaign(toy_units(8, delay=0.05), undisturbed_dir,
+                            toy_config(shards=4, lease_ttl_s=1.5,
+                                       batch_size=10, max_batches=4))
+
+        chaos_dir = str(tmp_path / "chaos")
+        fabric = CampaignFabric(units, chaos_dir, config)
+        thread, result = _run_in_thread(fabric)
+        victim, process = _first_shard_process(fabric)
+        time.sleep(0.3)  # let it journal a batch or two first
+        os.kill(process.pid, signal.SIGKILL)
+        thread.join(120)
+        assert "error" not in result, result.get("error")
+        report = result["report"]
+        assert set(report.shard_status.values()) == {"completed"}
+        # the victim's lease really was stolen: a second grant exists
+        assert os.path.exists(
+            os.path.join(chaos_dir, f"{victim}.lease-002.jsonl"))
+        expiries = [record for record
+                    in _coordinator_records(chaos_dir)
+                    if record["type"] == "lease_expired"]
+        assert any(record["shard"] == victim for record in expiries)
+        assert _merged_bytes(chaos_dir) == _merged_bytes(undisturbed_dir)
+
+    def test_lost_lease_with_steal_disabled_fails_the_fabric(
+            self, tmp_path):
+        fabric = CampaignFabric(
+            toy_units(4, delay=0.1), str(tmp_path / "fab"),
+            toy_config(shards=2, lease_ttl_s=1.0, steal=False,
+                       max_batches=4))
+        thread, result = _run_in_thread(fabric)
+        __, process = _first_shard_process(fabric)
+        os.kill(process.pid, signal.SIGKILL)
+        thread.join(60)
+        assert isinstance(result.get("error"), FabricError)
+        assert "steal" in str(result["error"])
+
+    def test_global_early_stop_drains_every_shard(self, tmp_path):
+        fabric_dir = str(tmp_path / "fab")
+        report = run_fabric_campaign(
+            toy_units(4, delay=0.05), fabric_dir,
+            toy_config(shards=4, batch_size=40, max_batches=200,
+                       global_ci_half_width=0.04,
+                       global_min_trials=200))
+        assert report.stopped_globally and not report.paused
+        assert {unit.status for unit in report.report.units.values()} == \
+            {"completed"}
+        assert all(unit.stopped_early
+                   for unit in report.report.units.values())
+        # the drain broadcast reached *every* shard: each journal chain
+        # ends in a campaign_paused record
+        drained_shards = set()
+        for path in fabric_journal_paths(fabric_dir):
+            with open(path) as handle:
+                for line in handle:
+                    if json.loads(line).get("type") == "campaign_paused":
+                        drained_shards.add(
+                            os.path.basename(path).split(".")[0])
+        assert drained_shards == set(report.shard_status)
+        kinds = [record["type"]
+                 for record in _coordinator_records(fabric_dir)]
+        assert "global_stop" in kinds
+
+    def test_programmatic_drain_pauses_and_resume_finishes(self, tmp_path):
+        fabric_dir = str(tmp_path / "fab")
+        units = toy_units(8, delay=0.1)
+        config = toy_config(shards=2, batch_size=10, max_batches=6)
+        fabric = CampaignFabric(units, fabric_dir, config)
+        thread, result = _run_in_thread(fabric)
+        _first_shard_process(fabric)
+        fabric.request_drain("test interruption")
+        thread.join(60)
+        assert "error" not in result, result.get("error")
+        assert result["report"].paused
+        # resuming against the same dir finishes the remaining work —
+        # but only after the drain broadcast is lifted
+        os.remove(os.path.join(fabric_dir, "drain"))
+        resumed = run_fabric_campaign(units, fabric_dir, config)
+        assert not resumed.paused
+        assert set(resumed.shard_status.values()) == {"completed"}
+        twin_dir = str(tmp_path / "twin")
+        run_fabric_campaign(toy_units(8, delay=0.1), twin_dir, config)
+        assert _merged_bytes(fabric_dir) == _merged_bytes(twin_dir)
+
+
+@pytest.mark.slow
+class TestCoordinatorCrash:
+    """The full acceptance scenario: shard *and* coordinator SIGKILL."""
+
+    def _driver(self, fabric_dir, seed):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
+        return subprocess.Popen(
+            [sys.executable, "-m", "tests.inject.fabric_driver",
+             "--fabric-dir", fabric_dir, "--shards", "4",
+             "--units", "8", "--seed", str(seed), "--delay", "0.05",
+             "--batch-size", "10", "--batches", "6",
+             "--lease-ttl", "2.0"],
+            cwd=REPO_ROOT, env=env, stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT, text=True)
+
+    def _wait_for_progress(self, fabric_dir, min_bytes=400,
+                           deadline_s=60.0):
+        """Block until some lease journal holds durable batch records."""
+        deadline = time.time() + deadline_s
+        while time.time() < deadline:
+            sizes = [os.path.getsize(path)
+                     for path in fabric_journal_paths(fabric_dir)]
+            if sizes and max(sizes) >= min_bytes:
+                return
+            time.sleep(0.05)
+        raise AssertionError("fabric made no journal progress")
+
+    def _shard_pid(self, fabric_dir, deadline_s=60.0):
+        deadline = time.time() + deadline_s
+        while time.time() < deadline:
+            for name in sorted(os.listdir(fabric_dir)):
+                if not name.endswith(".heartbeat"):
+                    continue
+                try:
+                    with open(os.path.join(fabric_dir, name)) as handle:
+                        return json.load(handle)["pid"]
+                except (OSError, ValueError, KeyError):
+                    continue
+            time.sleep(0.05)
+        raise AssertionError("no shard heartbeat appeared")
+
+    def test_sigkilled_shard_and_coordinator_resume_byte_identical(
+            self, tmp_path):
+        seed = int(os.environ.get("REPRO_STRESS_SEED", "0"))
+        undisturbed_dir = str(tmp_path / "undisturbed")
+        twin = self._driver(undisturbed_dir, seed)
+        assert twin.wait(300) == 0, twin.stdout.read()
+
+        chaos_dir = str(tmp_path / "chaos")
+        coordinator = self._driver(chaos_dir, seed)
+        try:
+            self._wait_for_progress(chaos_dir)
+            os.kill(self._shard_pid(chaos_dir), signal.SIGKILL)
+            time.sleep(0.5)  # let the kill land mid-lease
+            coordinator.kill()
+            coordinator.wait(60)
+        finally:
+            if coordinator.poll() is None:
+                coordinator.kill()
+                coordinator.wait(60)
+
+        resumed = self._driver(chaos_dir, seed)
+        output = resumed.stdout.read()
+        assert resumed.wait(300) == 0, output
+        assert "FABRIC_DONE paused=False" in output
+        assert _merged_bytes(chaos_dir) == _merged_bytes(undisturbed_dir)
+        # the coordinator journal proves the crash story: grants under
+        # higher fencing tokens after the restart
+        tokens = {}
+        for record in _coordinator_records(chaos_dir):
+            if record["type"] == "lease_granted":
+                tokens[record["shard"]] = max(
+                    tokens.get(record["shard"], 0), record["token"])
+        assert max(tokens.values()) >= 2

@@ -1,0 +1,65 @@
+"""Tests for the typed diagnostic registry: stable, unique, enforced."""
+
+import re
+
+import pytest
+
+from repro.errors import (FabricError, InjectionError, LeaseExpired,
+                          MergeConflict, ReproError, StaleFencingToken,
+                          error_code_registry)
+
+#: dot-namespaced: at least two lowercase segments
+CODE_SHAPE = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*)+$")
+
+
+class TestRegistry:
+    def test_every_code_is_dot_namespaced(self):
+        for code in error_code_registry():
+            assert CODE_SHAPE.match(code), code
+
+    def test_no_duplicate_codes(self):
+        registry = error_code_registry()
+        classes = list(registry.values())
+        assert len({cls.code for cls in classes}) == len(classes)
+
+    def test_registry_covers_fabric_diagnostics(self):
+        registry = error_code_registry()
+        assert registry["inject.lease_expired"] is LeaseExpired
+        assert registry["inject.stale_fencing_token"] is StaleFencingToken
+        assert registry["journal.merge_conflict"] is MergeConflict
+        assert registry["inject.fabric"] is FabricError
+
+    def test_instances_carry_their_code(self):
+        assert StaleFencingToken("zombie").code == \
+            "inject.stale_fencing_token"
+        assert LeaseExpired("late").code == "inject.lease_expired"
+        assert MergeConflict("fork").code == "journal.merge_conflict"
+
+    def test_fabric_errors_are_injection_errors(self):
+        # callers catching the subsystem error must see fabric failures
+        assert issubclass(FabricError, InjectionError)
+        assert issubclass(LeaseExpired, FabricError)
+        assert issubclass(StaleFencingToken, FabricError)
+        assert issubclass(MergeConflict, InjectionError)
+
+    def test_registry_returns_a_copy(self):
+        registry = error_code_registry()
+        registry["bogus.code"] = RuntimeError
+        assert "bogus.code" not in error_code_registry()
+
+
+class TestEnforcement:
+    def test_subclass_without_code_is_rejected(self):
+        with pytest.raises(TypeError, match="must declare"):
+            type("Anon", (ReproError,), {})
+
+    def test_duplicate_code_is_rejected(self):
+        with pytest.raises(TypeError, match="duplicate"):
+            type("Imposter", (ReproError,),
+                 {"code": "inject.lease_expired"})
+
+    def test_malformed_code_is_rejected(self):
+        for bad in ("flat", "Upper.case", "trailing.", ".leading",
+                    "spa ce.code"):
+            with pytest.raises(TypeError, match="dot-namespaced"):
+                type("Bad", (ReproError,), {"code": bad})
