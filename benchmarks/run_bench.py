@@ -1,8 +1,8 @@
 #!/usr/bin/env python
-"""Codec throughput benchmark driver — emits ``BENCH_codec.json``.
+"""Benchmark driver — emits ``BENCH_codec.json`` / ``BENCH_sim.json``.
 
-Measures the scalar Python ECC codec against the vectorized batch layer
-(:mod:`repro.ecc.vectorized`) on three axes:
+The default (codec) mode measures the scalar Python ECC codec against
+the vectorized batch layer (:mod:`repro.ecc.vectorized`) on three axes:
 
 * per-code encode/decode ops/s over a large word batch;
 * warp-wide register reads (32 lanes per call) through
@@ -11,13 +11,25 @@ Measures the scalar Python ECC codec against the vectorized batch layer
 * end-to-end gate-campaign trials/s through the injection engine's
   batched classification.
 
-Run it from the repo root::
+``--sim`` switches to the simulator benchmark, which measures the
+trial-batched tensor executor (:mod:`repro.gpu.tensor`) against the
+scalar per-trial loop through the injection engine's GPU fault sweeps:
+
+* per-workload scalar vs. batched campaign trials/s and the speedup;
+* a campaign headline row — engine-level trials/s on the ``saxpy``
+  micro-workload, the number the BENCH_sim performance contract in
+  EXPERIMENTS.md pins a floor under.
+
+Run either from the repo root::
 
     PYTHONPATH=src python benchmarks/run_bench.py [--smoke] \
         [--output BENCH_codec.json]
+    PYTHONPATH=src python benchmarks/run_bench.py --sim [--smoke] \
+        [--output BENCH_sim.json]
 
-``--smoke`` shrinks every workload for CI; the JSON schema is documented
-in EXPERIMENTS.md ("Codec benchmark harness").  Compare two runs with::
+``--smoke`` shrinks every workload for CI; the JSON schemas are
+documented in EXPERIMENTS.md ("Codec benchmark harness" and "Simulator
+benchmark harness").  Compare two runs of the same schema with::
 
     python benchmarks/run_bench.py --compare old.json new.json
 """
@@ -29,9 +41,15 @@ import json
 import sys
 import time
 from datetime import datetime, timezone
-from typing import Callable, Dict
+from typing import Callable, Dict, Sequence
 
 SCHEMA = "swapcodes-bench-codec/1"
+SIM_SCHEMA = "swapcodes-bench-sim/1"
+
+#: workloads timed by the simulator benchmark: the two bench
+#: micro-kernels plus three paper programs spanning the instruction mix
+#: (fp64 elimination, divergent int traversal, shuffle-heavy fp32)
+SIM_WORKLOADS = ("saxpy", "fxp-stream", "gaussian", "bfs", "snap")
 
 
 def _best_seconds(func: Callable[[], None], repeats: int) -> float:
@@ -171,6 +189,114 @@ def bench_campaign(samples: int, sites: int) -> Dict[str, float]:
     }
 
 
+def bench_sim_workloads(names: Sequence[str], trials: int,
+                        scalar_trials: int, trial_batch: int,
+                        seed: int) -> Dict[str, Dict[str, float]]:
+    """Scalar vs. trial-batched campaign trials/s per workload.
+
+    Both paths run the same engine entry point
+    (:func:`repro.inject.engine.run_gpu_batch`) under ``swap-ecc`` so
+    the comparison includes plan drawing, state setup, and outcome
+    classification — not just raw stepping.  The scalar loop times a
+    smaller batch (``scalar_trials``) because it is orders of magnitude
+    slower; rates are per-second so the rows stay comparable.
+    """
+    from repro.inject.engine import BatchSpec, run_gpu_batch
+
+    rows: Dict[str, Dict[str, float]] = {}
+    for name in names:
+        params = {"workload": name, "compile_scheme": "swap-ecc",
+                  "scale": 0.25, "trial_batch": trial_batch}
+        # Warm-up: kernel compile and workload build happen once per
+        # process; keep them out of both timed regions.
+        run_gpu_batch(dict(params, tensor=False), None,
+                      BatchSpec(index=0, size=1, seed=seed))
+        start = time.perf_counter()
+        run_gpu_batch(dict(params, tensor=False), None,
+                      BatchSpec(index=0, size=scalar_trials, seed=seed))
+        scalar_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        report = run_gpu_batch(params, None,
+                               BatchSpec(index=0, size=trials, seed=seed))
+        batched_seconds = time.perf_counter() - start
+        scalar_rate = scalar_trials / scalar_seconds
+        batched_rate = trials / batched_seconds
+        rows[name] = {
+            "compile_scheme": "swap-ecc",
+            "scale": 0.25,
+            "trials": trials,
+            "scalar_trials": scalar_trials,
+            "trial_batch": trial_batch,
+            "scalar_trials_per_s": scalar_rate,
+            "batched_trials_per_s": batched_rate,
+            "speedup": batched_rate / scalar_rate,
+            "fallbacks": report["payload"]["fallbacks"],
+        }
+    return rows
+
+
+def bench_sim_campaign(samples: int, trial_batch: int,
+                       seed: int) -> Dict[str, float]:
+    """The BENCH_sim headline: engine GPU-campaign trials/s on saxpy.
+
+    The simulator analogue of :func:`bench_campaign`'s gate row — a
+    small kernel where per-trial overhead, not kernel length, sets the
+    rate.  A short warm-up batch runs first so one-time costs (kernel
+    compile, codec table construction) stay out of the timed region.
+    """
+    from repro.inject.engine import BatchSpec, run_gpu_batch
+
+    params = {"workload": "saxpy", "compile_scheme": "swap-ecc",
+              "scale": 1.0, "occurrence_max": 60,
+              "trial_batch": trial_batch}
+    run_gpu_batch(params, None,
+                  BatchSpec(index=0, size=min(256, samples), seed=seed))
+    start = time.perf_counter()
+    payload = run_gpu_batch(params, None,
+                            BatchSpec(index=0, size=samples, seed=seed))
+    seconds = time.perf_counter() - start
+    return {
+        "workload": params["workload"],
+        "compile_scheme": params["compile_scheme"],
+        "scale": params["scale"],
+        "occurrence_max": params["occurrence_max"],
+        "samples": samples,
+        "trial_batch": trial_batch,
+        "trials": payload["trials"],
+        "seconds": seconds,
+        "trials_per_s": samples / seconds if seconds else 0.0,
+    }
+
+
+def run_sim(smoke: bool = False, output: str = "BENCH_sim.json",
+            seed: int = 3) -> Dict:
+    """Run the simulator benchmark and write the JSON report."""
+    trials = 192 if smoke else 1024
+    scalar_trials = 16 if smoke else 48
+    trial_batch = 96 if smoke else 512
+    samples = 2048 if smoke else 16384
+    campaign_batch = 1024 if smoke else 8192
+
+    report = {
+        "schema": SIM_SCHEMA,
+        "generated": datetime.now(timezone.utc).isoformat(
+            timespec="seconds"),
+        "config": {"smoke": smoke, "trials": trials,
+                   "scalar_trials": scalar_trials,
+                   "trial_batch": trial_batch,
+                   "campaign_samples": samples,
+                   "campaign_trial_batch": campaign_batch, "seed": seed},
+        "workloads": bench_sim_workloads(SIM_WORKLOADS, trials,
+                                         scalar_trials, trial_batch, seed),
+        "campaign": bench_sim_campaign(samples, campaign_batch, seed),
+    }
+    if output:
+        with open(output, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    return report
+
+
 def run(smoke: bool = False, output: str = "BENCH_codec.json",
         seed: int = 0) -> Dict:
     """Run every benchmark and write the JSON report to ``output``."""
@@ -201,8 +327,30 @@ def run(smoke: bool = False, output: str = "BENCH_codec.json",
     return report
 
 
+def summarize_sim(report: Dict) -> str:
+    """Human-readable digest of one simulator report."""
+    lines = [f"simulator benchmark ({report['generated']}, "
+             f"smoke={report['config']['smoke']})"]
+    lines.append(f"{'workload':<12} {'scalar t/s':>12} {'batched t/s':>12} "
+                 f"{'speedup':>9}")
+    for name in SIM_WORKLOADS:
+        row = report["workloads"][name]
+        lines.append(f"{name:<12} {row['scalar_trials_per_s']:>12.0f} "
+                     f"{row['batched_trials_per_s']:>12.0f} "
+                     f"{row['speedup']:>8.1f}x")
+    campaign = report["campaign"]
+    lines.append(
+        f"campaign ({campaign['workload']}, {campaign['compile_scheme']}, "
+        f"batch {campaign['trial_batch']}): {campaign['samples']} trials "
+        f"in {campaign['seconds']:.2f}s "
+        f"({campaign['trials_per_s']:.0f} trials/s)")
+    return "\n".join(lines)
+
+
 def summarize(report: Dict) -> str:
-    """Human-readable digest of one report."""
+    """Human-readable digest of one report (codec or simulator)."""
+    if report.get("schema") == SIM_SCHEMA:
+        return summarize_sim(report)
     lines = [f"codec benchmark ({report['generated']}, "
              f"smoke={report['config']['smoke']})"]
     lines.append(f"{'code':<14} {'scalar dec/s':>14} {'vector dec/s':>14} "
@@ -227,12 +375,26 @@ def summarize(report: Dict) -> str:
 
 
 def compare(old_path: str, new_path: str) -> str:
-    """Delta of two BENCH_codec.json reports (new relative to old)."""
+    """Delta of two same-schema benchmark reports (new relative to old)."""
     with open(old_path, encoding="utf-8") as handle:
         old = json.load(handle)
     with open(new_path, encoding="utf-8") as handle:
         new = json.load(handle)
+    if old.get("schema") != new.get("schema"):
+        raise SystemExit(f"schema mismatch: {old.get('schema')} vs "
+                         f"{new.get('schema')}")
     lines = [f"comparing {new_path} against {old_path}"]
+    if new.get("schema") == SIM_SCHEMA:
+        for name in sorted(set(old["workloads"]) & set(new["workloads"])):
+            before = old["workloads"][name]["batched_trials_per_s"]
+            after = new["workloads"][name]["batched_trials_per_s"]
+            lines.append(f"{name:<14} batched       {after / before:>6.2f}x "
+                         f"of prior run")
+        before = old["campaign"]["trials_per_s"]
+        after = new["campaign"]["trials_per_s"]
+        lines.append(f"campaign       trials/s      {after / before:>6.2f}x "
+                     f"of prior run")
+        return "\n".join(lines)
     for name in sorted(set(old["codes"]) & set(new["codes"])):
         before = old["codes"][name]["vector_decode_ops_per_s"]
         after = new["codes"][name]["vector_decode_ops_per_s"]
@@ -254,18 +416,33 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--smoke", action="store_true",
                         help="CI-sized workloads")
-    parser.add_argument("--output", default="BENCH_codec.json",
+    parser.add_argument("--sim", action="store_true",
+                        help="run the simulator benchmark instead of "
+                             "the codec benchmark")
+    parser.add_argument("--output", default=None,
                         help="where to write the JSON report "
-                             "('' to skip writing)")
-    parser.add_argument("--seed", type=int, default=0)
+                             "(default BENCH_codec.json, or BENCH_sim.json "
+                             "with --sim; '' to skip writing)")
+    parser.add_argument("--seed", type=int, default=None)
     parser.add_argument("--compare", nargs=2, metavar=("OLD", "NEW"),
                         help="compare two existing reports and exit")
     arguments = parser.parse_args(argv)
     if arguments.compare:
         print(compare(*arguments.compare))
         return 0
-    report = run(smoke=arguments.smoke, output=arguments.output,
-                 seed=arguments.seed)
+    if arguments.sim:
+        output = arguments.output
+        if output is None:
+            output = "BENCH_sim.json"
+        seed = 3 if arguments.seed is None else arguments.seed
+        report = run_sim(smoke=arguments.smoke, output=output, seed=seed)
+    else:
+        output = arguments.output
+        if output is None:
+            output = "BENCH_codec.json"
+        seed = 0 if arguments.seed is None else arguments.seed
+        report = run(smoke=arguments.smoke, output=output, seed=seed)
+    arguments.output = output
     print(summarize(report))
     if arguments.output:
         print(f"wrote {arguments.output}")

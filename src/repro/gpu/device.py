@@ -30,6 +30,7 @@ class LaunchResult:
 
     @property
     def detected(self) -> bool:
+        """True when any DUE or checking trap fired during the launch."""
         return self.resilience.detected
 
 

@@ -144,6 +144,8 @@ COMPARE_OPS = ("LT", "LE", "EQ", "NE", "GE", "GT")
 
 
 class OperandKind(enum.Enum):
+    """The six operand shapes the toy ISA decodes."""
+
     REGISTER = "reg"
     REGISTER64 = "reg64"
     PREDICATE = "pred"
@@ -162,12 +164,14 @@ class Operand:
 
     @staticmethod
     def reg(index: int) -> "Operand":
+        """A 32-bit register operand; ``RZ`` reads as zero."""
         if not 0 <= index <= RZ:
             raise AssemblyError(f"register index {index} out of range")
         return Operand(OperandKind.REGISTER, index)
 
     @staticmethod
     def reg64(index: int) -> "Operand":
+        """A 64-bit operand over the even-aligned pair (Rn, Rn+1)."""
         if index != RZ and (index % 2 or not 0 <= index < RZ - 1):
             raise AssemblyError(
                 f"64-bit operands need an even register pair, got R{index}")
@@ -175,26 +179,31 @@ class Operand:
 
     @staticmethod
     def pred(index: int) -> "Operand":
+        """A predicate-register operand; ``PT`` is constant true."""
         if not 0 <= index <= PT:
             raise AssemblyError(f"predicate index {index} out of range")
         return Operand(OperandKind.PREDICATE, index)
 
     @staticmethod
     def imm(value: int) -> "Operand":
+        """An immediate operand (signed; wrapped to 32 bits at use)."""
         return Operand(OperandKind.IMMEDIATE, value)
 
     @staticmethod
     def special(name: str) -> "Operand":
+        """A special-register operand (``SR_TID``, ``SR_CTAID``, ...)."""
         if name not in SPECIAL_REGISTERS:
             raise AssemblyError(f"unknown special register {name}")
         return Operand(OperandKind.SPECIAL, 0, name)
 
     @staticmethod
     def label(name: str) -> "Operand":
+        """A branch-target label operand, resolved at assembly."""
         return Operand(OperandKind.LABEL, 0, name)
 
     @property
     def is_register(self) -> bool:
+        """True for 32- and 64-bit register operands (not predicates)."""
         return self.kind in (OperandKind.REGISTER, OperandKind.REGISTER64)
 
     def registers(self) -> Tuple[int, ...]:
@@ -239,9 +248,11 @@ class Instruction:
 
     @property
     def spec(self) -> OpSpec:
+        """The opcode's static description (pipe, latency, flags)."""
         return OPCODES[self.op]
 
     def source_registers(self) -> Tuple[int, ...]:
+        """All 32-bit register indices read by the sources (cached)."""
         cached = self.__dict__.get("_src_regs")
         if cached is None:
             regs: List[int] = []
@@ -251,6 +262,7 @@ class Instruction:
         return cached
 
     def dest_registers(self) -> Tuple[int, ...]:
+        """The 32-bit register indices this instruction writes (cached)."""
         cached = self.__dict__.get("_dst_regs")
         if cached is None:
             if self.dest is None or not self.spec.writes_dest:
@@ -261,6 +273,7 @@ class Instruction:
         return cached
 
     def copy(self) -> "Instruction":
+        """A deep-enough copy for compiler passes to mutate safely."""
         return Instruction(
             op=self.op, dest=self.dest, sources=list(self.sources),
             predicate=self.predicate,

@@ -34,22 +34,27 @@ class MemorySpace:
     # scalar and array host access
     # ------------------------------------------------------------------
     def write_words(self, address: int, values) -> None:
+        """Store ``values`` (coerced to uint32) at ``address`` onward."""
         values = np.asarray(values, dtype=np.uint32)
         self._check_range(address, len(values))
         self.words[address:address + len(values)] = values
 
     def read_words(self, address: int, count: int) -> np.ndarray:
+        """A ``(count,)`` uint32 copy of the words at ``address``."""
         self._check_range(address, count)
         return self.words[address:address + count].copy()
 
     def write_f32(self, address: int, values) -> None:
+        """Store float32 values bit-cast into their uint32 words."""
         self.write_words(address,
                          np.asarray(values, dtype=np.float32).view(np.uint32))
 
     def read_f32(self, address: int, count: int) -> np.ndarray:
+        """Read ``count`` words bit-cast back to a float32 array."""
         return self.read_words(address, count).view(np.float32)
 
     def write_f64(self, address: int, values) -> None:
+        """Store float64 values as little-endian low/high word pairs."""
         raw = np.asarray(values, dtype=np.float64).view(np.uint64)
         words = np.empty(2 * len(raw), dtype=np.uint32)
         words[0::2] = (raw & 0xFFFF_FFFF).astype(np.uint32)
@@ -57,16 +62,19 @@ class MemorySpace:
         self.write_words(address, words)
 
     def read_f64(self, address: int, count: int) -> np.ndarray:
+        """Read ``count`` low/high word pairs back to a float64 array."""
         words = self.read_words(address, 2 * count)
         raw = words[0::2].astype(np.uint64) | \
             (words[1::2].astype(np.uint64) << 32)
         return raw.view(np.float64)
 
     def write_i32(self, address: int, values) -> None:
+        """Store int32 values bit-cast into their uint32 words."""
         self.write_words(address,
                          np.asarray(values, dtype=np.int32).view(np.uint32))
 
     def read_i32(self, address: int, count: int) -> np.ndarray:
+        """Read ``count`` words bit-cast back to an int32 array."""
         return self.read_words(address, count).view(np.int32)
 
     # ------------------------------------------------------------------

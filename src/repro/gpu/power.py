@@ -61,6 +61,7 @@ class PowerModel:
     energy_per_transaction_nj: float = ENERGY_PER_TRANSACTION
 
     def estimate(self, result: LaunchResult) -> PowerEstimate:
+        """Energy/power for one timed launch from its issue counters."""
         dynamic = 0.0
         for pipe, count in result.issued_by_pipe.items():
             dynamic += count * self.energy_per_op_nj.get(pipe, 5.0)

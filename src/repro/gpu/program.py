@@ -73,19 +73,23 @@ class KernelWriter:
         self._fresh = 0
 
     def place_label(self, name: str) -> None:
+        """Bind ``name`` to the next emitted instruction's index."""
         if name in self._labels:
             raise AssemblyError(f"duplicate label {name!r}")
         self._labels[name] = len(self._instructions)
 
     def fresh_label(self, hint: str = "L") -> str:
+        """A new unique label name (compiler passes splice blocks)."""
         self._fresh += 1
         return f".{hint}_{self._fresh}"
 
     def emit(self, instruction: Instruction) -> Instruction:
+        """Append one instruction and return it for chaining."""
         self._instructions.append(instruction)
         return instruction
 
     def finish(self) -> Kernel:
+        """Seal the stream into a validated :class:`Kernel`."""
         kernel = Kernel(self.name, self._instructions, self._labels)
         kernel.validate()
         return kernel
@@ -107,8 +111,10 @@ class LaunchConfig:
 
     @property
     def warps_per_cta(self) -> int:
+        """Warps needed per CTA (threads rounded up to 32)."""
         return (self.threads_per_cta + 31) // 32
 
     @property
     def total_threads(self) -> int:
+        """Threads across the whole grid."""
         return self.grid_ctas * self.threads_per_cta

@@ -62,6 +62,7 @@ class RecoveryResult:
 
     @property
     def recovered(self) -> bool:
+        """True when success took at least one detect-and-replay."""
         return self.detections > 0
 
 

@@ -185,10 +185,12 @@ class ResilienceState:
 
     @property
     def detected(self) -> bool:
+        """True once any uncorrectable detection (DUE/trap) recorded."""
         return any(event.kind in ("due", "trap") for event in self.events)
 
     def record(self, kind: str, cta_index: int, warp_index: int, pc: int,
                detail: str = "") -> None:
+        """Append one :class:`DetectionEvent` to the launch log."""
         self.events.append(
             DetectionEvent(kind, cta_index, warp_index, pc, detail))
 

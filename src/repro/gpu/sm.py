@@ -41,6 +41,7 @@ class SmStats:
     l1_misses: int = 0
 
     def count(self, pipe: Pipe) -> None:
+        """Tally one issued instruction against its pipe."""
         self.issued += 1
         self.issued_by_pipe[pipe.value] = \
             self.issued_by_pipe.get(pipe.value, 0) + 1

@@ -6,6 +6,15 @@ stack: every potentially-divergent branch carries a reconvergence point
 (explicit ``reconv=`` label, defaulting to the fall-through instruction,
 which is correct for backward loop branches); entries pop when execution
 reaches their reconvergence pc.
+
+This module is the *scalar* (one-trial) executor and the exact-
+equivalence oracle for the trial-batched tensor executor in
+:mod:`repro.gpu.tensor`, which stacks N independent fault trials into
+one ``(trials * 32)``-wide virtual warp.  The pieces both executors
+share live here as module-level helpers: the opcode lambda tables, the
+fault-strike application (:func:`apply_fault_strike`), and the
+single-pass memory-access profiles (:func:`global_access_profile`,
+:func:`shared_bank_conflicts`).
 """
 
 from __future__ import annotations
@@ -24,6 +33,11 @@ from repro.gpu.program import Kernel
 from repro.gpu.resilience import ResilienceState, TaintTracker
 
 
+#: pipes whose register-writing instructions advance the datapath
+#: occurrence counter (the fault-injection window of a FaultPlan)
+DATAPATH_PIPES = ("alu", "fma32", "fma64", "sfu")
+
+
 class KernelHalt(Exception):
     """Raised to stop a launch after a detected error (DUE or trap)."""
 
@@ -34,6 +48,13 @@ class KernelHalt(Exception):
 
 @dataclass
 class StackEntry:
+    """One SIMT reconvergence-stack entry: a pc, its mask, its join pc.
+
+    ``mask`` is a boolean lane vector — ``(32,)`` in the scalar executor,
+    ``(trials * 32,)`` in the trial-batched one, where one entry tracks
+    the union of every trial's lanes walking this path.
+    """
+
     pc: int
     mask: np.ndarray
     reconv: Optional[int]
@@ -54,7 +75,15 @@ class StepInfo:
 
 
 class Warp:
-    """One warp's architectural state and executor."""
+    """One warp's architectural state and executor.
+
+    All lane vectors are ``width`` wide — 32 here; ``trials * 32`` in the
+    :class:`repro.gpu.tensor.TrialWarp` subclass, which reuses the
+    execution methods below unchanged across its stacked trials.
+    """
+
+    #: lanes per state vector (overridden per instance by TrialWarp)
+    width: int = WARP_SIZE
 
     def __init__(self, kernel: Kernel, cta_index: int, warp_index: int,
                  thread_count: int, threads_per_cta: int, grid_ctas: int,
@@ -131,8 +160,8 @@ class Warp:
         keys = [(register, lane)
                 for register in registers
                 for lane in sorted(
-                    lane for (tainted_register, lane) in taint.words
-                    if tainted_register == register and mask[lane])]
+                    lane for lane in self._tainted_lanes_of(register)
+                    if mask[lane])]
         if not keys:
             return
         batch = taint.read_many(keys)
@@ -153,27 +182,35 @@ class Warp:
             # OK: the (possibly wrong) stored data flows on.
 
     def read_u32(self, operand: Operand, mask: np.ndarray) -> np.ndarray:
+        """Read ``operand`` as a ``(32,)`` uint32 lane vector.
+
+        Register reads of tainted lanes run the scheme decoder first
+        (:meth:`_check_tainted_read`), which is where Swap-ECC detection
+        and in-place correction happen.
+        """
         if operand.kind is OperandKind.IMMEDIATE:
-            return np.full(WARP_SIZE, operand.value & 0xFFFF_FFFF,
+            return np.full(self.width, operand.value & 0xFFFF_FFFF,
                            dtype=np.uint32)
         if operand.kind is OperandKind.SPECIAL:
             return self.special[operand.name]
         if operand.kind is OperandKind.REGISTER:
             if operand.value == RZ:
-                return np.zeros(WARP_SIZE, dtype=np.uint32)
+                return np.zeros(self.width, dtype=np.uint32)
             self._check_tainted_read((operand.value,), mask)
             return self.regs[operand.value]
         raise SimulationError(f"cannot read {operand} as 32-bit value")
 
     def read_f32(self, operand: Operand, mask: np.ndarray) -> np.ndarray:
+        """Read ``operand`` as a ``(32,)`` float32 lane vector."""
         return self.read_u32(operand, mask).view(np.float32)
 
     def read_u64(self, operand: Operand, mask: np.ndarray) -> np.ndarray:
+        """Read a 64-bit operand (even register pair) as ``(32,)`` uint64."""
         if operand.kind is OperandKind.REGISTER and operand.value == RZ:
-            return np.zeros(WARP_SIZE, dtype=np.uint64)
+            return np.zeros(self.width, dtype=np.uint64)
         if operand.kind is OperandKind.REGISTER64:
             if operand.value == RZ:
-                return np.zeros(WARP_SIZE, dtype=np.uint64)
+                return np.zeros(self.width, dtype=np.uint64)
             self._check_tainted_read((operand.value, operand.value + 1),
                                      mask)
             low = self.regs[operand.value].astype(np.uint64)
@@ -182,16 +219,40 @@ class Warp:
         raise SimulationError(f"cannot read {operand} as 64-bit value")
 
     def read_f64(self, operand: Operand, mask: np.ndarray) -> np.ndarray:
+        """Read a 64-bit operand (even register pair) as ``(32,)`` float64."""
         return self.read_u64(operand, mask).view(np.float64)
 
     def read_pred(self, index: int) -> np.ndarray:
+        """The ``(32,)`` boolean lane vector of predicate ``index``."""
         return self.preds[index]
 
     def _write_lanes(self, register: int, values: np.ndarray,
                      mask: np.ndarray) -> None:
         if register == RZ:
             return
-        self.regs[register][mask] = values[mask]
+        np.copyto(self.regs[register], values, where=mask)
+
+    def _tainted_lanes_of(self, register: int) -> List[int]:
+        """Lanes of ``register`` currently tainted (any order).
+
+        The scalar tracker holds at most a couple of taints, so a scan
+        of the word map is fine here; the trial-batched executor — whose
+        map carries one taint per struck trial — overrides this with an
+        indexed lookup.
+        """
+        return [lane for (tainted_register, lane) in self.taint.words
+                if tainted_register == register]
+
+    def _writeback_mask(self, mask: np.ndarray) -> np.ndarray:
+        """Lanes allowed to commit architectural state.
+
+        The scalar executor commits every execution-masked lane; the
+        trial-batched executor overrides this to additionally drop lanes
+        of trials halted (DUE/trap/crash) earlier in the same
+        instruction, mirroring how a scalar :class:`KernelHalt` aborts
+        before the remaining writes of that instruction happen.
+        """
+        return mask
 
     # ------------------------------------------------------------------
     # writeback with SwapCodes roles
@@ -203,6 +264,7 @@ class Warp:
         dest = instruction.dest
         if dest is None or dest.value == RZ:
             return
+        mask = self._writeback_mask(mask)
         values, protected = self._maybe_inject_fault(
             instruction, values, mask, is_64bit)
         if is_64bit:
@@ -217,143 +279,56 @@ class Warp:
             # stored data means a fault hit this shadow's computation (or
             # the original's data is still wrong, in which case the check
             # bits now encode the recomputed value and the mismatch is
-            # caught at the next read).
+            # caught at the next read).  The fault-free fast path is one
+            # vectorized compare per register — the per-lane Python loop
+            # only runs over the (rare) tainted or mismatching lanes.
+            words = self.taint.words
             for register, part in parts:
                 stored = self.regs[register]
-                for lane in np.nonzero(mask)[0]:
-                    lane = int(lane)
-                    key = (register, lane)
-                    if key in self.taint.words:
+                for lane in list(self._tainted_lanes_of(register)):
+                    if mask[lane]:
                         self.taint.on_shadow_write(register, lane,
                                                    int(part[lane]))
-                    elif stored[lane] != part[lane]:
-                        self.taint.taint_check_only(
-                            register, lane, int(stored[lane]),
-                            int(part[lane]))
+                differs = mask & (stored != part)
+                if differs.any():
+                    for lane in np.nonzero(differs)[0]:
+                        lane = int(lane)
+                        if (register, lane) not in words:
+                            self.taint.taint_check_only(
+                                register, lane, int(stored[lane]),
+                                int(part[lane]))
             return
 
         for register, part in parts:
             self._write_lanes(register, part, mask)
             if self.taint is not None and self.taint.words:
-                for lane in np.nonzero(mask)[0]:
-                    key = (register, int(lane))
-                    if key in self.taint.words and key not in protected:
-                        self.taint.on_full_write(register, int(lane))
+                # Iterate the (small) taint map, not all 32 lanes.
+                for lane in list(self._tainted_lanes_of(register)):
+                    if mask[lane] and (register, lane) not in protected:
+                        self.taint.on_full_write(register, lane)
 
     def _maybe_inject_fault(self, instruction: Instruction,
                             values: np.ndarray, mask: np.ndarray,
                             is_64bit: bool):
         """Apply a pending FaultPlan to this result; returns (values, keys).
 
-        ``keys`` is the set of freshly-tainted (register, lane) pairs the
-        writeback must not clear.  One event may flip several bits
-        (``plan.strike_bits``) in several lanes (``plan.strike_lanes``);
-        bits past the value's width are dropped, not wrapped, and lanes
-        that are inactive under the execution mask are untouched.
+        Placement gating (cta/warp/occurrence/pipe) lives here; the
+        strike itself is :func:`apply_fault_strike`, shared with the
+        trial-batched executor.  ``keys`` is the set of freshly-tainted
+        (register, lane) pairs the writeback must not clear.
         """
         state = self.resilience
         plan = state.fault
-        protected = set()
         if (plan is None or state.fault_fired
                 or plan.cta_index != self.cta_index
                 or plan.warp_index != self.warp_index
                 or self.datapath_counter != plan.occurrence
-                or instruction.spec.pipe.value not in
-                ("alu", "fma32", "fma64", "sfu")):
-            return values, protected
-        active_lanes = [lane for lane in plan.strike_lanes if mask[lane]]
-        if not active_lanes:
-            return values, protected  # struck only inactive lanes: masked
-        role = instruction.meta.get("role")
-        if plan.where == "storage" and role == "shadow":
-            # Shadows own no data segment, so there is no stored data bit
-            # for a storage strike to hit; the plan stays unfired.
-            return values, protected
-        state.fault_fired = True
-        width = 64 if is_64bit else 32
-        strike = plan.strike_mask(width)
-        if strike == 0:
-            # Every strike bit clipped past the value's edge: the event
-            # fired without corrupting anything (campaigns bin it masked).
-            return values, protected
-        dest = instruction.dest
-        halves = self._strike_halves(strike, is_64bit)
-
-        if plan.where == "predictor":
-            if self.taint is not None and role == "predicted":
-                for lane in active_lanes:
-                    true_value = int(values[lane])
-                    for offset, half_mask in halves:
-                        register = dest.value + offset
-                        true_word = (true_value >> (32 * offset)) \
-                            & 0xFFFF_FFFF
-                        bits = [index for index in range(32)
-                                if half_mask >> index & 1]
-                        if self.taint.taint_check_strike(
-                                register, lane, true_word, bits):
-                            protected.add((register, lane))
-            return values, protected
-
-        corrupted = values.copy()
-        for lane in active_lanes:
-            true_value = int(corrupted[lane])
-            bad_value = true_value ^ strike
-            if is_64bit:
-                corrupted[lane] = np.uint64(bad_value)
-            else:
-                corrupted[lane] = np.uint32(bad_value & 0xFFFF_FFFF)
-
-            if plan.where == "storage":
-                # The strike lands in the RF cell after the pair
-                # completes: the architectural data flips, but the check
-                # bits (and the DP bit) keep describing the true value,
-                # so correcting schemes scrub it at the next read.
-                if self.taint is not None:
-                    for offset, half_mask in halves:
-                        register = dest.value + offset
-                        true_word = (true_value >> (32 * offset)) \
-                            & 0xFFFF_FFFF
-                        self.taint.taint_storage_mask(
-                            register, lane, true_word, half_mask)
-                        protected.add((register, lane))
-                continue
-
-            # Data-path fault: corrupt the computed value.
-            if self.taint is not None and role != "shadow":
-                # Shadows never write data: the masked-writeback compare
-                # in write_result turns their corrupted value into a
-                # check-only taint, so no word is created here.
-                for offset, half_mask in halves:
-                    register = dest.value + offset
-                    true_word = (true_value >> (32 * offset)) & 0xFFFF_FFFF
-                    bad_word = true_word ^ half_mask
-                    if role == "predicted":
-                        self.taint.taint_data_with_true_check(
-                            register, lane, bad_word, true_word)
-                    else:
-                        # Originals (and unpaired writes) emit a valid
-                        # codeword of the bad value; the shadow's later
-                        # masked write exposes it.
-                        self.taint.taint_original(register, lane, bad_word)
-                    protected.add((register, lane))
-        return corrupted, protected
-
-    @staticmethod
-    def _strike_halves(strike: int, is_64bit: bool):
-        """Split a strike mask into per-register (offset, 32-bit mask) parts.
-
-        64-bit values live in two consecutive 32-bit registers, so a wide
-        strike may taint both; each returned entry names the register
-        offset from the destination and the mask within that word.
-        """
-        if not is_64bit:
-            return [(0, strike & 0xFFFF_FFFF)]
-        halves = []
-        if strike & 0xFFFF_FFFF:
-            halves.append((0, strike & 0xFFFF_FFFF))
-        if strike >> 32:
-            halves.append((1, strike >> 32))
-        return halves
+                or instruction.spec.pipe.value not in DATAPATH_PIPES):
+            return values, set()
+        return apply_fault_strike(plan, state, self.taint,
+                                  instruction.meta.get("role"),
+                                  instruction.dest.value, values, mask,
+                                  is_64bit)
 
     # ------------------------------------------------------------------
     # execution
@@ -404,8 +379,8 @@ class Warp:
                 info.transactions = self._exec_data(instruction, exec_mask)
                 info.segments = self._last_segments
 
-        if spec.writes_dest and exec_mask.any() and spec.pipe.value in (
-                "alu", "fma32", "fma64", "sfu"):
+        if spec.writes_dest and exec_mask.any() \
+                and spec.pipe.value in DATAPATH_PIPES:
             self.datapath_counter += 1
         if self.observer is not None:
             self.observer.on_step(self, info)
@@ -517,7 +492,8 @@ class Warp:
         result = _COMPARES[instruction.compare](a, b)
         index = instruction.dest.value
         if index != PT:
-            self.preds[index][mask] = result[mask]
+            mask = self._writeback_mask(mask)
+            np.copyto(self.preds[index], result, where=mask)
 
     def _exec_shfl(self, instruction: Instruction, mask: np.ndarray) -> None:
         value = self.read_u32(instruction.sources[0], mask)
@@ -595,40 +571,175 @@ class Warp:
             self.write_result(instruction, old, mask, False)
 
         if op in ("LDG", "STG", "ATOM"):
-            transactions = space.transactions(checked, mask)
-            if wide:
-                transactions += space.transactions(
-                    (checked + 1).astype(np.uint32), mask)
-            self._last_segments = _segments_of(checked, mask, wide)
+            transactions, self._last_segments = global_access_profile(
+                checked, mask, wide)
             return max(1, transactions)
-        # Shared memory: serialized bank conflicts.  Lanes reading the same
-        # address broadcast (one access), so conflicts count *distinct*
-        # addresses per bank.
-        conflicts = _bank_conflicts(checked, mask)
-        if wide:
-            conflicts += _bank_conflicts(
-                (checked + 1).astype(np.uint32), mask)
-        return max(1, conflicts)
+        return max(1, shared_bank_conflicts(checked, mask, wide))
 
 
-def _bank_conflicts(addresses: np.ndarray, mask: np.ndarray) -> int:
-    """Distinct shared-memory addresses per bank, maximized over banks."""
+def apply_fault_strike(plan, state: ResilienceState,
+                       taint: Optional[TaintTracker], role: Optional[str],
+                       dest: int, values: np.ndarray, mask: np.ndarray,
+                       is_64bit: bool):
+    """Strike one warp-width instruction result with a placed FaultPlan.
+
+    Shared by the scalar :class:`Warp` and the trial-batched executor in
+    :mod:`repro.gpu.tensor` (which passes the firing trial's 32-lane
+    slice).  The caller has already verified the plan's placement gates
+    (cta/warp/occurrence/pipe); this function decides whether the event
+    *fires* and what it corrupts.  ``dest`` is the destination register
+    index; ``values`` is the ``(32,)`` uint32 (or uint64 when
+    ``is_64bit``) result vector and ``mask`` the boolean execution mask.
+
+    Returns ``(values, protected)``: the possibly-corrupted result and
+    the set of freshly-tainted ``(register, lane)`` keys the writeback
+    must not clear.  One event may flip several bits
+    (``plan.strike_bits``) in several lanes (``plan.strike_lanes``);
+    bits past the value's width are dropped, not wrapped, and lanes
+    that are inactive under the execution mask are untouched.
+    """
+    protected = set()
+    active_lanes = [lane for lane in plan.strike_lanes if mask[lane]]
+    if not active_lanes:
+        return values, protected  # struck only inactive lanes: masked
+    if plan.where == "storage" and role == "shadow":
+        # Shadows own no data segment, so there is no stored data bit
+        # for a storage strike to hit; the plan stays unfired.
+        return values, protected
+    state.fault_fired = True
+    width = 64 if is_64bit else 32
+    strike = plan.strike_mask(width)
+    if strike == 0:
+        # Every strike bit clipped past the value's edge: the event
+        # fired without corrupting anything (campaigns bin it masked).
+        return values, protected
+    halves = _strike_halves(strike, is_64bit)
+
+    if plan.where == "predictor":
+        if taint is not None and role == "predicted":
+            for lane in active_lanes:
+                true_value = int(values[lane])
+                for offset, half_mask in halves:
+                    register = dest + offset
+                    true_word = (true_value >> (32 * offset)) \
+                        & 0xFFFF_FFFF
+                    bits = [index for index in range(32)
+                            if half_mask >> index & 1]
+                    if taint.taint_check_strike(
+                            register, lane, true_word, bits):
+                        protected.add((register, lane))
+        return values, protected
+
+    corrupted = values.copy()
+    for lane in active_lanes:
+        true_value = int(corrupted[lane])
+        bad_value = true_value ^ strike
+        if is_64bit:
+            corrupted[lane] = np.uint64(bad_value)
+        else:
+            corrupted[lane] = np.uint32(bad_value & 0xFFFF_FFFF)
+
+        if plan.where == "storage":
+            # The strike lands in the RF cell after the pair
+            # completes: the architectural data flips, but the check
+            # bits (and the DP bit) keep describing the true value,
+            # so correcting schemes scrub it at the next read.
+            if taint is not None:
+                for offset, half_mask in halves:
+                    register = dest + offset
+                    true_word = (true_value >> (32 * offset)) \
+                        & 0xFFFF_FFFF
+                    taint.taint_storage_mask(
+                        register, lane, true_word, half_mask)
+                    protected.add((register, lane))
+            continue
+
+        # Data-path fault: corrupt the computed value.
+        if taint is not None and role != "shadow":
+            # Shadows never write data: the masked-writeback compare
+            # in write_result turns their corrupted value into a
+            # check-only taint, so no word is created here.
+            for offset, half_mask in halves:
+                register = dest + offset
+                true_word = (true_value >> (32 * offset)) & 0xFFFF_FFFF
+                bad_word = true_word ^ half_mask
+                if role == "predicted":
+                    taint.taint_data_with_true_check(
+                        register, lane, bad_word, true_word)
+                else:
+                    # Originals (and unpaired writes) emit a valid
+                    # codeword of the bad value; the shadow's later
+                    # masked write exposes it.
+                    taint.taint_original(register, lane, bad_word)
+                protected.add((register, lane))
+    return corrupted, protected
+
+
+def _strike_halves(strike: int, is_64bit: bool):
+    """Split a strike mask into per-register (offset, 32-bit mask) parts.
+
+    64-bit values live in two consecutive 32-bit registers, so a wide
+    strike may taint both; each returned entry names the register
+    offset from the destination and the mask within that word.
+    """
+    if not is_64bit:
+        return [(0, strike & 0xFFFF_FFFF)]
+    halves = []
+    if strike & 0xFFFF_FFFF:
+        halves.append((0, strike & 0xFFFF_FFFF))
+    if strike >> 32:
+        halves.append((1, strike >> 32))
+    return halves
+
+
+def global_access_profile(addresses: np.ndarray, mask: np.ndarray,
+                          wide: bool) -> Tuple[int, tuple]:
+    """Coalescing profile of one global access in a single pass.
+
+    Returns ``(transactions, segments)``.  ``transactions`` is the
+    number of distinct 128-byte segments touched, summed over the one
+    (narrow) or two (wide) 32-bit parts — wide accesses issue each part
+    as its own warp-wide transaction, matching
+    :meth:`MemorySpace.transactions` called per part.  ``segments`` is
+    the sorted tuple of all distinct segment indices (for the SM cache
+    model).  ``addresses`` must already be masked-safe (inactive lanes
+    zeroed); previously this took two ``np.unique`` passes per part.
+    """
+    if not mask.any():
+        return 0, ()
+    active = addresses[mask]
+    low = np.unique(active // 32)
+    if wide:
+        high = np.unique((active + 1) // 32)
+        transactions = int(low.size + high.size)
+        segments = np.union1d(low, high)
+    else:
+        transactions = int(low.size)
+        segments = low
+    return transactions, tuple(int(s) for s in segments)
+
+
+def shared_bank_conflicts(addresses: np.ndarray, mask: np.ndarray,
+                          wide: bool) -> int:
+    """Serialized shared-memory conflict count for one access.
+
+    Lanes reading the same address broadcast (one access), so each
+    32-bit part counts *distinct* addresses per bank, maximized over
+    the 32 banks; wide accesses sum their two parts.
+    """
     if not mask.any():
         return 0
-    unique_addresses = np.unique(addresses[mask])
+    active = addresses[mask]
+    conflicts = _max_addresses_per_bank(active)
+    if wide:
+        conflicts += _max_addresses_per_bank(active + 1)
+    return conflicts
+
+
+def _max_addresses_per_bank(active: np.ndarray) -> int:
+    unique_addresses = np.unique(active)
     __, counts = np.unique(unique_addresses % 32, return_counts=True)
     return int(counts.max())
-
-
-def _segments_of(addresses: np.ndarray, mask: np.ndarray,
-                 wide: bool) -> tuple:
-    """The 128-byte global-memory segments a warp access touches."""
-    if not mask.any():
-        return ()
-    segments = addresses[mask] // 32
-    if wide:
-        segments = np.concatenate([segments, (addresses[mask] + 1) // 32])
-    return tuple(int(s) for s in np.unique(segments))
 
 
 def _shift_mask(values: np.ndarray) -> np.ndarray:

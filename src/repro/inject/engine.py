@@ -383,6 +383,104 @@ def run_gate_batch(params: Dict[str, Any], context: Any,
             "payload": result.to_dict()}
 
 
+def _tally_gpu_outcome(counts: Dict[str, int], state: Any, outcome: str,
+                       verify: Callable[[], bool]):
+    """Bin one GPU fault trial; returns its (trials, successes) increment.
+
+    The single classification used by the scalar loop, the batched
+    tensor path, and its scalar fallback reruns — one code path is what
+    keeps `tensor=True` count-identical to `tensor=False`.  ``outcome``
+    is ``"hang"``/``"crash"`` for runs that died, anything else for runs
+    that returned a state; ``verify`` is only called when the memory
+    image actually decides the bin (fault fired, nothing detected).
+    """
+    if outcome == "hang":
+        counts["hang"] += 1
+        return 1, 1
+    if outcome == "crash":
+        counts["crash"] += 1
+        return 1, 1
+    if state.detected:
+        kind = "trap" if any(event.kind == "trap"
+                             for event in state.events) else "due"
+        counts[kind] += 1
+        return 1, 1
+    if not state.fault_fired:
+        counts["not_hit"] += 1
+        return 0, 0
+    if verify():
+        if any(event.kind == "corrected" for event in state.events):
+            counts["corrected_in_place"] += 1
+        counts["masked"] += 1
+        return 1, 0
+    counts["sdc"] += 1
+    return 1, 0
+
+
+def _scalar_gpu_trial(kernel, launch, instance, state, max_steps):
+    """Run one scalar oracle trial; returns (outcome, memory)."""
+    from repro.gpu.device import run_functional
+
+    memory = instance.fresh_memory()
+    try:
+        run_functional(kernel, launch, memory, state, max_steps=max_steps)
+    except HangError:
+        return "hang", memory
+    except SimulationError:
+        return "crash", memory
+    return "ok", memory
+
+
+def _run_trials_tensor(instance, kernel, launch, plans, fresh_state,
+                       max_steps: int, trial_batch: int) -> Dict[str, Any]:
+    """Run a plan list through the trial-batched tensor executor.
+
+    Chunks the plans into ``trial_batch``-sized
+    :func:`repro.gpu.tensor.run_trials` sweeps and classifies each trial
+    with the same tally as the scalar loop.  Trials the batched executor
+    flags ``fallback`` (cross-trial divergent barrier arrival, or a
+    batch that died at union level) rerun through the scalar oracle with
+    a fresh state, so the returned counts are exactly what the scalar
+    loop would have produced — the batched path is an optimization, not
+    an approximation.
+    """
+    from repro.gpu.tensor import run_trials
+
+    counts = _empty_counts()
+    trials = 0
+    successes = 0
+    fallbacks = 0
+    # Swap schemes are immutable after construction (per-trial state
+    # lives in ResilienceState/TaintTracker), so one codec instance
+    # serves every trial — constructing one per trial would dominate
+    # the batched runtime.
+    shared_scheme = fresh_state(None).scheme
+    for start in range(0, len(plans), max(1, trial_batch)):
+        chunk = plans[start:start + max(1, trial_batch)]
+        states = [fresh_state(plan, shared_scheme) for plan in chunk]
+        result = run_trials(kernel, launch, instance.memory.words, states,
+                            max_steps=max_steps)
+        for index, plan in enumerate(chunk):
+            outcome = result.outcomes[index]
+            state = result.states[index]
+            if outcome == "fallback":
+                fallbacks += 1
+                state = fresh_state(plan)
+                outcome, memory = _scalar_gpu_trial(
+                    kernel, launch, instance, state, max_steps)
+                verify = (lambda memory=memory:
+                          instance.verify(memory))
+            else:
+                verify = (lambda index=index:
+                          instance.verify(result.memory.space_of(index)))
+            t_inc, s_inc = _tally_gpu_outcome(counts, state, outcome,
+                                              verify)
+            trials += t_inc
+            successes += s_inc
+    return {"trials": trials, "successes": successes, "counts": counts,
+            "payload": {"executor": "tensor", "fallbacks": fallbacks}}
+
+
 def run_gpu_batch(params: Dict[str, Any], context: Any,
                   batch: BatchSpec) -> Dict[str, Any]:
     """One batch of a GPU-level FaultPlan sweep over a workload kernel.
@@ -394,6 +492,14 @@ def run_gpu_batch(params: Dict[str, Any], context: Any,
     With ``recovery_attempts > 1`` every detection is additionally
     re-executed from the checkpoint image to confirm containment
     (tallied under ``recovered``).
+
+    By default the batch runs through the trial-batched tensor executor
+    (:mod:`repro.gpu.tensor`), ``trial_batch`` plans per sweep;
+    ``tensor=False`` forces the scalar per-trial loop.  Both paths draw
+    identical fault plans from the batch seed and bin identically —
+    pinned by the equivalence tests in ``tests/gpu/test_tensor.py``.
+    Recovery confirmation (``recovery_attempts > 1``) always takes the
+    scalar path.
     """
     from repro.compiler import compile_for_scheme, resilience_mode
     from repro.gpu.device import run_functional
@@ -417,23 +523,32 @@ def run_gpu_batch(params: Dict[str, Any], context: Any,
     max_steps = params.get("max_steps", 50_000_000)
 
     rng = random.Random(batch.seed)
+    plans = [FaultPlan(
+        cta_index=rng.randrange(instance.launch.grid_ctas),
+        warp_index=rng.randrange(instance.launch.warps_per_cta),
+        occurrence=rng.randrange(occurrence_max),
+        lane=rng.randrange(min(32, instance.launch.threads_per_cta)),
+        bit=rng.randrange(32), where=where)
+        for _ in range(batch.size)]
+
+    def fresh_state(fault: Optional[FaultPlan],
+                    scheme_instance: Any = None) -> ResilienceState:
+        if mode != "swap":
+            scheme_instance = None
+        elif scheme_instance is None:
+            scheme_instance = make_scheme(code)
+        return ResilienceState(mode=mode, scheme=scheme_instance,
+                               fault=fault)
+
+    if params.get("tensor", True) and recovery_attempts <= 1:
+        return _run_trials_tensor(
+            instance, compiled.kernel, launch, plans, fresh_state,
+            max_steps, params.get("trial_batch", 2048))
+
     counts = _empty_counts()
     trials = 0
     successes = 0
-    for _ in range(batch.size):
-        plan = FaultPlan(
-            cta_index=rng.randrange(instance.launch.grid_ctas),
-            warp_index=rng.randrange(instance.launch.warps_per_cta),
-            occurrence=rng.randrange(occurrence_max),
-            lane=rng.randrange(min(32, instance.launch.threads_per_cta)),
-            bit=rng.randrange(32), where=where)
-
-        def fresh_state(fault: Optional[FaultPlan]) -> ResilienceState:
-            return ResilienceState(
-                mode=mode,
-                scheme=make_scheme(code) if mode == "swap" else None,
-                fault=fault)
-
+    for plan in plans:
         state = fresh_state(plan)
         memory = instance.fresh_memory()
         try:
@@ -627,7 +742,9 @@ def run_mbu_sweep_batch(params: Dict[str, Any], context: Any,
     warp (the row/column MBU shape).  Outcomes classify exactly as in
     the single-bit sweep, so the monitored proportion is the detection
     rate among architecturally visible faults and its degradation from
-    multiplicity 1 upward is directly comparable.
+    multiplicity 1 upward is directly comparable.  Like the single-bit
+    sweep, trials run through the trial-batched tensor executor by
+    default (``tensor=False`` pins the scalar loop; counts identical).
     """
     from repro.compiler import compile_for_scheme, resilience_mode
     from repro.gpu.device import run_functional
@@ -664,9 +781,7 @@ def run_mbu_sweep_batch(params: Dict[str, Any], context: Any,
             f"got {lane_spread!r}")
 
     rng = random.Random(batch.seed)
-    counts = _empty_counts()
-    trials = 0
-    successes = 0
+    plans = []
     for _ in range(batch.size):
         if pattern == "burst":
             start = rng.randrange(33 - multiplicity)
@@ -674,16 +789,36 @@ def run_mbu_sweep_batch(params: Dict[str, Any], context: Any,
         else:
             bits = tuple(sorted(rng.sample(range(32), multiplicity)))
         lanes = tuple(sorted(rng.sample(range(lane_count), lane_spread)))
-        plan = FaultPlan(
+        plans.append(FaultPlan(
             cta_index=rng.randrange(instance.launch.grid_ctas),
             warp_index=rng.randrange(instance.launch.warps_per_cta),
             occurrence=rng.randrange(occurrence_max),
             lane=lanes[0], bit=bits[0], bits=bits, lanes=lanes,
-            where=where)
-        state = ResilienceState(
-            mode=mode,
-            scheme=make_scheme(code) if mode == "swap" else None,
-            fault=plan)
+            where=where))
+
+    def fresh_state(fault: Optional[FaultPlan],
+                    scheme_instance: Any = None) -> ResilienceState:
+        if mode != "swap":
+            scheme_instance = None
+        elif scheme_instance is None:
+            scheme_instance = make_scheme(code)
+        return ResilienceState(mode=mode, scheme=scheme_instance,
+                               fault=fault)
+
+    payload = {"multiplicity": multiplicity, "pattern": pattern,
+               "lane_spread": lane_spread, "where": where}
+    if params.get("tensor", True):
+        report = _run_trials_tensor(
+            instance, compiled.kernel, launch, plans, fresh_state,
+            max_steps, params.get("trial_batch", 2048))
+        report["payload"].update(payload)
+        return report
+
+    counts = _empty_counts()
+    trials = 0
+    successes = 0
+    for plan in plans:
+        state = fresh_state(plan)
         memory = instance.fresh_memory()
         try:
             run_functional(compiled.kernel, launch, memory, state,
@@ -715,8 +850,7 @@ def run_mbu_sweep_batch(params: Dict[str, Any], context: Any,
             counts["sdc"] += 1
             trials += 1
     return {"trials": trials, "successes": successes, "counts": counts,
-            "payload": {"multiplicity": multiplicity, "pattern": pattern,
-                        "lane_spread": lane_spread, "where": where}}
+            "payload": payload}
 
 
 register_unit_kind("gate", run_gate_batch)
@@ -743,12 +877,19 @@ def gpu_work_unit(workload: str, compile_scheme: str = "swap-ecc",
                   scale: float = 0.25, build_seed: int = 1, seed: int = 0,
                   code: str = "secded-dp", occurrence_max: int = 60,
                   recovery_attempts: int = 0, where: str = "result",
+                  tensor: bool = True, trial_batch: int = 2048,
                   unit_id: Optional[str] = None) -> WorkUnit:
-    """A GPU-level FaultPlan sweep work unit over one workload kernel."""
+    """A GPU-level FaultPlan sweep work unit over one workload kernel.
+
+    ``tensor`` selects the trial-batched executor (``trial_batch``
+    plans per sweep); ``tensor=False`` pins the scalar per-trial loop.
+    Counts are identical either way — see :func:`run_gpu_batch`.
+    """
     params = {"workload": workload, "compile_scheme": compile_scheme,
               "scale": scale, "build_seed": build_seed, "seed": seed,
               "code": code, "occurrence_max": occurrence_max,
-              "recovery_attempts": recovery_attempts, "where": where}
+              "recovery_attempts": recovery_attempts, "where": where,
+              "tensor": tensor, "trial_batch": trial_batch}
     return WorkUnit(unit_id=unit_id or f"{workload}/{compile_scheme}",
                     kind="gpu", params=params)
 
@@ -804,13 +945,15 @@ def mbu_sweep_work_unit(workload: str, multiplicity: int,
                         seed: int = 0, code: str = "secded-dp",
                         occurrence_max: int = 60, where: str = "storage",
                         pattern: str = "random", lane_spread: int = 1,
+                        tensor: bool = True, trial_batch: int = 2048,
                         unit_id: Optional[str] = None) -> WorkUnit:
     """A multi-bit-upset sweep unit (see :func:`run_mbu_sweep_batch`)."""
     params = {"workload": workload, "multiplicity": multiplicity,
               "compile_scheme": compile_scheme, "scale": scale,
               "build_seed": build_seed, "seed": seed, "code": code,
               "occurrence_max": occurrence_max, "where": where,
-              "pattern": pattern, "lane_spread": lane_spread}
+              "pattern": pattern, "lane_spread": lane_spread,
+              "tensor": tensor, "trial_batch": trial_batch}
     return WorkUnit(
         unit_id=unit_id or f"{workload}/{code}/m{multiplicity}",
         kind="mbu-sweep", params=params)

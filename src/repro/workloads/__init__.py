@@ -1,13 +1,14 @@
 """The evaluated workloads: 13 Rodinia-like kernels, SNAP, matrixMul."""
 
-from repro.workloads.base import (ALL_ORDER, RODINIA_ORDER, WORKLOADS,
-                                  Workload, WorkloadInstance, get_workload,
-                                  register)
+from repro.workloads.base import (ALL_ORDER, MICRO_ORDER, RODINIA_ORDER,
+                                  WORKLOADS, Workload, WorkloadInstance,
+                                  get_workload, register)
 from repro.workloads import rodinia_fp  # noqa: F401  (registers workloads)
 from repro.workloads import rodinia_int  # noqa: F401
 from repro.workloads import hpc  # noqa: F401
+from repro.workloads import micro  # noqa: F401
 
 __all__ = [
-    "ALL_ORDER", "RODINIA_ORDER", "WORKLOADS", "Workload",
+    "ALL_ORDER", "MICRO_ORDER", "RODINIA_ORDER", "WORKLOADS", "Workload",
     "WorkloadInstance", "get_workload", "register",
 ]

@@ -80,6 +80,10 @@ RODINIA_ORDER = ("lavamd", "backprop", "kmeans", "lud", "gaussian",
 #: every evaluated program (Rodinia + SNAP + matrixMul)
 ALL_ORDER = RODINIA_ORDER + ("snap", "matmul")
 
+#: benchmarking micro-kernels (registered, but NOT part of the paper's
+#: evaluated set — figure studies sweep ALL_ORDER only)
+MICRO_ORDER = ("saxpy", "fxp-stream")
+
 
 def register(workload: Workload) -> Workload:
     if workload.name in WORKLOADS:

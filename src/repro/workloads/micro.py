@@ -1,0 +1,129 @@
+"""Micro workloads for simulator benchmarking (not in the paper set).
+
+These are deliberately tiny kernels — a few dozen dynamic instructions
+per thread — that expose the simulator's *per-trial overhead floor*
+rather than any paper workload's behaviour.  ``BENCH_sim.json`` uses
+them for its campaign-throughput headline row (the analogue of the
+codec bench's small ``fxp-add-32`` gate unit), and the test suite uses
+them where a fast real kernel beats a synthetic fixture.
+
+They register under :data:`~repro.workloads.base.MICRO_ORDER`, not
+``ALL_ORDER``: figure-driven studies must keep sweeping exactly the
+paper's 15 programs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gpu.memory import MemorySpace
+from repro.gpu.program import LaunchConfig
+from repro.workloads.base import Workload, WorkloadInstance, register
+
+F32 = np.float32
+
+
+class Saxpy(Workload):
+    """Straight-line fp32 FMA stream: the batched executor's best case."""
+
+    name = "saxpy"
+    paper_name = "saxpy"
+    description = "fp32 a*x+y stream micro-kernel (bench floor)"
+
+    def build(self, scale: float = 1.0, seed: int = 0) -> WorkloadInstance:
+        threads = self._scaled(64, scale, minimum=32, multiple=32)
+        x_base = 0
+        a_base = x_base + threads
+        y_base = a_base + threads
+        out_base = y_base + threads
+        source = f"""
+            S2R R0, SR_TID
+            S2R R1, SR_CTAID
+            S2R R2, SR_NTID
+            IMAD R3, R1, R2, R0
+            LDG R4, [R3+{x_base}]
+            LDG R5, [R3+{a_base}]
+            LDG R6, [R3+{y_base}]
+            FFMA R7, R5, R4, R6
+            FMUL R8, R7, R4
+            FADD R9, R8, R5
+            FFMA R10, R9, R7, R4
+            STG [R3+{out_base}], R10
+            EXIT
+        """
+        kernel = self._assemble("saxpy", source)
+        launch = LaunchConfig(1, threads)
+        memory = MemorySpace(out_base + threads, name="saxpy")
+        rng = np.random.default_rng(seed)
+        x = rng.uniform(-1.0, 1.0, threads).astype(F32)
+        a = rng.uniform(-1.0, 1.0, threads).astype(F32)
+        y = rng.uniform(-1.0, 1.0, threads).astype(F32)
+        memory.write_f32(x_base, x)
+        memory.write_f32(a_base, a)
+        memory.write_f32(y_base, y)
+
+        def verify(mem: MemorySpace) -> bool:
+            t = a * x + y
+            u = t * x
+            v = u + a
+            w = v * t + x
+            return np.array_equal(mem.read_f32(out_base, threads), w)
+
+        return WorkloadInstance("saxpy", kernel, launch, memory, verify)
+
+
+class FxpStream(Workload):
+    """Short integer loop: ALU mix with a uniform backward branch."""
+
+    name = "fxp-stream"
+    paper_name = "fxp-stream"
+    description = "integer multiply-accumulate loop micro-kernel"
+
+    ROUNDS = 4
+
+    def build(self, scale: float = 1.0, seed: int = 0) -> WorkloadInstance:
+        threads = self._scaled(64, scale, minimum=32, multiple=32)
+        rounds = self.ROUNDS
+        x_base = 0
+        out_base = x_base + threads
+        source = f"""
+            S2R R0, SR_TID
+            S2R R1, SR_CTAID
+            S2R R2, SR_NTID
+            IMAD R3, R1, R2, R0
+            LDG R4, [R3+{x_base}]
+            MOV R5, 1
+            MOV R6, 0
+        loop:
+            IMAD R5, R5, R4, R3
+            XOR R7, R5, R4
+            SHL R8, R7, 3
+            IADD R5, R5, R8
+            IADD R6, R6, 1
+            ISETP.LT P0, R6, {rounds}
+        @P0 BRA loop
+            STG [R3+{out_base}], R5
+            EXIT
+        """
+        kernel = self._assemble("fxp-stream", source)
+        launch = LaunchConfig(1, threads)
+        memory = MemorySpace(out_base + threads, name="fxp-stream")
+        rng = np.random.default_rng(seed)
+        x = rng.integers(1, 1 << 16, threads).astype(np.uint32)
+        memory.write_words(x_base, x)
+
+        def verify(mem: MemorySpace) -> bool:
+            tid = np.arange(threads, dtype=np.uint32)
+            acc = np.ones(threads, dtype=np.uint32)
+            for _ in range(rounds):
+                acc = acc * x + tid
+                mixed = acc ^ x
+                acc = acc + (mixed << np.uint32(3))
+            return np.array_equal(mem.read_words(out_base, threads), acc)
+
+        return WorkloadInstance("fxp-stream", kernel, launch, memory,
+                                verify)
+
+
+register(Saxpy())
+register(FxpStream())

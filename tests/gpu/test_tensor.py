@@ -1,0 +1,306 @@
+"""Batched == scalar contract tests for the trial-batched executor.
+
+:mod:`repro.gpu.tensor` promises *exact* per-trial equivalence with the
+scalar simulator: identical outcome bins, identical fault firing and
+detection events, identical memory images — or an explicit ``fallback``
+label that sends the trial back to the scalar path.  These tests pin
+that contract over random fault plans (seeded via ``REPRO_STRESS_SEED``
+so CI can fan the matrix out), the per-trial watchdog, the fallback
+trigger, and the engine-level count equality of ``tensor=True`` vs.
+``tensor=False``.
+"""
+
+import os
+import random
+
+import numpy as np
+import pytest
+
+from repro.compiler import compile_for_scheme, resilience_mode
+from repro.errors import HangError, SimulationError
+from repro.gpu import LaunchConfig, assemble, run_functional
+from repro.gpu.memory import MemorySpace
+from repro.gpu.resilience import FaultPlan, ResilienceState
+from repro.gpu.tensor import (TRIAL_CRASH, TRIAL_FALLBACK, TRIAL_HALT,
+                              TRIAL_HANG, TRIAL_OK, _IndexedWords,
+                              run_trials)
+from repro.inject.engine import (BatchSpec, make_scheme, run_gpu_batch,
+                                 run_mbu_sweep_batch)
+from repro.workloads import get_workload
+
+STRESS_SEED = int(os.environ.get("REPRO_STRESS_SEED", "0"))
+
+
+def scalar_reference(kernel, launch, image_words, state, max_steps):
+    """The oracle: one scalar run, mapped onto the batched outcome bins."""
+    memory = MemorySpace(len(image_words))
+    memory.words[:] = image_words
+    try:
+        run_functional(kernel, launch, memory, state, max_steps=max_steps)
+    except HangError:
+        return TRIAL_HANG, memory
+    except SimulationError:
+        return TRIAL_CRASH, memory
+    return (TRIAL_HALT if state.detected else TRIAL_OK), memory
+
+
+def event_keys(state):
+    return [(event.kind, event.cta_index, event.warp_index, event.pc,
+             event.detail) for event in state.events]
+
+
+def random_plans(rng, launch, count, occurrence_max=40, where="result",
+                 multi=False):
+    """Random fault plans mirroring the engine's draw shape."""
+    lane_count = min(32, launch.threads_per_cta)
+    plans = []
+    for _ in range(count):
+        bits = (rng.randrange(32),)
+        lanes = (rng.randrange(lane_count),)
+        if multi and rng.random() < 0.7:
+            bits = tuple(sorted(rng.sample(range(32),
+                                           rng.randrange(2, 6))))
+            lanes = tuple(sorted(rng.sample(range(lane_count),
+                                            rng.randrange(1, 4))))
+        plans.append(FaultPlan(
+            cta_index=rng.randrange(launch.grid_ctas),
+            warp_index=rng.randrange(launch.warps_per_cta),
+            occurrence=rng.randrange(occurrence_max),
+            lane=lanes[0], bit=bits[0], bits=bits, lanes=lanes,
+            where=where))
+    return plans
+
+
+def assert_batched_matches_scalar(workload, scheme, plans, scale=0.25,
+                                  max_steps=50_000_000):
+    """Every non-fallback trial must match its scalar rerun exactly."""
+    instance = get_workload(workload).build(scale=scale, seed=11)
+    compiled = compile_for_scheme(instance.kernel, instance.launch, scheme)
+    launch = compiled.adjust_launch(instance.launch)
+    mode = resilience_mode(scheme)
+    codec = make_scheme("secded-dp") if mode == "swap" else None
+
+    def state_of(plan):
+        return ResilienceState(mode=mode, scheme=codec, fault=plan)
+
+    result = run_trials(compiled.kernel, launch, instance.memory.words,
+                        [state_of(plan) for plan in plans],
+                        max_steps=max_steps)
+    compared = 0
+    for index, plan in enumerate(plans):
+        outcome = result.outcomes[index]
+        if outcome == TRIAL_FALLBACK:
+            continue  # no claim made; the engine reruns these scalar
+        reference = state_of(plan)
+        want, memory = scalar_reference(
+            compiled.kernel, launch, instance.memory.words, reference,
+            max_steps)
+        context = (STRESS_SEED, workload, scheme, index, plan)
+        assert outcome == want, context
+        state = result.states[index]
+        assert state.fault_fired == reference.fault_fired, context
+        assert event_keys(state) == event_keys(reference), context
+        assert np.array_equal(result.memory.image_of(index),
+                              memory.words), context
+        compared += 1
+    assert compared > 0, (workload, scheme, "every trial fell back")
+
+
+CASES = [
+    ("saxpy", "swap-ecc"),     # straight-line fp32
+    ("saxpy", "baseline"),     # unprotected: SDC visible in memory
+    ("fxp-stream", "swdup"),   # integer loop under duplication traps
+    ("gaussian", "swap-ecc"),  # fp32 elimination, divergent guards
+    ("btree", "swap-ecc"),     # integer traversal, data-dependent paths
+    ("bfs", "swdup"),          # heavy divergence + atomics
+    ("snap", "swap-ecc"),      # shuffles, shared memory, barriers
+    ("lavamd", "swap-ecc"),    # fp64-heavy (64-bit register pairs)
+]
+
+
+class TestScalarEquivalence:
+    @pytest.mark.parametrize("workload,scheme", CASES)
+    def test_random_single_bit_plans(self, workload, scheme):
+        rng = random.Random(f"{STRESS_SEED}/{workload}/{scheme}")
+        instance = get_workload(workload).build(scale=0.25, seed=11)
+        plans = random_plans(rng, instance.launch, 6)
+        assert_batched_matches_scalar(workload, scheme, plans)
+
+    @pytest.mark.parametrize("where", ["result", "storage", "predictor"])
+    def test_fault_sites(self, where):
+        rng = random.Random(f"{STRESS_SEED}/site/{where}")
+        instance = get_workload("btree").build(scale=0.25, seed=11)
+        plans = random_plans(rng, instance.launch, 6, where=where)
+        assert_batched_matches_scalar("btree", "swap-ecc", plans)
+
+    @pytest.mark.parametrize("workload", ["gaussian", "btree"])
+    def test_multi_bit_multi_lane_plans(self, workload):
+        rng = random.Random(f"{STRESS_SEED}/mbu/{workload}")
+        instance = get_workload(workload).build(scale=0.25, seed=11)
+        plans = random_plans(rng, instance.launch, 6, where="storage",
+                             multi=True)
+        assert_batched_matches_scalar(workload, "swap-ecc", plans)
+
+    def test_unstruck_trials_match_clean_run(self):
+        # A batch of no-fault trials must reproduce the clean scalar
+        # image bit-for-bit in every trial slot.
+        instance = get_workload("fxp-stream").build(scale=0.25, seed=11)
+        states = [ResilienceState() for _ in range(5)]
+        result = run_trials(instance.kernel, instance.launch,
+                            instance.memory.words, states)
+        assert result.outcomes == [TRIAL_OK] * 5
+        for index in range(5):
+            assert instance.verify(result.memory.space_of(index))
+
+
+# A strike on the MOV (the second datapath op, after the S2R) seeds R1
+# with a large value, sending only the struck trial around a long
+# countdown loop.
+COUNTDOWN = """
+    S2R R0, SR_TID
+    MOV R1, 0
+loop:
+    ISETP.NE P0, R1, 0
+@P0 IADD R1, R1, -1
+@P0 BRA loop
+    STG [R0], R1
+    EXIT
+"""
+
+# A strike on the MOV flips every lane's guard, so the whole struck
+# warp skips the barrier other trials arrive at: cross-trial divergent
+# arrival, the designed fallback trigger.
+SKIPPED_BARRIER = """
+    S2R R0, SR_TID
+    MOV R1, 0
+    ISETP.NE P0, R1, 0
+@P0 BRA skip, reconv=join
+    BAR
+skip:
+join:
+    STG [R0], R1
+    EXIT
+"""
+
+
+class TestPerTrialWatchdog:
+    def test_hang_bins_only_the_struck_trial(self):
+        kernel = assemble("countdown", COUNTDOWN)
+        launch = LaunchConfig(1, 32)
+        image = np.zeros(32, dtype=np.uint32)
+        plan = FaultPlan(cta_index=0, warp_index=0, occurrence=1, lane=3,
+                         bit=20, where="result")
+        states = [ResilienceState(), ResilienceState(fault=plan),
+                  ResilienceState()]
+        result = run_trials(kernel, launch, image, states, max_steps=5_000)
+        assert result.outcomes == [TRIAL_OK, TRIAL_HANG, TRIAL_OK]
+        # Healthy trials stop ticking once they finish: their step
+        # counts stay at the short path even though the batch keeps
+        # stepping the hung trial.
+        assert result.steps[1] > 5_000
+        assert result.steps[0] == result.steps[2] < 100
+
+    def test_hang_threshold_matches_scalar(self):
+        kernel = assemble("countdown", COUNTDOWN)
+        launch = LaunchConfig(1, 32)
+        image = np.zeros(32, dtype=np.uint32)
+        plan = FaultPlan(cta_index=0, warp_index=0, occurrence=1, lane=3,
+                         bit=12, where="result")
+        for max_steps in (1_000, 100_000):
+            state = ResilienceState(fault=plan)
+            want, _ = scalar_reference(kernel, launch, image, state,
+                                       max_steps)
+            result = run_trials(kernel, launch, image,
+                                [ResilienceState(fault=plan)],
+                                max_steps=max_steps)
+            assert result.outcomes == [want], max_steps
+
+
+class TestFallback:
+    def test_cross_trial_divergent_barrier_flags_fallback(self):
+        kernel = assemble("skipbar", SKIPPED_BARRIER)
+        launch = LaunchConfig(1, 32)
+        image = np.zeros(32, dtype=np.uint32)
+        plan = FaultPlan(cta_index=0, warp_index=0, occurrence=1, lane=0,
+                         bit=4, bits=(4,), lanes=tuple(range(32)),
+                         where="result")
+        states = [ResilienceState(), ResilienceState(fault=plan),
+                  ResilienceState()]
+        result = run_trials(kernel, launch, image, states)
+        assert result.outcomes == [TRIAL_OK, TRIAL_FALLBACK, TRIAL_OK]
+        # The healthy trials still completed and stored their zeros.
+        for index in (0, 2):
+            assert np.array_equal(result.memory.image_of(index),
+                                  np.zeros(32, dtype=np.uint32))
+
+    def test_mixed_mode_states_rejected(self):
+        instance = get_workload("saxpy").build(scale=0.25, seed=11)
+        states = [ResilienceState(mode="none"),
+                  ResilienceState(mode="swdup")]
+        with pytest.raises(SimulationError):
+            run_trials(instance.kernel, instance.launch,
+                       instance.memory.words, states)
+
+
+class TestEngineEquivalence:
+    """tensor=True must be count-identical to the scalar engine loop."""
+
+    @pytest.mark.parametrize("workload,scheme,size", [
+        ("saxpy", "swap-ecc", 120),
+        ("fxp-stream", "swdup", 80),
+        ("gaussian", "swap-ecc", 48),
+    ])
+    def test_gpu_batch_counts_identical(self, workload, scheme, size):
+        params = {"workload": workload, "compile_scheme": scheme,
+                  "scale": 0.25, "trial_batch": 48}
+        batch = BatchSpec(index=0, size=size, seed=STRESS_SEED + 7)
+        scalar = run_gpu_batch(dict(params, tensor=False), None, batch)
+        batched = run_gpu_batch(dict(params, tensor=True), None, batch)
+        assert batched["counts"] == scalar["counts"]
+        assert batched["trials"] == scalar["trials"]
+        assert batched["successes"] == scalar["successes"]
+        assert batched["payload"]["executor"] == "tensor"
+
+    def test_mbu_batch_counts_identical(self):
+        params = {"workload": "saxpy", "multiplicity": 3,
+                  "pattern": "burst", "lane_spread": 2,
+                  "compile_scheme": "swap-ecc", "scale": 0.25,
+                  "trial_batch": 32}
+        batch = BatchSpec(index=0, size=90, seed=STRESS_SEED + 13)
+        scalar = run_mbu_sweep_batch(dict(params, tensor=False), None,
+                                     batch)
+        batched = run_mbu_sweep_batch(dict(params, tensor=True), None,
+                                      batch)
+        assert batched["counts"] == scalar["counts"]
+        assert batched["trials"] == scalar["trials"]
+        assert batched["successes"] == scalar["successes"]
+        assert batched["payload"]["multiplicity"] == 3
+        assert batched["payload"]["executor"] == "tensor"
+
+
+class TestIndexedWords:
+    """The taint-map index must track every mutation path the scalar
+    :class:`~repro.gpu.resilience.TaintTracker` uses (setitem, delitem,
+    pop with and without default)."""
+
+    def test_set_delete_pop_maintain_index(self):
+        words = _IndexedWords()
+        words[(1, 3)] = "a"
+        words[(1, 5)] = "b"
+        words[(2, 0)] = "c"
+        assert words.by_register[1] == {3, 5}
+        assert words.by_register[2] == {0}
+        words[(1, 3)] = "a2"  # overwrite keeps the index intact
+        assert words.by_register[1] == {3, 5}
+        del words[(1, 3)]
+        assert words.by_register[1] == {5}
+        assert words.pop((1, 5)) == "b"
+        assert 1 not in words.by_register
+        assert words.pop((9, 9), None) is None
+        assert 9 not in words.by_register
+        assert dict(words) == {(2, 0): "c"}
+
+    def test_missing_pop_without_default_raises(self):
+        words = _IndexedWords()
+        with pytest.raises(KeyError):
+            words.pop((1, 1))

@@ -191,3 +191,80 @@ class TestFaultModel:
         run_functional(compiled.kernel, launch, memory, state)
         assert state.detected
         assert state.events[0].kind == "due"
+
+
+class TestAccessProfiles:
+    """Direct unit tests for the single-pass coalescing/bank helpers.
+
+    These run once per memory instruction on the simulator's hot path
+    (see ``Warp._exec_memory``); the cases pin the transaction and
+    conflict counts the timing model bills against.
+    """
+
+    def test_global_coalesced_single_segment(self):
+        from repro.gpu.warp import global_access_profile
+        addresses = np.arange(32, dtype=np.uint32)
+        mask = np.ones(32, dtype=bool)
+        transactions, segments = global_access_profile(
+            addresses, mask, wide=False)
+        assert transactions == 1
+        assert segments == (0,)
+
+    def test_global_strided_counts_distinct_segments(self):
+        from repro.gpu.warp import global_access_profile
+        addresses = np.arange(32, dtype=np.uint32) * 32
+        mask = np.ones(32, dtype=bool)
+        transactions, segments = global_access_profile(
+            addresses, mask, wide=False)
+        assert transactions == 32
+        assert segments == tuple(range(32))
+
+    def test_global_wide_issues_each_part(self):
+        from repro.gpu.warp import global_access_profile
+        # Even addresses 0..62: low parts span segments 0-1, high parts
+        # (address + 1) span the same two segments -> 2 + 2.
+        addresses = np.arange(32, dtype=np.uint32) * 2
+        mask = np.ones(32, dtype=bool)
+        transactions, segments = global_access_profile(
+            addresses, mask, wide=True)
+        assert transactions == 4
+        assert segments == (0, 1)
+
+    def test_global_inactive_lanes_ignored(self):
+        from repro.gpu.warp import global_access_profile
+        addresses = np.zeros(32, dtype=np.uint32)
+        addresses[7] = 4096  # would add a segment if lane 7 were active
+        mask = np.ones(32, dtype=bool)
+        mask[7] = False
+        transactions, segments = global_access_profile(
+            addresses, mask, wide=False)
+        assert transactions == 1
+        assert segments == (0,)
+        assert global_access_profile(
+            addresses, np.zeros(32, dtype=bool), wide=False) == (0, ())
+
+    def test_shared_broadcast_is_conflict_free(self):
+        from repro.gpu.warp import shared_bank_conflicts
+        addresses = np.full(32, 5, dtype=np.uint32)
+        mask = np.ones(32, dtype=bool)
+        assert shared_bank_conflicts(addresses, mask, wide=False) == 1
+
+    def test_shared_same_bank_serializes(self):
+        from repro.gpu.warp import shared_bank_conflicts
+        # Eight distinct addresses all hitting bank 0.
+        addresses = (np.arange(32, dtype=np.uint32) % 8) * 32
+        mask = np.ones(32, dtype=bool)
+        assert shared_bank_conflicts(addresses, mask, wide=False) == 8
+
+    def test_shared_wide_sums_both_parts(self):
+        from repro.gpu.warp import shared_bank_conflicts
+        addresses = np.arange(32, dtype=np.uint32) * 2
+        mask = np.ones(32, dtype=bool)
+        # Each part lands 2 distinct addresses per touched bank.
+        assert shared_bank_conflicts(addresses, mask, wide=True) == 4
+
+    def test_shared_empty_mask_is_free(self):
+        from repro.gpu.warp import shared_bank_conflicts
+        addresses = np.zeros(32, dtype=np.uint32)
+        assert shared_bank_conflicts(
+            addresses, np.zeros(32, dtype=bool), wide=False) == 0

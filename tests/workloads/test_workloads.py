@@ -7,17 +7,18 @@ from repro.compiler import compile_for_scheme, resilience_mode
 from repro.ecc import SecDedDpSwap
 from repro.errors import CompilationError, WorkloadError
 from repro.gpu import ResilienceState, run_functional
-from repro.workloads import (ALL_ORDER, RODINIA_ORDER, WORKLOADS,
-                             get_workload)
+from repro.workloads import (ALL_ORDER, MICRO_ORDER, RODINIA_ORDER,
+                             WORKLOADS, get_workload)
 
 SMALL = 0.25
 
 
 class TestRegistry:
     def test_all_fifteen_registered(self):
-        assert len(WORKLOADS) == 15
-        assert set(ALL_ORDER) == set(WORKLOADS)
+        assert set(ALL_ORDER) | set(MICRO_ORDER) == set(WORKLOADS)
+        assert len(ALL_ORDER) == 15
         assert len(RODINIA_ORDER) == 13
+        assert not set(ALL_ORDER) & set(MICRO_ORDER)
 
     def test_unknown_name_raises(self):
         with pytest.raises(WorkloadError):
@@ -28,7 +29,7 @@ class TestRegistry:
         assert {"lavaMD", "b+tree", "srad_v2", "SNAP"} <= labels
 
 
-@pytest.mark.parametrize("name", ALL_ORDER)
+@pytest.mark.parametrize("name", ALL_ORDER + MICRO_ORDER)
 class TestEachWorkload:
     def test_builds_and_verifies(self, name):
         instance = get_workload(name).build(scale=SMALL, seed=11)
