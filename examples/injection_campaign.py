@@ -37,6 +37,7 @@ Usage::
         [--max-rss MB] [--max-cpu S] [--heartbeat S] [--quarantine K]
         [--salvage] [--no-supervisor]
         [--shards N] [--lease-ttl S] [--steal yes|no]
+        [--bundle-dir DIR]
 
 Defaults (600 samples, 200 sites) finish in about a minute; the paper's
 10,000-pair setting is ``python examples/injection_campaign.py 10000 None``.
@@ -99,6 +100,11 @@ def parse_args():
                         help="re-grant expired/dead leases to fresh "
                              "holders (default yes); 'no' fails the "
                              "fabric on the first lost lease")
+    parser.add_argument("--bundle-dir", default=None, metavar="DIR",
+                        help="export a deterministic repro bundle for "
+                             "every terminal failure (crash, hang, "
+                             "quarantine, lease/merge conflict); replay "
+                             "with examples/replay_bundle.py")
     return parser.parse_args()
 
 
@@ -144,7 +150,7 @@ def main():
         journal_path=args.journal, engine_config=engine_config,
         supervisor=supervisor, salvage=args.salvage,
         shards=args.shards, lease_ttl_s=args.lease_ttl,
-        steal=args.steal == "yes")
+        steal=args.steal == "yes", bundle_dir=args.bundle_dir)
 
     print("\nFigure 10 — unmasked error severity per unit")
     print(render_figure10(study))

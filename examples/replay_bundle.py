@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Replay deterministic failure repro bundles and report their verdicts.
+
+A repro bundle (:mod:`repro.bundle`) freezes everything a failure needed
+to happen — error record, RNG seed, serialized fault plan, scheme
+config, workload id, journal slice, expected outcome fingerprint — as a
+content-hashed directory or tarball.  This CLI reconstructs each
+bundled trial from the bundle contents alone (no campaign state, no
+original journal) and re-runs it, asserting bit-identical reproduction:
+
+* ``REPRODUCED`` — identical error code and outcome fingerprint (and,
+  for fault-ladder trials, scalar/tensor executor agreement);
+* ``DIVERGED`` — the trial ran but the outcome changed: the bug is
+  nondeterministic, or the engine has drifted since capture;
+* ``STALE_SCHEMA`` — the bundle was written under a different bundle,
+  certificate, or trial schema and cannot be judged.
+
+Usage::
+
+    python examples/replay_bundle.py BUNDLE [BUNDLE ...] [--json] [-q]
+
+``BUNDLE`` is a bundle directory, a ``.tar.gz`` bundle tarball, or a
+directory containing several bundles (each ``bundle-*`` child is
+replayed).  Exit status is 0 iff every bundle replays ``REPRODUCED``.
+"""
+
+import argparse
+import glob
+import json
+import os
+import sys
+
+from repro.bundle import ReproBundle, replay
+from repro.errors import BundleError
+
+
+def discover_bundles(paths):
+    """Expand each argument into concrete bundle paths.
+
+    A path that is itself a bundle (has ``manifest.json`` or ends in
+    ``.tar.gz``) is returned as-is; a plain directory is scanned for
+    ``bundle-*`` children so ``--bundle-dir`` output replays wholesale.
+    """
+    bundles = []
+    for path in paths:
+        if os.path.isfile(path):
+            bundles.append(path)
+        elif os.path.isfile(os.path.join(path, "manifest.json")):
+            bundles.append(path)
+        elif os.path.isdir(path):
+            children = sorted(
+                glob.glob(os.path.join(path, "bundle-*")))
+            if not children:
+                raise SystemExit(
+                    f"{path}: no manifest.json and no bundle-* children")
+            bundles.extend(children)
+        else:
+            raise SystemExit(f"{path}: no such bundle")
+    return bundles
+
+
+def describe(path):
+    """One header line of provenance before the replay verdict."""
+    bundle = ReproBundle.load(path)
+    code = bundle.code or "<untyped>"
+    severity = bundle.severity or "-"
+    point = bundle.capture_point or "-"
+    kind = (bundle.trial or {}).get("kind", "forensic-only")
+    return (f"  code={code} severity={severity} "
+            f"captured_at={point} trial={kind}")
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="replay SwapCodes failure repro bundles")
+    parser.add_argument("bundles", nargs="+", metavar="BUNDLE",
+                        help="bundle dir, bundle tarball, or a directory "
+                             "of bundle-* children")
+    parser.add_argument("--json", action="store_true",
+                        help="emit one JSON object per bundle instead of "
+                             "human-readable text")
+    parser.add_argument("-q", "--quiet", action="store_true",
+                        help="print only the final tally")
+    args = parser.parse_args()
+
+    results = []
+    for path in discover_bundles(args.bundles):
+        try:
+            header = describe(path)
+            result = replay(path)
+        except BundleError as exc:
+            print(f"{path}: ERROR: {exc}", file=sys.stderr)
+            results.append(None)
+            continue
+        results.append(result)
+        if args.json:
+            print(json.dumps(result.to_dict(), sort_keys=True))
+        elif not args.quiet:
+            print(f"{path}: {result.verdict}")
+            print(header)
+            print(f"  {result.detail}")
+            if result.cross_check != "ok":
+                print(f"  cross_check: {result.cross_check}")
+
+    reproduced = sum(1 for result in results
+                     if result is not None and result.reproduced)
+    failed = len(results) - reproduced
+    if not args.json:
+        print(f"\n{reproduced}/{len(results)} bundle(s) REPRODUCED"
+              + (f", {failed} failed" if failed else ""))
+    return 0 if failed == 0 and results else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,6 +8,8 @@ from __future__ import annotations
 
 from typing import Iterator, List
 
+from repro.errors import InvalidArgument
+
 
 def popcount(value: int) -> int:
     """Return the number of set bits in ``value``."""
@@ -22,7 +24,7 @@ def parity(value: int) -> int:
 def mask(width: int) -> int:
     """Return a bit mask with the low ``width`` bits set."""
     if width < 0:
-        raise ValueError(f"mask width must be non-negative, got {width}")
+        raise InvalidArgument(f"mask width must be non-negative, got {width}")
     return (1 << width) - 1
 
 

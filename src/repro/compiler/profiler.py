@@ -17,6 +17,7 @@ from typing import Dict, Optional
 
 import numpy as np
 
+from repro.errors import InvalidArgument
 from repro.gpu.isa import DupClass, Instruction
 from repro.inject.operands import OperandTrace
 
@@ -46,7 +47,7 @@ class MixCounts:
     def as_fractions(self, baseline_total: int) -> Dict[str, float]:
         """Each category relative to the un-duplicated program's count."""
         if baseline_total <= 0:
-            raise ValueError("baseline total must be positive")
+            raise InvalidArgument("baseline total must be positive")
         return {name: getattr(self, name) / baseline_total
                 for name in MIX_CATEGORIES}
 

@@ -21,6 +21,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Sequence, Tuple
 
+from repro.errors import InvalidArgument
+
 
 @dataclass(frozen=True)
 class BitSite:
@@ -32,7 +34,7 @@ class BitSite:
 
     def __post_init__(self):
         if self.segment not in ("data", "check", "dp"):
-            raise ValueError(f"unknown segment {self.segment!r}")
+            raise InvalidArgument(f"unknown segment {self.segment!r}")
 
 
 @dataclass(frozen=True)
@@ -53,7 +55,7 @@ class EccSramPacking:
         """Spare bits per row after packing the check bits."""
         spare = self.row_bits - self.used_bits
         if spare < 0:
-            raise ValueError(
+            raise InvalidArgument(
                 f"{self.used_bits} check bits do not fit in a "
                 f"{self.row_bits}b row")
         return spare
@@ -78,7 +80,7 @@ class PhysicalRowLayout:
 
     def __init__(self, sites: Sequence[BitSite]):
         if not sites:
-            raise ValueError("layout must contain at least one bit site")
+            raise InvalidArgument("layout must contain at least one bit site")
         self.sites: List[BitSite] = list(sites)
 
     def __len__(self) -> int:

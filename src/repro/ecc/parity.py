@@ -9,6 +9,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.bitutils import parity
+from repro.errors import InvalidArgument
 from repro.ecc.base import DetectionOnlyCode
 from repro.ecc.vectorized import as_u64, parity_many
 
@@ -26,7 +27,7 @@ class ParityCode(DetectionOnlyCode):
 
     def __init__(self, data_bits: int = 32):
         if data_bits <= 0:
-            raise ValueError(f"data_bits must be positive, got {data_bits}")
+            raise InvalidArgument(f"data_bits must be positive, got {data_bits}")
         self.data_bits = data_bits
         self.check_bits = 1
         self.name = f"parity-{data_bits}"

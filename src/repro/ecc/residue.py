@@ -18,7 +18,7 @@ from typing import Tuple
 
 import numpy as np
 
-from repro.errors import CodeConstructionError
+from repro.errors import CodeConstructionError, InvalidArgument
 from repro.ecc.base import DetectionOnlyCode
 from repro.ecc.vectorized import as_u64
 
@@ -93,7 +93,7 @@ class ResidueCode(DetectionOnlyCode):
             raise CodeConstructionError(
                 f"{modulus} is not a low-cost modulus (2**a - 1)")
         if data_bits <= 0:
-            raise ValueError(f"data_bits must be positive, got {data_bits}")
+            raise InvalidArgument(f"data_bits must be positive, got {data_bits}")
         self.modulus = modulus
         self.data_bits = data_bits
         self.check_bits = modulus.bit_length()

@@ -8,7 +8,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.compiler import (CodeMixProfiler, MixCounts, compile_for_scheme,
                             resilience_mode)
 from repro.ecc import SecDedDpSwap
-from repro.errors import CompilationError
+from repro.errors import CompilationError, InvalidArgument
 from repro.gpu import Device, ResilienceState, TimingParams, run_functional
 from repro.gpu.power import PowerEstimate, PowerModel
 from repro.workloads import WORKLOADS, WorkloadInstance, get_workload
@@ -89,7 +89,7 @@ def run_matrix(workloads: Sequence[str], schemes: Sequence[str],
 def slowdown(run: SchemeRun, baseline: SchemeRun) -> float:
     """Relative slowdown versus the un-duplicated program."""
     if baseline.cycles <= 0:
-        raise ValueError("baseline did not run")
+        raise InvalidArgument("baseline did not run")
     return run.cycles / baseline.cycles - 1.0
 
 

@@ -48,7 +48,8 @@ def run_injection_study(sample_count: int = 1000,
                         shards: Optional[int] = None,
                         fabric_dir: Optional[str] = None,
                         lease_ttl_s: float = 30.0,
-                        steal: bool = True) -> InjectionStudy:
+                        steal: bool = True,
+                        bundle_dir: Optional[str] = None) -> InjectionStudy:
     """Run the six-unit campaign and fold in every Figure 11 code.
 
     ``journal_path``/``journal_fsync``/``engine_config`` flow to the
@@ -66,7 +67,9 @@ def run_injection_study(sample_count: int = 1000,
     (:mod:`repro.inject.fabric`): leased shard processes under
     ``fabric_dir``, heartbeat-TTL work stealing (``steal``,
     ``lease_ttl_s``), crash-tolerant coordination, and a deterministic
-    merge of the per-shard journals.
+    merge of the per-shard journals.  ``bundle_dir`` exports a
+    deterministic repro bundle (:mod:`repro.bundle`) for every terminal
+    failure.
     """
     campaigns = run_full_campaign(sample_count, site_count, seed, trace,
                                   units, journal_path=journal_path,
@@ -74,7 +77,8 @@ def run_injection_study(sample_count: int = 1000,
                                   engine_config=engine_config,
                                   supervisor=supervisor, salvage=salvage,
                                   shards=shards, fabric_dir=fabric_dir,
-                                  lease_ttl_s=lease_ttl_s, steal=steal)
+                                  lease_ttl_s=lease_ttl_s, steal=steal,
+                                  bundle_dir=bundle_dir)
     schemes = figure11_schemes()
     severity = {}
     risk = {}

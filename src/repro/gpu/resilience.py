@@ -154,6 +154,40 @@ class FaultPlan:
                 strike |= 1 << index
         return strike
 
+    def to_dict(self) -> Dict[str, object]:
+        """The JSON form of this plan (for journals and repro bundles)."""
+        return {
+            "cta_index": self.cta_index,
+            "warp_index": self.warp_index,
+            "occurrence": self.occurrence,
+            "lane": self.lane,
+            "bit": self.bit,
+            "where": self.where,
+            "bits": list(self.bits) if self.bits is not None else None,
+            "burst": self.burst,
+            "lanes": list(self.lanes) if self.lanes is not None else None,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "FaultPlan":
+        """Rebuild a plan from :meth:`to_dict` output.
+
+        ``__post_init__`` re-validates and re-normalises (lists back to
+        tuples), so ``FaultPlan.from_dict(plan.to_dict()) == plan`` and a
+        tampered payload fails loudly instead of striking elsewhere.
+        """
+        known = {name: payload.get(name) for name in (
+            "cta_index", "warp_index", "occurrence", "lane", "bit")}
+        missing = [name for name, value in known.items() if value is None]
+        if missing:
+            raise FaultModelError(
+                f"fault-plan payload is missing fields: {missing}")
+        return cls(where=payload.get("where", "result"),
+                   bits=payload.get("bits"),
+                   burst=payload.get("burst", 1),
+                   lanes=payload.get("lanes"),
+                   **known)
+
 
 @dataclass
 class DetectionEvent:

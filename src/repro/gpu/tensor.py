@@ -53,7 +53,7 @@ uint32, predicates ``(8, trials * 32)`` bool, per-trial counters are
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
 import numpy as np
@@ -197,21 +197,29 @@ class TrialBatch:
         self.live = np.ones(trials, dtype=bool)
         self.lanes_live = np.ones(trials * WARP_SIZE, dtype=bool)
         self.outcomes: List[Optional[str]] = [None] * trials
+        #: why a trial fell back to the scalar oracle (None for trials
+        #: that got a tensor verdict): ``divergent_barrier``,
+        #: ``union_error``, or ``union_deadlock``
+        self.fallback_reasons: List[Optional[str]] = [None] * trials
         self.steps = np.zeros(trials, dtype=np.int64)
 
-    def finish(self, trial: int, outcome: str) -> None:
+    def finish(self, trial: int, outcome: str,
+               reason: Optional[str] = None) -> None:
         """Terminate ``trial`` with ``outcome``; its lanes vanish batch-wide."""
         if not self.live[trial]:
             return
         self.live[trial] = False
         self.outcomes[trial] = outcome
+        if outcome == TRIAL_FALLBACK:
+            self.fallback_reasons[trial] = reason
         base = trial * WARP_SIZE
         self.lanes_live[base:base + WARP_SIZE] = False
 
-    def finish_live(self, outcome: str) -> None:
+    def finish_live(self, outcome: str,
+                    reason: Optional[str] = None) -> None:
         """Terminate every still-running trial with ``outcome``."""
         for trial in np.nonzero(self.live)[0]:
-            self.finish(int(trial), outcome)
+            self.finish(int(trial), outcome, reason)
 
     def tick(self, trial_active: np.ndarray) -> None:
         """Account one executed step for the active, still-live trials.
@@ -576,7 +584,8 @@ class TrialWarp(Warp):
         arrived = active.reshape(self.trials, WARP_SIZE).any(axis=1)
         divergent = alive_trials & ~arrived & self.batch.live
         for trial in np.nonzero(divergent)[0]:
-            self.batch.finish(int(trial), TRIAL_FALLBACK)
+            self.batch.finish(int(trial), TRIAL_FALLBACK,
+                              reason="divergent_barrier")
         self.at_barrier = True
 
     def _exec_shfl(self, instruction: Instruction,
@@ -693,6 +702,9 @@ class TrialRunResult:
     states: List[ResilienceState]
     steps: np.ndarray
     memory: TrialMemory
+    #: per-trial fallback attribution (``divergent_barrier`` /
+    #: ``union_error`` / ``union_deadlock``; None for decided trials)
+    fallback_reasons: List[Optional[str]] = field(default_factory=list)
 
 
 def run_trials(kernel: Kernel, launch: LaunchConfig, image: np.ndarray,
@@ -747,13 +759,14 @@ def run_trials(kernel: Kernel, launch: LaunchConfig, image: np.ndarray,
             # A union-level failure (unimplemented opcode, deadlock
             # shape the shared stack cannot attribute): hand every
             # still-running trial to the scalar oracle.
-            batch.finish_live(TRIAL_FALLBACK)
+            batch.finish_live(TRIAL_FALLBACK, reason="union_error")
             break
     for trial in range(trials):
         if batch.outcomes[trial] is None:
             batch.outcomes[trial] = TRIAL_OK
     return TrialRunResult(outcomes=batch.outcomes, states=states,
-                          steps=batch.steps, memory=memory)
+                          steps=batch.steps, memory=memory,
+                          fallback_reasons=batch.fallback_reasons)
 
 
 def _run_cta(kernel: Kernel, launch: LaunchConfig, cta_index: int,
@@ -804,5 +817,6 @@ def _run_cta(kernel: Kernel, launch: LaunchConfig, cta_index: int,
             if not released:
                 # The union deadlocked; per-trial attribution is not
                 # sound here, so every live trial goes to the oracle.
-                batch.finish_live(TRIAL_FALLBACK)
+                batch.finish_live(TRIAL_FALLBACK,
+                                  reason="union_deadlock")
                 return

@@ -85,7 +85,9 @@ def run_full_campaign(sample_count: int = 1000,
                       fabric_dir: Optional[str] = None,
                       lease_ttl_s: float = 30.0,
                       steal: bool = True,
-                      fabric_config=None) -> Dict[str, CampaignResult]:
+                      fabric_config=None,
+                      bundle_dir: Optional[str] = None
+                      ) -> Dict[str, CampaignResult]:
     """Campaigns for every Figure 10 unit, keyed by unit name.
 
     Runs through the resilient campaign engine: each unit sweeps in a
@@ -135,6 +137,11 @@ def run_full_campaign(sample_count: int = 1000,
     ``fabric_config`` for fleet-level knobs (replicated mode, global
     Wilson early-stop); ``supervisor`` is ignored in fabric mode —
     every shard runs under its own supervisor.
+
+    ``bundle_dir`` names a directory where every terminal failure —
+    crashed/hung/quarantined units, lease-grant refusals, merge
+    conflicts — exports a deterministic repro bundle
+    (:mod:`repro.bundle`) alongside the campaign journal.
     """
     import dataclasses
 
@@ -144,13 +151,16 @@ def run_full_campaign(sample_count: int = 1000,
     if engine_config is None:
         engine_config = EngineConfig(
             batch_size=sample_count, max_batches=1, ci_half_width=None,
-            timeout_s=None, journal_fsync=journal_fsync, salvage=salvage)
+            timeout_s=None, journal_fsync=journal_fsync, salvage=salvage,
+            bundle_dir=bundle_dir)
     else:
         overrides = {}
         if journal_fsync and not engine_config.journal_fsync:
             overrides["journal_fsync"] = True
         if salvage and not engine_config.salvage:
             overrides["salvage"] = True
+        if bundle_dir is not None and engine_config.bundle_dir is None:
+            overrides["bundle_dir"] = bundle_dir
         if overrides:
             engine_config = dataclasses.replace(engine_config, **overrides)
     work = [gate_work_unit(name, site_count=site_count, seed=seed + index,
@@ -167,7 +177,7 @@ def run_full_campaign(sample_count: int = 1000,
         if fabric_config is None:
             fabric_config = FabricConfig(
                 shards=shards, lease_ttl_s=lease_ttl_s, steal=steal,
-                engine=engine_config)
+                engine=engine_config, bundle_dir=bundle_dir)
         fabric_report = run_fabric_campaign(work, fabric_dir,
                                             fabric_config)
         merged = merged_gate_results(fabric_report.report)

@@ -45,8 +45,8 @@ from typing import Any, Callable, Dict, List, Optional, Sequence
 
 import multiprocessing
 
-from repro.errors import (HangError, InjectionError, ResourceExhausted,
-                          SimulationError)
+from repro.errors import (ContainmentViolation, HangError, InjectionError,
+                          ReproError, ResourceExhausted, SimulationError)
 from repro.inject.campaign import run_unit_campaign
 from repro.inject.classify import detection_outcomes
 from repro.inject.hamartia import CampaignResult, merge_results
@@ -204,6 +204,12 @@ class EngineConfig:
     #: bad record (deterministic seeds re-derive the lost batches);
     #: default False raises on any CRC/index/decode failure
     salvage: bool = False
+    #: directory to export :mod:`repro.bundle` repro bundles into when a
+    #: unit terminally fails or a certification comes back FAILED (None
+    #: disables capture); deliberately absent from :meth:`to_dict` — it
+    #: is an operator-side diagnostic sink, not a statistical knob, so
+    #: resumed campaigns may point it anywhere
+    bundle_dir: Optional[str] = None
 
     def __post_init__(self):
         if self.batch_size < 1:
@@ -296,6 +302,16 @@ class CampaignReport:
     drain_reason: str = ""
     #: unit ids a drain prevented from starting, in campaign order
     pending: List[str] = field(default_factory=list)
+    #: every typed ``journal_salvaged`` event behind this campaign — a
+    #: salvage-mode open truncated complete records away (each entry
+    #: carries ``dropped_records``, ``last_good_rix``, ``corrupt_line``)
+    salvage_events: List[Dict[str, Any]] = field(default_factory=list)
+
+    @property
+    def salvaged_records(self) -> int:
+        """Total journal records lost to salvage truncations."""
+        return sum(event.get("dropped_records", 0)
+                   for event in self.salvage_events)
 
     @property
     def completed(self) -> List[str]:
@@ -340,6 +356,22 @@ def register_unit_kind(kind: str, runner: Callable,
     if kind in _RUNNERS and not replace:
         raise InjectionError(f"unit kind {kind!r} already registered")
     _RUNNERS[kind] = runner
+
+
+def unit_runner(kind: str) -> Callable:
+    """The registered batch runner for ``kind``.
+
+    The lookup :func:`repro.bundle.replay` uses to re-execute a bundled
+    batch inline: a unit-batch bundle names its kind in the trial spec,
+    and the replay engine resolves it here rather than pickling the
+    callable into the bundle.
+    """
+    runner = _RUNNERS.get(kind)
+    if runner is None:
+        raise InjectionError(
+            f"unknown unit kind {kind!r}; registered kinds: "
+            f"{sorted(_RUNNERS)}")
+    return runner
 
 
 def _empty_counts() -> Dict[str, int]:
@@ -450,6 +482,7 @@ def _run_trials_tensor(instance, kernel, launch, plans, fresh_state,
     trials = 0
     successes = 0
     fallbacks = 0
+    fallback_reasons: Dict[str, int] = {}
     # Swap schemes are immutable after construction (per-trial state
     # lives in ResilienceState/TaintTracker), so one codec instance
     # serves every trial — constructing one per trial would dominate
@@ -465,6 +498,11 @@ def _run_trials_tensor(instance, kernel, launch, plans, fresh_state,
             state = result.states[index]
             if outcome == "fallback":
                 fallbacks += 1
+                reasons = getattr(result, "fallback_reasons", None) or []
+                reason = (reasons[index] if index < len(reasons)
+                          else None) or "unattributed"
+                fallback_reasons[reason] = \
+                    fallback_reasons.get(reason, 0) + 1
                 state = fresh_state(plan)
                 outcome, memory = _scalar_gpu_trial(
                     kernel, launch, instance, state, max_steps)
@@ -477,8 +515,16 @@ def _run_trials_tensor(instance, kernel, launch, plans, fresh_state,
                                               verify)
             trials += t_inc
             successes += s_inc
+    payload: Dict[str, Any] = {"executor": "tensor",
+                               "fallbacks": fallbacks}
+    if fallback_reasons:
+        # Per-cause attribution (divergent_barrier / union_error /
+        # union_deadlock) so campaign reports show *why* the batched
+        # path punted trials to the scalar oracle.
+        payload["fallback_reasons"] = dict(sorted(
+            fallback_reasons.items()))
     return {"trials": trials, "successes": successes, "counts": counts,
-            "payload": {"executor": "tensor", "fallbacks": fallbacks}}
+            "payload": payload}
 
 
 def run_gpu_batch(params: Dict[str, Any], context: Any,
@@ -622,10 +668,20 @@ def run_gpu_recovery_batch(params: Dict[str, Any], context: Any,
         instance = get_workload(params["workload"]).build(
             scale=params.get("scale", 0.25),
             seed=params.get("build_seed", 1))
-    scheme = params.get("compile_scheme", "swap-ecc")
-    compiled = compile_for_scheme(instance.kernel, instance.launch, scheme)
+    tamper = params.get("tamper")
+    if tamper is not None:
+        # a deliberately mis-scheduled pass (repro.compiler.tamper):
+        # how the acceptance tests prove the auditor catches late checks
+        from repro.compiler.tamper import compile_tampered
+        compiled = compile_tampered(instance.kernel, tamper)
+        mode = params.get("mode", "swdup")
+        scheme = None
+    else:
+        scheme = params.get("compile_scheme", "swap-ecc")
+        compiled = compile_for_scheme(instance.kernel, instance.launch,
+                                      scheme)
+        mode = resilience_mode(scheme)
     launch = compiled.adjust_launch(instance.launch)
-    mode = resilience_mode(scheme)
     code = params.get("code", "secded-dp")
     where = params.get("where", "result")
     persistent = params.get("persistent", False)
@@ -645,7 +701,7 @@ def run_gpu_recovery_batch(params: Dict[str, Any], context: Any,
     total_instructions = 0
     detections = 0
     audits = 0
-    for _ in range(batch.size):
+    for trial_index in range(batch.size):
         plan = FaultPlan(
             cta_index=rng.randrange(instance.launch.grid_ctas),
             warp_index=rng.randrange(instance.launch.warps_per_cta),
@@ -665,8 +721,21 @@ def run_gpu_recovery_batch(params: Dict[str, Any], context: Any,
                 fault=fault)
 
         auditor = ContainmentAuditor(compiled.kernel, launch)
-        report = run_with_ladder(compiled.kernel, launch, instance.memory,
-                                 make_state, config=ladder, auditor=auditor)
+        try:
+            report = run_with_ladder(compiled.kernel, launch,
+                                     instance.memory, make_state,
+                                     config=ladder, auditor=auditor)
+        except ContainmentViolation as exc:
+            # enrich the auditor's diagnosis with the exact trial inputs
+            # so the engine-side capture hook can export a bundle that
+            # replays this one strike from the manifest alone
+            context = dict(getattr(exc, "context", {}) or {})
+            context.update({
+                "seed": batch.seed, "batch": batch.index,
+                "trial": trial_index, "plan": plan.to_dict()})
+            if isinstance(params.get("workload"), str):
+                context["workload"] = params["workload"]
+            raise ContainmentViolation(str(exc), context=context) from exc
         total_instructions += report.total_instructions
         replayed_instructions += report.replayed_instructions
         detections += report.detections
@@ -712,6 +781,12 @@ def run_certify_batch(params: Dict[str, Any], context: Any,
     from repro.certify import Certifier, certify_scheme
     mode = params.get("mode", "fast")
     prebuilt = context.get("scheme") if isinstance(context, dict) else None
+    if prebuilt is None and params.get("tamper") is not None:
+        # a JSON tamper spec survives the journal (unlike a prebuilt
+        # scheme object), so tampered certification units resume and
+        # export as repro bundles like any other
+        from repro.certify.tamper import build_tampered_scheme
+        prebuilt = build_tampered_scheme(params["tamper"])
     if prebuilt is not None:
         certificate = Certifier(mode=mode, seed=batch.seed).certify(
             prebuilt, name=params.get("scheme"))
@@ -1026,10 +1101,20 @@ def _heartbeat_loop(conn, interval: float) -> None:
         pass
 
 
-def _failure(exc: BaseException) -> Dict[str, str]:
-    """The JSON-serializable failure description shipped to the engine."""
-    return {"message": f"{type(exc).__name__}: {exc}",
-            "traceback": _traceback.format_exc()}
+def _failure(exc: BaseException) -> Dict[str, Any]:
+    """The JSON-serializable failure description shipped to the engine.
+
+    :class:`~repro.errors.ReproError` failures additionally carry their
+    full typed record (code, severity, recoverable, context), so the
+    engine-side bundle capture and quarantine dead-letters keep the
+    structured diagnosis, not just the formatted message.
+    """
+    failure: Dict[str, Any] = {
+        "message": f"{type(exc).__name__}: {exc}",
+        "traceback": _traceback.format_exc()}
+    if isinstance(exc, ReproError):
+        failure["error"] = exc.to_record()
+    return failure
 
 
 def _worker_entry(runner, params, context, batch, queue, budget=None,
@@ -1169,10 +1254,14 @@ class CampaignEngine:
                                         pending)
         finally:
             journal.close()
+        salvage_events = list(state.salvage_events)
+        if journal.salvage_event is not None:
+            salvage_events.append(journal.salvage_event)
         return CampaignReport(units=reports, journal_path=journal_path,
                               paused=paused,
                               drain_reason=self._drain_reason(),
-                              pending=pending)
+                              pending=pending,
+                              salvage_events=salvage_events)
 
     # -- supervisor plumbing -----------------------------------------------
 
@@ -1318,6 +1407,8 @@ class CampaignEngine:
                               payload.get("payload"))
                 if payload.get("payload") is not None:
                     payloads.append(payload["payload"])
+                    self._capture_certificate(unit, batch,
+                                              payload["payload"])
                 batches_done += 1
                 continue
             # every attempt of this batch failed
@@ -1346,7 +1437,146 @@ class CampaignEngine:
                                      failure_log)
         else:
             journal.unit_done(unit.unit_id, status, report.summary())
+        if report.failed and status != "paused":
+            out_dir = self.config.bundle_dir
+            point = f"engine.{status}"
+            if status == "quarantined" and self.supervisor is not None \
+                    and self.supervisor.config.bundle_dir is not None:
+                out_dir = self.supervisor.config.bundle_dir
+                point = "supervisor.quarantine"
+            self._capture_failure_bundle(unit, batch, status, failure_log,
+                                         state, out_dir, point)
         return report
+
+    def _capture_certificate(self, unit: WorkUnit, batch: BatchSpec,
+                             payload: Any) -> None:
+        """Export a repro bundle for a FAILED certificate (best-effort).
+
+        A violated guarantee never crashes the batch — the certificate
+        rides along as an ordinary payload — so the capture hook watches
+        completed certify batches rather than the failure path.
+        """
+        if self.config.bundle_dir is None or unit.kind != "certify":
+            return
+        if not isinstance(payload, dict) or payload.get("passed", True):
+            return
+        try:
+            from repro.bundle import capture_bundle, certificate_outcome
+            from repro.errors import ClaimViolation
+            outcome = certificate_outcome(payload)
+            error = ClaimViolation(outcome["message"],
+                                   context=outcome["context"])
+            trial: Dict[str, Any] = {
+                "kind": "certify",
+                "scheme": unit.params.get("scheme"),
+                "mode": unit.params.get("mode", "fast"),
+                "seed": batch.seed,
+                "certificate_schema": payload.get("version"),
+            }
+            if unit.params.get("tamper") is not None:
+                trial["tamper"] = unit.params["tamper"]
+            capture_bundle(
+                error, capture_point="engine.certify",
+                out_dir=self.config.bundle_dir, trial=trial,
+                seed=batch.seed, outcome=outcome, scheme=payload)
+        except Exception:
+            pass  # a lost bundle must never take down the campaign
+
+    def _capture_failure_bundle(self, unit: WorkUnit, batch: BatchSpec,
+                                status: str,
+                                failure_log: List[Dict[str, Any]],
+                                state: JournalState,
+                                out_dir: Optional[str] = None,
+                                capture_point: Optional[str] = None,
+                                ) -> None:
+        """Export a repro bundle for a terminally failed unit.
+
+        Containment violations from gpu-recovery units (whose enriched
+        context carries the exact :class:`FaultPlan`) become replayable
+        ``ladder`` bundles with a scalar/tensor cross-check spec; every
+        other failure becomes a ``unit-batch`` bundle that re-runs the
+        recorded batch runner inline.  Best-effort: capture never raises
+        over the failure it records.
+        """
+        if out_dir is None:
+            out_dir = self.config.bundle_dir
+        if capture_point is None:
+            capture_point = f"engine.{status}"
+        if out_dir is None:
+            return
+        try:
+            from repro.bundle import capture_bundle
+            record = None
+            for entry in reversed(failure_log):
+                if isinstance(entry.get("error"), dict):
+                    record = entry["error"]
+                    break
+            if record is None:
+                # an untyped failure: no registered code to match on, so
+                # the replay compares message fingerprints alone
+                record = {"code": None,
+                          "message": failure_log[-1].get("detail", status)
+                          if failure_log else status,
+                          "severity": "degraded", "recoverable": False,
+                          "context": {}}
+            context = dict(record.get("context") or {})
+            params = unit.params
+            plan = context.get("plan")
+            fault_plan = plan if isinstance(plan, dict) else None
+            if fault_plan is not None and unit.kind == "gpu-recovery" \
+                    and isinstance(params.get("workload"), str):
+                trial = self._ladder_trial(params, context)
+                workload = {"workload": params["workload"],
+                            "scale": params.get("scale", 0.25),
+                            "build_seed": params.get("build_seed", 1)}
+            else:
+                trial = {"kind": "unit-batch", "unit_kind": unit.kind,
+                         "params": dict(params),
+                         "batch": {"index": batch.index,
+                                   "size": batch.size,
+                                   "seed": batch.seed}}
+                workload = None
+            capture_bundle(
+                record, capture_point=capture_point, out_dir=out_dir,
+                trial=trial, seed=batch.seed, fault_plan=fault_plan,
+                workload=workload,
+                journal_records=state.batches.get(unit.unit_id, []))
+        except Exception:
+            pass  # a lost bundle must never take down the campaign
+
+    @staticmethod
+    def _ladder_trial(params: Dict[str, Any],
+                      context: Dict[str, Any]) -> Dict[str, Any]:
+        """The replayable single-trial spec behind a ladder failure."""
+        overlay = {key: context[key] for key in
+                   ("seed", "batch", "trial", "plan", "workload")
+                   if key in context}
+        trial: Dict[str, Any] = {
+            "kind": "ladder",
+            "workload": params["workload"],
+            "scale": params.get("scale", 0.25),
+            "build_seed": params.get("build_seed", 1),
+            "code": params.get("code", "secded-dp"),
+            "persistent": params.get("persistent", False),
+            "ladder": {
+                "max_cta_replays": params.get("max_cta_replays", 1),
+                "max_kernel_replays": params.get("max_kernel_replays", 2),
+                "max_steps": params.get("max_steps", 2_000_000),
+                "max_warp_steps": params.get("max_warp_steps"),
+            },
+            "context": overlay,
+        }
+        rebuild = {"workload": trial["workload"], "scale": trial["scale"],
+                   "build_seed": trial["build_seed"], "code": trial["code"],
+                   "max_steps": trial["ladder"]["max_steps"]}
+        if params.get("tamper") is not None:
+            trial["tamper"] = rebuild["tamper"] = params["tamper"]
+            trial["mode"] = rebuild["mode"] = params.get("mode", "swdup")
+        else:
+            trial["compile_scheme"] = rebuild["compile_scheme"] = \
+                params.get("compile_scheme", "swap-ecc")
+        trial["cross_check"] = rebuild
+        return trial
 
     def _interval_tight_enough(self, successes: int, trials: int) -> bool:
         config = self.config
@@ -1379,11 +1609,17 @@ class CampaignEngine:
             outcome, payload = self._run_batch_once(runner, unit, batch)
             if outcome in ("ok", "paused"):
                 return outcome, payload, attempts, failures
-            failures.append({
+            failure = {
                 "batch": batch.index, "attempt": attempts,
                 "outcome": outcome,
                 "detail": _failure_detail(payload),
-                "traceback": _failure_traceback(payload)})
+                "traceback": _failure_traceback(payload)}
+            if isinstance(payload, dict) and \
+                    isinstance(payload.get("error"), dict):
+                # keep the typed ReproError record (code, severity,
+                # context) alongside the formatted message
+                failure["error"] = payload["error"]
+            failures.append(failure)
             retryable = outcome in ("error", "crashed",
                                     "resource_exhausted") or \
                 (outcome == "hung" and config.retry_on_hang)

@@ -51,7 +51,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Set
 
-from repro.errors import (FabricError, LeaseExpired, StaleFencingToken)
+from repro.errors import (FabricError, LeaseExpired, MergeConflict,
+                          StaleFencingToken)
 from repro.inject.engine import (CampaignEngine, EngineConfig, WilsonEstimate,
                                  WorkUnit, shard_work_unit, wilson_interval)
 from repro.inject.journal import Journal, JournalCursor, _scan_journal
@@ -128,6 +129,10 @@ class FabricConfig:
     start_method: str = "fork"
     #: hook SIGTERM/SIGINT on the coordinator into a fleet-wide drain
     install_signal_handlers: bool = True
+    #: directory terminal fabric failures (lost leases with stealing
+    #: off, poison shards, merge conflicts) are exported to as
+    #: :mod:`repro.bundle` repro bundles (None = no capture)
+    bundle_dir: Optional[str] = None
 
     def __post_init__(self):
         if self.shards < 1:
@@ -386,16 +391,20 @@ class CampaignFabric:
         if previous is not None:
             if not self.config.steal and \
                     previous.reason not in self._BENIGN_EXPIRY:
-                raise FabricError(
+                raise self._captured_lease_failure(FabricError(
                     f"shard {shard!r} lost lease token {previous.token} "
                     f"({previous.reason or 'expired'}) and work stealing "
-                    f"is disabled (steal=False)")
+                    f"is disabled (steal=False)",
+                    context={"shard": shard, "token": previous.token}),
+                    shard)
             if self.table.token(shard) >= self.config.max_lease_attempts:
-                raise FabricError(
+                raise self._captured_lease_failure(FabricError(
                     f"shard {shard!r} exhausted its "
                     f"{self.config.max_lease_attempts} lease attempts; "
                     f"poison shard — inspect its lease journals under "
-                    f"{self.fabric_dir!r}")
+                    f"{self.fabric_dir!r}",
+                    context={"shard": shard,
+                             "token": self.table.token(shard)}), shard)
         lease = self.table.grant(shard)
         journal_path = self._lease_journal(shard, lease.token)
         self._journal.append({
@@ -422,6 +431,61 @@ class CampaignFabric:
     def _watch(self, journal_path: str) -> None:
         if journal_path not in self._cursors:
             self._cursors[journal_path] = JournalCursor(journal_path)
+
+    # -- repro-bundle capture ----------------------------------------------
+
+    def _captured_lease_failure(self, error: FabricError,
+                                shard: str) -> FabricError:
+        """Export the shard's durable lease state as a repro bundle.
+
+        A lease failure is timing-dependent and cannot re-run, but its
+        *residue* — what actually reached the shard's lease journals —
+        is deterministic, so the bundle freezes those journals and a
+        ``journal-verify`` trial matches their digest on replay.
+        Best-effort; always returns ``error`` so callers can
+        ``raise self._captured_lease_failure(...)`` in one expression.
+        """
+        if self.config.bundle_dir is None:
+            return error
+        try:
+            from repro.bundle import capture_bundle, journal_digest
+            paths = []
+            token = 1
+            while True:
+                path = self._lease_journal(shard, token)
+                if not os.path.exists(path):
+                    break
+                paths.append(path)
+                token += 1
+            if not paths:
+                return error
+            outcome = {"code": error.code,
+                       "journals": journal_digest(paths)}
+            capture_bundle(
+                error, capture_point="fabric.lease",
+                out_dir=self.config.bundle_dir,
+                trial={"kind": "journal-verify"}, outcome=outcome,
+                journal_files={os.path.basename(path): path
+                               for path in paths})
+        except Exception:
+            pass  # a lost bundle must never mask the lease failure
+        return error
+
+    def _capture_merge_conflict(self, error: MergeConflict) -> None:
+        """Export every fabric journal plus a re-runnable merge trial."""
+        if self.config.bundle_dir is None:
+            return
+        try:
+            from repro.bundle import capture_bundle, merge_outcome
+            paths = fabric_journal_paths(self.fabric_dir)
+            capture_bundle(
+                error, capture_point="fabric.merge",
+                out_dir=self.config.bundle_dir, trial={"kind": "merge"},
+                outcome=merge_outcome(error),
+                journal_files={os.path.basename(path): path
+                               for path in paths})
+        except Exception:
+            pass  # a lost bundle must never mask the merge conflict
 
     def _reap(self, shard: str) -> None:
         """Settle a shard process that exited."""
@@ -571,9 +635,13 @@ class CampaignFabric:
             time.sleep(self.config.poll_interval_s)
 
     def _merge(self):
-        merged = merge_shard_journals(
-            fabric_journal_paths(self.fabric_dir), z=self.config.z,
-            stopped_globally=self._stopped_globally)
+        try:
+            merged = merge_shard_journals(
+                fabric_journal_paths(self.fabric_dir), z=self.config.z,
+                stopped_globally=self._stopped_globally)
+        except MergeConflict as exc:
+            self._capture_merge_conflict(exc)
+            raise
         merged_path = self._path(self.MERGED_REPORT)
         write_merged_report(merged, merged_path)
         # paused covers shards that drained *between* units too — their

@@ -77,6 +77,9 @@ class _ScanResult:
     truncate_at: Optional[int] = None
     #: 1-based line number where a salvage stop happened, if any
     salvaged_line: Optional[int] = None
+    #: journal lines lost to a salvage truncation (the bad line plus
+    #: everything after it; 0 when no salvage stop happened)
+    dropped_lines: int = 0
     #: whether the file's last byte is a newline (safe to append after)
     ends_with_newline: bool = True
 
@@ -100,6 +103,10 @@ def _scan_journal(path: str, salvage: bool = False,
             if pending is not None:
                 if not _scan_line(path, result, salvage, absorb,
                                   *pending, is_last=False):
+                    # salvage stop: tally what the truncation costs (the
+                    # bad line itself plus every line after it)
+                    result.dropped_lines = 1 + (1 if raw.strip() else 0) \
+                        + sum(1 for rest in handle if rest.strip())
                     return result
             pending = (number, offset, raw)
             offset += len(raw)
@@ -177,6 +184,11 @@ class Journal:
         fresh = not os.path.exists(path) or os.path.getsize(path) == 0
         self._rix = 0
         needs_newline = False
+        #: the typed ``journal_salvaged`` event this writer appended when
+        #: opening truncated complete records away (None = clean open or
+        #: only a torn final line, which costs nothing)
+        self.salvage_event: Optional[Dict[str, Any]] = None
+        salvage_event: Optional[Dict[str, Any]] = None
         if not fresh:
             scan = self._validate_existing(salvage)
             self._rix = scan.records
@@ -184,12 +196,24 @@ class Journal:
                 os.truncate(path, scan.truncate_at)
             elif not scan.ends_with_newline:
                 needs_newline = True
+            if scan.salvaged_line is not None:
+                salvage_event = {
+                    "dropped_records": scan.dropped_lines,
+                    "last_good_rix": scan.records - 1,
+                    "corrupt_line": scan.salvaged_line}
         self._handle = open(path, "a", encoding="utf-8")
         if needs_newline:
             self._handle.write("\n")
         if fresh:
             self.append({"type": "campaign", "version": JOURNAL_VERSION,
                          **self.header})
+        elif salvage_event is not None:
+            # a durable account of the data loss: how many records the
+            # truncation dropped and where the replayable prefix ends,
+            # so reports (and merges) can surface the salvage instead of
+            # silently re-deriving the lost batches
+            self.salvage_event = dict(salvage_event)
+            self.append({"type": "journal_salvaged", **salvage_event})
 
     def _validate_existing(self, salvage: bool) -> _ScanResult:
         header: List[Dict[str, Any]] = []
@@ -286,6 +310,7 @@ class NullJournal(Journal):
         self.path = None
         self.fsync = False
         self.header = {}
+        self.salvage_event = None
 
     def append(self, record: Dict[str, Any]) -> None:
         pass
@@ -319,6 +344,9 @@ class JournalState:
     corrupt_lines: int = 0
     #: 1-based line where a salvage load stopped replaying, if it did
     salvaged_line: Optional[int] = None
+    #: every typed ``journal_salvaged`` record (a prior writer truncated
+    #: complete records away), in journal order
+    salvage_events: List[Dict[str, Any]] = field(default_factory=list)
 
     @classmethod
     def load(cls, path: str, salvage: bool = False) -> "JournalState":
@@ -361,6 +389,8 @@ class JournalState:
             self.quarantined.setdefault(unit, record)
         elif kind == "campaign_paused":
             self.pauses.append(record)
+        elif kind == "journal_salvaged":
+            self.salvage_events.append(record)
 
     def next_batch_index(self, unit_id: str) -> int:
         """First batch index not yet journaled for ``unit_id``."""

@@ -160,6 +160,7 @@ def merge_shard_journals(paths: List[str], z: float = 1.96,
     unit_batches: Dict[str, Dict[int, Dict[str, Any]]] = {}
     unit_done: Dict[str, Dict[str, Any]] = {}
 
+    salvage_events: List[Dict[str, Any]] = []
     for state in states:
         shard, token = _journal_sort_key(state)
         source = sources.setdefault(shard, ShardSource(shard=shard))
@@ -167,6 +168,7 @@ def merge_shard_journals(paths: List[str], z: float = 1.96,
         source.paths.append(state.path)
         source.corrupt_lines += state.corrupt_lines
         source.drained = source.drained or bool(state.pauses)
+        salvage_events.extend(state.salvage_events)
         for unit_id, started in state.started.items():
             if unit_id not in unit_started:
                 unit_order.append(unit_id)
@@ -201,7 +203,8 @@ def merge_shard_journals(paths: List[str], z: float = 1.96,
             unit_batches.get(unit_id, {}), unit_done.get(unit_id),
             stopped_globally, z)
     paused = any(report.status == "paused" for report in units.values())
-    report = CampaignReport(units=units, journal_path=None, paused=paused)
+    report = CampaignReport(units=units, journal_path=None, paused=paused,
+                            salvage_events=salvage_events)
     return MergedCampaign(report=report, sources=sources,
                           stopped_globally=stopped_globally, z=z)
 

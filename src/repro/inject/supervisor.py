@@ -228,6 +228,10 @@ class SupervisorConfig:
     #: hook SIGTERM/SIGINT while the supervisor is active (skipped
     #: automatically off the main thread, where CPython forbids it)
     install_signal_handlers: bool = True
+    #: directory quarantine dead-letters are exported to as
+    #: :mod:`repro.bundle` repro bundles (None = no capture; takes
+    #: precedence over the engine's own ``bundle_dir`` for quarantines)
+    bundle_dir: Optional[str] = None
     #: which signals request a drain
     signals: Tuple[int, ...] = (signal.SIGTERM, signal.SIGINT)
 

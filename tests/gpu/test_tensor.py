@@ -304,3 +304,72 @@ class TestIndexedWords:
         words = _IndexedWords()
         with pytest.raises(KeyError):
             words.pop((1, 1))
+
+
+class TestFallbackAttribution:
+    def test_divergent_barrier_reason_is_per_trial(self):
+        kernel = assemble("skipbar", SKIPPED_BARRIER)
+        launch = LaunchConfig(1, 32)
+        image = np.zeros(32, dtype=np.uint32)
+        plan = FaultPlan(cta_index=0, warp_index=0, occurrence=1, lane=0,
+                         bit=4, bits=(4,), lanes=tuple(range(32)),
+                         where="result")
+        states = [ResilienceState(), ResilienceState(fault=plan),
+                  ResilienceState()]
+        result = run_trials(kernel, launch, image, states)
+        assert result.outcomes == [TRIAL_OK, TRIAL_FALLBACK, TRIAL_OK]
+        # only the struck trial carries a reason; decided trials stay None
+        assert result.fallback_reasons == [None, "divergent_barrier",
+                                           None]
+
+    def test_finish_live_attributes_union_reasons(self):
+        from repro.gpu.tensor import TrialBatch
+        batch = TrialBatch(3, max_steps=100)
+        batch.finish(0, TRIAL_OK)
+        batch.finish_live(TRIAL_FALLBACK, reason="union_deadlock")
+        assert batch.fallback_reasons == [None, "union_deadlock",
+                                          "union_deadlock"]
+        # a non-fallback outcome never records a reason
+        assert batch.outcomes == [TRIAL_OK, TRIAL_FALLBACK,
+                                  TRIAL_FALLBACK]
+
+    def test_engine_payload_tallies_reasons(self):
+        """run_gpu_batch(tensor=True) surfaces a per-reason tally in its
+        campaign payload when any trial fell back."""
+        from repro.gpu import tensor as tensor_module
+        from repro.inject.engine import _run_trials_tensor
+
+        original = tensor_module.run_trials
+
+        def forced_fallback(kernel, launch, image, states, **kwargs):
+            result = original(kernel, launch, image, states, **kwargs)
+            for index in range(len(result.outcomes)):
+                result.outcomes[index] = TRIAL_FALLBACK
+                result.fallback_reasons[index] = (
+                    "divergent_barrier" if index % 2 else "union_error")
+            return result
+
+        instance = get_workload("saxpy").build(scale=0.25, seed=11)
+        plans = []
+        rng = random.Random(5)
+        for _ in range(4):
+            plans.append(FaultPlan(
+                cta_index=0, warp_index=0,
+                occurrence=rng.randrange(1, 4),
+                lane=rng.randrange(32), bit=rng.randrange(32),
+                where="result"))
+
+        def fresh_state(plan, shared=None):
+            return ResilienceState(fault=plan)
+
+        tensor_module.run_trials = forced_fallback
+        try:
+            report = _run_trials_tensor(
+                instance, instance.kernel, instance.launch, plans,
+                fresh_state, max_steps=200_000, trial_batch=4)
+        finally:
+            tensor_module.run_trials = original
+        payload = report["payload"]
+        assert payload["fallbacks"] == 4
+        assert payload["fallback_reasons"] == {
+            "divergent_barrier": 2, "union_error": 2}

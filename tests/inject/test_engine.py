@@ -565,3 +565,40 @@ class TestBenchmarkScale:
         for result in report.units.values():
             assert result.estimate.half_width <= 0.03 or \
                 result.batches == 10
+
+
+class TestSalvagedRecordsSurface:
+    def test_salvage_count_reaches_campaign_report(self, tmp_path):
+        """A corrupt journal resumed with salvage=True reports exactly
+        how many journal records the truncation cost."""
+        journal = str(tmp_path / "journal.jsonl")
+        unit = WorkUnit("u", "tally", {})
+        with open(journal, "w") as handle:
+            for record in (
+                    {"type": "campaign", "version": 1},
+                    {"type": "unit_started", "unit": "u", "kind": "tally",
+                     "params": unit.params},
+                    {"type": "batch", "unit": "u", "index": 0, "trials": 4,
+                     "successes": 4, "counts": {"due": 4}, "attempts": 1}):
+                handle.write(json.dumps(record) + "\n")
+            handle.write("<<not json>>\n")
+            handle.write(json.dumps(
+                {"type": "batch", "unit": "u", "index": 1, "trials": 4,
+                 "successes": 4, "counts": {"due": 4},
+                 "attempts": 1}) + "\n")
+        report = CampaignEngine(quick_config(
+            max_batches=3, salvage=True)).run([unit], journal)
+        # the garbage line and the batch after it were both dropped
+        assert report.salvaged_records == 2
+        assert len(report.salvage_events) == 1
+        assert report.salvage_events[0]["last_good_rix"] == 2
+        # the dropped batch was re-derived, not lost
+        assert report.units["u"].status == "completed"
+        assert report.units["u"].trials == 12
+
+    def test_clean_run_reports_zero_salvaged(self, tmp_path):
+        journal = str(tmp_path / "journal.jsonl")
+        report = CampaignEngine(quick_config()).run(
+            [WorkUnit("u", "tally", {})], journal)
+        assert report.salvaged_records == 0
+        assert report.salvage_events == []

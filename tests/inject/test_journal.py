@@ -324,3 +324,45 @@ class TestWriterValidation:
         state = JournalState.load(str(path))
         assert state.corrupt_lines == 0
         assert state.next_batch_index("u") == 2
+
+
+class TestSalvageEvent:
+    """salvage=True truncation is a *typed, journaled* event (not just a
+    silent repair): the writer appends a ``journal_salvaged`` record
+    naming what was lost, and replays absorb it for campaign reports."""
+
+    def _corrupted(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        _sample_journal(path)
+        _flip_line(path, 4, b'"successes": 1', b'"successes": 6')
+        return path
+
+    def test_salvage_writer_records_the_loss(self, tmp_path):
+        path = self._corrupted(tmp_path)
+        with Journal(str(path), salvage=True) as journal:
+            # lines 4..6 were cut; the last surviving record was rix 2
+            assert journal.salvage_event == {
+                "dropped_records": 3, "last_good_rix": 2,
+                "corrupt_line": 4}
+        records = [json.loads(line) for line in open(path)]
+        event = [record for record in records
+                 if record["type"] == "journal_salvaged"]
+        assert len(event) == 1
+        assert event[0]["dropped_records"] == 3
+        assert event[0]["last_good_rix"] == 2
+
+    def test_replay_absorbs_salvage_events(self, tmp_path):
+        path = self._corrupted(tmp_path)
+        with Journal(str(path), salvage=True):
+            pass
+        state = JournalState.load(str(path))
+        assert len(state.salvage_events) == 1
+        assert state.salvage_events[0]["dropped_records"] == 3
+
+    def test_clean_journal_has_no_salvage_event(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        _sample_journal(path)
+        with Journal(str(path), salvage=True) as journal:
+            assert journal.salvage_event is None
+        state = JournalState.load(str(path))
+        assert state.salvage_events == []
