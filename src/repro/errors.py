@@ -507,3 +507,80 @@ class MergeConflict(InjectionError):
     code = "journal.merge_conflict"
     severity = "fatal"
     recoverable = False
+
+
+class FabricConfigError(FabricError):
+    """A fabric/coordinator configuration violates a timing invariant.
+
+    The typed form of fabric misconfiguration: a lease TTL that does not
+    clear the heartbeat interval by the renewal safety factor, stealing
+    enabled with a non-positive TTL (which would self-steal live
+    shards), a non-positive shard count.  ``config`` because retrying
+    without changing the configuration can never succeed — distinct
+    from :class:`FabricError`'s ``degraded`` runtime failures.
+    """
+
+    code = "inject.fabric_config"
+    severity = "config"
+    recoverable = False
+
+
+class TransportError(ReproError):
+    """A coordinator/worker transport operation failed.
+
+    The umbrella code for message-transport faults: a send against a
+    torn-down endpoint, a socket error mid-write, an attach against a
+    listener that is gone.  ``transient`` because the designed response
+    is the worker's capped-backoff reconnect loop — the lease/fencing
+    layer makes a retried attach safe.
+    """
+
+    code = "transport.failure"
+    severity = "transient"
+    recoverable = True
+
+
+class TransportClosed(TransportError):
+    """The peer closed the connection (or the transport was shut down).
+
+    Raised by ``recv`` when the stream ends and by ``send`` on a closed
+    connection.  Under chaos or a coordinator restart this is the
+    *expected* signal driving the worker's reconnect loop, so it stays
+    ``transient``/recoverable like the lease-expiry family.
+    """
+
+    code = "transport.closed"
+    severity = "transient"
+    recoverable = True
+
+
+class FrameError(TransportError):
+    """A transport frame failed its structural or CRC32 check.
+
+    A torn length prefix, a CRC mismatch, an oversized frame, or a
+    payload that is not a canonical-JSON object.  The connection that
+    produced it can no longer be trusted to be in sync and is closed;
+    recovery is a fresh connection (and fencing re-validation), hence
+    ``transient``.
+    """
+
+    code = "transport.bad_frame"
+    severity = "transient"
+    recoverable = True
+
+
+class ProtocolError(FabricError):
+    """A peer spoke the coordinator protocol inconsistently.
+
+    Raised (and exported as a repro bundle) when a message contradicts
+    the protocol's idempotence contract — e.g. two progress messages for
+    the same ``(unit, batch index)`` carrying different counts, or a
+    grant acceptance for a shard the coordinator never planned.  Unlike
+    a stale token (an expected race, acknowledged-and-dropped), this
+    means some peer is corrupting state: ``fatal``, stop trusting the
+    conflicting shard's stream.
+    """
+
+    code = "coordinator.protocol"
+    severity = "fatal"
+    recoverable = False

@@ -86,7 +86,8 @@ def run_full_campaign(sample_count: int = 1000,
                       lease_ttl_s: float = 30.0,
                       steal: bool = True,
                       fabric_config=None,
-                      bundle_dir: Optional[str] = None
+                      bundle_dir: Optional[str] = None,
+                      service: bool = False
                       ) -> Dict[str, CampaignResult]:
     """Campaigns for every Figure 10 unit, keyed by unit name.
 
@@ -142,6 +143,15 @@ def run_full_campaign(sample_count: int = 1000,
     crashed/hung/quarantined units, lease-grant refusals, merge
     conflicts — exports a deterministic repro bundle
     (:mod:`repro.bundle`) alongside the campaign journal.
+
+    ``service=True`` (with ``shards``/``fabric_config``) runs the
+    sharded campaign through the network-attached coordinator
+    (:mod:`repro.inject.coordinator`) instead of the forking fabric:
+    shard workers attach over an in-process message transport, lease
+    shards under the same fencing tokens, and the merged report is
+    byte-identical to the forking deployment.  Requires
+    ``trace=None`` — service-mode work units ship over the transport
+    and must be context-free.
     """
     import dataclasses
 
@@ -178,8 +188,13 @@ def run_full_campaign(sample_count: int = 1000,
             fabric_config = FabricConfig(
                 shards=shards, lease_ttl_s=lease_ttl_s, steal=steal,
                 engine=engine_config, bundle_dir=bundle_dir)
-        fabric_report = run_fabric_campaign(work, fabric_dir,
-                                            fabric_config)
+        if service:
+            from repro.inject.coordinator import run_service_campaign
+            fabric_report = run_service_campaign(work, fabric_dir,
+                                                 fabric_config)
+        else:
+            fabric_report = run_fabric_campaign(work, fabric_dir,
+                                                fabric_config)
         merged = merged_gate_results(fabric_report.report)
         return {name: merged[name] for name in units if name in merged}
     supervisor = coerce_supervisor(supervisor)

@@ -1,0 +1,737 @@
+"""Network-attached campaign coordinator (jobs, grants, chaos-safe protocol).
+
+The forking :class:`~repro.inject.fabric.CampaignFabric` owns its shard
+holders: it spawns them, reads their heartbeat files, and reaps their
+exit codes.  :class:`CoordinatorService` decouples the two halves — the
+coordinator listens on a :mod:`repro.inject.transport` endpoint and any
+number of :class:`~repro.inject.worker.ShardWorker` processes *attach*
+over message-framed connections, lease shards, stream progress, and
+complete them.  Everything durable stays identical to the local fabric
+(same ``coordinator.jsonl``, same per-lease shard journals, same
+salvage-aware deterministic merge), which is what makes the merged
+report byte-identical between the two deployments.
+
+**The protocol is idempotent under at-least-once delivery.**  The
+transport may drop, duplicate, reorder, or delay any frame (that is
+exactly what :class:`~repro.inject.transport.ChaosTransport` does in the
+tests), so every message is safe to re-deliver:
+
+* every worker request carries a ``req`` nonce; replies echo it in
+  ``re`` so a worker can discard stale replies after a resend;
+* every shard-scoped message carries the shard id **and the fencing
+  token**; anything under a superseded token is rejected with the same
+  :class:`~repro.errors.StaleFencingToken` /
+  :class:`~repro.errors.LeaseExpired` semantics as the
+  :class:`~repro.inject.lease.LeaseTable` itself;
+* a duplicated ``attach`` from a worker that already holds an active
+  lease re-sends the *same* grant (no token bump — the reply, not the
+  request, was lost);
+* a duplicated ``complete`` for an already-completed lease is
+  acknowledged and dropped;
+* ``progress`` events are absorbed into the global Wilson estimator
+  keyed by ``(unit, batch index)`` — the same dedup the merge applies —
+  so replays never double-count.
+
+Message kinds (worker → coordinator): ``attach``, ``reattach``,
+``heartbeat``, ``progress``, ``complete``, ``goodbye``.  Coordinator →
+worker: ``grant``, ``wait``, ``done``, ``drain``, ``ok``, ``reject``.
+
+A ``progress`` frame also carries a batch *fingerprint*; if two holders
+ever report conflicting counts for the same ``(unit, index)`` the
+coordinator raises :class:`~repro.errors.ProtocolError`, exports the
+offending frame as a repro bundle, and keeps serving — the terminal
+merge (which would raise the same conflict from the journals) stays the
+authority on counts.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import queue
+import time
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import (FabricConfigError, FabricError, ProtocolError,
+                          StaleFencingToken, LeaseExpired, TransportClosed,
+                          FrameError)
+from repro.inject.engine import WorkUnit
+from repro.inject.fabric import (CampaignFabric, FabricConfig, FabricReport,
+                                 _GlobalEstimator, build_plan,
+                                 capture_lease_failure, finalize_fabric_merge,
+                                 lease_header, lease_journal_path,
+                                 record_or_check_plan,
+                                 replay_coordinator_state)
+from repro.inject.journal import (Journal, JournalCursor, atomic_write_text)
+from repro.inject.lease import COMPLETED, LeaseTable, rebase_journal
+from repro.inject.merge import fabric_journal_paths
+
+#: how many frames one attachment may deliver per poll tick (fairness cap)
+_PUMP_BUDGET = 64
+
+
+def wire_unit(unit: WorkUnit) -> Dict[str, Any]:
+    """Encode one work unit for a grant frame (context-free by contract)."""
+    return {"unit_id": unit.unit_id, "kind": unit.kind,
+            "params": dict(unit.params)}
+
+
+def unwire_unit(encoded: Dict[str, Any]) -> WorkUnit:
+    """Decode a grant frame's work unit."""
+    return WorkUnit(unit_id=encoded["unit_id"], kind=encoded["kind"],
+                    params=dict(encoded.get("params") or {}), context=None)
+
+
+def batch_fingerprint(record: Dict[str, Any]) -> str:
+    """The canonical identity of one batch record's counts.
+
+    Batches are pure functions of ``(unit params, batch index)``, so two
+    honest holders always produce the same fingerprint for the same key;
+    a mismatch is evidence of divergent execution, not chaos.
+    """
+    return json.dumps(
+        {"trials": record.get("trials"),
+         "successes": record.get("successes"),
+         "counts": record.get("counts")},
+        sort_keys=True, separators=(",", ":"))
+
+
+class _Attachment:
+    """One live worker connection and what the coordinator granted it."""
+
+    def __init__(self, conn):
+        self.conn = conn
+        self.worker: Optional[str] = None
+        #: (shard, token) of the grant this attachment currently holds;
+        #: kept so a duplicated attach re-sends the same grant instead
+        #: of burning a fencing token on a lost reply
+        self.granted: Optional[Tuple[str, int]] = None
+
+
+class JobHandle:
+    """A submitted job: a live event stream plus the eventual report.
+
+    Events are plain dicts with an ``event`` key (``job_started``,
+    ``lease_granted``, ``progress``, ``lease_expired``,
+    ``lease_completed``, ``lease_paused``, ``lease_rejected``,
+    ``protocol_conflict``, ``worker_reattached``, ``drain``,
+    ``global_stop``, ``job_done``, ``job_failed``) — the observable
+    per-shard progress stream the CLI renders.
+    """
+
+    _TERMINAL = ("job_done", "job_failed")
+
+    def __init__(self, service: "CoordinatorService"):
+        self._service = service
+        self._queue: "queue.Queue[Dict[str, Any]]" = queue.Queue()
+
+    def _push(self, event: Dict[str, Any]) -> None:
+        self._queue.put(event)
+
+    def events(self, timeout: Optional[float] = None):
+        """Yield events until the job ends (or ``timeout`` of silence)."""
+        while True:
+            try:
+                event = self._queue.get(timeout=timeout)
+            except queue.Empty:
+                return
+            yield event
+            if event.get("event") in self._TERMINAL:
+                return
+
+    def drain_events(self) -> List[Dict[str, Any]]:
+        """Every event queued so far, without blocking."""
+        drained: List[Dict[str, Any]] = []
+        while True:
+            try:
+                drained.append(self._queue.get_nowait())
+            except queue.Empty:
+                return drained
+
+    @property
+    def result(self) -> Optional[FabricReport]:
+        """The merged report once :meth:`CoordinatorService.serve` returns."""
+        return self._service._result
+
+
+class CoordinatorService:
+    """Job-oriented coordinator for workers attaching over a transport.
+
+    Single-threaded poll loop, same cadence and exit conditions as
+    :meth:`CampaignFabric._loop`; the only concurrency is the transport
+    itself (worker pump threads on the other end of each connection).
+    Durable layout under ``fabric_dir`` is identical to the local
+    fabric, so resuming a service job with ``CampaignFabric`` — or the
+    other way around — is supported by construction.
+    """
+
+    def __init__(self, fabric_dir: str,
+                 config: Optional[FabricConfig] = None,
+                 listener=None):
+        self.config = config if config is not None else FabricConfig()
+        self.fabric_dir = fabric_dir
+        self.listener = listener
+        self.table = LeaseTable(ttl_s=self.config.lease_ttl_s)
+        self.plan: Dict[str, List[WorkUnit]] = {}
+        self._attachments: List[_Attachment] = []
+        self._cursors: Dict[str, JournalCursor] = {}
+        self._paused_shards: Set[str] = set()
+        self._fingerprints: Dict[Tuple[str, int], str] = {}
+        self._estimator = _GlobalEstimator(
+            self.config.global_ci_half_width,
+            self.config.global_min_trials, self.config.z)
+        self._stopped_globally = False
+        self._drain_reason = ""
+        self._drain_requested: Optional[str] = None
+        self._drain_announced = False
+        self._journal: Optional[Journal] = None
+        self._job: Optional[JobHandle] = None
+        self._result: Optional[FabricReport] = None
+
+    # -- job API -----------------------------------------------------------
+
+    def submit(self, units: Sequence[WorkUnit]) -> JobHandle:
+        """Plan a campaign as this service's job (one job per service)."""
+        if self._job is not None:
+            raise FabricConfigError(
+                "coordinator service already has a submitted job; "
+                "start a fresh service per job")
+        for unit in units:
+            if unit.context is not None:
+                raise FabricConfigError(
+                    f"work unit {unit.unit_id!r} carries a non-wire "
+                    f"context; service mode ships units over the "
+                    f"transport, so units must be context-free "
+                    f"(context=None)")
+        self.plan = build_plan(units, self.config)
+        self._job = JobHandle(self)
+        return self._job
+
+    def run_job(self, units: Sequence[WorkUnit]) -> FabricReport:
+        """Submit + serve in one call (the CLI entry point)."""
+        self.submit(units)
+        return self.serve()
+
+    def request_drain(self, reason: str = "drain requested") -> None:
+        """Ask the serve loop to drain the fleet (thread-safe)."""
+        if self._drain_requested is None:
+            self._drain_requested = reason
+
+    # -- paths / helpers ---------------------------------------------------
+
+    def _path(self, name: str) -> str:
+        return os.path.join(self.fabric_dir, name)
+
+    def _emit(self, event: str, **fields: Any) -> None:
+        if self._job is not None:
+            self._job._push({"event": event, **fields})
+
+    def _watch(self, journal_path: str) -> None:
+        if journal_path not in self._cursors:
+            self._cursors[journal_path] = JournalCursor(journal_path)
+
+    def _open_shards(self) -> List[str]:
+        return [shard for shard in self.plan
+                if not self.table.completed(shard)
+                and shard not in self._paused_shards]
+
+    # -- serve loop --------------------------------------------------------
+
+    def serve(self) -> FabricReport:
+        """Serve the submitted job to attaching workers, then merge."""
+        if self._job is None:
+            raise FabricConfigError(
+                "no job submitted; call submit(units) before serve()")
+        os.makedirs(self.fabric_dir, exist_ok=True)
+        self._journal = Journal(self._path(CampaignFabric.COORDINATOR_JOURNAL),
+                                salvage=True,
+                                header={"role": "fabric-coordinator"})
+        try:
+            replay = replay_coordinator_state(
+                self._path(CampaignFabric.COORDINATOR_JOURNAL), self.table)
+            record_or_check_plan(self._journal, replay["planned"],
+                                 self.plan, self.config.mode,
+                                 self.fabric_dir)
+            if replay["global_stop"] is not None:
+                self._stopped_globally = True
+                self._set_drain(replay["global_stop"].get(
+                    "reason", "global early-stop"))
+            for path in fabric_journal_paths(self.fabric_dir):
+                self._watch(path)
+            self._emit("job_started", shards=sorted(self.plan),
+                       mode=self.config.mode)
+            self._loop()
+            report = finalize_fabric_merge(
+                self.fabric_dir, z=self.config.z,
+                stopped_globally=self._stopped_globally, table=self.table,
+                plan=self.plan, paused_shards=self._paused_shards,
+                journal=self._journal, bundle_dir=self.config.bundle_dir)
+            self._result = report
+            self._emit("job_done", paused=report.paused,
+                       stopped_globally=report.stopped_globally,
+                       shard_status=dict(report.shard_status))
+            return report
+        except BaseException as exc:
+            self._emit("job_failed", error=str(exc),
+                       code=getattr(exc, "code", None))
+            raise
+        finally:
+            self._farewell()
+            self._journal.close()
+            self._journal = None
+
+    def _loop(self) -> None:
+        while True:
+            if self._drain_requested is not None:
+                self._set_drain(self._drain_requested)
+            if not self._open_shards():
+                return
+            if self._drain_reason and not self.table.active_shards():
+                return
+            self._accept_new()
+            self._pump()
+            self._expire_stalled()
+            self._tick_estimator()
+            time.sleep(self.config.poll_interval_s)
+
+    def _farewell(self) -> None:
+        """Best-effort goodbye so attached workers exit promptly."""
+        reason = "job finished" if self._result is not None \
+            else "coordinator stopped"
+        for att in list(self._attachments):
+            try:
+                att.conn.send({"type": "done", "reason": reason})
+            except (TransportClosed, FrameError, OSError):
+                pass
+            try:
+                att.conn.close()
+            except OSError:
+                pass
+        self._attachments.clear()
+
+    # -- transport plumbing ------------------------------------------------
+
+    def _accept_new(self) -> None:
+        if self.listener is None:
+            return
+        while True:
+            try:
+                conn = self.listener.accept(timeout=0)
+            except TransportClosed:
+                return
+            if conn is None:
+                return
+            self._attachments.append(_Attachment(conn))
+
+    def _pump(self) -> None:
+        for att in list(self._attachments):
+            for _ in range(_PUMP_BUDGET):
+                try:
+                    message = att.conn.recv(timeout=0)
+                except (TransportClosed, FrameError):
+                    self._detach(att)
+                    break
+                if message is None:
+                    break
+                self._handle(att, message)
+                if att not in self._attachments:
+                    break
+
+    def _detach(self, att: _Attachment) -> None:
+        """Drop a dead connection; its lease stays and the TTL decides."""
+        try:
+            att.conn.close()
+        except OSError:
+            pass
+        if att in self._attachments:
+            self._attachments.remove(att)
+
+    def _send(self, att: _Attachment, message: Dict[str, Any]) -> bool:
+        try:
+            att.conn.send(message)
+            return True
+        except (TransportClosed, FrameError):
+            self._detach(att)
+            return False
+
+    # -- message handlers --------------------------------------------------
+
+    def _handle(self, att: _Attachment, message: Dict[str, Any]) -> None:
+        kind = message.get("type")
+        if kind == "attach":
+            self._handle_attach(att, message)
+        elif kind == "reattach":
+            self._handle_reattach(att, message)
+        elif kind == "heartbeat":
+            self._handle_heartbeat(att, message)
+        elif kind == "progress":
+            self._handle_progress(att, message)
+        elif kind == "complete":
+            self._handle_complete(att, message)
+        elif kind == "goodbye":
+            self._detach(att)
+        # unknown kinds are ignored: an older coordinator must not die
+        # on a newer worker's optional extensions
+
+    def _grant_message(self, shard: str, token: int,
+                       req: Any) -> Dict[str, Any]:
+        return {
+            "type": "grant", "re": req, "shard": shard, "token": token,
+            "units": [wire_unit(unit) for unit in self.plan[shard]],
+            "journal": lease_journal_path(self.fabric_dir, shard, token),
+            "header": lease_header(shard, token, len(self.plan)),
+            "engine": self.config.shard_engine_config().to_dict(),
+            "heartbeat_interval_s": self.config.heartbeat_interval_s}
+
+    def _handle_attach(self, att: _Attachment,
+                       message: Dict[str, Any]) -> None:
+        req = message.get("req")
+        att.worker = message.get("worker") or att.worker
+        if self._drain_reason:
+            self._send(att, {"type": "drain", "re": req,
+                             "reason": self._drain_reason})
+            return
+        if att.granted is not None:
+            # Duplicated attach (the grant reply was lost): re-send the
+            # same grant while its lease is still current — burning a
+            # token here would turn every dropped reply into a steal.
+            shard, token = att.granted
+            lease = self.table.current(shard)
+            if lease is not None and lease.active and \
+                    lease.token == token:
+                self._send(att, self._grant_message(shard, token, req))
+                return
+            att.granted = None
+        open_shards = self._open_shards()
+        if not open_shards:
+            self._send(att, {"type": "done", "re": req,
+                             "reason": "all shards completed"})
+            return
+        grantable = [shard for shard in open_shards
+                     if self.table.current(shard) is None
+                     or not self.table.current(shard).active]
+        if not grantable:
+            self._send(att, {"type": "wait", "re": req,
+                             "retry_s": max(
+                                 self.config.poll_interval_s * 4,
+                                 self.config.heartbeat_interval_s)})
+            return
+        self._grant(att, grantable[0], req)
+
+    def _grant(self, att: _Attachment, shard: str, req: Any) -> None:
+        previous = self.table.current(shard)
+        if previous is not None:
+            if not self.config.steal and previous.reason \
+                    not in CampaignFabric._BENIGN_EXPIRY:
+                raise capture_lease_failure(FabricError(
+                    f"shard {shard!r} lost lease token {previous.token} "
+                    f"({previous.reason or 'expired'}) and work stealing "
+                    f"is disabled (steal=False)",
+                    context={"shard": shard, "token": previous.token}),
+                    shard, self.fabric_dir, self.config.bundle_dir)
+            if self.table.token(shard) >= self.config.max_lease_attempts:
+                raise capture_lease_failure(FabricError(
+                    f"shard {shard!r} exhausted its "
+                    f"{self.config.max_lease_attempts} lease attempts; "
+                    f"poison shard — inspect its lease journals under "
+                    f"{self.fabric_dir!r}",
+                    context={"shard": shard,
+                             "token": self.table.token(shard)}),
+                    shard, self.fabric_dir, self.config.bundle_dir)
+        lease = self.table.grant(shard)
+        journal_path = lease_journal_path(self.fabric_dir, shard,
+                                          lease.token)
+        self._journal.append({
+            "type": "lease_granted", "shard": shard, "token": lease.token,
+            "ttl_s": lease.ttl_s,
+            "journal": os.path.basename(journal_path),
+            "worker": att.worker})
+        sources = [lease_journal_path(self.fabric_dir, shard, token)
+                   for token in range(1, lease.token)]
+        rebase_journal(sources, journal_path,
+                       header=lease_header(shard, lease.token,
+                                           len(self.plan)))
+        self._watch(journal_path)
+        att.granted = (shard, lease.token)
+        self._emit("lease_granted", shard=shard, token=lease.token,
+                   worker=att.worker)
+        self._send(att, self._grant_message(shard, lease.token, req))
+
+    def _handle_reattach(self, att: _Attachment,
+                         message: Dict[str, Any]) -> None:
+        req = message.get("req")
+        shard = message.get("shard")
+        token = int(message.get("token", 0))
+        att.worker = message.get("worker") or att.worker
+        try:
+            # the same gate renew/complete go through: current token of
+            # an active lease, or the holder has been superseded
+            self.table._checked(shard, token, "reattach")
+        except FabricError as exc:
+            self._send(att, {
+                "type": "reject", "for": "reattach", "re": req,
+                "shard": shard, "token": token, "code": exc.code,
+                "reason": str(exc)})
+            return
+        att.granted = (shard, token)
+        for other in self._attachments:
+            if other is not att and other.granted == (shard, token):
+                other.granted = None  # the old connection is superseded
+        self._send(att, {"type": "ok", "for": "reattach", "re": req,
+                         "shard": shard, "token": token})
+        if self._drain_reason:
+            self._send(att, {"type": "drain",
+                             "reason": self._drain_reason})
+        self._emit("worker_reattached", shard=shard, token=token,
+                   worker=att.worker)
+
+    def _handle_heartbeat(self, att: _Attachment,
+                          message: Dict[str, Any]) -> None:
+        shard = message.get("shard")
+        token = int(message.get("token", 0))
+        try:
+            self.table.renew(shard, token, int(message.get("beat", 0)))
+        except FabricError as exc:
+            # an active zombie: tell it immediately instead of letting
+            # it burn a full shard's work before the complete is refused
+            self._send(att, {
+                "type": "reject", "for": "heartbeat", "shard": shard,
+                "token": token, "code": exc.code, "reason": str(exc)})
+
+    def _handle_progress(self, att: _Attachment,
+                         message: Dict[str, Any]) -> None:
+        shard = message.get("shard")
+        unit = message.get("unit")
+        index = int(message.get("index", 0))
+        record = {"type": "batch", "unit": unit, "index": index,
+                  "trials": int(message.get("trials", 0)),
+                  "successes": int(message.get("successes", 0)),
+                  "counts": message.get("counts")}
+        fingerprint = batch_fingerprint(record)
+        key = (unit, index)
+        previous = self._fingerprints.get(key)
+        if previous is not None and previous != fingerprint:
+            self._protocol_conflict(att, message, key, previous,
+                                    fingerprint)
+            return
+        self._fingerprints[key] = fingerprint
+        # Absorption ignores token staleness on purpose: a zombie's
+        # batches are identical by determinism (the fingerprint above
+        # proves it), and the estimator dedupes by (unit, index) anyway.
+        self._estimator.absorb(record)
+        self._emit("progress", shard=shard, unit=unit, index=index,
+                   trials=record["trials"],
+                   successes=record["successes"])
+
+    def _protocol_conflict(self, att: _Attachment,
+                           message: Dict[str, Any],
+                           key: Tuple[str, int], expected: str,
+                           got: str) -> None:
+        """Divergent batch counts: bundle the evidence, reject, serve on."""
+        unit, index = key
+        error = ProtocolError(
+            f"conflicting progress for unit {unit!r} batch {index}: "
+            f"fingerprint {got} contradicts previously accepted "
+            f"{expected} — deterministic batches cannot diverge between "
+            f"honest holders",
+            context={"unit": unit, "batch": index,
+                     "shard": message.get("shard"),
+                     "token": int(message.get("token", 0))})
+        if self.config.bundle_dir is not None:
+            try:
+                from repro.bundle import capture_bundle, protocol_outcome
+                shard = message.get("shard")
+                journals = {
+                    os.path.basename(path): path
+                    for path in fabric_journal_paths(self.fabric_dir)
+                    if shard and os.path.basename(path).startswith(shard)}
+                capture_bundle(
+                    error, capture_point="coordinator.protocol",
+                    out_dir=self.config.bundle_dir,
+                    outcome=protocol_outcome(
+                        error, message=message,
+                        expected={"fingerprint": expected}),
+                    journal_files=journals or None)
+            except Exception:
+                pass  # a lost bundle must never mask the conflict
+        self._journal.append({
+            "type": "protocol_conflict", "shard": message.get("shard"),
+            "token": int(message.get("token", 0)), "unit": unit,
+            "index": index})
+        self._send(att, {
+            "type": "reject", "for": "progress",
+            "shard": message.get("shard"),
+            "token": int(message.get("token", 0)), "code": error.code,
+            "reason": str(error)})
+        self._emit("protocol_conflict", unit=unit, index=index,
+                   shard=message.get("shard"))
+
+    def _handle_complete(self, att: _Attachment,
+                         message: Dict[str, Any]) -> None:
+        req = message.get("req")
+        shard = message.get("shard")
+        token = int(message.get("token", 0))
+        paused = bool(message.get("paused", False))
+        ack = {"type": "ok", "for": "complete", "re": req,
+               "shard": shard, "token": token}
+        lease = self.table.current(shard)
+        accepted_already = lease is not None and lease.token == token \
+            and (lease.state == COMPLETED
+                 or (not lease.active and shard in self._paused_shards))
+        if accepted_already:
+            # Duplicated complete (at-least-once delivery): this exact
+            # transition was already accepted — acknowledge and drop.
+            # A lease that merely TTL-expired does NOT take this path:
+            # it falls through to the fencing gate and is rejected.
+            if att.granted == (shard, token):
+                att.granted = None
+            self._send(att, ack)
+            return
+        if paused and not self._stopped_globally:
+            # An interruption pause (not the global early-stop): release
+            # the lease cleanly so a resume re-grants it.  Pauses go
+            # through the same fencing gate as completions — a
+            # superseded or TTL-expired holder cannot even pause.
+            try:
+                self.table._checked(shard, token, "pause")
+            except FabricError as exc:
+                self._journal.append({
+                    "type": "lease_rejected", "shard": shard,
+                    "token": token, "code": exc.code,
+                    "reason": str(exc)})
+                if att.granted == (shard, token):
+                    att.granted = None
+                self._send(att, {
+                    "type": "reject", "for": "complete", "re": req,
+                    "shard": shard, "token": token, "code": exc.code,
+                    "reason": str(exc)})
+                self._emit("lease_rejected", shard=shard, token=token,
+                           code=exc.code)
+                return
+            self.table.expire(shard, "drained (paused)")
+            self._journal.append({"type": "lease_paused",
+                                  "shard": shard, "token": token})
+            self._paused_shards.add(shard)
+            if att.granted == (shard, token):
+                att.granted = None
+            self._send(att, ack)
+            self._emit("lease_paused", shard=shard, token=token)
+            return
+        try:
+            self.table.complete(shard, token)
+        except (StaleFencingToken, LeaseExpired) as exc:
+            self._journal.append({
+                "type": "lease_rejected", "shard": shard, "token": token,
+                "code": exc.code, "reason": str(exc)})
+            if att.granted == (shard, token):
+                att.granted = None
+            self._send(att, {
+                "type": "reject", "for": "complete", "re": req,
+                "shard": shard, "token": token, "code": exc.code,
+                "reason": str(exc)})
+            self._emit("lease_rejected", shard=shard, token=token,
+                       code=exc.code)
+            return
+        except FabricError as exc:
+            self._send(att, {
+                "type": "reject", "for": "complete", "re": req,
+                "shard": shard, "token": token, "code": exc.code,
+                "reason": str(exc)})
+            return
+        self._journal.append({"type": "lease_completed", "shard": shard,
+                              "token": token, "paused": paused})
+        if att.granted == (shard, token):
+            att.granted = None
+        self._send(att, ack)
+        self._emit("lease_completed", shard=shard, token=token,
+                   paused=paused)
+
+    # -- lease TTL / global stop -------------------------------------------
+
+    def _expire_stalled(self) -> None:
+        for shard in self.table.expired_shards():
+            lease = self.table.current(shard)
+            reason = (f"no heartbeat for {self.config.lease_ttl_s:.1f}s "
+                      f"(token {lease.token})")
+            self.table.expire(shard, reason)
+            self._journal.append({"type": "lease_expired", "shard": shard,
+                                  "token": lease.token, "reason": reason})
+            for att in self._attachments:
+                if att.granted == (shard, lease.token):
+                    att.granted = None
+            self._emit("lease_expired", shard=shard, token=lease.token,
+                       reason=reason)
+
+    def _tick_estimator(self) -> None:
+        for cursor in self._cursors.values():
+            for record in cursor.poll():
+                self._estimator.absorb(record)
+        if not self._stopped_globally and self._estimator.tight:
+            estimate = self._estimator.estimate
+            reason = (f"global early-stop: detection rate {estimate} "
+                      f"after {estimate.trials} fleet-wide trials")
+            self._stopped_globally = True
+            self._journal.append({
+                "type": "global_stop", "reason": reason,
+                "estimate": {
+                    "rate": estimate.rate, "low": estimate.low,
+                    "high": estimate.high, "trials": estimate.trials,
+                    "successes": estimate.successes}})
+            self._emit("global_stop", reason=reason,
+                       trials=estimate.trials)
+            self._set_drain(reason)
+
+    def _set_drain(self, reason: str) -> None:
+        if not self._drain_reason:
+            self._drain_reason = reason
+        drain_path = self._path(CampaignFabric.DRAIN_FILE)
+        if not os.path.exists(drain_path):
+            atomic_write_text(drain_path, self._drain_reason)
+        for att in list(self._attachments):
+            self._send(att, {"type": "drain",
+                             "reason": self._drain_reason})
+        if not self._drain_announced:
+            self._drain_announced = True
+            self._emit("drain", reason=self._drain_reason)
+
+
+def run_service_campaign(units: Sequence[WorkUnit], fabric_dir: str,
+                         config: Optional[FabricConfig] = None,
+                         worker_count: Optional[int] = None
+                         ) -> FabricReport:
+    """One-process service deployment: coordinator + attached workers.
+
+    The drop-in service twin of
+    :func:`~repro.inject.fabric.run_fabric_campaign`: same ``fabric_dir``
+    layout, same merged report bytes — but the shards run in
+    :class:`~repro.inject.worker.ShardWorker` threads attached over an
+    in-process transport instead of forked holder processes.  Mostly a
+    stepping stone to the socket deployment
+    (``examples/fabric_service.py``) and the chaos tests, where the
+    transport between the same two endpoints gets hostile.
+    """
+    from repro.inject.transport import InProcessTransport
+    from repro.inject.worker import ShardWorker, WorkerConfig
+    import threading
+
+    transport = InProcessTransport()
+    service = CoordinatorService(fabric_dir, config=config,
+                                 listener=transport)
+    service.submit(units)
+    count = worker_count if worker_count is not None \
+        else len(service.plan)
+    workers = [ShardWorker(transport.connect,
+                           worker_id=f"worker-{index:02d}",
+                           config=WorkerConfig(seed=index))
+               for index in range(max(1, count))]
+    threads = [threading.Thread(target=worker.run,
+                                name=worker.worker_id, daemon=True)
+               for worker in workers]
+    for thread in threads:
+        thread.start()
+    try:
+        return service.serve()
+    finally:
+        transport.close()
+        for thread in threads:
+            thread.join(timeout=30.0)

@@ -51,11 +51,12 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Set
 
-from repro.errors import (FabricError, LeaseExpired, MergeConflict,
-                          StaleFencingToken)
+from repro.errors import (FabricConfigError, FabricError, LeaseExpired,
+                          MergeConflict, StaleFencingToken)
 from repro.inject.engine import (CampaignEngine, EngineConfig, WilsonEstimate,
                                  WorkUnit, shard_work_unit, wilson_interval)
-from repro.inject.journal import Journal, JournalCursor, _scan_journal
+from repro.inject.journal import (Journal, JournalCursor, atomic_write_text,
+                                  _scan_journal)
 from repro.inject.lease import LeaseTable
 from repro.inject.lease import rebase_journal
 from repro.inject.merge import (MergedCampaign, fabric_journal_paths,
@@ -66,6 +67,11 @@ from repro.inject.supervisor import (CampaignSupervisor, SupervisorConfig,
 #: shard process exit codes the coordinator interprets
 _EXIT_COMPLETED = 0
 _EXIT_PAUSED = 3
+
+#: a lease TTL must clear the heartbeat interval by at least this factor
+#: so a single delayed/dropped beat (scheduler hiccup, chaos transport)
+#: cannot expire a healthy holder
+LEASE_TTL_SAFETY_FACTOR = 4.0
 
 
 def partition_units(units: Sequence[WorkUnit],
@@ -136,25 +142,39 @@ class FabricConfig:
 
     def __post_init__(self):
         if self.shards < 1:
-            raise FabricError(f"shards must be >= 1, got {self.shards}")
+            raise FabricConfigError(
+                f"shards must be >= 1, got {self.shards}")
         if self.mode not in ("partition", "replicate"):
-            raise FabricError(
+            raise FabricConfigError(
                 f"mode must be 'partition' or 'replicate', got "
                 f"{self.mode!r}")
         if self.lease_ttl_s <= 0:
-            raise FabricError(
-                f"lease_ttl_s must be positive, got {self.lease_ttl_s}")
-        if not 0 < self.heartbeat_interval_s < self.lease_ttl_s:
-            raise FabricError(
-                f"heartbeat_interval_s ({self.heartbeat_interval_s}) must "
-                f"be positive and below lease_ttl_s ({self.lease_ttl_s})")
+            # With steal=True a non-positive TTL would expire (and
+            # self-steal) every live shard on the first poll; refuse the
+            # configuration outright rather than thrash leases.
+            raise FabricConfigError(
+                f"lease_ttl_s must be positive, got {self.lease_ttl_s}"
+                + (" (stealing with a non-positive TTL would self-steal "
+                   "live shards)" if self.steal else ""))
+        if self.heartbeat_interval_s <= 0:
+            raise FabricConfigError(
+                f"heartbeat_interval_s must be positive, got "
+                f"{self.heartbeat_interval_s}")
+        if self.lease_ttl_s < \
+                LEASE_TTL_SAFETY_FACTOR * self.heartbeat_interval_s:
+            raise FabricConfigError(
+                f"lease_ttl_s ({self.lease_ttl_s}) must be at least "
+                f"{LEASE_TTL_SAFETY_FACTOR:g}x heartbeat_interval_s "
+                f"({self.heartbeat_interval_s}): a TTL that a single "
+                f"missed beat can lapse turns every scheduler hiccup "
+                f"into a lease steal")
         if self.max_lease_attempts < 1:
-            raise FabricError(
+            raise FabricConfigError(
                 f"max_lease_attempts must be >= 1, got "
                 f"{self.max_lease_attempts}")
         if self.global_ci_half_width is not None and \
                 self.global_ci_half_width <= 0:
-            raise FabricError(
+            raise FabricConfigError(
                 f"global_ci_half_width must be positive (or None), got "
                 f"{self.global_ci_half_width}")
 
@@ -222,6 +242,152 @@ class _GlobalEstimator:
         return self.estimate.half_width <= self.half_width
 
 
+def _shard_id(index: int) -> str:
+    return f"shard-{index:03d}"
+
+
+def lease_journal_path(fabric_dir: str, shard: str, token: int) -> str:
+    """The journal path of one lease grant (shared fabric naming)."""
+    return os.path.join(fabric_dir, f"{shard}.lease-{token:03d}.jsonl")
+
+
+def heartbeat_path(fabric_dir: str, shard: str) -> str:
+    """The heartbeat-file path of one shard (shared fabric naming)."""
+    return os.path.join(fabric_dir, f"{shard}.heartbeat")
+
+
+def lease_header(shard: str, token: int,
+                 shard_count: int) -> Dict[str, Any]:
+    """The shard-identity header every lease journal is stamped with."""
+    return {"role": "shard", "shard": shard, "token": token,
+            "shard_count": shard_count}
+
+
+def build_plan(units: Sequence[WorkUnit],
+               config: "FabricConfig") -> Dict[str, List[WorkUnit]]:
+    """Deterministically map a campaign onto named shards.
+
+    Shared by the forking :class:`CampaignFabric` and the
+    network-attached :class:`~repro.inject.coordinator.CoordinatorService`
+    so both produce the same shard ids for the same units — which is
+    what makes their merged reports byte-identical.
+    """
+    ids = [unit.unit_id for unit in units]
+    if len(set(ids)) != len(ids):
+        raise FabricError(f"duplicate unit ids in campaign: {ids}")
+    splitter = partition_units if config.mode == "partition" \
+        else replicate_units
+    buckets = splitter(units, config.shards)
+    plan = {_shard_id(index): bucket
+            for index, bucket in enumerate(buckets) if bucket}
+    if not plan:
+        raise FabricError("the campaign has no work units to shard")
+    return plan
+
+
+def replay_coordinator_state(path: str,
+                             table: LeaseTable) -> Dict[str, Any]:
+    """Rebuild lease/fencing/plan state from a coordinator journal.
+
+    Feeds every lease transition through ``table.apply_record`` (active
+    leases come back expired with reason ``coordinator restart``) and
+    returns the non-lease replay facts: the recorded plan, any global
+    stop, and whether the fabric already finished.
+    """
+    replay: Dict[str, Any] = {"planned": None, "global_stop": None,
+                              "done": False}
+
+    def absorb(record: Dict[str, Any]) -> None:
+        kind = record.get("type")
+        if kind == "fabric_planned" and replay["planned"] is None:
+            replay["planned"] = record
+        elif kind in ("lease_granted", "lease_expired",
+                      "lease_paused", "lease_completed"):
+            table.apply_record(record)
+        elif kind == "global_stop":
+            replay["global_stop"] = record
+        elif kind == "fabric_done":
+            replay["done"] = True
+
+    if os.path.exists(path) and os.path.getsize(path) > 0:
+        _scan_journal(path, salvage=True, absorb=absorb)
+    return replay
+
+
+def record_or_check_plan(journal: Journal,
+                         planned: Optional[Dict[str, Any]],
+                         plan: Dict[str, List[WorkUnit]], mode: str,
+                         fabric_dir: str) -> None:
+    """Journal a fresh plan, or refuse a resume against a changed one."""
+    current = {shard: [unit.unit_id for unit in units]
+               for shard, units in plan.items()}
+    if planned is None:
+        journal.append({"type": "fabric_planned", "mode": mode,
+                        "shard_count": len(plan), "shards": current})
+        return
+    recorded = planned.get("shards")
+    if recorded != current:
+        raise FabricError(
+            f"fabric dir {fabric_dir!r} was planned with shards "
+            f"{recorded!r}, which differ from {current!r}; use a "
+            f"fresh fabric dir for a reconfigured campaign")
+
+
+def capture_lease_failure(error: FabricError, shard: str,
+                          fabric_dir: str,
+                          bundle_dir: Optional[str]) -> FabricError:
+    """Export a shard's durable lease state as a repro bundle.
+
+    A lease failure is timing-dependent and cannot re-run, but its
+    *residue* — what actually reached the shard's lease journals — is
+    deterministic, so the bundle freezes those journals and a
+    ``journal-verify`` trial matches their digest on replay.
+    Best-effort; always returns ``error`` so callers can
+    ``raise capture_lease_failure(...)`` in one expression.
+    """
+    if bundle_dir is None:
+        return error
+    try:
+        from repro.bundle import capture_bundle, journal_digest
+        paths = []
+        token = 1
+        while True:
+            path = lease_journal_path(fabric_dir, shard, token)
+            if not os.path.exists(path):
+                break
+            paths.append(path)
+            token += 1
+        if not paths:
+            return error
+        outcome = {"code": error.code,
+                   "journals": journal_digest(paths)}
+        capture_bundle(
+            error, capture_point="fabric.lease", out_dir=bundle_dir,
+            trial={"kind": "journal-verify"}, outcome=outcome,
+            journal_files={os.path.basename(path): path
+                           for path in paths})
+    except Exception:
+        pass  # a lost bundle must never mask the lease failure
+    return error
+
+
+def capture_merge_conflict(error: MergeConflict, fabric_dir: str,
+                           bundle_dir: Optional[str]) -> None:
+    """Export every fabric journal plus a re-runnable merge trial."""
+    if bundle_dir is None:
+        return
+    try:
+        from repro.bundle import capture_bundle, merge_outcome
+        paths = fabric_journal_paths(fabric_dir)
+        capture_bundle(
+            error, capture_point="fabric.merge", out_dir=bundle_dir,
+            trial={"kind": "merge"}, outcome=merge_outcome(error),
+            journal_files={os.path.basename(path): path
+                           for path in paths})
+    except Exception:
+        pass  # a lost bundle must never mask the merge conflict
+
+
 def _shard_entry(shard: str, token: int, units: Sequence[WorkUnit],
                  journal_path: str, header: Dict[str, Any],
                  heartbeat_path: str, drain_path: str,
@@ -282,17 +448,8 @@ class CampaignFabric:
                  config: Optional[FabricConfig] = None):
         self.config = config if config is not None else FabricConfig()
         self.fabric_dir = fabric_dir
-        ids = [unit.unit_id for unit in units]
-        if len(set(ids)) != len(ids):
-            raise FabricError(f"duplicate unit ids in campaign: {ids}")
-        splitter = partition_units if self.config.mode == "partition" \
-            else replicate_units
-        buckets = splitter(units, self.config.shards)
-        self.plan: Dict[str, List[WorkUnit]] = {
-            _shard_id(index): bucket
-            for index, bucket in enumerate(buckets) if bucket}
-        if not self.plan:
-            raise FabricError("the campaign has no work units to shard")
+        self.plan: Dict[str, List[WorkUnit]] = build_plan(units,
+                                                          self.config)
         self.table = LeaseTable(ttl_s=self.config.lease_ttl_s)
         self.processes: Dict[str, Any] = {}
         self._process_tokens: Dict[str, int] = {}
@@ -313,14 +470,13 @@ class CampaignFabric:
         return os.path.join(self.fabric_dir, name)
 
     def _lease_journal(self, shard: str, token: int) -> str:
-        return self._path(f"{shard}.lease-{token:03d}.jsonl")
+        return lease_journal_path(self.fabric_dir, shard, token)
 
     def _heartbeat_path(self, shard: str) -> str:
-        return self._path(f"{shard}.heartbeat")
+        return heartbeat_path(self.fabric_dir, shard)
 
     def _lease_header(self, shard: str, token: int) -> Dict[str, Any]:
-        return {"role": "shard", "shard": shard, "token": token,
-                "shard_count": len(self.plan)}
+        return lease_header(shard, token, len(self.plan))
 
     # -- drain -------------------------------------------------------------
 
@@ -333,10 +489,7 @@ class CampaignFabric:
     def _broadcast_drain(self, reason: str) -> None:
         drain_path = self._path(self.DRAIN_FILE)
         if not os.path.exists(drain_path):
-            temp = f"{drain_path}.tmp.{os.getpid()}"
-            with open(temp, "w", encoding="utf-8") as handle:
-                handle.write(reason)
-            os.replace(temp, drain_path)
+            atomic_write_text(drain_path, reason)
 
     def _handle_signal(self, signum, frame) -> None:
         self.request_drain(f"signal {_signal.Signals(signum).name}")
@@ -345,40 +498,12 @@ class CampaignFabric:
 
     def _replay(self) -> Dict[str, Any]:
         """Rebuild lease/fencing/plan state from the coordinator journal."""
-        replay = {"planned": None, "global_stop": None, "done": False}
-
-        def absorb(record: Dict[str, Any]) -> None:
-            kind = record.get("type")
-            if kind == "fabric_planned" and replay["planned"] is None:
-                replay["planned"] = record
-            elif kind in ("lease_granted", "lease_expired",
-                          "lease_paused", "lease_completed"):
-                self.table.apply_record(record)
-            elif kind == "global_stop":
-                replay["global_stop"] = record
-            elif kind == "fabric_done":
-                replay["done"] = True
-
-        path = self._path(self.COORDINATOR_JOURNAL)
-        if os.path.exists(path) and os.path.getsize(path) > 0:
-            _scan_journal(path, salvage=True, absorb=absorb)
-        return replay
+        return replay_coordinator_state(
+            self._path(self.COORDINATOR_JOURNAL), self.table)
 
     def _check_plan(self, planned: Optional[Dict[str, Any]]) -> None:
-        current = {shard: [unit.unit_id for unit in units]
-                   for shard, units in self.plan.items()}
-        if planned is None:
-            self._journal.append({"type": "fabric_planned",
-                                  "mode": self.config.mode,
-                                  "shard_count": len(self.plan),
-                                  "shards": current})
-            return
-        recorded = planned.get("shards")
-        if recorded != current:
-            raise FabricError(
-                f"fabric dir {self.fabric_dir!r} was planned with shards "
-                f"{recorded!r}, which differ from {current!r}; use a "
-                f"fresh fabric dir for a reconfigured campaign")
+        record_or_check_plan(self._journal, planned, self.plan,
+                             self.config.mode, self.fabric_dir)
 
     # -- lease lifecycle ---------------------------------------------------
 
@@ -436,56 +561,12 @@ class CampaignFabric:
 
     def _captured_lease_failure(self, error: FabricError,
                                 shard: str) -> FabricError:
-        """Export the shard's durable lease state as a repro bundle.
-
-        A lease failure is timing-dependent and cannot re-run, but its
-        *residue* — what actually reached the shard's lease journals —
-        is deterministic, so the bundle freezes those journals and a
-        ``journal-verify`` trial matches their digest on replay.
-        Best-effort; always returns ``error`` so callers can
-        ``raise self._captured_lease_failure(...)`` in one expression.
-        """
-        if self.config.bundle_dir is None:
-            return error
-        try:
-            from repro.bundle import capture_bundle, journal_digest
-            paths = []
-            token = 1
-            while True:
-                path = self._lease_journal(shard, token)
-                if not os.path.exists(path):
-                    break
-                paths.append(path)
-                token += 1
-            if not paths:
-                return error
-            outcome = {"code": error.code,
-                       "journals": journal_digest(paths)}
-            capture_bundle(
-                error, capture_point="fabric.lease",
-                out_dir=self.config.bundle_dir,
-                trial={"kind": "journal-verify"}, outcome=outcome,
-                journal_files={os.path.basename(path): path
-                               for path in paths})
-        except Exception:
-            pass  # a lost bundle must never mask the lease failure
-        return error
+        return capture_lease_failure(error, shard, self.fabric_dir,
+                                     self.config.bundle_dir)
 
     def _capture_merge_conflict(self, error: MergeConflict) -> None:
-        """Export every fabric journal plus a re-runnable merge trial."""
-        if self.config.bundle_dir is None:
-            return
-        try:
-            from repro.bundle import capture_bundle, merge_outcome
-            paths = fabric_journal_paths(self.fabric_dir)
-            capture_bundle(
-                error, capture_point="fabric.merge",
-                out_dir=self.config.bundle_dir, trial={"kind": "merge"},
-                outcome=merge_outcome(error),
-                journal_files={os.path.basename(path): path
-                               for path in paths})
-        except Exception:
-            pass  # a lost bundle must never mask the merge conflict
+        capture_merge_conflict(error, self.fabric_dir,
+                               self.config.bundle_dir)
 
     def _reap(self, shard: str) -> None:
         """Settle a shard process that exited."""
@@ -635,40 +716,12 @@ class CampaignFabric:
             time.sleep(self.config.poll_interval_s)
 
     def _merge(self):
-        try:
-            merged = merge_shard_journals(
-                fabric_journal_paths(self.fabric_dir), z=self.config.z,
-                stopped_globally=self._stopped_globally)
-        except MergeConflict as exc:
-            self._capture_merge_conflict(exc)
-            raise
-        merged_path = self._path(self.MERGED_REPORT)
-        write_merged_report(merged, merged_path)
-        # paused covers shards that drained *between* units too — their
-        # unstarted work never reaches any journal, so the merged report
-        # alone cannot see it
-        paused = merged.report.paused or any(
-            not self.table.completed(shard) for shard in self.plan)
-        if not paused and self._journal is not None:
-            self._journal.append({
-                "type": "fabric_done",
-                "stopped_globally": self._stopped_globally,
-                "merged": os.path.basename(merged_path)})
-        status = {}
-        for shard in self.plan:
-            lease = self.table.current(shard)
-            if self.table.completed(shard):
-                status[shard] = "completed"
-            elif shard in self._paused_shards or paused:
-                status[shard] = "paused"
-            else:
-                status[shard] = lease.state if lease else "pending"
-        report = FabricReport(
-            merged=merged, fabric_dir=self.fabric_dir,
-            merged_report_path=merged_path, shard_status=status,
-            stopped_globally=self._stopped_globally, paused=paused,
-            estimate=merged.estimate)
-        return merged, report
+        report = finalize_fabric_merge(
+            self.fabric_dir, z=self.config.z,
+            stopped_globally=self._stopped_globally, table=self.table,
+            plan=self.plan, paused_shards=self._paused_shards,
+            journal=self._journal, bundle_dir=self.config.bundle_dir)
+        return report.merged, report
 
     def _terminate_all(self) -> None:
         for shard, process in list(self.processes.items()):
@@ -701,8 +754,51 @@ class CampaignFabric:
             _signal.signal(signum, handler)
 
 
-def _shard_id(index: int) -> str:
-    return f"shard-{index:03d}"
+def finalize_fabric_merge(fabric_dir: str, *, z: float,
+                          stopped_globally: bool, table: LeaseTable,
+                          plan: Dict[str, List[WorkUnit]],
+                          paused_shards: Set[str],
+                          journal: Optional[Journal],
+                          bundle_dir: Optional[str]) -> FabricReport:
+    """Merge every lease journal under ``fabric_dir`` into the artifact.
+
+    The shared tail of both coordinators (forking fabric and the
+    network-attached service): merge, write ``merged_report.json``,
+    decide paused-ness (a shard drained *between* units leaves nothing
+    in any journal, so the lease table has the only evidence), journal
+    ``fabric_done`` on full completion, and assemble the
+    :class:`FabricReport`.  A merge conflict is exported as a repro
+    bundle before it propagates.
+    """
+    try:
+        merged = merge_shard_journals(
+            fabric_journal_paths(fabric_dir), z=z,
+            stopped_globally=stopped_globally)
+    except MergeConflict as exc:
+        capture_merge_conflict(exc, fabric_dir, bundle_dir)
+        raise
+    merged_path = os.path.join(fabric_dir, CampaignFabric.MERGED_REPORT)
+    write_merged_report(merged, merged_path)
+    paused = merged.report.paused or any(
+        not table.completed(shard) for shard in plan)
+    if not paused and journal is not None:
+        journal.append({
+            "type": "fabric_done", "stopped_globally": stopped_globally,
+            "merged": os.path.basename(merged_path)})
+    status = {}
+    for shard in plan:
+        lease = table.current(shard)
+        if table.completed(shard):
+            status[shard] = "completed"
+        elif shard in paused_shards or paused:
+            status[shard] = "paused"
+        else:
+            status[shard] = lease.state if lease else "pending"
+    return FabricReport(
+        merged=merged, fabric_dir=fabric_dir,
+        merged_report_path=merged_path, shard_status=status,
+        stopped_globally=stopped_globally, paused=paused,
+        estimate=merged.estimate)
 
 
 def run_fabric_campaign(units: Sequence[WorkUnit], fabric_dir: str,

@@ -65,6 +65,25 @@ def _canonical(record: Dict[str, Any]) -> str:
     return json.dumps(record, sort_keys=True)
 
 
+def atomic_write_text(path: str, text: str, fsync: bool = True) -> None:
+    """Write ``text`` to ``path`` atomically (temp + ``os.replace``).
+
+    The shared primitive behind every small control file the fabric
+    readers poll concurrently — drain broadcasts, lease heartbeats: a
+    reader sees either the previous content or the new content, never a
+    torn write.  With ``fsync`` (the default) the data is flushed to
+    disk before the rename, so a crash straddling the replace cannot
+    publish an empty file under the final name.
+    """
+    temp = f"{path}.tmp.{os.getpid()}"
+    with open(temp, "w", encoding="utf-8") as handle:
+        handle.write(text)
+        if fsync:
+            handle.flush()
+            os.fsync(handle.fileno())
+    os.replace(temp, path)
+
+
 @dataclass
 class _ScanResult:
     """What one streaming pass over a journal file found."""

@@ -35,7 +35,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence
 
-from repro.errors import FabricError, LeaseExpired, StaleFencingToken
+from repro.errors import (FabricConfigError, FabricError, LeaseExpired,
+                          StaleFencingToken)
 from repro.inject.journal import Journal, _scan_journal
 
 #: lease lifecycle states
@@ -81,7 +82,8 @@ class LeaseTable:
 
     def __init__(self, ttl_s: float = 30.0):
         if ttl_s <= 0:
-            raise FabricError(f"lease ttl_s must be positive, got {ttl_s}")
+            raise FabricConfigError(
+                f"lease ttl_s must be positive, got {ttl_s}")
         self.ttl_s = ttl_s
         self._tokens: Dict[str, int] = {}
         self._leases: Dict[str, Lease] = {}

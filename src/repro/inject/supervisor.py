@@ -47,6 +47,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, Optional, Sequence, Tuple, Union
 
 from repro.errors import InjectionError, ResourceExhausted
+from repro.inject.journal import atomic_write_text
 
 _MB = 1024 * 1024
 
@@ -91,10 +92,11 @@ class LeaseHeartbeat:
         self._beat += 1
         payload = {"beat": self._beat, "token": self.token,
                    "pid": os.getpid()}
-        temp = f"{self.path}.tmp.{os.getpid()}"
-        with open(temp, "w", encoding="utf-8") as handle:
-            json.dump(payload, handle, sort_keys=True)
-        os.replace(temp, self.path)
+        # fsync=False: a beat lost to a crash is indistinguishable from
+        # a beat never written, and the next interval rewrites it — the
+        # durability tax would buy nothing.
+        atomic_write_text(self.path, json.dumps(payload, sort_keys=True),
+                          fsync=False)
 
     def _loop(self) -> None:
         while not self._stop.is_set():

@@ -1,0 +1,106 @@
+"""Chaos-test driver for the network-attached campaign service.
+
+The socket chaos tests need a coordinator and workers they can start,
+SIGKILL, and replace from outside, so this module runs either role as a
+process of its own::
+
+    PYTHONPATH=src python -m tests.inject.service_driver \
+        --listen /tmp/fab.sock --fabric-dir /tmp/fab --shards 3
+
+    PYTHONPATH=src python -m tests.inject.service_driver \
+        --attach /tmp/fab.sock --worker-id w0 \
+        --chaos-seed 7 --drop 0.05 --dup 0.05
+
+It reuses :mod:`tests.inject.fabric_driver`'s toy unit kind and fabric
+config, so a service run here and a local fabric run there with the
+same arguments are same-seed twins — the byte-identity oracle of the
+chaos tests.
+"""
+
+import argparse
+
+from repro.inject.coordinator import CoordinatorService
+from repro.inject.transport import (ChaosConfig, ChaosDialer,
+                                    UnixSocketListener, unix_connect)
+from repro.inject.worker import ShardWorker, WorkerConfig
+
+from tests.inject.fabric_driver import toy_config, toy_units
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    role = parser.add_mutually_exclusive_group(required=True)
+    role.add_argument("--listen", metavar="SOCK")
+    role.add_argument("--attach", metavar="SOCK")
+    parser.add_argument("--fabric-dir")
+    parser.add_argument("--shards", type=int, default=3)
+    parser.add_argument("--units", type=int, default=6)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--delay", type=float, default=0.0)
+    parser.add_argument("--batch-size", type=int, default=20)
+    parser.add_argument("--batches", type=int, default=6)
+    parser.add_argument("--lease-ttl", type=float, default=2.0)
+    parser.add_argument("--worker-id", default="worker-0")
+    parser.add_argument("--worker-seed", type=int, default=0)
+    parser.add_argument("--chaos-seed", type=int, default=None)
+    parser.add_argument("--drop", type=float, default=0.0)
+    parser.add_argument("--dup", type=float, default=0.0)
+    parser.add_argument("--reorder", type=float, default=0.0)
+    parser.add_argument("--delay-prob", type=float, default=0.0)
+    parser.add_argument("--delay-max", type=float, default=0.02)
+    parser.add_argument("--sever-every", type=int, default=None)
+    parser.add_argument("--partition", default=None, metavar="START,END",
+                        help="one-way partition window in seconds since "
+                        "connect, e.g. 0.5,1.5")
+    args = parser.parse_args(argv)
+    if args.listen:
+        return run_coordinator(args)
+    return run_worker(args)
+
+
+def run_coordinator(args):
+    listener = UnixSocketListener(args.listen)
+    service = CoordinatorService(
+        args.fabric_dir,
+        config=toy_config(shards=args.shards, lease_ttl_s=args.lease_ttl,
+                          batch_size=args.batch_size,
+                          max_batches=args.batches),
+        listener=listener)
+    service.submit(toy_units(args.units, seed=args.seed,
+                             delay=args.delay))
+    try:
+        report = service.serve()
+    finally:
+        listener.close()
+    print(f"SERVICE_DONE paused={report.paused} "
+          f"stopped_globally={report.stopped_globally}")
+    return 0
+
+
+def run_worker(args):
+    dial = lambda: unix_connect(args.attach, timeout=5.0)  # noqa: E731
+    if args.chaos_seed is not None:
+        window = None
+        if args.partition:
+            start, end = args.partition.split(",")
+            window = (float(start), float(end))
+        dial = ChaosDialer(dial, ChaosConfig(
+            seed=args.chaos_seed, drop=args.drop, dup=args.dup,
+            reorder=args.reorder, delay=args.delay_prob,
+            delay_max_s=args.delay_max,
+            partition_window_s=window,
+            sever_every=args.sever_every))
+    worker = ShardWorker(
+        dial, worker_id=args.worker_id,
+        config=WorkerConfig(seed=args.worker_seed, backoff_s=0.02,
+                            backoff_max_s=0.5, request_timeout_s=1.0))
+    report = worker.run()
+    print(f"WORKER_DONE worker={report.worker_id} "
+          f"shards={len(report.shards)} "
+          f"reconnects={report.reconnect_attempts} "
+          f"reason={report.reason!r}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

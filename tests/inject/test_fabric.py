@@ -10,7 +10,7 @@ import time
 
 import pytest
 
-from repro.errors import FabricError
+from repro.errors import FabricConfigError, FabricError
 from repro.inject.engine import EngineConfig
 from repro.inject.fabric import (CampaignFabric, FabricConfig,
                                  run_fabric_campaign)
@@ -122,6 +122,33 @@ class TestFabricBasics:
             FabricConfig(mode="scatter")
         with pytest.raises(FabricError, match="global_ci_half_width"):
             FabricConfig(global_ci_half_width=-0.1)
+
+    def test_config_errors_are_typed_and_non_transient(self):
+        # misconfiguration is its own error class — callers can tell a
+        # bad knob (fix the config) from a runtime fabric failure
+        # (inspect the journals) without parsing messages
+        assert issubclass(FabricConfigError, FabricError)
+        with pytest.raises(FabricConfigError) as excinfo:
+            FabricConfig(shards=0)
+        assert excinfo.value.code == "inject.fabric_config"
+        assert excinfo.value.severity == "config"
+        assert excinfo.value.recoverable is False
+
+    def test_nonpositive_ttl_with_stealing_names_the_self_steal(self):
+        with pytest.raises(FabricConfigError, match="self-steal"):
+            FabricConfig(lease_ttl_s=0.0, steal=True)
+        # without stealing the TTL is still rejected, but the message
+        # does not warn about steals that cannot happen
+        with pytest.raises(FabricConfigError) as excinfo:
+            FabricConfig(lease_ttl_s=-1.0, steal=False)
+        assert "self-steal" not in str(excinfo.value)
+
+    def test_ttl_heartbeat_safety_factor_boundary(self):
+        # 4x the heartbeat is the floor: exactly 4x is accepted, a
+        # hair under is refused
+        FabricConfig(lease_ttl_s=0.4, heartbeat_interval_s=0.1)
+        with pytest.raises(FabricConfigError, match="at least"):
+            FabricConfig(lease_ttl_s=0.39, heartbeat_interval_s=0.1)
 
 
 class TestChaos:

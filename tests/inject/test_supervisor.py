@@ -109,10 +109,26 @@ class TestConfigValidation:
             coerce_supervisor("yes please")
 
 
+def _vmsize_mb():
+    try:
+        with open("/proc/self/status") as handle:
+            for line in handle:
+                if line.startswith("VmSize:"):
+                    return int(line.split()[1]) // 1024
+    except OSError:
+        pass
+    return 0
+
+
 class TestResourceGovernance:
     def test_memory_hog_binned_resource_exhausted(self):
-        sup = supervisor(budget=ResourceBudget(max_rss_mb=512),
-                         quarantine_after=None)
+        # RLIMIT_AS caps *virtual* address space and a forked worker
+        # inherits this process's mappings, so the budget must clear the
+        # test runner's own footprint (which grows with whatever ran
+        # earlier in the suite) — a cap below it kills the worker at
+        # bootstrap, binning "hung" instead of exercising the hog
+        sup = supervisor(budget=ResourceBudget(
+            max_rss_mb=_vmsize_mb() + 512), quarantine_after=None)
         report = sup.run([WorkUnit("hog", "sup-hog", {})], None,
                          quick_config(max_retries=0))
         result = report.units["hog"]

@@ -1,0 +1,268 @@
+"""Transport tests: frames, endpoints, and the seeded chaos schedule."""
+
+import threading
+
+import pytest
+
+from repro.errors import FrameError, InvalidArgument, TransportClosed
+from repro.inject.transport import (FRAME_MAGIC, MAX_FRAME_BYTES,
+                                    ChaosConfig, ChaosConnection,
+                                    ChaosDialer, FrameDecoder,
+                                    InProcessTransport, UnixSocketListener,
+                                    encode_frame, unix_connect)
+
+
+class TestFrames:
+    def test_round_trip(self):
+        message = {"type": "grant", "shard": "shard-000", "token": 3,
+                   "units": [{"unit_id": "u0", "params": {"seed": 7}}]}
+        decoder = FrameDecoder()
+        decoded = decoder.feed(encode_frame(message))
+        assert decoded == [message]
+
+    def test_streamed_one_byte_at_a_time(self):
+        messages = [{"n": index} for index in range(5)]
+        blob = b"".join(encode_frame(message) for message in messages)
+        decoder = FrameDecoder()
+        out = []
+        for offset in range(len(blob)):
+            out.extend(decoder.feed(blob[offset:offset + 1]))
+        assert out == messages
+
+    def test_crc_corruption_is_rejected_and_poisons(self):
+        frame = bytearray(encode_frame({"type": "heartbeat", "beat": 9}))
+        frame[-1] ^= 0xFF  # flip a payload bit; CRC no longer matches
+        decoder = FrameDecoder()
+        with pytest.raises(FrameError, match="CRC"):
+            decoder.feed(bytes(frame))
+        # the stream is out of sync for good: even a clean frame after
+        # the corruption is refused
+        with pytest.raises(FrameError):
+            decoder.feed(encode_frame({"ok": True}))
+
+    def test_bad_magic_is_rejected(self):
+        frame = encode_frame({"x": 1})
+        mangled = b"XXXX" + frame[len(FRAME_MAGIC):]
+        with pytest.raises(FrameError, match="magic"):
+            FrameDecoder().feed(mangled)
+
+    def test_non_object_payload_is_rejected_at_encode(self):
+        with pytest.raises(FrameError):
+            encode_frame(["not", "a", "dict"])
+
+    def test_oversized_frame_is_rejected_at_encode(self):
+        with pytest.raises(FrameError, match="exceeds"):
+            encode_frame({"blob": "x" * MAX_FRAME_BYTES})
+
+
+class TestInProcessTransport:
+    def test_connect_accept_round_trip(self):
+        transport = InProcessTransport()
+        client = transport.connect()
+        server = transport.accept(timeout=1.0)
+        client.send({"type": "attach", "worker": "w0"})
+        assert server.recv(timeout=1.0) == {"type": "attach",
+                                            "worker": "w0"}
+        server.send({"type": "grant", "token": 1})
+        assert client.recv(timeout=1.0) == {"type": "grant", "token": 1}
+
+    def test_recv_timeout_returns_none(self):
+        transport = InProcessTransport()
+        client = transport.connect()
+        assert client.recv(timeout=0.01) is None
+        assert client.recv(timeout=0) is None
+
+    def test_accept_timeout_returns_none(self):
+        assert InProcessTransport().accept(timeout=0) is None
+
+    def test_peer_close_raises_transport_closed(self):
+        transport = InProcessTransport()
+        client = transport.connect()
+        server = transport.accept(timeout=1.0)
+        client.close()
+        with pytest.raises(TransportClosed):
+            server.recv(timeout=1.0)
+        with pytest.raises(TransportClosed):
+            client.send({"late": True})
+
+
+class TestUnixSocketTransport:
+    def test_round_trip_over_socket(self, tmp_path):
+        path = str(tmp_path / "t.sock")
+        listener = UnixSocketListener(path)
+        client = unix_connect(path, timeout=2.0)
+        server = listener.accept(timeout=2.0)
+        client.send({"type": "attach", "worker": "w0"})
+        assert server.recv(timeout=2.0) == {"type": "attach",
+                                            "worker": "w0"}
+        server.send({"type": "ok"})
+        assert client.recv(timeout=2.0) == {"type": "ok"}
+        listener.close()
+
+    def test_nonblocking_polls_return_none(self, tmp_path):
+        # the coordinator's poll loop uses timeout=0 everywhere; on a
+        # socket that degrades to non-blocking mode, where an empty
+        # buffer raises BlockingIOError — which must read as "nothing
+        # yet", never as a dead connection
+        path = str(tmp_path / "t.sock")
+        listener = UnixSocketListener(path)
+        assert listener.accept(timeout=0) is None
+        client = unix_connect(path, timeout=2.0)
+        server = listener.accept(timeout=2.0)
+        assert server.recv(timeout=0) is None
+        client.send({"n": 1})
+        deadline_polls = 200
+        message = None
+        for _ in range(deadline_polls):
+            message = server.recv(timeout=0.02)
+            if message is not None:
+                break
+        assert message == {"n": 1}
+        listener.close()
+
+    def test_peer_close_raises_transport_closed(self, tmp_path):
+        path = str(tmp_path / "t.sock")
+        listener = UnixSocketListener(path)
+        client = unix_connect(path, timeout=2.0)
+        server = listener.accept(timeout=2.0)
+        client.close()
+        with pytest.raises(TransportClosed):
+            server.recv(timeout=2.0)
+        listener.close()
+
+
+def _pair():
+    transport = InProcessTransport()
+    client = transport.connect()
+    server = transport.accept(timeout=1.0)
+    return client, server
+
+
+def _deliveries(config, label, count=40):
+    """Send ``count`` numbered messages through chaos; return arrivals."""
+    client, server = _pair()
+    chaotic = ChaosConnection(client, config, label=label)
+    for index in range(count):
+        try:
+            chaotic.send({"n": index})
+        except TransportClosed:
+            break
+    chaotic.close()
+    arrived = []
+    while True:
+        try:
+            message = server.recv(timeout=0)
+        except TransportClosed:
+            break
+        if message is None:
+            break
+        arrived.append(message["n"])
+    return arrived
+
+
+class TestChaosSchedule:
+    def test_schedule_is_a_pure_function_of_the_seed(self):
+        config = ChaosConfig(seed=11, drop=0.3, dup=0.3, reorder=0.2)
+        first = _deliveries(config, "conn0")
+        second = _deliveries(config, "conn0")
+        assert first == second
+        assert first != list(range(40))  # chaos actually did something
+
+    def test_different_seeds_diverge(self):
+        a = _deliveries(ChaosConfig(seed=1, drop=0.3, dup=0.3), "conn0")
+        b = _deliveries(ChaosConfig(seed=2, drop=0.3, dup=0.3), "conn0")
+        assert a != b
+
+    def test_zero_chaos_is_the_identity(self):
+        assert _deliveries(ChaosConfig(seed=5), "conn0") == \
+            list(range(40))
+
+    def test_duplicates_and_drops_show_up(self):
+        arrived = _deliveries(ChaosConfig(seed=3, drop=0.25, dup=0.25),
+                              "conn0")
+        assert len(set(arrived)) < 40          # some messages dropped
+        assert len(arrived) > len(set(arrived))  # some duplicated
+
+    def test_index_partition_drops_a_span(self):
+        config = ChaosConfig(seed=0, partition=(10, 20))
+        arrived = _deliveries(config, "conn0")
+        assert arrived == [n for n in range(40) if not 10 <= n < 20]
+
+    def test_sever_forces_a_reconnect(self):
+        client, server = _pair()
+        chaotic = ChaosConnection(client, ChaosConfig(seed=0,
+                                                      sever_every=3),
+                                  label="conn0")
+        chaotic.send({"n": 0})
+        chaotic.send({"n": 1})
+        chaotic.send({"n": 2})
+        with pytest.raises(TransportClosed):
+            chaotic.send({"n": 3})
+        assert chaotic.closed
+
+    def test_dialer_labels_connections_distinctly(self):
+        # the same seed must not replay the same fault schedule on a
+        # reconnect: the dialer advances the connection label instead
+        transport = InProcessTransport()
+        config = ChaosConfig(seed=9, drop=0.5)
+        dialer = ChaosDialer(transport.connect, config)
+        first, second = dialer(), dialer()
+        assert first._label != second._label
+
+    def test_bad_probabilities_are_rejected(self):
+        with pytest.raises(InvalidArgument):
+            ChaosConfig(drop=1.5)
+        with pytest.raises(InvalidArgument):
+            ChaosConfig(sever_every=0)
+        with pytest.raises(InvalidArgument):
+            ChaosConfig(partition_direction="sideways")
+
+
+class TestChaosRecvSide:
+    def test_recv_chaos_drops_deterministically(self):
+        config = ChaosConfig(seed=4, drop=0.3,
+                             partition_direction="recv")
+        runs = []
+        for _ in range(2):
+            client, server = _pair()
+            chaotic = ChaosConnection(server, config, label="conn0")
+            for index in range(30):
+                client.send({"n": index})
+            got = []
+            while True:
+                message = chaotic.recv(timeout=0)
+                if message is None:
+                    break
+                got.append(message["n"])
+            runs.append(got)
+        assert runs[0] == runs[1]
+        assert len(runs[0]) < 30
+
+
+class TestThreadedUse:
+    def test_concurrent_senders_do_not_tear_frames(self, tmp_path):
+        path = str(tmp_path / "t.sock")
+        listener = UnixSocketListener(path)
+        client = unix_connect(path, timeout=2.0)
+        server = listener.accept(timeout=2.0)
+
+        def blast(tag):
+            for index in range(50):
+                client.send({"tag": tag, "n": index})
+
+        threads = [threading.Thread(target=blast, args=(tag,))
+                   for tag in ("a", "b", "c")]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        got = []
+        for _ in range(150):
+            message = server.recv(timeout=2.0)
+            assert message is not None
+            got.append((message["tag"], message["n"]))
+        assert len(got) == 150
+        for tag in ("a", "b", "c"):
+            ordered = [n for t, n in got if t == tag]
+            assert ordered == list(range(50))  # per-sender FIFO held
+        listener.close()

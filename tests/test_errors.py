@@ -208,10 +208,11 @@ SRC_ROOT = os.path.join(os.path.dirname(__file__), os.pardir, "src",
 #: errors.py), internal control-flow signals that never escape their
 #: module, and SystemExit in CLIs.
 _UNREGISTERED_ALLOWED = {
-    "TypeError",        # registry/context contract enforcement
-    "KernelHalt",       # warp-level control flow, caught by simulator
-    "_Stale",           # replay-internal schema signal
+    "TypeError",           # registry/context contract enforcement
+    "KernelHalt",          # warp-level control flow, caught by simulator
+    "_Stale",              # replay-internal schema signal
     "SystemExit",
+    "NotImplementedError",  # abstract interface methods (transport)
 }
 
 
