@@ -10,12 +10,24 @@ patterns — plus the arithmetic deltas probing residue coverage.  One
 claim's verdict, swept space, and (on failure) a weight-minimal
 counterexample.
 
+With ``--cache-dir`` the sweeps route through the crash-safe
+:class:`~repro.certify.store.CertificateStore`: unchanged schemes are
+served from verified cache entries (no strike re-enumerated), drifted
+schemes recertify incrementally, and the summary reports hit/miss/
+stale-served counters.  ``--serve SOCKET`` turns the process into a
+long-running certification service on a Unix socket speaking the
+campaign frame protocol; ``--strict`` refuses degraded (stale)
+certificates instead of serving them marked.
+
 Exit status is the number of schemes whose certificate failed, so the
 script doubles as a CI gate::
 
     python examples/certify_schemes.py --fast
     python examples/certify_schemes.py --full --out artifacts/
     python examples/certify_schemes.py --scheme secded-dp --scheme mod7
+    python examples/certify_schemes.py --cache-dir .cert-cache
+    python examples/certify_schemes.py --cache-dir .cert-cache \\
+        --serve /tmp/certd.sock
 """
 
 import argparse
@@ -42,24 +54,22 @@ def parse_args():
                         help="seed for the randomized tiers (default 0)")
     parser.add_argument("--out", default=None, metavar="DIR",
                         help="write CERTIFICATE_<scheme>.json files here")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="serve certificates from this crash-safe "
+                             "store, sweeping only on miss or drift")
+    parser.add_argument("--serve", default=None, metavar="SOCKET",
+                        help="run as a certification service on this "
+                             "Unix socket path (requires --cache-dir)")
+    parser.add_argument("--strict", action="store_true",
+                        help="refuse stale certificates instead of "
+                             "serving them marked (cache/serve modes)")
     return parser.parse_args()
 
 
-def main():
-    args = parse_args()
-    mode = "full" if args.full else "fast"
-    registry = certification_registry()
-    names = args.schemes or list(registry)
-    unknown = [name for name in names if name not in registry]
-    if unknown:
-        print(f"unknown scheme(s): {', '.join(unknown)}; "
-              f"registered: {', '.join(sorted(registry))}")
-        return 2
-
+def certify_direct(names, mode, args, registry):
+    """The original store-less path: sweep every scheme, every time."""
     failed = 0
     width = max(len(name) for name in names)
-    print(f"certifying {len(names)} scheme(s), mode={mode}, "
-          f"seed={args.seed}\n")
     for name in names:
         started = time.perf_counter()
         certificate = certify_scheme(name, mode=mode, seed=args.seed)
@@ -77,6 +87,107 @@ def main():
         if args.out:
             path = write_certificate(certificate, args.out)
             print(f"    wrote {path}")
+    return failed
+
+
+def certify_cached(names, mode, args, registry):
+    """Serve through the certificate store; sweep only when needed."""
+    import json
+    import os
+
+    from repro.certify import CertificateService, CertificateStore
+    from repro.errors import StaleCertificate
+
+    store = CertificateStore(args.cache_dir)
+    service = CertificateService(store, mode=mode, seed=args.seed,
+                                 strict=args.strict)
+    failed = 0
+    width = max(len(name) for name in names)
+    for name in names:
+        started = time.perf_counter()
+        try:
+            served = service.lookup(name)
+        except StaleCertificate as exc:
+            print(f"  {name:<{width}}  REFUSED (strict): {exc}")
+            failed += 1
+            continue
+        elapsed = time.perf_counter() - started
+        certificate = served.payload["certificate"]
+        verdict = "PASS" if certificate["passed"] else "FAIL"
+        print(f"  {name:<{width}}  {verdict}  "
+              f"{certificate['strikes_swept']:>7} strikes  "
+              f"{elapsed:6.2f}s  [{served.cache}]")
+        if not certificate["passed"]:
+            failed += 1
+            for claim_name in certificate["violated"]:
+                report = certificate["claims"][claim_name]
+                print(f"    violated: {claim_name} "
+                      f"({report['violations']} strikes)")
+                print(f"    counterexample: {report['counterexample']}")
+        if args.out:
+            os.makedirs(args.out, exist_ok=True)
+            path = os.path.join(args.out, f"CACHED_{name}.json")
+            with open(path, "w", encoding="utf-8") as handle:
+                json.dump(served.payload, handle, sort_keys=True,
+                          indent=2)
+            print(f"    wrote {path}")
+    stats = service.stats()
+    print(f"\ncache: {stats['hits']} hit(s), {stats['misses']} miss(es), "
+          f"{stats['incremental']} incremental, "
+          f"{stats['stale_served']} stale-served, "
+          f"{stats['refusals']} refusal(s), "
+          f"{stats['quarantined']} quarantined")
+    return failed
+
+
+def run_service(mode, args):
+    """Block serving certify requests on a Unix socket until shutdown."""
+    from repro.certify import CertificateService, CertificateStore
+    from repro.inject.transport import UnixSocketListener
+
+    store = CertificateStore(args.cache_dir)
+    service = CertificateService(store, mode=mode, seed=args.seed,
+                                 strict=args.strict)
+    listener = UnixSocketListener(args.serve)
+    print(f"certificate service on {args.serve} "
+          f"(mode={mode}, seed={args.seed}, strict={args.strict})")
+    try:
+        service.serve(listener)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        listener.close()
+    stats = service.stats()
+    print(f"served: {stats['hits']} hit(s), {stats['misses']} miss(es), "
+          f"{stats['incremental']} incremental, "
+          f"{stats['stale_served']} stale-served, "
+          f"{stats['refusals']} refusal(s)")
+    return 0
+
+
+def main():
+    args = parse_args()
+    mode = "full" if args.full else "fast"
+    if args.serve and not args.cache_dir:
+        print("--serve requires --cache-dir")
+        return 2
+    if args.serve:
+        return run_service(mode, args)
+    registry = certification_registry()
+    names = args.schemes or list(registry)
+    unknown = [name for name in names if name not in registry]
+    if unknown:
+        print(f"unknown scheme(s): {', '.join(unknown)}; "
+              f"registered: {', '.join(sorted(registry))}")
+        return 2
+
+    failed = 0
+    print(f"certifying {len(names)} scheme(s), mode={mode}, "
+          f"seed={args.seed}\n")
+    if args.cache_dir:
+        failed = certify_cached(names, mode, args, registry)
+    else:
+        failed = certify_direct(names, mode, args, registry)
     print(f"\n{len(names) - failed}/{len(names)} schemes certified")
     return failed
 

@@ -27,7 +27,8 @@ from typing import Callable, Dict, Iterator, List, Optional, Sequence
 import numpy as np
 
 from repro.bitutils import mask
-from repro.errors import CertificationError
+from repro.errors import CertificationError, InvalidArgument
+from repro.inject.journal import atomic_write_text
 from repro.ecc.swap import (READ_STATUS_TO_CODE, ReadResult, RegisterWord,
                             SwapScheme)
 from repro.certify.claims import Claim, claim_matrix
@@ -174,15 +175,38 @@ def capture_certificate_bundle(certificate: Certificate, out_dir: str,
         seed=certificate.seed, outcome=outcome, scheme=payload)
 
 
+def validate_artifact_dir(out_dir: str, what: str = "out_dir") -> None:
+    """Reject artifact-directory arguments before any I/O happens.
+
+    Empty strings and paths that already exist as plain files are
+    programming errors a raw ``OSError`` would only surface deep inside
+    ``os.makedirs``; fail fast with the typed
+    :class:`~repro.errors.InvalidArgument` instead.
+    """
+    if not isinstance(out_dir, str) or not out_dir:
+        raise InvalidArgument(
+            f"{what} must be a non-empty path, got {out_dir!r}")
+    if os.path.exists(out_dir) and not os.path.isdir(out_dir):
+        raise InvalidArgument(
+            f"{what} {out_dir!r} exists and is not a directory",
+            context={"path": out_dir})
+
+
 def write_certificate(certificate: Certificate, out_dir: str = ".") -> str:
-    """Serialize ``certificate`` as ``CERTIFICATE_<scheme>.json``."""
+    """Serialize ``certificate`` as ``CERTIFICATE_<scheme>.json``.
+
+    The write is crash-safe: the JSON is staged to a temp file and
+    published with ``os.replace`` (the :func:`atomic_write_text`
+    discipline), so a SIGKILL at any point leaves either the previous
+    artifact or the new one under the final name — never a torn JSON.
+    """
+    validate_artifact_dir(out_dir)
     path = os.path.join(out_dir, f"CERTIFICATE_{certificate.scheme}.json")
+    text = json.dumps(certificate.to_dict(), indent=2, sort_keys=False) \
+        + "\n"
     try:
         os.makedirs(out_dir, exist_ok=True)
-        with open(path, "w", encoding="utf-8") as handle:
-            json.dump(certificate.to_dict(), handle, indent=2,
-                      sort_keys=False)
-            handle.write("\n")
+        atomic_write_text(path, text)
     except OSError as exc:
         raise CertificationError(
             f"cannot write certificate to {path!r}: {exc}") from exc
@@ -238,45 +262,93 @@ class Certifier:
                 words.append(value)
         return words
 
-    def strikes(self, scheme: SwapScheme) -> Iterator[Strike]:
-        """The swept strike space, exhaustive tier first (weight order)."""
-        yield from exhaustive_pipeline_strikes(scheme, max_weight=2)
-        yield from exhaustive_storage_strikes(scheme, max_weight=2)
-        if hasattr(scheme.code, "modulus"):
+    def strikes(self, scheme: SwapScheme,
+                placements: Optional[set] = None) -> Iterator[Strike]:
+        """The swept strike space, exhaustive tier first (weight order).
+
+        ``placements`` restricts enumeration to the named strike
+        placements (a partial recertification enumerates only the
+        touched claims' placements); ``None`` enumerates everything.
+        Mixed-placement enumerators (burst, random) are filtered
+        per-strike.
+        """
+        want = None if placements is None else set(placements)
+
+        def wanted(strike: Strike) -> bool:
+            return want is None or strike.placement in want
+
+        if want is None or want.intersection(
+                ("pipeline-original", "pipeline-shadow-value",
+                 "pipeline-shadow-bus", "pipeline-dp")):
+            yield from filter(wanted,
+                              exhaustive_pipeline_strikes(scheme,
+                                                          max_weight=2))
+        if want is None or "storage" in want:
+            yield from exhaustive_storage_strikes(scheme, max_weight=2)
+        if hasattr(scheme.code, "modulus") \
+                and (want is None or "arithmetic" in want):
             rng = random.Random(self.seed ^ 0xA417)
             yield from arithmetic_strikes(scheme, rng)
         if self.mode == "full":
-            yield from burst_strikes(scheme)
+            yield from filter(wanted, burst_strikes(scheme))
             rng = random.Random(self.seed ^ 0xF011)
-            yield from random_strikes(scheme, rng,
-                                      self.random_strike_count)
+            yield from filter(wanted,
+                              random_strikes(scheme, rng,
+                                             self.random_strike_count))
 
     # -- certification -----------------------------------------------------
 
-    def certify(self, scheme: SwapScheme,
-                name: Optional[str] = None) -> Certificate:
-        """Sweep every strike over every base word and certify each claim."""
+    def certify(self, scheme: SwapScheme, name: Optional[str] = None,
+                only: Optional[Sequence[str]] = None) -> Certificate:
+        """Sweep every strike over every base word and certify each claim.
+
+        ``only`` restricts the sweep to the named claims — the partial
+        pass behind incremental recertification.  A partial sweep
+        enumerates only the selected claims' placements and applies only
+        the strikes at least one selected claim covers, so
+        ``strikes_swept``/``tiers`` count exactly the re-swept space
+        (the untouched claims are stitched forward by the caller from
+        the prior certificate).
+        """
         claims = claim_matrix(scheme)
+        if only is not None:
+            unknown = sorted(set(only) - set(claims))
+            if unknown:
+                raise CertificationError(
+                    f"unknown claim(s) for {scheme.name!r}: {unknown}; "
+                    f"matrix: {sorted(claims)}")
+            claims = {claim_name: claim
+                      for claim_name, claim in claims.items()
+                      if claim_name in set(only)}
         reports = {claim_name: ClaimReport(claim_name, claim.description)
                    for claim_name, claim in claims.items()}
-        batch_report = reports["batched-read-equivalence"]
+        batch_report = reports.get("batched-read-equivalence")
         certificate = Certificate(
             scheme=name or scheme.name, code=scheme.code.name,
             mode=self.mode, seed=self.seed, claims=reports)
         bases = self.base_words(scheme)
         certificate.base_words = len(bases)
+        placements = None
+        if only is not None:
+            placements = set()
+            for claim in claims.values():
+                placements.update(claim.placements)
+        per_strike = [(claim_name, claim)
+                      for claim_name, claim in claims.items()
+                      if claim_name != "batched-read-equivalence"]
         pending: List[_Pending] = []
-        for strike in self.strikes(scheme):
+        for strike in self.strikes(scheme, placements):
+            covering = [(claim_name, claim) for claim_name, claim
+                        in per_strike if claim.covers(strike)]
+            if only is not None and not covering and batch_report is None:
+                continue  # partial sweep: nothing selected constrains it
             certificate.tiers[strike.tier] = \
                 certificate.tiers.get(strike.tier, 0) + len(bases)
             for base in bases:
                 certificate.strikes_swept += 1
                 word = apply_strike(scheme, base, strike)
                 result = scheme.read(word)
-                for claim_name, claim in claims.items():
-                    if claim_name == "batched-read-equivalence" \
-                            or not claim.covers(strike):
-                        continue
+                for claim_name, claim in covering:
                     report = reports[claim_name]
                     report.swept += 1
                     violation = claim.check(scheme, strike, base, word,
@@ -288,11 +360,13 @@ class Certifier:
                     if report.counterexample is None:
                         report.counterexample = self._counterexample(
                             scheme, claim, strike, base, violation)
+                if batch_report is None:
+                    continue
                 pending.append(_Pending(word, base, strike, result))
                 if len(pending) >= WARP_LANES:
                     self._check_batch(scheme, pending, batch_report)
                     pending = []
-        if pending:
+        if pending and batch_report is not None:
             self._check_batch(scheme, pending, batch_report)
         return certificate
 
@@ -384,11 +458,11 @@ class Certifier:
         return current, description
 
 
-def certify_scheme(name: str, mode: str = "fast",
-                   seed: int = 0) -> Certificate:
-    """Certify one registered scheme by name."""
+def certify_scheme(name: str, mode: str = "fast", seed: int = 0,
+                   only: Optional[Sequence[str]] = None) -> Certificate:
+    """Certify one registered scheme by name (``only`` = claim subset)."""
     return Certifier(mode=mode, seed=seed).certify(
-        make_certified_scheme(name), name=name)
+        make_certified_scheme(name), name=name, only=only)
 
 
 def certify_all(mode: str = "fast", seed: int = 0,

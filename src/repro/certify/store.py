@@ -1,0 +1,597 @@
+"""Content-addressed, tamper-evident certificate store.
+
+Every cached certificate lives under a key derived from *everything its
+validity depends on*:
+
+* the **scheme fingerprint** — family, code name, widths, DP usage,
+  check-correction policy, residue modulus, and a sha256 over the
+  parity-check structure (the H-matrix data columns for linear codes);
+* the **claim-matrix version** plus the per-claim versions of
+  :mod:`repro.certify.claims` — a claim whose meaning changed can never
+  be served from a certificate swept under the old meaning;
+* the **fault-model fingerprint** — the strike-space version, sweep
+  mode, seed, and randomized-tier parameters of the
+  :class:`~repro.certify.engine.Certifier` that produced it.
+
+A certificate is honest only for the exact fault model it was swept
+under, so all three sections feed the sha256 cache key.
+
+Entries are written crash-safely (staged temp file + ``os.replace``,
+the :func:`repro.inject.journal.atomic_write_text` discipline) and
+carry an *integrity envelope*: the canonical-JSON payload's sha256 and
+CRC32, verified on every read.  A corrupt or torn entry is never
+served — it is moved to the ``dead-letter/`` subdirectory with a typed
+:class:`~repro.errors.CertEntryCorrupt` record (and a repro bundle),
+and the read reports a miss so the caller falls through to a fresh
+sweep.
+
+Single-flight dedup is an fcntl lockfile per key: concurrent requests
+for the same key share one sweep, with capped-exponential
+deterministic-jitter backoff (:func:`repro.inject.engine._retry_delay`)
+for the waiters.
+
+:func:`touched_claims` is the incremental-recertification oracle: given
+a prior cached payload and the new fingerprints, it names exactly the
+claims whose verdicts a delta could have changed (per-claim ``depends``
+components and ``version`` bumps); everything else is stitched forward
+by :func:`stitch_certificate` with provenance recorded in the new JSON.
+"""
+
+from __future__ import annotations
+
+import errno
+import fcntl
+import hashlib
+import json
+import os
+import shutil
+import time
+import zlib
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.errors import (CertEntryCorrupt, CertStoreError,
+                          InvalidArgument)
+from repro.inject.journal import atomic_write_text
+from repro.certify.claims import (CLAIM_MATRIX_VERSION, SCHEME_COMPONENTS,
+                                  claim_matrix, claim_versions)
+from repro.certify.engine import validate_artifact_dir
+from repro.certify.strikes import STRIKE_SPACE_VERSION
+
+__all__ = [
+    "CACHE_SCHEMA_VERSION", "CertificateStore", "KeyLock",
+    "certificate_key", "fault_model_fingerprint", "scheme_fingerprint",
+    "stitch_certificate", "touched_claims",
+]
+
+#: schema version of the cached-certificate payload (the ``payload``
+#: object inside the entry envelope); bumping it invalidates the cache
+CACHE_SCHEMA_VERSION = 1
+
+#: the ``kind`` field every entry envelope must carry
+ENTRY_KIND = "swapcodes-cert-entry"
+
+
+def _canonical(payload: Any) -> str:
+    """The serialization every digest is computed over."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+# ---------------------------------------------------------------------------
+# fingerprints and key derivation
+
+def scheme_fingerprint(scheme: Any) -> Dict[str, Any]:
+    """The identity a certificate's scheme-side validity hangs on.
+
+    ``h_matrix`` hashes the parity-check structure itself (the ordered
+    data columns and check width for linear codes; the code name
+    otherwise), so two schemes wired from different H matrices never
+    share a cache entry even if their names collide.
+    """
+    code = scheme.code
+    columns = getattr(code, "data_columns", None)
+    if columns is not None:
+        h_source: Any = {"check_bits": code.check_bits,
+                         "columns": list(columns)}
+    else:
+        h_source = {"code": code.name}
+    return {
+        "family": type(scheme).__name__,
+        "code": code.name,
+        "data_bits": code.data_bits,
+        "check_bits": code.check_bits,
+        "uses_data_parity": bool(scheme.uses_data_parity),
+        "policy": getattr(scheme, "check_correction", "accept"),
+        "modulus": getattr(code, "modulus", None),
+        "h_matrix": hashlib.sha256(
+            _canonical(h_source).encode("utf-8")).hexdigest(),
+    }
+
+
+def fault_model_fingerprint(mode: str, seed: int,
+                            random_base_words: int = 3,
+                            random_strike_count: int = 64
+                            ) -> Dict[str, Any]:
+    """The fault model (strike space + sweep parameters) of one sweep.
+
+    Mirrors the :class:`~repro.certify.engine.Certifier` constructor —
+    a certificate is only valid for the strike tiers it was actually
+    swept under, so every knob that shapes the space is part of the key.
+    """
+    return {
+        "strike_space_version": STRIKE_SPACE_VERSION,
+        "mode": mode,
+        "seed": seed,
+        "random_base_words": random_base_words,
+        "random_strike_count": random_strike_count,
+    }
+
+
+def certificate_key(fingerprint: Mapping[str, Any],
+                    versions: Mapping[str, int],
+                    fault_model: Mapping[str, Any]) -> str:
+    """The content-addressed cache key of one (scheme, claims, model)."""
+    blob = _canonical({
+        "scheme": dict(fingerprint),
+        "claims": {"matrix_version": CLAIM_MATRIX_VERSION,
+                   "versions": dict(versions)},
+        "fault_model": dict(fault_model),
+    })
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def scheme_cache_identity(scheme: Any, mode: str, seed: int
+                          ) -> Tuple[Dict[str, Any], Dict[str, int],
+                                     Dict[str, Any], str]:
+    """Fingerprints + key for ``scheme`` in one call (service hot path)."""
+    fingerprint = scheme_fingerprint(scheme)
+    versions = claim_versions(claim_matrix(scheme))
+    fault_model = fault_model_fingerprint(mode, seed)
+    key = certificate_key(fingerprint, versions, fault_model)
+    return fingerprint, versions, fault_model, key
+
+
+# ---------------------------------------------------------------------------
+# incremental recertification
+
+def touched_claims(prior: Mapping[str, Any],
+                   fingerprint: Mapping[str, Any],
+                   versions: Mapping[str, int],
+                   fault_model: Mapping[str, Any],
+                   claims: Mapping[str, Any]) -> Optional[Set[str]]:
+    """The claims a delta from ``prior`` forces to re-sweep.
+
+    Returns ``None`` when the prior entry cannot seed an incremental
+    recertification at all (different fault model, older cache schema,
+    a claim-matrix version bump) — the caller must run a full sweep.
+    Otherwise returns the set of claim names whose recorded version or
+    whose ``depends`` scheme components differ; claims absent from the
+    prior certificate are always touched.  An empty set means the prior
+    certificate already covers the new key exactly.
+    """
+    if prior.get("version") != CACHE_SCHEMA_VERSION:
+        return None
+    if prior.get("claim_matrix_version") != CLAIM_MATRIX_VERSION:
+        return None
+    if dict(prior.get("fault_model") or {}) != dict(fault_model):
+        return None
+    prior_fp = prior.get("scheme_fingerprint") or {}
+    prior_versions = prior.get("claim_versions") or {}
+    prior_claims = (prior.get("certificate") or {}).get("claims") or {}
+    touched: Set[str] = set()
+    for name, claim in claims.items():
+        if name not in prior_claims:
+            touched.add(name)
+            continue
+        if prior_versions.get(name) != versions.get(name):
+            touched.add(name)
+            continue
+        depends = getattr(claim, "depends", SCHEME_COMPONENTS)
+        if any(prior_fp.get(component) != fingerprint.get(component)
+               for component in depends):
+            touched.add(name)
+    return touched
+
+
+def stitch_certificate(partial: Mapping[str, Any],
+                       prior: Mapping[str, Any],
+                       touched: Set[str],
+                       parent_key: str) -> Tuple[Dict[str, Any],
+                                                 Dict[str, Any]]:
+    """Merge a partial re-sweep with the prior certificate's claims.
+
+    Returns ``(certificate, provenance)``: the certificate carries the
+    re-swept claims from ``partial`` and every untouched claim verbatim
+    from the prior entry; ``provenance`` records which claims were
+    recertified, which were carried forward (and from which key), so
+    the stitched JSON is auditable — no claim's verdict appears without
+    its origin.
+    """
+    prior_cert = prior.get("certificate") or {}
+    merged = {key: value for key, value in partial.items()}
+    claims: Dict[str, Any] = {}
+    carried: Dict[str, str] = {}
+    for name, report in (prior_cert.get("claims") or {}).items():
+        if name not in touched:
+            claims[name] = dict(report)
+            carried[name] = parent_key
+    for name, report in (partial.get("claims") or {}).items():
+        claims[name] = dict(report)
+    merged["claims"] = claims
+    merged["violated"] = sorted(
+        name for name, report in claims.items()
+        if report.get("verdict") == "violated")
+    merged["passed"] = not merged["violated"]
+    provenance = {
+        "parent_key": parent_key,
+        "recertified": sorted(touched),
+        "carried_forward": carried,
+        "carried_strikes_swept": prior_cert.get("strikes_swept", 0),
+    }
+    return merged, provenance
+
+
+# ---------------------------------------------------------------------------
+# locking
+
+class KeyLock:
+    """An fcntl lockfile guarding one cache key's sweep (single-flight).
+
+    ``acquire(blocking=False)`` is one non-blocking attempt;
+    ``blocking=True`` retries with the engine's capped-exponential
+    deterministic-jitter backoff until the deadline.  Locks release on
+    process death (fcntl semantics), so a SIGKILLed sweep never wedges
+    the key.
+    """
+
+    def __init__(self, path: str):
+        self.path = path
+        self._handle: Optional[Any] = None
+
+    def acquire(self, blocking: bool = False,
+                timeout_s: float = 120.0, seed: int = 0) -> bool:
+        from repro.inject.engine import EngineConfig, _retry_delay
+        deadline = time.monotonic() + timeout_s
+        backoff = EngineConfig(backoff_s=0.02, backoff_max_s=0.5)
+        attempts = 0
+        while True:
+            handle = open(self.path, "a+")
+            try:
+                fcntl.flock(handle.fileno(),
+                            fcntl.LOCK_EX | fcntl.LOCK_NB)
+                self._handle = handle
+                return True
+            except OSError as exc:
+                handle.close()
+                if exc.errno not in (errno.EACCES, errno.EAGAIN):
+                    raise CertStoreError(
+                        f"cannot lock {self.path!r}: {exc}",
+                        context={"path": self.path}) from exc
+            if not blocking or time.monotonic() >= deadline:
+                return False
+            attempts += 1
+            delay = _retry_delay(backoff, seed, attempts)
+            time.sleep(min(delay, max(0.0,
+                                      deadline - time.monotonic())))
+
+    def release(self) -> None:
+        if self._handle is None:
+            return
+        try:
+            fcntl.flock(self._handle.fileno(), fcntl.LOCK_UN)
+        finally:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "KeyLock":
+        self.acquire(blocking=True)
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()
+
+
+# ---------------------------------------------------------------------------
+# the store
+
+class CertificateStore:
+    """Crash-safe content-addressed storage for certification results.
+
+    Layout under ``cache_dir``::
+
+        entries/<key>.json       integrity-enveloped cached certificates
+        latest/<scheme>.json     atomic pointer to a scheme's newest key
+        locks/<key>.lock         fcntl single-flight lockfiles
+        sweeps/<key>/            engine journals of in-flight sweeps
+        dead-letter/             quarantined entries + typed records
+        bundles/                 repro bundles exported on quarantine
+
+    ``counters`` tracks ``quarantined`` reads; the service layers its
+    hit/miss/stale counters on top.
+    """
+
+    def __init__(self, cache_dir: str):
+        validate_artifact_dir(cache_dir, what="cache_dir")
+        self.cache_dir = cache_dir
+        self.entries_dir = os.path.join(cache_dir, "entries")
+        self.latest_dir = os.path.join(cache_dir, "latest")
+        self.locks_dir = os.path.join(cache_dir, "locks")
+        self.sweeps_dir = os.path.join(cache_dir, "sweeps")
+        self.dead_letter_dir = os.path.join(cache_dir, "dead-letter")
+        self.bundle_dir = os.path.join(cache_dir, "bundles")
+        for path in (self.entries_dir, self.latest_dir, self.locks_dir,
+                     self.sweeps_dir, self.dead_letter_dir):
+            os.makedirs(path, exist_ok=True)
+        self.counters: Dict[str, int] = {"quarantined": 0}
+
+    # -- paths -------------------------------------------------------------
+
+    def entry_path(self, key: str) -> str:
+        return os.path.join(self.entries_dir, f"{key}.json")
+
+    def latest_path(self, scheme: str) -> str:
+        return os.path.join(self.latest_dir, f"{scheme}.json")
+
+    def lock(self, key: str) -> KeyLock:
+        return KeyLock(os.path.join(self.locks_dir, f"{key}.lock"))
+
+    def sweep_journal(self, key: str) -> str:
+        sweep_dir = os.path.join(self.sweeps_dir, key)
+        os.makedirs(sweep_dir, exist_ok=True)
+        return os.path.join(sweep_dir, "journal.jsonl")
+
+    # -- envelope ----------------------------------------------------------
+
+    @staticmethod
+    def _envelope(key: str, payload: Mapping[str, Any]) -> Dict[str, Any]:
+        body = _canonical(dict(payload))
+        return {
+            "kind": ENTRY_KIND,
+            "version": CACHE_SCHEMA_VERSION,
+            "key": key,
+            "sha256": hashlib.sha256(body.encode("utf-8")).hexdigest(),
+            "crc32": zlib.crc32(body.encode("utf-8")) & 0xFFFFFFFF,
+            "payload": dict(payload),
+        }
+
+    @staticmethod
+    def _verify_envelope(key: str, envelope: Any) -> Dict[str, Any]:
+        """Return the verified payload or raise CertEntryCorrupt."""
+        if not isinstance(envelope, dict):
+            raise CertEntryCorrupt(
+                f"entry {key} is not a JSON object")
+        if envelope.get("kind") != ENTRY_KIND:
+            raise CertEntryCorrupt(
+                f"entry {key} has kind {envelope.get('kind')!r}, "
+                f"expected {ENTRY_KIND!r}")
+        if envelope.get("key") != key:
+            raise CertEntryCorrupt(
+                f"entry file for {key} claims key "
+                f"{envelope.get('key')!r}")
+        payload = envelope.get("payload")
+        if not isinstance(payload, dict):
+            raise CertEntryCorrupt(f"entry {key} has no payload object")
+        body = _canonical(payload).encode("utf-8")
+        sha = hashlib.sha256(body).hexdigest()
+        if sha != envelope.get("sha256"):
+            raise CertEntryCorrupt(
+                f"entry {key} failed its sha256 check: envelope says "
+                f"{envelope.get('sha256')!r}, payload hashes to {sha}")
+        crc = zlib.crc32(body) & 0xFFFFFFFF
+        if crc != envelope.get("crc32"):
+            raise CertEntryCorrupt(
+                f"entry {key} failed its CRC32 check: envelope says "
+                f"{envelope.get('crc32')!r}, payload hashes to {crc}")
+        return payload
+
+    # -- read / write ------------------------------------------------------
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """The verified payload for ``key``, or ``None``.
+
+        A corrupt or torn entry is quarantined (dead-letter move +
+        typed record + repro bundle) and reported as a miss — it is
+        never served, and the caller falls through to a fresh sweep.
+        """
+        path = self.entry_path(key)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                raw = handle.read()
+        except FileNotFoundError:
+            return None
+        except OSError as exc:
+            raise CertStoreError(
+                f"cannot read entry {key}: {exc}",
+                context={"path": path}) from exc
+        try:
+            envelope = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            self._quarantine(key, path, CertEntryCorrupt(
+                f"entry {key} is not valid JSON: {exc}",
+                context={"path": path}))
+            return None
+        try:
+            return self._verify_envelope(key, envelope)
+        except CertEntryCorrupt as exc:
+            exc.context.setdefault("path", path)
+            self._quarantine(key, path, exc)
+            return None
+
+    def put(self, key: str, payload: Mapping[str, Any]) -> str:
+        """Write ``payload`` under ``key`` crash-safely; returns the path.
+
+        Staged temp + ``os.replace``: a reader racing the write (or a
+        SIGKILL mid-write) sees either the previous entry or the new
+        one, never a torn file.
+        """
+        path = self.entry_path(key)
+        envelope = self._envelope(key, payload)
+        atomic_write_text(path,
+                          json.dumps(envelope, sort_keys=True, indent=2)
+                          + "\n")
+        return path
+
+    # -- latest pointers ---------------------------------------------------
+
+    def set_latest(self, scheme: str, key: str) -> None:
+        """Atomically point ``scheme`` at its newest cache key."""
+        pointer = {"scheme": scheme, "key": key,
+                   "created_at": time.time()}
+        atomic_write_text(self.latest_path(scheme),
+                          json.dumps(pointer, sort_keys=True) + "\n")
+
+    def latest(self, scheme: str
+               ) -> Optional[Tuple[str, float, Dict[str, Any]]]:
+        """``(key, created_at, payload)`` of the scheme's newest entry.
+
+        ``None`` when there is no pointer, the pointer is corrupt (it is
+        quarantined like an entry), or the pointed-to entry failed its
+        own envelope (in which case the entry was quarantined too).
+        """
+        path = self.latest_path(scheme)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                raw = handle.read()
+        except FileNotFoundError:
+            return None
+        except OSError as exc:
+            raise CertStoreError(
+                f"cannot read latest pointer for {scheme}: {exc}",
+                context={"path": path, "scheme": scheme}) from exc
+        try:
+            pointer = json.loads(raw)
+            key = pointer["key"]
+            created_at = float(pointer.get("created_at") or 0.0)
+        except (json.JSONDecodeError, KeyError, TypeError,
+                ValueError) as exc:
+            self._quarantine(f"latest-{scheme}", path, CertEntryCorrupt(
+                f"latest pointer for {scheme} is corrupt: {exc}",
+                context={"path": path, "scheme": scheme}))
+            return None
+        payload = self.get(key)
+        if payload is None:
+            return None
+        return key, created_at, payload
+
+    # -- quarantine --------------------------------------------------------
+
+    def _quarantine(self, key: str, path: str,
+                    error: CertEntryCorrupt) -> Optional[str]:
+        """Dead-letter a corrupt file; never raises on best-effort steps.
+
+        The move itself (``os.replace`` into ``dead-letter/``) is the
+        load-bearing step: after it, the corrupt bytes can never be
+        served again.  The typed record and the repro bundle are
+        forensic extras — failure to write them logs into the record's
+        absence, not into the read path.
+        """
+        stamp = f"{int(time.time() * 1000):x}-{os.getpid()}"
+        dest = os.path.join(self.dead_letter_dir,
+                            f"{key}.{stamp}.quarantined")
+        try:
+            os.replace(path, dest)
+        except FileNotFoundError:
+            dest = None  # a concurrent reader already quarantined it
+        except OSError as exc:
+            raise CertStoreError(
+                f"cannot quarantine corrupt entry {key}: {exc}",
+                context={"path": path}) from exc
+        self.counters["quarantined"] += 1
+        record_path = os.path.join(self.dead_letter_dir,
+                                   f"{key}.{stamp}.record.json")
+        record = {
+            "kind": "cert-store-quarantine",
+            "key": key,
+            "entry_path": path,
+            "quarantined_to": dest,
+            "error": error.to_record(),
+            "time": time.time(),
+        }
+        try:
+            atomic_write_text(record_path,
+                              json.dumps(record, sort_keys=True,
+                                         indent=2) + "\n")
+        except OSError:
+            record_path = None
+        # a quarantined entry's sweep journal is no longer trusted
+        # either: drop it so the fall-through sweep starts from scratch
+        shutil.rmtree(os.path.join(self.sweeps_dir, key),
+                      ignore_errors=True)
+        self._capture_quarantine_bundle(error, dest)
+        return record_path
+
+    def _capture_quarantine_bundle(self, error: CertEntryCorrupt,
+                                   quarantined_path: Optional[str]
+                                   ) -> Optional[str]:
+        """Best-effort repro bundle for a quarantined entry."""
+        try:
+            from repro.bundle import capture_bundle
+            files = {}
+            if quarantined_path is not None:
+                files[os.path.basename(quarantined_path)] = \
+                    quarantined_path
+            return capture_bundle(
+                error, capture_point="certify.store",
+                out_dir=self.bundle_dir, journal_files=files)
+        except Exception:
+            return None  # forensics only; the quarantine already held
+
+    # -- integrity audit ---------------------------------------------------
+
+    def verify_all(self) -> Dict[str, List[str]]:
+        """Audit every entry: quarantine what fails, report the rest.
+
+        The chaos-CI invariant check: after any kill schedule, every
+        surviving cache file either passes its integrity envelope
+        (``ok``) or is quarantined with a typed record (``quarantined``).
+        """
+        ok: List[str] = []
+        quarantined: List[str] = []
+        for name in sorted(os.listdir(self.entries_dir)):
+            if not name.endswith(".json"):
+                continue
+            key = name[:-len(".json")]
+            if self.get(key) is not None:
+                ok.append(key)
+            else:
+                quarantined.append(key)
+        return {"ok": ok, "quarantined": quarantined}
+
+    def dead_letter_records(self) -> List[Dict[str, Any]]:
+        """Every quarantine record currently in the dead-letter dir."""
+        records = []
+        for name in sorted(os.listdir(self.dead_letter_dir)):
+            if not name.endswith(".record.json"):
+                continue
+            path = os.path.join(self.dead_letter_dir, name)
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    records.append(json.load(handle))
+            except (OSError, json.JSONDecodeError):
+                continue
+        return records
+
+
+def build_cache_payload(key: str, scheme: str,
+                        certificate: Mapping[str, Any],
+                        fingerprint: Mapping[str, Any],
+                        versions: Mapping[str, int],
+                        fault_model: Mapping[str, Any],
+                        provenance: Optional[Mapping[str, Any]] = None
+                        ) -> Dict[str, Any]:
+    """Assemble the versioned cached-certificate payload (schema v1)."""
+    return {
+        "version": CACHE_SCHEMA_VERSION,
+        "kind": "swapcodes-cached-certificate",
+        "key": key,
+        "scheme": scheme,
+        "scheme_fingerprint": dict(fingerprint),
+        "claim_matrix_version": CLAIM_MATRIX_VERSION,
+        "claim_versions": dict(versions),
+        "fault_model": dict(fault_model),
+        "certificate": dict(certificate),
+        "provenance": dict(provenance) if provenance is not None else {
+            "parent_key": None, "recertified": sorted(
+                (certificate.get("claims") or {})),
+            "carried_forward": {}, "carried_strikes_swept": 0},
+        "created_at": time.time(),
+    }

@@ -17,7 +17,7 @@ from repro.certify import (CERTIFICATE_SCHEMA_VERSION, Certifier, Strike,
                            make_certified_scheme, tampered_secded_dp,
                            write_certificate)
 from repro.ecc import NaiveSecDedSwap, SecDedDpSwap
-from repro.errors import CertificationError
+from repro.errors import CertificationError, InvalidArgument
 
 
 @pytest.fixture(scope="module")
@@ -167,3 +167,114 @@ class TestRegistryAndConfig:
         assert accept["corrects-all-single-storage"].covers(strike_on_check)
         assert not strict["corrects-all-single-storage"].covers(
             strike_on_check)
+
+
+class TestArtifactDirValidation:
+    def test_empty_out_dir_rejected(self):
+        certificate = certify_scheme("parity", mode="fast")
+        with pytest.raises(InvalidArgument):
+            write_certificate(certificate, "")
+
+    def test_non_string_out_dir_rejected(self):
+        certificate = certify_scheme("parity", mode="fast")
+        with pytest.raises(InvalidArgument):
+            write_certificate(certificate, None)
+
+    def test_out_dir_existing_as_file_rejected(self, tmp_path):
+        victim = tmp_path / "artifact"
+        victim.write_text("a file, not a directory")
+        certificate = certify_scheme("parity", mode="fast")
+        with pytest.raises(InvalidArgument) as info:
+            write_certificate(certificate, str(victim))
+        assert info.value.context["path"] == str(victim)
+
+
+class TestAtomicCertificateWrite:
+    def test_write_leaves_no_staging_files(self, tmp_path):
+        certificate = certify_scheme("parity", mode="fast")
+        write_certificate(certificate, str(tmp_path))
+        assert sorted(path.name for path in tmp_path.iterdir()) == \
+            ["CERTIFICATE_parity.json"]
+
+    def test_overwrite_is_old_or_new_never_torn(self, tmp_path):
+        # rewrite the artifact while re-reading it: every read parses
+        certificate = certify_scheme("parity", mode="fast")
+        path = write_certificate(certificate, str(tmp_path))
+        for _ in range(40):
+            write_certificate(certificate, str(tmp_path))
+            with open(path, encoding="utf-8") as handle:
+                loaded = json.load(handle)
+            assert loaded["scheme"] == "parity"
+
+    def test_kill_during_write_never_leaves_torn_artifact(self, tmp_path):
+        """SIGKILL a writer loop mid-``write_certificate``; the artifact
+        under the final name must always be absent or fully valid."""
+        import os
+        import signal
+        import subprocess
+        import sys
+        import time
+
+        out_dir = str(tmp_path / "artifacts")
+        script = (
+            "from repro.certify import certify_scheme, write_certificate\n"
+            "import sys\n"
+            "certificate = certify_scheme('parity', mode='fast')\n"
+            "print('WRITING', flush=True)\n"
+            "while True:\n"
+            f"    write_certificate(certificate, {out_dir!r})\n")
+        repo_root = os.path.dirname(os.path.dirname(os.path.dirname(
+            os.path.abspath(__file__))))
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.join(repo_root, "src")
+        for attempt in range(3):
+            victim = subprocess.Popen(
+                [sys.executable, "-c", script], cwd=repo_root, env=env,
+                stdout=subprocess.PIPE, text=True)
+            assert "WRITING" in victim.stdout.readline()
+            time.sleep(0.05 + attempt * 0.03)
+            victim.send_signal(signal.SIGKILL)
+            victim.wait(30)
+            final = os.path.join(out_dir, "CERTIFICATE_parity.json")
+            if os.path.exists(final):
+                with open(final, encoding="utf-8") as handle:
+                    loaded = json.load(handle)
+                assert loaded["scheme"] == "parity"
+                assert loaded["passed"] is True
+
+
+class TestPartialCertification:
+    def test_only_restricts_the_claim_set(self):
+        certificate = certify_scheme(
+            "secded-dp", only=["corrects-all-single-storage"])
+        assert set(certificate.claims) == {"corrects-all-single-storage"}
+        assert certificate.passed
+
+    def test_partial_sweep_enumerates_fewer_strikes(self):
+        full = certify_scheme("secded-dp")
+        partial = certify_scheme(
+            "secded-dp", only=["corrects-all-single-storage"])
+        assert 0 < partial.strikes_swept < full.strikes_swept / 10
+        # the storage-only claim needs no pipeline placements at all
+        report = partial.claims["corrects-all-single-storage"]
+        assert report.swept == partial.strikes_swept
+
+    def test_partial_verdict_matches_full_sweep_verdict(self):
+        full = certify_scheme("secded-dp")
+        partial = certify_scheme(
+            "secded-dp", only=["ded-on-doubles"])
+        assert partial.claims["ded-on-doubles"].swept == \
+            full.claims["ded-on-doubles"].swept
+        assert partial.claims["ded-on-doubles"].verdict == \
+            full.claims["ded-on-doubles"].verdict
+
+    def test_unknown_claim_rejected(self):
+        with pytest.raises(CertificationError):
+            certify_scheme("secded-dp", only=["no-such-claim"])
+
+    def test_full_certificate_unchanged_by_partial_support(self):
+        # the only=None path must stay byte-identical to the seed
+        # behavior: a partial feature cannot perturb full sweeps
+        first = certify_scheme("mod7", seed=3)
+        second = certify_scheme("mod7", seed=3, only=None)
+        assert first.to_dict() == second.to_dict()

@@ -1,0 +1,387 @@
+"""Tests for the tamper-evident, crash-safe certificate store.
+
+Three properties carry the store's contract: a verified entry round-
+trips byte-identically; a corrupt or torn entry is *never served* —
+it is quarantined to the dead-letter directory with a typed record and
+the read degrades to a miss; and concurrent readers racing an
+``os.replace`` publish see the old payload or the new one, never a
+torn hybrid.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.certify.claims import claim_matrix, claim_versions
+from repro.certify.store import (CACHE_SCHEMA_VERSION, CertificateStore,
+                                 build_cache_payload, certificate_key,
+                                 fault_model_fingerprint,
+                                 scheme_cache_identity, scheme_fingerprint,
+                                 stitch_certificate, touched_claims)
+from repro.ecc import DetectOnlySwap, ParityCode, SecDedDpSwap
+from repro.errors import InvalidArgument
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))))
+
+
+def make_store(tmp_path, name="cache"):
+    return CertificateStore(str(tmp_path / name))
+
+
+def a_key(tag="ab"):
+    return tag * 32
+
+
+class TestKeyDerivation:
+    def test_same_scheme_same_key(self):
+        first = scheme_cache_identity(SecDedDpSwap(), "fast", 0)
+        second = scheme_cache_identity(SecDedDpSwap(), "fast", 0)
+        assert first == second
+
+    def test_policy_changes_fingerprint_and_key(self):
+        accept = scheme_cache_identity(SecDedDpSwap(), "fast", 0)
+        strict = scheme_cache_identity(
+            SecDedDpSwap(check_correction="strict"), "fast", 0)
+        assert accept[0]["policy"] == "accept"
+        assert strict[0]["policy"] == "strict"
+        assert accept[3] != strict[3]
+
+    def test_mode_and_seed_change_key(self):
+        scheme = DetectOnlySwap(ParityCode())
+        fp = scheme_fingerprint(scheme)
+        versions = claim_versions(claim_matrix(scheme))
+        keys = {certificate_key(fp, versions,
+                                fault_model_fingerprint(mode, seed))
+                for mode in ("fast", "full") for seed in (0, 1)}
+        assert len(keys) == 4
+
+    def test_h_matrix_hash_distinguishes_codes(self):
+        parity = scheme_fingerprint(DetectOnlySwap(ParityCode()))
+        secded = scheme_fingerprint(SecDedDpSwap())
+        assert parity["h_matrix"] != secded["h_matrix"]
+
+    def test_claim_version_bump_changes_key(self):
+        scheme = SecDedDpSwap()
+        fp = scheme_fingerprint(scheme)
+        versions = claim_versions(claim_matrix(scheme))
+        fault = fault_model_fingerprint("fast", 0)
+        bumped = dict(versions)
+        bumped["ded-on-doubles"] += 1
+        assert certificate_key(fp, versions, fault) != \
+            certificate_key(fp, bumped, fault)
+
+
+class TestValidation:
+    def test_empty_cache_dir_rejected(self):
+        with pytest.raises(InvalidArgument):
+            CertificateStore("")
+
+    def test_non_string_cache_dir_rejected(self):
+        with pytest.raises(InvalidArgument):
+            CertificateStore(None)
+
+    def test_cache_dir_existing_as_file_rejected(self, tmp_path):
+        victim = tmp_path / "occupied"
+        victim.write_text("not a directory")
+        with pytest.raises(InvalidArgument) as info:
+            CertificateStore(str(victim))
+        assert info.value.context["path"] == str(victim)
+
+
+class TestEnvelopeRoundTrip:
+    def test_put_get_round_trips_exactly(self, tmp_path):
+        store = make_store(tmp_path)
+        payload = {"version": CACHE_SCHEMA_VERSION, "scheme": "parity",
+                   "certificate": {"passed": True, "claims": {}}}
+        store.put(a_key(), payload)
+        assert store.get(a_key()) == payload
+
+    def test_get_is_byte_stable_across_reads(self, tmp_path):
+        store = make_store(tmp_path)
+        store.put(a_key(), {"n": 1, "nested": {"deep": [1, 2, 3]}})
+        first = json.dumps(store.get(a_key()), sort_keys=True)
+        second = json.dumps(store.get(a_key()), sort_keys=True)
+        assert first == second
+
+    def test_missing_entry_is_a_clean_miss(self, tmp_path):
+        store = make_store(tmp_path)
+        assert store.get(a_key()) is None
+        assert store.counters["quarantined"] == 0
+
+    def test_envelope_records_both_digests(self, tmp_path):
+        store = make_store(tmp_path)
+        store.put(a_key(), {"n": 1})
+        with open(store.entry_path(a_key())) as handle:
+            envelope = json.load(handle)
+        assert envelope["kind"] == "swapcodes-cert-entry"
+        assert len(envelope["sha256"]) == 64
+        assert isinstance(envelope["crc32"], int)
+
+
+class TestQuarantine:
+    def corrupt(self, store, key, mutilate):
+        path = store.entry_path(key)
+        with open(path) as handle:
+            raw = handle.read()
+        with open(path, "w") as handle:
+            handle.write(mutilate(raw))
+
+    @pytest.mark.parametrize("mutilate", [
+        lambda raw: raw[:len(raw) // 2],              # torn tail
+        lambda raw: raw.replace('"n": 1', '"n": 2'),  # payload flip
+        lambda raw: "not json at all",                # total garbage
+        lambda raw: '{"kind": "wrong-kind"}',         # wrong envelope
+    ], ids=["torn", "bitflip", "garbage", "wrong-kind"])
+    def test_corrupt_entry_never_served(self, tmp_path, mutilate):
+        store = make_store(tmp_path)
+        store.put(a_key(), {"n": 1})
+        self.corrupt(store, a_key(), mutilate)
+        assert store.get(a_key()) is None
+        assert store.counters["quarantined"] == 1
+        # the corrupt bytes left the serving path entirely
+        assert not os.path.exists(store.entry_path(a_key()))
+
+    def test_quarantine_writes_typed_dead_letter_record(self, tmp_path):
+        store = make_store(tmp_path)
+        store.put(a_key(), {"n": 1})
+        self.corrupt(store, a_key(), lambda raw: raw[:40])
+        store.get(a_key())
+        records = store.dead_letter_records()
+        assert len(records) == 1
+        assert records[0]["key"] == a_key()
+        assert records[0]["error"]["code"] == "certify.store_corrupt"
+        quarantined = [name for name
+                       in os.listdir(store.dead_letter_dir)
+                       if name.endswith(".quarantined")]
+        assert len(quarantined) == 1
+
+    def test_key_mismatch_is_tampering(self, tmp_path):
+        store = make_store(tmp_path)
+        store.put(a_key("cd"), {"n": 1})
+        os.replace(store.entry_path(a_key("cd")),
+                   store.entry_path(a_key("ef")))
+        assert store.get(a_key("ef")) is None
+        assert store.counters["quarantined"] == 1
+
+    def test_quarantine_clears_the_sweep_journal(self, tmp_path):
+        store = make_store(tmp_path)
+        store.put(a_key(), {"n": 1})
+        journal = store.sweep_journal(a_key())
+        with open(journal, "w") as handle:
+            handle.write("stale sweep state\n")
+        self.corrupt(store, a_key(), lambda raw: raw[:40])
+        store.get(a_key())
+        assert not os.path.exists(journal)
+
+    def test_corrupt_latest_pointer_degrades_to_none(self, tmp_path):
+        store = make_store(tmp_path)
+        store.put(a_key(), {"n": 1})
+        store.set_latest("parity", a_key())
+        with open(store.latest_path("parity"), "w") as handle:
+            handle.write("}{")
+        assert store.latest("parity") is None
+
+    def test_verify_all_partitions_good_from_bad(self, tmp_path):
+        store = make_store(tmp_path)
+        store.put(a_key("ab"), {"n": 1})
+        store.put(a_key("cd"), {"n": 2})
+        self.corrupt(store, a_key("cd"), lambda raw: raw[:30])
+        audit = store.verify_all()
+        assert audit["ok"] == [a_key("ab")]
+        assert audit["quarantined"] == [a_key("cd")]
+
+
+class TestLatestPointer:
+    def test_latest_round_trips(self, tmp_path):
+        store = make_store(tmp_path)
+        store.put(a_key(), {"n": 1})
+        store.set_latest("parity", a_key())
+        key, created_at, payload = store.latest("parity")
+        assert key == a_key()
+        assert payload == {"n": 1}
+        assert created_at <= time.time()
+
+    def test_latest_with_quarantined_entry_is_none(self, tmp_path):
+        store = make_store(tmp_path)
+        store.put(a_key(), {"n": 1})
+        store.set_latest("parity", a_key())
+        with open(store.entry_path(a_key()), "w") as handle:
+            handle.write("torn")
+        assert store.latest("parity") is None
+
+
+class TestTornReads:
+    def test_reader_racing_replace_sees_old_or_new(self, tmp_path):
+        """A reader concurrent with ``put`` gets a verified payload —
+        one of the two versions in flight — never a torn hybrid."""
+        store = make_store(tmp_path)
+        old = {"generation": 0, "filler": "a" * 4096}
+        new = {"generation": 1, "filler": "b" * 4096}
+        store.put(a_key(), old)
+        stop = threading.Event()
+        seen = []
+        failures = []
+
+        def reader():
+            while not stop.is_set():
+                try:
+                    payload = store.get(a_key())
+                except Exception as exc:  # pragma: no cover
+                    failures.append(exc)
+                    return
+                if payload is not None:
+                    seen.append(payload["generation"])
+
+        thread = threading.Thread(target=reader)
+        thread.start()
+        for _ in range(200):
+            store.put(a_key(), new)
+            store.put(a_key(), old)
+        stop.set()
+        thread.join(timeout=30.0)
+        assert not failures
+        assert store.counters["quarantined"] == 0
+        assert set(seen) <= {0, 1}
+        assert seen  # the reader actually observed payloads
+
+    def test_kill_during_put_never_leaves_torn_entry(self, tmp_path):
+        """SIGKILL a process mid-``put`` churn at arbitrary points;
+        every surviving entry must still verify."""
+        cache = str(tmp_path / "cache")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
+        for attempt in range(3):
+            victim = subprocess.Popen(
+                [sys.executable, "-m",
+                 "tests.certify.cert_service_driver",
+                 "--churn", cache, "--key-count", "4"],
+                cwd=REPO_ROOT, env=env, stdout=subprocess.PIPE,
+                text=True)
+            assert "CHURNING" in victim.stdout.readline()
+            time.sleep(0.1 + attempt * 0.07)
+            victim.send_signal(signal.SIGKILL)
+            victim.wait(30)
+            audit = CertificateStore(cache).verify_all()
+            assert audit["quarantined"] == [], audit
+            assert len(audit["ok"]) >= 1
+
+
+class TestTouchedClaims:
+    def scheme_identity(self, scheme):
+        fp = scheme_fingerprint(scheme)
+        claims = claim_matrix(scheme)
+        versions = claim_versions(claims)
+        fault = fault_model_fingerprint("fast", 0)
+        return fp, claims, versions, fault
+
+    def prior_payload(self, scheme, claims_reports=None):
+        fp, claims, versions, fault = self.scheme_identity(scheme)
+        key = certificate_key(fp, versions, fault)
+        certificate = {"claims": claims_reports if claims_reports
+                       is not None else {name: {"verdict": "held"}
+                                         for name in claims},
+                       "strikes_swept": 100}
+        return build_cache_payload(key, "scheme", certificate, fp,
+                                   versions, fault)
+
+    def test_identical_scheme_touches_nothing(self):
+        prior = self.prior_payload(SecDedDpSwap())
+        fp, claims, versions, fault = self.scheme_identity(
+            SecDedDpSwap())
+        assert touched_claims(prior, fp, versions, fault, claims) \
+            == set()
+
+    def test_policy_delta_touches_only_the_policy_claim(self):
+        prior = self.prior_payload(SecDedDpSwap())
+        strict = SecDedDpSwap(check_correction="strict")
+        fp, claims, versions, fault = self.scheme_identity(strict)
+        assert touched_claims(prior, fp, versions, fault, claims) \
+            == {"corrects-all-single-storage"}
+
+    def test_fault_model_delta_forces_full_resweep(self):
+        prior = self.prior_payload(SecDedDpSwap())
+        fp, claims, versions, _ = self.scheme_identity(SecDedDpSwap())
+        other_fault = fault_model_fingerprint("full", 0)
+        assert touched_claims(prior, fp, versions, other_fault,
+                              claims) is None
+
+    def test_missing_prior_claim_is_touched(self):
+        reports = {name: {"verdict": "held"} for name
+                   in claim_matrix(SecDedDpSwap())}
+        del reports["ded-on-doubles"]
+        prior = self.prior_payload(SecDedDpSwap(), reports)
+        fp, claims, versions, fault = self.scheme_identity(
+            SecDedDpSwap())
+        assert touched_claims(prior, fp, versions, fault, claims) \
+            == {"ded-on-doubles"}
+
+    def test_stitch_carries_untouched_claims_with_provenance(self):
+        prior = self.prior_payload(SecDedDpSwap())
+        partial = {"strikes_swept": 7,
+                   "claims": {"corrects-all-single-storage":
+                              {"verdict": "held", "swept": 7}}}
+        certificate, provenance = stitch_certificate(
+            partial, prior, {"corrects-all-single-storage"},
+            prior["key"])
+        assert set(certificate["claims"]) == \
+            set(claim_matrix(SecDedDpSwap()))
+        assert provenance["recertified"] == \
+            ["corrects-all-single-storage"]
+        assert provenance["parent_key"] == prior["key"]
+        carried = provenance["carried_forward"]
+        assert "corrects-all-single-storage" not in carried
+        assert all(value == prior["key"] for value in carried.values())
+        assert certificate["passed"] is True
+
+    def test_stitch_surfaces_violations_from_either_side(self):
+        prior = self.prior_payload(SecDedDpSwap())
+        partial = {"claims": {"corrects-all-single-storage":
+                              {"verdict": "violated"}}}
+        certificate, _ = stitch_certificate(
+            partial, prior, {"corrects-all-single-storage"},
+            prior["key"])
+        assert certificate["violated"] == \
+            ["corrects-all-single-storage"]
+        assert certificate["passed"] is False
+
+
+class TestLocks:
+    def test_lock_is_exclusive_across_handles(self, tmp_path):
+        store = make_store(tmp_path)
+        first = store.lock(a_key())
+        second = store.lock(a_key())
+        assert first.acquire(blocking=False)
+        assert not second.acquire(blocking=False)
+        first.release()
+        assert second.acquire(blocking=False)
+        second.release()
+
+    def test_blocking_acquire_waits_out_the_holder(self, tmp_path):
+        store = make_store(tmp_path)
+        holder = store.lock(a_key())
+        assert holder.acquire(blocking=False)
+        release_timer = threading.Timer(0.15, holder.release)
+        release_timer.start()
+        waiter = store.lock(a_key())
+        try:
+            assert waiter.acquire(blocking=True, timeout_s=10.0)
+        finally:
+            release_timer.cancel()
+            waiter.release()
+
+    def test_blocking_acquire_times_out(self, tmp_path):
+        store = make_store(tmp_path)
+        holder = store.lock(a_key())
+        assert holder.acquire(blocking=False)
+        try:
+            waiter = store.lock(a_key())
+            assert not waiter.acquire(blocking=True, timeout_s=0.2)
+        finally:
+            holder.release()
